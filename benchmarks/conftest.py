@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale:
+it computes the rows/series, asserts the qualitative shape the paper reports,
+and both prints the result and appends it to ``benchmarks/results/<name>.txt``
+so the numbers survive the pytest capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220613)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the benchmarked callable exactly once (these are long-running analyses)."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,9 @@
+"""Setup shim so that `pip install -e .` / `python setup.py develop` work offline.
+
+The canonical metadata lives in pyproject.toml; this file only exists because
+the execution environment has no network access and no `wheel` package, which
+modern PEP 660 editable installs require.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""GuBPI reproduction: guaranteed bounds for posterior inference in universal PPLs.
+
+The package reproduces the system of "Guaranteed Bounds for Posterior
+Inference in Universal Probabilistic Programming" (PLDI 2022): an SPCF
+modelling language, interval trace semantics, a weight-aware interval type
+system, symbolic execution with fixpoint summaries and two path analysers
+(polytope-based and box-splitting), plus the stochastic and exact baselines
+used by the paper's evaluation.
+
+Typical usage::
+
+    from repro.lang import builder as b
+    from repro.analysis import bound_query, AnalysisOptions
+    from repro.intervals import Interval
+
+    program = b.let("x", b.sample(), b.seq(b.observe_normal(0.7, 0.1, b.var("x")), b.var("x")))
+    bounds = bound_query(program, Interval(0.5, 1.0))
+    print(bounds.lower, bounds.upper)
+"""
+
+import sys as _sys
+
+# Deeply recursive probabilistic programs (e.g. the pedestrian walk) are
+# evaluated with recursive interpreters; CPython's default recursion limit is
+# too small for long random walks, so raise it once at import time.
+if _sys.getrecursionlimit() < 100_000:
+    _sys.setrecursionlimit(100_000)
+
+from . import analysis, distributions, estimation, exact, inference, intervals, lang, models, polytope, semantics, symbolic, typesystem
+from .analysis import AnalysisOptions, bound_denotation, bound_posterior_histogram, bound_query
+from .intervals import Interval
+
+__all__ = [
+    "intervals",
+    "distributions",
+    "lang",
+    "semantics",
+    "typesystem",
+    "symbolic",
+    "polytope",
+    "analysis",
+    "inference",
+    "exact",
+    "estimation",
+    "models",
+    "AnalysisOptions",
+    "bound_denotation",
+    "bound_query",
+    "bound_posterior_histogram",
+    "Interval",
+]
+
+__version__ = "0.1.0"

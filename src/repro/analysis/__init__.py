@@ -1,0 +1,31 @@
+"""Guaranteed-bounds analysis: the GuBPI engine and its path analysers."""
+
+from .box_analyzer import analyze_path_boxes, split_domain
+from .config import AnalysisOptions
+from .engine import (
+    AnalysisReport,
+    DenotationBounds,
+    QueryBounds,
+    bound_denotation,
+    bound_posterior_histogram,
+    bound_query,
+)
+from .histogram import BucketBound, HistogramBounds, ValidationReport
+from .linear_analyzer import analyze_path_linear, linear_analysis_applicable
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisReport",
+    "DenotationBounds",
+    "QueryBounds",
+    "bound_denotation",
+    "bound_query",
+    "bound_posterior_histogram",
+    "BucketBound",
+    "HistogramBounds",
+    "ValidationReport",
+    "analyze_path_boxes",
+    "analyze_path_linear",
+    "linear_analysis_applicable",
+    "split_domain",
+]

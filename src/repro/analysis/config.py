@@ -1,0 +1,45 @@
+"""Configuration of the guaranteed-bounds analysis (GuBPI engine)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AnalysisOptions"]
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Tunable knobs of Algorithm 1 and the two path analysers.
+
+    Attributes:
+        max_fixpoint_depth: the depth limit ``D`` of Algorithm 1 — recursive
+            calls beyond this depth are summarised by the interval type system.
+        max_paths: abort threshold for symbolic path explosion.
+        splits_per_dimension: how many pieces every sample variable's domain
+            is split into by the *standard* interval trace semantics
+            (Section 6.3).  The number of boxes is exponential in the path
+            dimension, so it is capped by ``max_boxes_per_path``.
+        max_boxes_per_path: cap on the grid size per path; the per-dimension
+            split count is reduced to stay under it.
+        score_splits: how many chunks the range of every linear score atom is
+            split into by the *linear* semantics (Section 6.4).
+        max_score_combinations: cap on the product grid over score atoms.
+        use_linear_semantics: switch between the optimised linear semantics
+            and pure box splitting (the ablation of Section 6.4).
+        prune_empty_paths: skip paths whose constraint polytope is infeasible.
+    """
+
+    max_fixpoint_depth: int = 6
+    max_paths: int = 50_000
+    splits_per_dimension: int = 8
+    max_boxes_per_path: int = 20_000
+    score_splits: int = 32
+    max_score_combinations: int = 4_096
+    use_linear_semantics: bool = True
+    prune_empty_paths: bool = True
+
+    def with_updates(self, **changes) -> "AnalysisOptions":
+        """A copy of the options with some fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

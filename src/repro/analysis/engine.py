@@ -1,0 +1,207 @@
+"""The GuBPI engine: guaranteed bounds on program denotations (Algorithm 1).
+
+Pipeline:
+
+1. symbolically execute the program up to the fixpoint depth limit, replacing
+   deeper recursion by interval-type summaries (``approxFix``);
+2. analyse every resulting symbolic interval path with either the optimised
+   linear semantics (polytope volumes, Section 6.4) or the standard interval
+   trace semantics (box splitting, Section 6.3);
+3. sum the per-path bounds (Theorem 6.1 / Corollary 6.3) to obtain guaranteed
+   bounds on ``⟦P⟧(U)`` for every requested target set ``U``, and normalise
+   them into posterior bounds.
+
+The public entry points are :func:`bound_denotation`, :func:`bound_query` and
+:func:`bound_posterior_histogram`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..intervals import Interval
+from ..lang.ast import Term
+from ..symbolic import ExecutionLimits, SymbolicExecutionResult, SymbolicPath, symbolic_paths
+from .box_analyzer import analyze_path_boxes
+from .config import AnalysisOptions
+from .histogram import BucketBound, HistogramBounds
+from .linear_analyzer import analyze_path_linear, linear_analysis_applicable
+
+__all__ = [
+    "DenotationBounds",
+    "QueryBounds",
+    "AnalysisReport",
+    "bound_denotation",
+    "bound_query",
+    "bound_posterior_histogram",
+]
+
+_REALS = Interval(-math.inf, math.inf)
+
+
+@dataclass(frozen=True)
+class DenotationBounds:
+    """Guaranteed bounds on the unnormalised denotation of one target set."""
+
+    target: Interval
+    lower: float
+    upper: float
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        return self.lower - slack <= value <= self.upper + slack
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+@dataclass(frozen=True)
+class QueryBounds:
+    """Bounds on a normalised posterior query ``Pr[result ∈ target]``."""
+
+    target: Interval
+    unnormalised: DenotationBounds
+    normalising_constant: DenotationBounds
+    lower: float
+    upper: float
+
+    def contains(self, probability: float, slack: float = 1e-9) -> bool:
+        return self.lower - slack <= probability <= self.upper + slack
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+@dataclass
+class AnalysisReport:
+    """Statistics of one engine run (useful for benchmarks and debugging)."""
+
+    path_count: int = 0
+    truncated_paths: int = 0
+    linear_paths: int = 0
+    box_paths: int = 0
+    seconds: float = 0.0
+
+
+def _analyze_paths(
+    execution: SymbolicExecutionResult,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+    report: AnalysisReport,
+) -> list[tuple[float, float]]:
+    totals = [(0.0, 0.0) for _ in targets]
+    for path in execution.paths:
+        use_linear = options.use_linear_semantics and linear_analysis_applicable(path)
+        if use_linear:
+            contributions = analyze_path_linear(path, targets, options)
+            report.linear_paths += 1
+        else:
+            contributions = analyze_path_boxes(path, targets, options)
+            report.box_paths += 1
+        for index, (lower, upper) in enumerate(contributions):
+            # The interval-type summary used by approxFix only covers
+            # terminating continuations of a truncated path, so such paths
+            # contribute to upper bounds only.
+            path_lower = 0.0 if path.truncated else lower
+            old_lower, old_upper = totals[index]
+            totals[index] = (old_lower + path_lower, old_upper + upper)
+    return totals
+
+
+def _execution_limits(options: AnalysisOptions) -> ExecutionLimits:
+    return ExecutionLimits(
+        max_fixpoint_depth=options.max_fixpoint_depth,
+        max_paths=options.max_paths,
+    )
+
+
+def bound_denotation(
+    term: Term,
+    targets: Sequence[Interval],
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> list[DenotationBounds]:
+    """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``."""
+    options = options or AnalysisOptions()
+    report = report if report is not None else AnalysisReport()
+    start = time.perf_counter()
+    execution = symbolic_paths(term, _execution_limits(options))
+    report.path_count = len(execution.paths)
+    report.truncated_paths = execution.truncated_paths
+    totals = _analyze_paths(execution, targets, options, report)
+    report.seconds = time.perf_counter() - start
+    return [
+        DenotationBounds(target=target, lower=lower, upper=upper)
+        for target, (lower, upper) in zip(targets, totals)
+    ]
+
+
+def bound_query(
+    term: Term,
+    target: Interval,
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> QueryBounds:
+    """Bounds on the posterior probability ``Pr[result ∈ target]``.
+
+    The normalised bounds are derived from bounds on the target set, its
+    complement-style remainder and the normalising constant:
+    ``lower = lb(U) / (lb(U) + ub(R \\ U))`` and symmetrically for the upper
+    bound, which is tighter than dividing by the plain bounds on ``Z``.
+    """
+    options = options or AnalysisOptions()
+    report = report if report is not None else AnalysisReport()
+    bounds = bound_denotation(term, [target, _REALS], options, report)
+    target_bounds, total_bounds = bounds
+    complement_lower = max(0.0, total_bounds.lower - target_bounds.upper)
+    complement_upper = max(0.0, total_bounds.upper - target_bounds.lower)
+
+    if target_bounds.lower + complement_upper > 0.0:
+        lower = target_bounds.lower / (target_bounds.lower + complement_upper)
+    else:
+        lower = 0.0
+    if target_bounds.upper + complement_lower > 0.0:
+        upper = target_bounds.upper / (target_bounds.upper + complement_lower)
+    elif total_bounds.upper == 0.0:
+        upper = 0.0
+    else:
+        upper = 1.0
+    upper = min(1.0, upper)
+    return QueryBounds(
+        target=target,
+        unnormalised=target_bounds,
+        normalising_constant=total_bounds,
+        lower=lower,
+        upper=upper,
+    )
+
+
+def bound_posterior_histogram(
+    term: Term,
+    low: float,
+    high: float,
+    bucket_count: int,
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> HistogramBounds:
+    """Histogram-shaped bounds on the normalised posterior over ``[low, high)``."""
+    if bucket_count <= 0:
+        raise ValueError("bucket_count must be positive")
+    if not high > low:
+        raise ValueError("bound_posterior_histogram requires high > low")
+    options = options or AnalysisOptions()
+    report = report if report is not None else AnalysisReport()
+    edges = [low + (high - low) * k / bucket_count for k in range(bucket_count + 1)]
+    buckets = [Interval(edges[k], edges[k + 1]) for k in range(bucket_count)]
+    targets = list(buckets) + [_REALS]
+    bounds = bound_denotation(term, targets, options, report)
+    z_bounds = bounds[-1]
+    bucket_bounds = [
+        BucketBound(bucket=bucket, lower=bound.lower, upper=bound.upper)
+        for bucket, bound in zip(buckets, bounds[:-1])
+    ]
+    return HistogramBounds(buckets=bucket_bounds, z_lower=z_bounds.lower, z_upper=z_bounds.upper)

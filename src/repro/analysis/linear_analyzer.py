@@ -1,0 +1,422 @@
+"""Linear interval trace semantics for a single symbolic path (Section 6.4).
+
+Applicable when the path's constraints and return value are interval-linear
+functions of the sample variables and every prior is a (bounded) uniform
+distribution.  The path denotation becomes an integral of the score product
+over a convex polytope:
+
+* without scores it is a plain polytope volume — computed exactly;
+* with scores, every score value is decomposed into a template over *linear
+  atoms* (Appendix E.1); each atom's range over the polytope is bounded by an
+  LP, split into chunks, and each chunk contributes
+  ``volume(polytope ∩ chunk) · inf/sup(template over the chunk)``
+  (Proposition 6.4).
+
+Separate polytopes ``𝔓_lb`` / ``𝔓_ub`` realise the universal / existential
+reading of constraints containing interval constants (introduced by
+``approxFix``).
+
+Two engineering refinements keep the volume computations cheap without
+affecting soundness:
+
+* **variable elimination** — a sample variable that occurs only in
+  single-variable constraints (e.g. the ``⊕_p`` branching draws) is factored
+  out analytically as an exact probability mass instead of adding a polytope
+  dimension; and
+* **volume caching** — identical polytopes (which arise whenever the lower
+  and upper readings coincide, i.e. for paths without interval constants) are
+  only handed to Qhull once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Uniform
+from ..intervals import Interval
+from ..polytope import Polytope
+from ..symbolic.linear import LinearForm, decompose_score, extract_linear
+from ..symbolic.paths import Relation, SymbolicPath
+from ..symbolic.value import evaluate_with_atoms
+from .config import AnalysisOptions
+
+__all__ = ["linear_analysis_applicable", "analyze_path_linear"]
+
+_NON_NEGATIVE = Interval(0.0, math.inf)
+
+#: upper-bound chunks with a score weight below this threshold skip the exact
+#: volume computation (their full prior mass is added instead, which is sound)
+_NEGLIGIBLE_WEIGHT = 1e-10
+
+
+def linear_analysis_applicable(path: SymbolicPath) -> bool:
+    """Whether the optimised linear semantics can handle this path."""
+    if not path.is_linear:
+        return False
+    for dist in path.distributions:
+        if not isinstance(dist, Uniform):
+            return False
+        if not dist.support().is_bounded:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Constraint translation (universal vs existential readings)
+# ----------------------------------------------------------------------
+
+def _upper_row(form: LinearForm, limit: float, dimension: int, universal: bool) -> Optional[tuple[list[float], float]]:
+    """Row for ``form ≤ limit``; ``None`` = unsatisfiable, empty row = trivially true."""
+    constant = form.constant.hi if universal else form.constant.lo
+    rhs = limit - constant
+    dense = form.as_dense(dimension)
+    if math.isinf(rhs) or not any(dense):
+        # A variable-free constraint: decide it outright.
+        return ([], rhs) if rhs >= 0 else None
+    return dense, rhs
+
+
+def _lower_row(form: LinearForm, limit: float, dimension: int, universal: bool) -> Optional[tuple[list[float], float]]:
+    """Row for ``form ≥ limit`` (encoded as ``-form ≤ -limit``)."""
+    constant = form.constant.lo if universal else form.constant.hi
+    rhs = constant - limit
+    dense = form.as_dense(dimension)
+    if math.isinf(rhs) or not any(dense):
+        return ([], rhs) if rhs >= 0 else None
+    return [-c for c in dense], rhs
+
+
+def _rows_for_relation(
+    form: LinearForm, relation: str, dimension: int, universal: bool
+) -> Optional[list[tuple[list[float], float]]]:
+    """Rows for ``form ⊲⊳ 0`` under the requested reading (``None`` = unsat)."""
+    if relation in (Relation.LEQ, Relation.LT):
+        row = _upper_row(form, 0.0, dimension, universal)
+    else:
+        row = _lower_row(form, 0.0, dimension, universal)
+    if row is None:
+        return None
+    return [row] if row[0] else []
+
+
+def _rows_for_target(
+    form: LinearForm, target: Interval, dimension: int, universal: bool
+) -> Optional[list[tuple[list[float], float]]]:
+    """Rows restricting the result value to ``target`` (⊆ for lb, ∩≠∅ for ub)."""
+    rows: list[tuple[list[float], float]] = []
+    if math.isfinite(target.hi):
+        row = _upper_row(form, target.hi, dimension, universal)
+        if row is None:
+            return None
+        if row[0]:
+            rows.append(row)
+    if math.isfinite(target.lo):
+        row = _lower_row(form, target.lo, dimension, universal)
+        if row is None:
+            return None
+        if row[0]:
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Variable elimination
+# ----------------------------------------------------------------------
+
+def _single_variable_interval(
+    form: LinearForm, relation: str, universal: bool
+) -> Optional[Interval]:
+    """Allowed values of ``α`` for a single-variable constraint ``c·α + k ⊲⊳ 0``."""
+    ((_, coeff),) = form.coeffs
+    constant = form.constant
+    if relation in (Relation.LEQ, Relation.LT):
+        bound_constant = constant.hi if universal else constant.lo
+        if math.isinf(bound_constant):
+            return None if bound_constant > 0 else Interval(-math.inf, math.inf)
+        # c·α ≤ -k
+        limit = -bound_constant / coeff
+        return Interval(-math.inf, limit) if coeff > 0 else Interval(limit, math.inf)
+    bound_constant = constant.lo if universal else constant.hi
+    if math.isinf(bound_constant):
+        return Interval(-math.inf, math.inf) if bound_constant > 0 else None
+    limit = -bound_constant / coeff
+    return Interval(limit, math.inf) if coeff > 0 else Interval(-math.inf, limit)
+
+
+@dataclass
+class _Reduction:
+    """Result of splitting the path variables into polytope vs eliminated ones."""
+
+    kept: list[int]
+    index_map: Dict[int, int]
+    factor_lower: float
+    factor_upper: float
+    supports: list[Interval]
+    density: float
+
+
+def _reduce_variables(
+    path: SymbolicPath,
+    constraint_forms: list[tuple[LinearForm, str]],
+    protected: set[int],
+) -> _Reduction:
+    """Factor out variables that occur only in single-variable constraints."""
+    single_constraints: Dict[int, list[tuple[LinearForm, str]]] = {}
+    multi_vars: set[int] = set(protected)
+    for form, relation in constraint_forms:
+        variables = form.variables()
+        if len(variables) == 1:
+            (index,) = tuple(variables)
+            single_constraints.setdefault(index, []).append((form, relation))
+        else:
+            multi_vars.update(variables)
+
+    factor_lower = 1.0
+    factor_upper = 1.0
+    kept: list[int] = []
+    for index in range(path.variable_count):
+        dist = path.distributions[index]
+        if index in multi_vars or (index not in single_constraints and index in protected):
+            kept.append(index)
+            continue
+        if index not in single_constraints and index not in protected:
+            # Unconstrained and unused: integrates to total mass 1.
+            continue
+        allowed_lower = Interval(-math.inf, math.inf)
+        allowed_upper = Interval(-math.inf, math.inf)
+        for form, relation in single_constraints[index]:
+            lower_piece = _single_variable_interval(form, relation, universal=True)
+            upper_piece = _single_variable_interval(form, relation, universal=False)
+            allowed_lower = allowed_lower.meet(lower_piece) if lower_piece else Interval.empty()
+            allowed_upper = allowed_upper.meet(upper_piece) if upper_piece else Interval.empty()
+        factor_lower *= dist.measure(allowed_lower.meet(dist.support()))
+        factor_upper *= dist.measure(allowed_upper.meet(dist.support()))
+
+    index_map = {old: new for new, old in enumerate(kept)}
+    supports = [path.distributions[old].support() for old in kept]
+    density = 1.0
+    for old in kept:
+        dist = path.distributions[old]
+        assert isinstance(dist, Uniform)
+        density *= 1.0 / (dist.high - dist.low)
+    return _Reduction(
+        kept=kept,
+        index_map=index_map,
+        factor_lower=factor_lower,
+        factor_upper=factor_upper,
+        supports=supports,
+        density=density,
+    )
+
+
+def _remap(form: LinearForm, index_map: Dict[int, int]) -> LinearForm:
+    return LinearForm(
+        tuple((index_map[i], c) for i, c in form.coeffs),
+        form.constant,
+    )
+
+
+# ----------------------------------------------------------------------
+# Volume caching
+# ----------------------------------------------------------------------
+
+class _VolumeCache:
+    """Memoises exact volumes of identical polytopes within one path analysis."""
+
+    def __init__(self) -> None:
+        self._store: Dict[bytes, Interval] = {}
+
+    def volume(self, polytope: Polytope) -> Interval:
+        key = np.round(np.hstack([polytope.a, polytope.b.reshape(-1, 1)]), 12).tobytes()
+        if key not in self._store:
+            self._store[key] = polytope.volume_bounds()
+        return self._store[key]
+
+
+# ----------------------------------------------------------------------
+# Main analysis
+# ----------------------------------------------------------------------
+
+def analyze_path_linear(
+    path: SymbolicPath,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> list[tuple[float, float]]:
+    """Bounds on ``⟦Ψ⟧_lb(U)`` / ``⟦Ψ⟧_ub(U)`` for every target ``U``."""
+    result_form = extract_linear(path.result)
+    assert result_form is not None, "analyze_path_linear requires a linear result"
+    constraint_forms = path.linear_constraints()
+
+    # Decompose all scores over a shared atom list.
+    atoms: list[LinearForm] = []
+    templates = [decompose_score(score, atoms) for score in path.scores]
+
+    protected = set(result_form.variables())
+    for atom in atoms:
+        protected.update(atom.variables())
+    reduction = _reduce_variables(path, constraint_forms, protected)
+    dimension = len(reduction.kept)
+    if reduction.factor_upper <= 0.0:
+        return [(0.0, 0.0) for _ in targets]
+
+    result_form = _remap(result_form, reduction.index_map)
+    constraint_forms = [
+        (_remap(form, reduction.index_map), relation)
+        for form, relation in constraint_forms
+        if all(index in reduction.index_map for index in form.variables())
+    ]
+    atoms = [_remap(atom, reduction.index_map) for atom in atoms]
+
+    base = Polytope.from_box(reduction.supports)
+    lower_poly: Optional[Polytope] = base
+    upper_poly: Optional[Polytope] = base
+    for form, relation in constraint_forms:
+        for universal in (True, False):
+            rows = _rows_for_relation(form, relation, dimension, universal)
+            if universal:
+                if rows is None:
+                    lower_poly = None
+                elif rows and lower_poly is not None:
+                    lower_poly = lower_poly.add_constraints(
+                        [r for r, _ in rows], [b for _, b in rows]
+                    )
+            else:
+                if rows is None:
+                    upper_poly = None
+                elif rows and upper_poly is not None:
+                    upper_poly = upper_poly.add_constraints(
+                        [r for r, _ in rows], [b for _, b in rows]
+                    )
+
+    cache = _VolumeCache()
+    lower = [0.0] * len(targets)
+    upper = [0.0] * len(targets)
+    if options.prune_empty_paths and upper_poly is not None and upper_poly.is_empty():
+        return list(zip(lower, upper))
+
+    for index, target in enumerate(targets):
+        if lower_poly is not None and reduction.factor_lower > 0.0:
+            rows = _rows_for_target(result_form, target, dimension, universal=True)
+            if rows is not None:
+                restricted = (
+                    lower_poly.add_constraints([r for r, _ in rows], [b for _, b in rows])
+                    if rows
+                    else lower_poly
+                )
+                lower[index] = reduction.factor_lower * _integrate(
+                    restricted, templates, atoms, reduction.density, options, cache, is_lower=True
+                )
+        if upper_poly is not None:
+            rows = _rows_for_target(result_form, target, dimension, universal=False)
+            if rows is not None:
+                restricted = (
+                    upper_poly.add_constraints([r for r, _ in rows], [b for _, b in rows])
+                    if rows
+                    else upper_poly
+                )
+                upper[index] = reduction.factor_upper * _integrate(
+                    restricted, templates, atoms, reduction.density, options, cache, is_lower=False
+                )
+    return list(zip(lower, upper))
+
+
+def _integrate(
+    polytope: Polytope,
+    templates,
+    atoms: list[LinearForm],
+    density: float,
+    options: AnalysisOptions,
+    cache: _VolumeCache,
+    is_lower: bool,
+) -> float:
+    """Bound ``∫_polytope ∏ templates(atoms) dα`` from below or above."""
+    if not templates:
+        volume = cache.volume(polytope)
+        return density * (volume.lo if is_lower else volume.hi)
+    if polytope.is_empty():
+        return 0.0
+
+    # Bound every atom over the polytope and split its range into chunks.
+    atom_ranges: list[list[Interval]] = []
+    for atom in atoms:
+        base = polytope.bound_linear(atom.as_dense(polytope.dimension))
+        if base is None:
+            return 0.0
+        atom_ranges.append(_split_interval(base + atom.constant, options.score_splits))
+
+    # Respect the combination budget by coarsening atoms until it fits.
+    while _combination_count(atom_ranges) > options.max_score_combinations:
+        widest = max(range(len(atom_ranges)), key=lambda i: len(atom_ranges[i]))
+        if len(atom_ranges[widest]) <= 1:
+            break
+        hull = Interval(atom_ranges[widest][0].lo, atom_ranges[widest][-1].hi)
+        atom_ranges[widest] = _split_interval(hull, max(1, len(atom_ranges[widest]) // 2))
+
+    dimension = polytope.dimension
+    total = 0.0
+    for combination in itertools.product(*atom_ranges):
+        rows: list[list[float]] = []
+        rhs: list[float] = []
+        feasible = True
+        for atom, chunk in zip(atoms, combination):
+            if math.isfinite(chunk.hi):
+                row = _upper_row(atom, chunk.hi, dimension, universal=is_lower)
+                if row is None:
+                    feasible = False
+                    break
+                if row[0]:
+                    rows.append(row[0])
+                    rhs.append(row[1])
+            if math.isfinite(chunk.lo):
+                row = _lower_row(atom, chunk.lo, dimension, universal=is_lower)
+                if row is None:
+                    feasible = False
+                    break
+                if row[0]:
+                    rows.append(row[0])
+                    rhs.append(row[1])
+        if not feasible:
+            continue
+        weight = Interval.point(1.0)
+        for template in templates:
+            score_bounds = evaluate_with_atoms(template.template, list(combination))
+            score_bounds = score_bounds.meet(_NON_NEGATIVE)
+            if score_bounds.is_empty:
+                score_bounds = Interval.point(0.0)
+            weight = weight * score_bounds
+        factor = max(0.0, weight.lo if is_lower else weight.hi)
+        if factor == 0.0:
+            continue
+        if not is_lower and math.isfinite(factor) and factor < _NEGLIGIBLE_WEIGHT:
+            # ``density · volume`` never exceeds the prior mass 1 of the chunk,
+            # so adding the weight itself is a sound (and cheap) upper bound —
+            # this skips an exact volume computation for far-tail chunks.
+            total += factor
+            continue
+        chunk_polytope = polytope.add_constraints(rows, rhs) if rows else polytope
+        volume = cache.volume(chunk_polytope)
+        volume_value = volume.lo if is_lower else volume.hi
+        if volume_value <= 0.0:
+            continue
+        total += density * volume_value * factor
+        if math.isinf(total):
+            return math.inf
+    return total
+
+
+def _split_interval(interval: Interval, parts: int) -> list[Interval]:
+    if interval.is_point or parts <= 1 or not interval.is_bounded:
+        return [interval]
+    return interval.split(parts)
+
+
+def _combination_count(atom_ranges: list[list[Interval]]) -> int:
+    count = 1
+    for cells in atom_ranges:
+        count *= len(cells)
+    return count

@@ -1,0 +1,26 @@
+"""Probability distributions with exact CDFs and interval-lifted densities."""
+
+from .base import ContinuousDistribution, DiscreteDistribution, Distribution
+from .continuous import Beta, Cauchy, Exponential, Gamma, Normal, Uniform, unimodal_pdf_bounds
+from .discrete import Bernoulli, Binomial, Categorical, DiscreteUniform, Geometric, Poisson
+from .primitives import register_density_primitives
+
+__all__ = [
+    "Distribution",
+    "ContinuousDistribution",
+    "DiscreteDistribution",
+    "Uniform",
+    "Normal",
+    "Beta",
+    "Exponential",
+    "Gamma",
+    "Cauchy",
+    "Bernoulli",
+    "Categorical",
+    "DiscreteUniform",
+    "Binomial",
+    "Poisson",
+    "Geometric",
+    "unimodal_pdf_bounds",
+    "register_density_primitives",
+]

@@ -1,0 +1,238 @@
+"""Discrete distributions.
+
+Discrete distributions back the Table 2 benchmarks (Bayesian-network style
+programs) and the exact enumeration engine of :mod:`repro.exact`.  In SPCF a
+discrete sample is desugared into a uniform sample compared against the
+cumulative probabilities, so the guaranteed-bounds analysis never sees these
+objects directly; the enumeration engine and the stochastic samplers do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..intervals import Interval
+from .base import DiscreteDistribution
+
+__all__ = ["Bernoulli", "Categorical", "DiscreteUniform", "Binomial", "Poisson", "Geometric"]
+
+
+class Bernoulli(DiscreteDistribution):
+    """Bernoulli distribution returning 1 with probability ``p``."""
+
+    name = "bernoulli"
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("Bernoulli requires p in [0, 1]")
+        self.p = float(p)
+
+    def params(self) -> tuple[float, ...]:
+        return (self.p,)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 1.0 if rng.random() < self.p else 0.0
+
+    def pdf(self, value: float) -> float:
+        if value == 1.0:
+            return self.p
+        if value == 0.0:
+            return 1.0 - self.p
+        return 0.0
+
+    def cdf(self, value: float) -> float:
+        if value < 0.0:
+            return 0.0
+        if value < 1.0:
+            return 1.0 - self.p
+        return 1.0
+
+    def support(self) -> Interval:
+        return Interval(0.0, 1.0)
+
+    def support_values(self) -> Sequence[float]:
+        return (0.0, 1.0)
+
+
+class Categorical(DiscreteDistribution):
+    """Categorical distribution over arbitrary real outcomes."""
+
+    name = "categorical"
+
+    def __init__(self, outcomes: Sequence[float], probabilities: Sequence[float]) -> None:
+        if len(outcomes) != len(probabilities):
+            raise ValueError("outcomes and probabilities must have equal length")
+        if not outcomes:
+            raise ValueError("Categorical requires at least one outcome")
+        total = float(sum(probabilities))
+        if total <= 0 or any(p < 0 for p in probabilities):
+            raise ValueError("probabilities must be non-negative and sum to a positive value")
+        self.outcomes = tuple(float(o) for o in outcomes)
+        self.probabilities = tuple(float(p) / total for p in probabilities)
+
+    def params(self) -> tuple[float, ...]:
+        return self.outcomes + self.probabilities
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = rng.choice(len(self.outcomes), p=self.probabilities)
+        return self.outcomes[int(index)]
+
+    def pdf(self, value: float) -> float:
+        return sum(
+            p for o, p in zip(self.outcomes, self.probabilities) if o == value
+        )
+
+    def cdf(self, value: float) -> float:
+        return sum(p for o, p in zip(self.outcomes, self.probabilities) if o <= value)
+
+    def support(self) -> Interval:
+        return Interval(min(self.outcomes), max(self.outcomes))
+
+    def support_values(self) -> Sequence[float]:
+        return self.outcomes
+
+
+class DiscreteUniform(DiscreteDistribution):
+    """Uniform distribution over the integers ``low, low + 1, ..., high``."""
+
+    name = "discrete_uniform"
+
+    def __init__(self, low: int, high: int) -> None:
+        if high < low:
+            raise ValueError("DiscreteUniform requires high >= low")
+        self.low = int(low)
+        self.high = int(high)
+        self._mass = 1.0 / (self.high - self.low + 1)
+
+    def params(self) -> tuple[float, ...]:
+        return (float(self.low), float(self.high))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.integers(self.low, self.high + 1))
+
+    def pdf(self, value: float) -> float:
+        if value != int(value):
+            return 0.0
+        return self._mass if self.low <= value <= self.high else 0.0
+
+    def cdf(self, value: float) -> float:
+        if value < self.low:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        return (math.floor(value) - self.low + 1) * self._mass
+
+    def support(self) -> Interval:
+        return Interval(float(self.low), float(self.high))
+
+    def support_values(self) -> Sequence[float]:
+        return tuple(float(v) for v in range(self.low, self.high + 1))
+
+
+class Binomial(DiscreteDistribution):
+    """Binomial distribution with ``n`` trials and success probability ``p``."""
+
+    name = "binomial"
+
+    def __init__(self, n: int, p: float) -> None:
+        if n < 0:
+            raise ValueError("Binomial requires n >= 0")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("Binomial requires p in [0, 1]")
+        self.n = int(n)
+        self.p = float(p)
+
+    def params(self) -> tuple[float, ...]:
+        return (float(self.n), self.p)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.binomial(self.n, self.p))
+
+    def pdf(self, value: float) -> float:
+        if value != int(value) or not 0 <= value <= self.n:
+            return 0.0
+        k = int(value)
+        return math.comb(self.n, k) * self.p ** k * (1.0 - self.p) ** (self.n - k)
+
+    def cdf(self, value: float) -> float:
+        if value < 0:
+            return 0.0
+        return sum(self.pdf(float(k)) for k in range(0, min(self.n, int(math.floor(value))) + 1))
+
+    def support(self) -> Interval:
+        return Interval(0.0, float(self.n))
+
+    def support_values(self) -> Sequence[float]:
+        return tuple(float(k) for k in range(self.n + 1))
+
+
+class Poisson(DiscreteDistribution):
+    """Poisson distribution; the explicit support is truncated for enumeration."""
+
+    name = "poisson"
+
+    def __init__(self, rate: float, truncation: int = 64) -> None:
+        if rate <= 0:
+            raise ValueError("Poisson requires rate > 0")
+        self.rate = float(rate)
+        self.truncation = int(truncation)
+
+    def params(self) -> tuple[float, ...]:
+        return (self.rate,)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.poisson(self.rate))
+
+    def pdf(self, value: float) -> float:
+        if value != int(value) or value < 0:
+            return 0.0
+        k = int(value)
+        return math.exp(k * math.log(self.rate) - self.rate - math.lgamma(k + 1))
+
+    def cdf(self, value: float) -> float:
+        if value < 0:
+            return 0.0
+        return sum(self.pdf(float(k)) for k in range(0, int(math.floor(value)) + 1))
+
+    def support(self) -> Interval:
+        return Interval(0.0, math.inf)
+
+    def support_values(self) -> Sequence[float]:
+        return tuple(float(k) for k in range(self.truncation + 1))
+
+
+class Geometric(DiscreteDistribution):
+    """Geometric distribution counting failures before the first success."""
+
+    name = "geometric"
+
+    def __init__(self, p: float, truncation: int = 64) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ValueError("Geometric requires p in (0, 1]")
+        self.p = float(p)
+        self.truncation = int(truncation)
+
+    def params(self) -> tuple[float, ...]:
+        return (self.p,)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.geometric(self.p) - 1)
+
+    def pdf(self, value: float) -> float:
+        if value != int(value) or value < 0:
+            return 0.0
+        return self.p * (1.0 - self.p) ** int(value)
+
+    def cdf(self, value: float) -> float:
+        if value < 0:
+            return 0.0
+        return 1.0 - (1.0 - self.p) ** (math.floor(value) + 1)
+
+    def support(self) -> Interval:
+        return Interval(0.0, math.inf)
+
+    def support_values(self) -> Sequence[float]:
+        return tuple(float(k) for k in range(self.truncation + 1))

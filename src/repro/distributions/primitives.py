@@ -1,0 +1,128 @@
+"""Registration of density primitives.
+
+``observe M from D`` desugars into ``score(pdf_D(M))`` (paper Section 2.2,
+footnote 5).  This module registers one primitive per distribution family,
+taking the distribution parameters as leading arguments followed by the
+observed value, e.g. ``normal_pdf(mean, std, x)``.
+
+Every primitive comes with a sound interval lifting so that the interval
+trace semantics and the weight-aware type system can bound the score weight
+of observations whose arguments are only known up to an interval.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..intervals import Interval, Primitive, REGISTRY
+from .continuous import Beta, Cauchy, Exponential, Gamma, Normal, Uniform
+
+__all__ = ["register_density_primitives"]
+
+
+def _normal_pdf(mean: float, std: float, value: float) -> float:
+    return Normal(mean, std).pdf(value)
+
+
+def _normal_pdf_interval(mean: Interval, std: Interval, value: Interval) -> Interval:
+    return Normal.pdf_interval_params(mean, std, value)
+
+
+def _uniform_pdf(low: float, high: float, value: float) -> float:
+    if high <= low:
+        return 0.0
+    return Uniform(low, high).pdf(value)
+
+
+def _uniform_pdf_interval(low: Interval, high: Interval, value: Interval) -> Interval:
+    width = high - low
+    if width.hi <= 0:
+        return Interval.point(0.0)
+    max_density = math.inf if width.lo <= 0 else 1.0 / width.lo
+    if low.is_point and high.is_point and high.lo > low.lo:
+        return Uniform(low.lo, high.lo).pdf_interval(value)
+    return Interval(0.0, max_density)
+
+
+def _beta_pdf(alpha: float, beta: float, value: float) -> float:
+    return Beta(alpha, beta).pdf(value)
+
+
+def _beta_pdf_interval(alpha: Interval, beta: Interval, value: Interval) -> Interval:
+    if alpha.is_point and beta.is_point:
+        return Beta(alpha.lo, beta.lo).pdf_interval(value)
+    return Interval(0.0, math.inf)
+
+
+def _exponential_pdf(rate: float, value: float) -> float:
+    return Exponential(rate).pdf(value)
+
+
+def _exponential_pdf_interval(rate: Interval, value: Interval) -> Interval:
+    if rate.is_point and rate.lo > 0:
+        return Exponential(rate.lo).pdf_interval(value)
+    hi_rate = rate.hi if math.isfinite(rate.hi) else math.inf
+    return Interval(0.0, hi_rate)
+
+
+def _gamma_pdf(shape: float, rate: float, value: float) -> float:
+    return Gamma(shape, rate).pdf(value)
+
+
+def _gamma_pdf_interval(shape: Interval, rate: Interval, value: Interval) -> Interval:
+    if shape.is_point and rate.is_point:
+        return Gamma(shape.lo, rate.lo).pdf_interval(value)
+    return Interval(0.0, math.inf)
+
+
+def _cauchy_pdf(location: float, scale: float, value: float) -> float:
+    return Cauchy(location, scale).pdf(value)
+
+
+def _cauchy_pdf_interval(location: Interval, scale: Interval, value: Interval) -> Interval:
+    if location.is_point and scale.is_point:
+        return Cauchy(location.lo, scale.lo).pdf_interval(value)
+    if scale.lo <= 0:
+        return Interval(0.0, math.inf)
+    return Interval(0.0, 1.0 / (math.pi * scale.lo))
+
+
+def _bernoulli_pmf(p: float, value: float) -> float:
+    if value == 1.0:
+        return p
+    if value == 0.0:
+        return 1.0 - p
+    return 0.0
+
+
+def _bernoulli_pmf_interval(p: Interval, value: Interval) -> Interval:
+    candidates: list[float] = []
+    if value.intersects(Interval.point(1.0)):
+        candidates.extend([p.lo, p.hi])
+    if value.intersects(Interval.point(0.0)):
+        candidates.extend([1.0 - p.lo, 1.0 - p.hi])
+    if not candidates:
+        return Interval.point(0.0)
+    lower = 0.0 if value.width > 0 else min(candidates)
+    return Interval(max(0.0, lower), max(candidates))
+
+
+_DENSITY_PRIMITIVES = [
+    Primitive("normal_pdf", 3, _normal_pdf, _normal_pdf_interval),
+    Primitive("uniform_pdf", 3, _uniform_pdf, _uniform_pdf_interval),
+    Primitive("beta_pdf", 3, _beta_pdf, _beta_pdf_interval),
+    Primitive("exponential_pdf", 2, _exponential_pdf, _exponential_pdf_interval),
+    Primitive("gamma_pdf", 3, _gamma_pdf, _gamma_pdf_interval),
+    Primitive("cauchy_pdf", 3, _cauchy_pdf, _cauchy_pdf_interval),
+    Primitive("bernoulli_pmf", 2, _bernoulli_pmf, _bernoulli_pmf_interval),
+]
+
+
+def register_density_primitives() -> None:
+    """Idempotently add all density primitives to the global registry."""
+    for primitive in _DENSITY_PRIMITIVES:
+        if primitive.name not in REGISTRY:
+            REGISTRY.register(primitive)
+
+
+register_density_primitives()

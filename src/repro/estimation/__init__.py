@@ -1,0 +1,5 @@
+"""Score-free probability estimation baseline (Sankaranarayanan et al. style)."""
+
+from .probest import ProbabilityEstimate, ScoreFreeError, estimate_probability
+
+__all__ = ["ProbabilityEstimate", "ScoreFreeError", "estimate_probability"]

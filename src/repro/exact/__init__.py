@@ -1,0 +1,15 @@
+"""Exact enumeration engine for finite discrete programs (the PSI stand-in)."""
+
+from .enumeration import (
+    ExactDistribution,
+    ExactInferenceError,
+    UnrollLimitReached,
+    enumerate_posterior,
+)
+
+__all__ = [
+    "ExactDistribution",
+    "ExactInferenceError",
+    "UnrollLimitReached",
+    "enumerate_posterior",
+]

@@ -1,0 +1,222 @@
+"""Exact inference for finite discrete probabilistic programs.
+
+This is the reproduction's stand-in for PSI on the discrete benchmarks of
+Table 2: a straightforward enumeration engine that explores every outcome of
+every (finite-support) discrete ``sample`` and accumulates the exact posterior
+as a finite weighted value distribution.  Programs with continuous samples or
+unbounded recursion are outside its scope — which is precisely the limitation
+of exact solvers the paper positions GuBPI against — although a loop/recursion
+*unrolling depth* can be supplied to mimic how PSI truncates such programs
+(the comparison behind Figures 6a–6c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..distributions import DiscreteDistribution
+from ..intervals import Interval, get_primitive
+from ..lang.ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+)
+
+__all__ = ["ExactDistribution", "ExactInferenceError", "UnrollLimitReached", "enumerate_posterior"]
+
+
+class ExactInferenceError(Exception):
+    """Raised when a program is outside the scope of exact enumeration."""
+
+
+class UnrollLimitReached(ExactInferenceError):
+    """Raised when recursion exceeds the unrolling depth."""
+
+
+@dataclass(frozen=True)
+class _Closure:
+    param: str
+    body: Term
+    env: "_Env"
+
+
+@dataclass(frozen=True)
+class _FixClosure:
+    fname: str
+    param: str
+    body: Term
+    env: "_Env"
+
+
+Value = Union[float, _Closure, _FixClosure]
+
+
+@dataclass(frozen=True)
+class _Env:
+    name: Optional[str] = None
+    value: Optional[Value] = None
+    parent: Optional["_Env"] = None
+
+    def bind(self, name: str, value: Value) -> "_Env":
+        return _Env(name, value, self)
+
+    def lookup(self, name: str) -> Value:
+        env: Optional[_Env] = self
+        while env is not None:
+            if env.name == name:
+                assert env.value is not None
+                return env.value
+            env = env.parent
+        raise ExactInferenceError(f"unbound variable {name!r}")
+
+
+_EMPTY_ENV = _Env()
+
+
+@dataclass
+class ExactDistribution:
+    """A finite unnormalised distribution over return values."""
+
+    masses: Dict[float, float] = field(default_factory=dict)
+
+    def add(self, value: float, mass: float) -> None:
+        if mass != 0.0:
+            self.masses[value] = self.masses.get(value, 0.0) + mass
+
+    @property
+    def normalising_constant(self) -> float:
+        return sum(self.masses.values())
+
+    def probability(self, value: float) -> float:
+        z = self.normalising_constant
+        return self.masses.get(value, 0.0) / z if z > 0 else 0.0
+
+    def probability_of(self, target: Interval) -> float:
+        z = self.normalising_constant
+        if z <= 0:
+            return 0.0
+        return sum(mass for value, mass in self.masses.items() if value in target) / z
+
+    def expectation(self) -> float:
+        z = self.normalising_constant
+        if z <= 0:
+            raise ExactInferenceError("cannot take the expectation of a zero-mass distribution")
+        return sum(value * mass for value, mass in self.masses.items()) / z
+
+    def support(self) -> list[float]:
+        return sorted(self.masses)
+
+    def as_normalised_dict(self) -> Dict[float, float]:
+        z = self.normalising_constant
+        return {value: mass / z for value, mass in self.masses.items()} if z > 0 else {}
+
+
+def enumerate_posterior(
+    term: Term, max_unroll: int = 200, on_limit: str = "raise"
+) -> ExactDistribution:
+    """Exhaustively enumerate a finite discrete program's posterior.
+
+    ``max_unroll`` bounds how often recursive functions may be unfolded.
+    ``on_limit`` controls what happens when the bound is hit: ``"raise"``
+    (the default) aborts with :class:`UnrollLimitReached`; ``"truncate"``
+    silently drops the deeper executions, which is exactly how PSI analyses
+    unbounded loops and therefore what the Fig. 6 comparison emulates.
+    """
+    if on_limit not in ("raise", "truncate"):
+        raise ValueError("on_limit must be 'raise' or 'truncate'")
+    result = ExactDistribution()
+
+    def explore(node: Term, env: _Env, weight: float, unroll: int) -> list[tuple[Value, float, int]]:
+        if weight == 0.0:
+            return []
+        if isinstance(node, Var):
+            return [(env.lookup(node.name), weight, unroll)]
+        if isinstance(node, Const):
+            return [(node.value, weight, unroll)]
+        if isinstance(node, IntervalConst):
+            if node.interval.is_point:
+                return [(node.interval.lo, weight, unroll)]
+            raise ExactInferenceError("interval literals are not exact values")
+        if isinstance(node, Lam):
+            return [(_Closure(node.param, node.body, env), weight, unroll)]
+        if isinstance(node, Fix):
+            return [(_FixClosure(node.fname, node.param, node.body, env), weight, unroll)]
+        if isinstance(node, Sample):
+            dist = node.dist
+            if not isinstance(dist, DiscreteDistribution):
+                raise ExactInferenceError(
+                    "exact enumeration supports only finite discrete samples, "
+                    f"got {dist!r}"
+                )
+            outcomes = []
+            for value in dist.support_values():
+                mass = dist.pdf(value)
+                if mass > 0.0:
+                    outcomes.append((float(value), weight * mass, unroll))
+            return outcomes
+        if isinstance(node, Score):
+            outcomes = []
+            for value, w, u in explore(node.arg, env, weight, unroll):
+                factor = _expect_real(value)
+                if factor < 0.0:
+                    raise ExactInferenceError("score of a negative value")
+                if factor > 0.0:
+                    outcomes.append((factor, w * factor, u))
+            return outcomes
+        if isinstance(node, Prim):
+            primitive = get_primitive(node.op)
+            partial: list[tuple[list[float], float, int]] = [([], weight, unroll)]
+            for arg in node.args:
+                extended = []
+                for values, w, u in partial:
+                    for value, w2, u2 in explore(arg, env, w, u):
+                        extended.append((values + [_expect_real(value)], w2, u2))
+                partial = extended
+            return [(float(primitive(*values)), w, u) for values, w, u in partial]
+        if isinstance(node, If):
+            outcomes = []
+            for guard, w, u in explore(node.cond, env, weight, unroll):
+                branch = node.then if _expect_real(guard) <= 0.0 else node.orelse
+                outcomes.extend(explore(branch, env, w, u))
+            return outcomes
+        if isinstance(node, App):
+            outcomes = []
+            for func, w, u in explore(node.func, env, weight, unroll):
+                for argument, w2, u2 in explore(node.arg, env, w, u):
+                    outcomes.extend(_apply(func, argument, w2, u2))
+            return outcomes
+        raise ExactInferenceError(f"cannot enumerate term {node!r}")
+
+    def _apply(func: Value, argument: Value, weight: float, unroll: int) -> list[tuple[Value, float, int]]:
+        if isinstance(func, _Closure):
+            return explore(func.body, func.env.bind(func.param, argument), weight, unroll)
+        if isinstance(func, _FixClosure):
+            if unroll <= 0:
+                if on_limit == "truncate":
+                    return []
+                raise UnrollLimitReached(
+                    f"recursion exceeded the unrolling depth of {max_unroll}"
+                )
+            env = func.env.bind(func.fname, func).bind(func.param, argument)
+            return explore(func.body, env, weight, unroll - 1)
+        raise ExactInferenceError(f"application of a non-function value {func!r}")
+
+    for value, weight, _ in explore(term, _EMPTY_ENV, 1.0, max_unroll):
+        result.add(_expect_real(value), weight)
+    return result
+
+
+def _expect_real(value: Value) -> float:
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise ExactInferenceError(f"expected a real value, got {value!r}")

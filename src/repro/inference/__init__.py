@@ -1,0 +1,33 @@
+"""Stochastic inference baselines: IS, MCMC, HMC, SBC and diagnostics."""
+
+from .diagnostics import (
+    autocorrelation,
+    chi_square_uniformity,
+    effective_sample_size,
+    rank_statistic,
+    suggested_thinning,
+)
+from .hmc import HMCResult, hmc, hmc_truncated_program
+from .importance import ImportanceResult, WeightedSample, importance_sampling
+from .mh import MHResult, metropolis_hastings
+from .sbc import InferenceRunner, SBCModel, SBCResult, simulation_based_calibration
+
+__all__ = [
+    "WeightedSample",
+    "ImportanceResult",
+    "importance_sampling",
+    "MHResult",
+    "metropolis_hastings",
+    "HMCResult",
+    "hmc",
+    "hmc_truncated_program",
+    "SBCModel",
+    "SBCResult",
+    "InferenceRunner",
+    "simulation_based_calibration",
+    "autocorrelation",
+    "effective_sample_size",
+    "suggested_thinning",
+    "rank_statistic",
+    "chi_square_uniformity",
+]

@@ -1,0 +1,84 @@
+"""Diagnostics for stochastic inference output.
+
+Autocorrelation, effective sample size, thinning factors and rank statistics —
+the ingredients of the simulation-based calibration comparison of Section 7.4
+and Appendix F.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "effective_sample_size",
+    "suggested_thinning",
+    "rank_statistic",
+    "chi_square_uniformity",
+]
+
+
+def autocorrelation(values: Sequence[float], max_lag: int | None = None) -> np.ndarray:
+    """Normalised autocorrelation function of a chain (lag 0 .. max_lag)."""
+    series = np.asarray(values, dtype=float)
+    n = series.size
+    if n == 0:
+        return np.array([])
+    if max_lag is None:
+        max_lag = min(n - 1, 200)
+    centred = series - series.mean()
+    variance = float(np.dot(centred, centred))
+    if variance <= 0.0:
+        return np.ones(max_lag + 1)
+    result = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        result[lag] = float(np.dot(centred[: n - lag], centred[lag:])) / variance
+    return result
+
+
+def effective_sample_size(values: Sequence[float]) -> float:
+    """Effective sample size via the initial-positive-sequence estimator."""
+    series = np.asarray(values, dtype=float)
+    n = series.size
+    if n < 3:
+        return float(n)
+    rho = autocorrelation(series)
+    total = 0.0
+    for lag in range(1, len(rho)):
+        if rho[lag] <= 0.0:
+            break
+        total += rho[lag]
+    ess = n / (1.0 + 2.0 * total)
+    return float(min(max(ess, 1.0), n))
+
+
+def suggested_thinning(values: Sequence[float]) -> int:
+    """Thinning factor ``L / L_eff`` recommended by the SBC methodology."""
+    n = len(values)
+    if n == 0:
+        return 1
+    ess = effective_sample_size(values)
+    return max(1, int(math.ceil(n / ess)))
+
+
+def rank_statistic(prior_draw: float, posterior_samples: Sequence[float]) -> int:
+    """The SBC rank of a prior draw among the posterior samples."""
+    samples = np.asarray(posterior_samples, dtype=float)
+    return int(np.sum(samples < prior_draw))
+
+
+def chi_square_uniformity(ranks: Sequence[int], bins: int) -> tuple[float, float]:
+    """Pearson χ² statistic (and p-value) for uniformity of SBC ranks."""
+    from scipy import stats
+
+    ranks = np.asarray(ranks, dtype=int)
+    if ranks.size == 0:
+        return 0.0, 1.0
+    counts, _ = np.histogram(ranks, bins=bins, range=(0, ranks.max() + 1))
+    expected = ranks.size / bins
+    statistic = float(np.sum((counts - expected) ** 2 / expected))
+    p_value = float(stats.chi2.sf(statistic, df=bins - 1))
+    return statistic, p_value

@@ -1,0 +1,117 @@
+"""Likelihood-weighted importance sampling.
+
+This is the simple stochastic baseline used throughout the paper's evaluation
+(the "IS" histograms of Figures 1 and 7, produced there with Anglican): run
+the program forward, drawing every ``sample`` from its prior, and weight the
+run by the accumulated ``score``/``observe`` factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..intervals import Interval
+from ..lang.ast import Term
+from ..semantics.sampler import ExecutionResult, simulate
+
+__all__ = ["WeightedSample", "ImportanceResult", "importance_sampling"]
+
+
+@dataclass(frozen=True)
+class WeightedSample:
+    """One weighted posterior sample."""
+
+    value: float
+    weight: float
+    log_weight: float
+    trace_length: int
+
+
+@dataclass
+class ImportanceResult:
+    """The output of a likelihood-weighted importance sampling run."""
+
+    samples: list[WeightedSample]
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> np.ndarray:
+        return np.array([sample.value for sample in self.samples])
+
+    def weights(self) -> np.ndarray:
+        return np.array([sample.weight for sample in self.samples])
+
+    def normalised_weights(self) -> np.ndarray:
+        log_weights = np.array([sample.log_weight for sample in self.samples])
+        finite = log_weights[np.isfinite(log_weights)]
+        if finite.size == 0:
+            return np.zeros(len(self.samples))
+        shift = finite.max()
+        weights = np.where(np.isfinite(log_weights), np.exp(log_weights - shift), 0.0)
+        total = weights.sum()
+        return weights / total if total > 0 else weights
+
+    def effective_sample_size(self) -> float:
+        weights = self.normalised_weights()
+        total = float(np.sum(weights**2))
+        return 1.0 / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def evidence_estimate(self) -> float:
+        """Monte Carlo estimate of the normalising constant ``Z``."""
+        weights = self.weights()
+        return float(weights.mean()) if weights.size else 0.0
+
+    def estimate_probability(self, target: Interval) -> float:
+        """Self-normalised estimate of the posterior probability of ``target``."""
+        values = self.values()
+        weights = self.normalised_weights()
+        inside = (values >= target.lo) & (values <= target.hi)
+        return float(np.sum(weights[inside]))
+
+    def posterior_mean(self) -> float:
+        return float(np.sum(self.values() * self.normalised_weights()))
+
+    def posterior_histogram(self, edges: Sequence[float]) -> np.ndarray:
+        """Weighted histogram (normalised to total mass 1 over all samples)."""
+        values = self.values()
+        weights = self.normalised_weights()
+        histogram, _ = np.histogram(values, bins=np.asarray(edges), weights=weights)
+        return histogram
+
+    def resample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw unweighted posterior samples by multinomial resampling."""
+        weights = self.normalised_weights()
+        if weights.sum() <= 0:
+            raise ValueError("all importance weights are zero; cannot resample")
+        indices = rng.choice(len(self.samples), size=count, p=weights)
+        return self.values()[indices]
+
+
+def importance_sampling(
+    term: Term,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+    max_steps: int = 10_000_000,
+) -> ImportanceResult:
+    """Run likelihood-weighted importance sampling."""
+    rng = rng if rng is not None else np.random.default_rng()
+    samples: list[WeightedSample] = []
+    for _ in range(num_samples):
+        run: ExecutionResult = simulate(term, rng, max_steps=max_steps)
+        samples.append(
+            WeightedSample(
+                value=run.value,
+                weight=run.weight,
+                log_weight=run.log_weight,
+                trace_length=len(run.trace),
+            )
+        )
+    return ImportanceResult(samples=samples)

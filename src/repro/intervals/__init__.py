@@ -1,0 +1,23 @@
+"""Interval arithmetic, boxes and the primitive-operation registry."""
+
+from .box import Box, compatible_set, grid_boxes, unit_box
+from .functions import REGISTRY, Primitive, PrimitiveRegistry, get_primitive
+from .interval import EMPTY, NON_NEGATIVE, ONE, REALS, UNIT, ZERO, Interval
+
+__all__ = [
+    "Interval",
+    "Box",
+    "unit_box",
+    "grid_boxes",
+    "compatible_set",
+    "Primitive",
+    "PrimitiveRegistry",
+    "REGISTRY",
+    "get_primitive",
+    "EMPTY",
+    "REALS",
+    "UNIT",
+    "NON_NEGATIVE",
+    "ONE",
+    "ZERO",
+]

@@ -1,0 +1,151 @@
+"""Axis-aligned boxes (Cartesian products of intervals).
+
+Boxes play two roles in the reproduction:
+
+* *interval traces* (Section 3.2) — a finite sequence of ``[0, 1]`` sub-intervals,
+  each entry bounding one sampled value; and
+* *score boxes* (Section 6.4) — each entry bounding one linear score
+  sub-expression in the optimised linear semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .interval import Interval
+
+__all__ = ["Box", "unit_box", "grid_boxes"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An ``n``-dimensional box, i.e. a tuple of intervals."""
+
+    intervals: tuple[Interval, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intervals", tuple(self.intervals))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(*intervals: Interval) -> "Box":
+        return Box(tuple(intervals))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(interval.is_empty for interval in self.intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self.intervals[index]
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    # ------------------------------------------------------------------
+    def volume(self) -> float:
+        """Lebesgue volume of the box (paper's ``vol``); 1 for the empty product."""
+        if self.is_empty:
+            return 0.0
+        result = 1.0
+        for interval in self.intervals:
+            result *= interval.width
+        return result
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Pointwise membership: the refinement relation ``s ◁ t`` of Section 3.2."""
+        if len(point) != self.dimension:
+            return False
+        return all(value in interval for value, interval in zip(point, self.intervals))
+
+    def contains_box(self, other: "Box") -> bool:
+        if other.dimension != self.dimension:
+            return False
+        return all(
+            mine.contains_interval(theirs)
+            for mine, theirs in zip(self.intervals, other.intervals)
+        )
+
+    def intersect(self, other: "Box") -> "Box":
+        if other.dimension != self.dimension:
+            raise ValueError("dimension mismatch")
+        return Box(tuple(a.meet(b) for a, b in zip(self.intervals, other.intervals)))
+
+    def compatible_with(self, other: "Box") -> bool:
+        """Compatibility of interval traces (Section 3.3).
+
+        Two traces are compatible when some shared position holds almost
+        disjoint intervals; traces of different lengths compare only their
+        common prefix.
+        """
+        prefix = min(self.dimension, other.dimension)
+        return any(
+            self.intervals[i].almost_disjoint(other.intervals[i]) for i in range(prefix)
+        )
+
+    def extend(self, interval: Interval) -> "Box":
+        return Box(self.intervals + (interval,))
+
+    def replace(self, index: int, interval: Interval) -> "Box":
+        parts = list(self.intervals)
+        parts[index] = interval
+        return Box(tuple(parts))
+
+    def midpoint(self) -> tuple[float, ...]:
+        return tuple(interval.midpoint for interval in self.intervals)
+
+    def corners(self) -> Iterator[tuple[float, ...]]:
+        """All corner points of a bounded box."""
+        axes = [(interval.lo, interval.hi) for interval in self.intervals]
+        seen: set[tuple[float, ...]] = set()
+        for corner in itertools.product(*axes):
+            if corner not in seen:
+                seen.add(corner)
+                yield corner
+
+    def split_dimension(self, index: int, parts: int) -> list["Box"]:
+        return [self.replace(index, piece) for piece in self.intervals[index].split(parts)]
+
+    def grid(self, parts_per_dimension: Sequence[int]) -> Iterator["Box"]:
+        """Partition the box into a grid of sub-boxes."""
+        if len(parts_per_dimension) != self.dimension:
+            raise ValueError("parts_per_dimension length mismatch")
+        pieces = [
+            interval.split(parts)
+            for interval, parts in zip(self.intervals, parts_per_dimension)
+        ]
+        for combo in itertools.product(*pieces):
+            yield Box(tuple(combo))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Box(" + " x ".join(repr(interval) for interval in self.intervals) + ")"
+
+
+def unit_box(dimension: int) -> Box:
+    """The unit hypercube ``[0, 1]^n`` (the domain of ``n`` uniform samples)."""
+    return Box(tuple(Interval(0.0, 1.0) for _ in range(dimension)))
+
+
+def grid_boxes(box: Box, parts: int | Sequence[int]) -> list[Box]:
+    """Convenience wrapper around :meth:`Box.grid` with a uniform split count."""
+    if isinstance(parts, int):
+        parts = [parts] * box.dimension
+    return list(box.grid(parts))
+
+
+def compatible_set(boxes: Iterable[Box]) -> bool:
+    """Check pairwise compatibility of a set of interval traces."""
+    boxes = list(boxes)
+    for i, first in enumerate(boxes):
+        for second in boxes[i + 1 :]:
+            if not first.compatible_with(second):
+                return False
+    return True

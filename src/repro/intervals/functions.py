@@ -1,0 +1,227 @@
+"""Primitive operations and their interval liftings.
+
+SPCF programs apply *primitive operations* ``f : R^n -> R`` (paper
+Section 2.2).  The interval trace semantics and the weight-aware type system
+both need a sound over-approximation ``f^I : I^n -> I`` of every primitive
+(Section 3.1).  This module provides:
+
+* the :class:`Primitive` record bundling the concrete function with its
+  interval lifting, and
+* a global, extensible :class:`PrimitiveRegistry` pre-populated with the
+  arithmetic and transcendental operations used by the benchmark programs.
+
+Probability-density primitives (``normal_pdf`` and friends) are registered by
+:mod:`repro.distributions`, which keeps this module free of dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable
+
+from .interval import EMPTY, REALS, Interval
+
+__all__ = ["Primitive", "PrimitiveRegistry", "REGISTRY", "get_primitive"]
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A primitive operation together with its interval abstraction.
+
+    Attributes:
+        name: identifier used in the AST (``Prim(name, args)``).
+        arity: number of real arguments.
+        concrete: the function on floats.
+        interval: a sound over-approximation on intervals.
+        affine: whether the function is affine in its arguments; the linear
+            path analyser (Section 6.4) relies on this flag when extracting
+            linear sub-expressions.
+    """
+
+    name: str
+    arity: int
+    concrete: Callable[..., float]
+    interval: Callable[..., Interval]
+    affine: bool = False
+
+    def __call__(self, *args: float) -> float:
+        return self.concrete(*args)
+
+    def apply_interval(self, *args: Interval) -> Interval:
+        if any(arg.is_empty for arg in args):
+            return EMPTY
+        return self.interval(*args)
+
+
+class PrimitiveRegistry:
+    """A mutable mapping from primitive names to :class:`Primitive` records."""
+
+    def __init__(self) -> None:
+        self._primitives: Dict[str, Primitive] = {}
+
+    def register(self, primitive: Primitive, overwrite: bool = False) -> Primitive:
+        if primitive.name in self._primitives and not overwrite:
+            raise ValueError(f"primitive {primitive.name!r} already registered")
+        self._primitives[primitive.name] = primitive
+        return primitive
+
+    def get(self, name: str) -> Primitive:
+        try:
+            return self._primitives[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown primitive operation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._primitives
+
+    def names(self) -> Iterable[str]:
+        return self._primitives.keys()
+
+
+REGISTRY = PrimitiveRegistry()
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a primitive in the global registry."""
+    return REGISTRY.get(name)
+
+
+# ----------------------------------------------------------------------
+# Interval liftings for the built-in operations
+# ----------------------------------------------------------------------
+
+def _interval_add(a: Interval, b: Interval) -> Interval:
+    return a + b
+
+
+def _interval_sub(a: Interval, b: Interval) -> Interval:
+    return a - b
+
+
+def _interval_mul(a: Interval, b: Interval) -> Interval:
+    return a * b
+
+
+def _interval_div(a: Interval, b: Interval) -> Interval:
+    return a / b
+
+
+def _interval_neg(a: Interval) -> Interval:
+    return -a
+
+
+def _interval_abs(a: Interval) -> Interval:
+    return a.abs()
+
+
+def _interval_min(a: Interval, b: Interval) -> Interval:
+    return a.min_with(b)
+
+
+def _interval_max(a: Interval, b: Interval) -> Interval:
+    return a.max_with(b)
+
+
+def _safe_exp(x: float) -> float:
+    if x == math.inf:
+        return math.inf
+    if x == -math.inf:
+        return 0.0
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def _interval_exp(a: Interval) -> Interval:
+    return a.monotone_image(_safe_exp, increasing=True)
+
+
+def _safe_log(x: float) -> float:
+    if x <= 0.0:
+        return -math.inf
+    if x == math.inf:
+        return math.inf
+    return math.log(x)
+
+
+def _interval_log(a: Interval) -> Interval:
+    # log is only defined for positive reals; conservatively map non-positive
+    # parts of the interval to -inf.
+    return a.monotone_image(_safe_log, increasing=True)
+
+
+def _safe_sqrt(x: float) -> float:
+    if x <= 0.0:
+        return 0.0
+    if x == math.inf:
+        return math.inf
+    return math.sqrt(x)
+
+
+def _interval_sqrt(a: Interval) -> Interval:
+    return a.monotone_image(_safe_sqrt, increasing=True)
+
+
+def _interval_square(a: Interval) -> Interval:
+    return a * a if not (0.0 in a) else Interval(0.0, max(a.lo * a.lo, a.hi * a.hi))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = _safe_exp(-x)
+        return 1.0 / (1.0 + z)
+    z = _safe_exp(x)
+    return z / (1.0 + z)
+
+
+def _interval_sigmoid(a: Interval) -> Interval:
+    return a.monotone_image(_sigmoid, increasing=True)
+
+
+def _floor(x: float) -> float:
+    if math.isinf(x):
+        return x
+    return float(math.floor(x))
+
+
+def _interval_floor(a: Interval) -> Interval:
+    return a.monotone_image(_floor, increasing=True)
+
+
+def _interval_pow_nat(a: Interval, b: Interval) -> Interval:
+    """``a ** b`` for a constant natural-number exponent interval."""
+    if not b.is_point or b.lo < 0 or b.lo != int(b.lo):
+        return REALS
+    exponent = int(b.lo)
+    result = Interval.point(1.0)
+    for _ in range(exponent):
+        result = result * a
+    return result
+
+
+def _register_builtins() -> None:
+    builtins = [
+        Primitive("add", 2, lambda x, y: x + y, _interval_add, affine=True),
+        Primitive("sub", 2, lambda x, y: x - y, _interval_sub, affine=True),
+        Primitive("mul", 2, lambda x, y: x * y, _interval_mul),
+        Primitive("div", 2, lambda x, y: x / y if y != 0 else math.inf, _interval_div),
+        Primitive("neg", 1, lambda x: -x, _interval_neg, affine=True),
+        Primitive("abs", 1, abs, _interval_abs),
+        Primitive("min", 2, min, _interval_min),
+        Primitive("max", 2, max, _interval_max),
+        Primitive("exp", 1, _safe_exp, _interval_exp),
+        Primitive("log", 1, _safe_log, _interval_log),
+        Primitive("sqrt", 1, _safe_sqrt, _interval_sqrt),
+        Primitive("square", 1, lambda x: x * x, _interval_square),
+        Primitive("sigmoid", 1, _sigmoid, _interval_sigmoid),
+        Primitive("floor", 1, _floor, _interval_floor),
+        Primitive("pow_nat", 2, lambda x, n: x ** int(n), _interval_pow_nat),
+    ]
+    for primitive in builtins:
+        if primitive.name not in REGISTRY:
+            REGISTRY.register(primitive)
+
+
+_register_builtins()

@@ -1,0 +1,325 @@
+"""Interval arithmetic over the extended reals.
+
+This module implements the interval domain used throughout the GuBPI
+reproduction (paper Section 3.1 and Appendix A):
+
+* closed intervals ``[a, b]`` with endpoints in ``R ∪ {-inf, +inf}``,
+* the interval lattice (meet, join, a bottom element for the empty interval),
+* lifted arithmetic (``+``, ``-``, ``*``, ``/``, ``min``, ``max``, ``abs``,
+  monotone function lifting),
+* the widening operator used by the constraint solver of the weight-aware
+  interval type system (Appendix D.3).
+
+All operations are *outward conservative*: for every real operation ``f`` and
+inputs ``x_i`` contained in the argument intervals, ``f(x_1, ..., x_n)`` is
+contained in the result interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["Interval", "EMPTY", "REALS", "UNIT", "NON_NEGATIVE", "ONE", "ZERO"]
+
+_INF = math.inf
+
+
+def _mul(a: float, b: float) -> float:
+    """Multiply extended reals with the convention ``0 * inf = 0``.
+
+    The convention matches measure-theoretic usage: a zero-volume region with
+    infinite weight contributes nothing to an integral.
+    """
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of extended reals.
+
+    The empty interval is represented by the module-level constant ``EMPTY``
+    (with ``lo > hi``); all constructors besides :meth:`empty` require
+    ``lo <= hi``.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.lo > self.hi and not (self.lo == _INF and self.hi == -_INF):
+            raise ValueError(f"invalid interval endpoints [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """The empty interval (bottom element of the lattice)."""
+        return EMPTY
+
+    @staticmethod
+    def reals() -> "Interval":
+        """The whole extended real line ``[-inf, inf]``."""
+        return REALS
+
+    @staticmethod
+    def hull_of(values: Iterable[float]) -> "Interval":
+        """Smallest interval containing every value in ``values``."""
+        values = list(values)
+        if not values:
+            return EMPTY
+        return Interval(min(values), max(values))
+
+    # ------------------------------------------------------------------
+    # Predicates and accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_bounded(self) -> bool:
+        return not self.is_empty and math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (0 for points, ``inf`` for unbounded ones)."""
+        if self.is_empty:
+            return 0.0
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        if self.is_empty:
+            raise ValueError("empty interval has no midpoint")
+        if not self.is_bounded:
+            if math.isinf(self.lo) and math.isinf(self.hi):
+                return 0.0
+            return self.lo if math.isinf(self.hi) else self.hi
+        return 0.5 * (self.lo + self.hi)
+
+    def __contains__(self, value: float) -> bool:
+        return (not self.is_empty) and self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """``other ⊑ self`` (interval inclusion)."""
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        if self.is_empty or other.is_empty:
+            return False
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def almost_disjoint(self, other: "Interval") -> bool:
+        """True when the intervals overlap in at most a single point."""
+        if self.is_empty or other.is_empty:
+            return True
+        return self.hi <= other.lo or other.hi <= self.lo
+
+    def strictly_positive(self) -> bool:
+        return not self.is_empty and self.lo > 0
+
+    def non_positive(self) -> bool:
+        return not self.is_empty and self.hi <= 0
+
+    # ------------------------------------------------------------------
+    # Lattice structure
+    # ------------------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (interval hull)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Greatest lower bound (intersection); empty when disjoint."""
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return EMPTY
+        return Interval(lo, hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """The widening operator of Appendix D.3.
+
+        Keeps a bound only when the new interval does not extend past it,
+        otherwise jumps straight to infinity in that direction.  Guarantees
+        that every ascending chain produced by repeated widening stabilises.
+        """
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo = self.lo if self.lo <= other.lo else -_INF
+        hi = self.hi if self.hi >= other.hi else _INF
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        return Interval(-self.hi, -self.lo)
+
+    def __add__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __rsub__(self, other: "Interval | float") -> "Interval":
+        return _as_interval(other) - self
+
+    def __mul__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        products = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if 0.0 in other:
+            # Division by an interval containing zero is unbounded unless the
+            # numerator is exactly zero.
+            if self.lo == 0.0 and self.hi == 0.0:
+                return Interval.point(0.0)
+            return REALS
+        return self * Interval(1.0 / other.hi, 1.0 / other.lo)
+
+    def __rtruediv__(self, other: "Interval | float") -> "Interval":
+        return _as_interval(other) / self
+
+    def abs(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        if 0.0 in self:
+            return Interval(0.0, max(abs(self.lo), abs(self.hi)))
+        return Interval(min(abs(self.lo), abs(self.hi)), max(abs(self.lo), abs(self.hi)))
+
+    def min_with(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_with(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp_nonnegative(self) -> "Interval":
+        """Intersection with ``[0, inf]`` (used by ``score``)."""
+        return self.meet(NON_NEGATIVE)
+
+    def scale(self, factor: float) -> "Interval":
+        """Multiply by a non-negative scalar."""
+        if factor < 0:
+            raise ValueError("scale expects a non-negative factor")
+        return self * Interval.point(factor)
+
+    def monotone_image(
+        self, func: Callable[[float], float], increasing: bool = True
+    ) -> "Interval":
+        """Image of the interval under a monotone function.
+
+        ``func`` is evaluated at the endpoints only; infinite endpoints are
+        mapped through limits by the caller-supplied function (which should
+        handle ``inf`` inputs gracefully).
+        """
+        if self.is_empty:
+            return EMPTY
+        lo, hi = func(self.lo), func(self.hi)
+        if not increasing:
+            lo, hi = hi, lo
+        return Interval(min(lo, hi), max(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    def split(self, parts: int) -> list["Interval"]:
+        """Partition a bounded interval into ``parts`` equal-width pieces."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if self.is_empty:
+            return []
+        if parts == 1 or self.is_point:
+            return [self]
+        if not self.is_bounded:
+            raise ValueError("cannot split an unbounded interval into equal parts")
+        step = self.width / parts
+        cuts = [self.lo + i * step for i in range(parts)] + [self.hi]
+        return [Interval(cuts[i], cuts[i + 1]) for i in range(parts)]
+
+    def sample_points(self, count: int) -> Iterator[float]:
+        """Evenly spaced points inside a bounded interval (for testing)."""
+        if self.is_empty or count <= 0:
+            return iter(())
+        if self.is_point or count == 1:
+            return iter((self.lo,))
+        step = self.width / (count - 1)
+        return iter(self.lo + i * step for i in range(count))
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_empty:
+            return "Interval(empty)"
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def _as_interval(value: "Interval | float") -> Interval:
+    if isinstance(value, Interval):
+        return value
+    return Interval.point(float(value))
+
+
+EMPTY = Interval(_INF, -_INF)
+REALS = Interval(-_INF, _INF)
+UNIT = Interval(0.0, 1.0)
+NON_NEGATIVE = Interval(0.0, _INF)
+ONE = Interval(1.0, 1.0)
+ZERO = Interval(0.0, 0.0)

@@ -1,0 +1,64 @@
+"""The SPCF language: abstract syntax, builder eDSL, parser and simple types."""
+
+from . import builder
+from .ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    contains_fixpoint,
+    free_variables,
+    is_value,
+    substitute,
+    subterms,
+)
+from .parser import ParseError, parse
+from .pretty import pretty
+from .types import (
+    REAL,
+    FunType,
+    RealType,
+    SimpleType,
+    TypeAnnotations,
+    TypeError_,
+    infer_types,
+    type_of_program,
+)
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "IntervalConst",
+    "Lam",
+    "Fix",
+    "App",
+    "If",
+    "Prim",
+    "Sample",
+    "Score",
+    "free_variables",
+    "substitute",
+    "subterms",
+    "contains_fixpoint",
+    "is_value",
+    "builder",
+    "parse",
+    "ParseError",
+    "pretty",
+    "SimpleType",
+    "RealType",
+    "FunType",
+    "REAL",
+    "TypeError_",
+    "TypeAnnotations",
+    "infer_types",
+    "type_of_program",
+]

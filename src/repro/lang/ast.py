@@ -1,0 +1,259 @@
+"""Abstract syntax of SPCF (statistical PCF).
+
+The term language follows paper Section 2.2:
+
+.. code-block:: text
+
+    V ::= x | r | λx. M | μφ x. M
+    M ::= V | M N | if(M, N, P) | f(M1, ..., M_|f|) | sample | score(M)
+
+Two extensions are provided, both used by the paper itself:
+
+* **Interval literals** ``[a, b]`` (Section 3.2, "Interval SPCF"), produced by
+  the ``approxFix`` over-approximation and by interval reduction; and
+* **Distribution-annotated samples** ``sample D`` (Appendix E.1), i.e. a draw
+  from a non-uniform primitive distribution.  A plain ``sample`` is a draw
+  from ``Uniform(0, 1)``.
+
+Terms are immutable dataclasses; helpers for free variables, capture-avoiding
+substitution and subterm traversal live here as well.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..distributions import Distribution, Uniform
+from ..intervals import Interval, get_primitive
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "IntervalConst",
+    "Lam",
+    "Fix",
+    "App",
+    "If",
+    "Prim",
+    "Sample",
+    "Score",
+    "free_variables",
+    "substitute",
+    "subterms",
+    "contains_fixpoint",
+    "is_value",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all SPCF terms."""
+
+    def children(self) -> tuple["Term", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A real-valued literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class IntervalConst(Term):
+    """An interval literal of Interval SPCF (Section 3.2)."""
+
+    interval: Interval
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """Lambda abstraction ``λ param. body``."""
+
+    param: str
+    body: Term
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Fix(Term):
+    """Recursive function ``μ fname param. body`` (the fixpoint construct)."""
+
+    fname: str
+    param: str
+    body: Term
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``func arg``."""
+
+    func: Term
+    arg: Term
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.func, self.arg)
+
+
+@dataclass(frozen=True)
+class If(Term):
+    """Branching ``if(cond, then, orelse)``: ``then`` when ``cond <= 0``."""
+
+    cond: Term
+    then: Term
+    orelse: Term
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.cond, self.then, self.orelse)
+
+
+@dataclass(frozen=True)
+class Prim(Term):
+    """Application of a primitive operation ``f(args...)``."""
+
+    op: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        primitive = get_primitive(self.op)
+        if primitive.arity != len(self.args):
+            raise ValueError(
+                f"primitive {self.op!r} expects {primitive.arity} arguments, "
+                f"got {len(self.args)}"
+            )
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Sample(Term):
+    """A random draw.
+
+    ``dist is None`` means the standard SPCF ``sample`` (uniform on [0, 1]);
+    otherwise the draw comes from the given primitive distribution, which the
+    analysers treat natively (Appendix E.1) and the stochastic samplers draw
+    from directly.
+    """
+
+    dist: Optional[Distribution] = None
+
+    def distribution(self) -> Distribution:
+        return self.dist if self.dist is not None else Uniform(0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Score(Term):
+    """``score(arg)``: multiply the weight of the current execution by ``arg``."""
+
+    arg: Term
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+
+# ----------------------------------------------------------------------
+# Traversals
+# ----------------------------------------------------------------------
+
+def subterms(term: Term) -> Iterator[Term]:
+    """All subterms of ``term`` in pre-order (including ``term`` itself)."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+def contains_fixpoint(term: Term) -> bool:
+    """True when the term contains a ``μ`` fixpoint anywhere."""
+    return any(isinstance(sub, Fix) for sub in subterms(term))
+
+
+def is_value(term: Term) -> bool:
+    """Values are variables, literals, abstractions and fixpoints."""
+    return isinstance(term, (Var, Const, IntervalConst, Lam, Fix))
+
+
+def free_variables(term: Term) -> frozenset[str]:
+    """The free variables of a term."""
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, Lam):
+        return free_variables(term.body) - {term.param}
+    if isinstance(term, Fix):
+        return free_variables(term.body) - {term.param, term.fname}
+    result: frozenset[str] = frozenset()
+    for child in term.children():
+        result |= free_variables(child)
+    return result
+
+
+_fresh_counter = itertools.count()
+
+
+def _fresh_name(base: str, avoid: frozenset[str]) -> str:
+    candidate = f"{base}#{next(_fresh_counter)}"
+    while candidate in avoid:
+        candidate = f"{base}#{next(_fresh_counter)}"
+    return candidate
+
+
+def substitute(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding substitution ``term[replacement / name]``."""
+    if isinstance(term, Var):
+        return replacement if term.name == name else term
+    if isinstance(term, (Const, IntervalConst, Sample)):
+        return term
+    if isinstance(term, Lam):
+        if term.param == name:
+            return term
+        if term.param in free_variables(replacement):
+            fresh = _fresh_name(term.param, free_variables(term.body) | free_variables(replacement))
+            renamed = substitute(term.body, term.param, Var(fresh))
+            return Lam(fresh, substitute(renamed, name, replacement))
+        return Lam(term.param, substitute(term.body, name, replacement))
+    if isinstance(term, Fix):
+        if name in (term.param, term.fname):
+            return term
+        replacement_free = free_variables(replacement)
+        param, fname, body = term.param, term.fname, term.body
+        if param in replacement_free:
+            fresh = _fresh_name(param, free_variables(body) | replacement_free | {fname})
+            body = substitute(body, param, Var(fresh))
+            param = fresh
+        if fname in replacement_free:
+            fresh = _fresh_name(fname, free_variables(body) | replacement_free | {param})
+            body = substitute(body, fname, Var(fresh))
+            fname = fresh
+        return Fix(fname, param, substitute(body, name, replacement))
+    if isinstance(term, App):
+        return App(substitute(term.func, name, replacement), substitute(term.arg, name, replacement))
+    if isinstance(term, If):
+        return If(
+            substitute(term.cond, name, replacement),
+            substitute(term.then, name, replacement),
+            substitute(term.orelse, name, replacement),
+        )
+    if isinstance(term, Prim):
+        return Prim(term.op, tuple(substitute(arg, name, replacement) for arg in term.args))
+    if isinstance(term, Score):
+        return Score(substitute(term.arg, name, replacement))
+    raise TypeError(f"unknown term {term!r}")

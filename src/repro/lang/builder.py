@@ -1,0 +1,299 @@
+"""Convenience constructors (an embedded DSL) for building SPCF programs.
+
+The functions in this module are thin wrappers around the AST constructors of
+:mod:`repro.lang.ast` plus the standard syntactic sugar used in the paper:
+
+* ``let x = M in N``          -> :func:`let`
+* ``M; N``                    -> :func:`seq`
+* ``M ⊕_p N``                 -> :func:`choice`
+* ``observe M from D``        -> :func:`observe`
+* comparisons ``a <= b`` etc. -> :func:`if_leq`, :func:`if_lt`
+
+Every function accepts either :class:`~repro.lang.ast.Term` instances or
+plain Python numbers, which are promoted to constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..distributions import (
+    Bernoulli,
+    Beta,
+    Distribution,
+    Exponential,
+    Gamma,
+    Normal,
+    Uniform,
+)
+from ..intervals import Interval
+from .ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "to_term",
+    "var",
+    "const",
+    "interval_const",
+    "lam",
+    "fix",
+    "app",
+    "call",
+    "let",
+    "seq",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "minimum",
+    "maximum",
+    "absolute",
+    "square",
+    "sqrt",
+    "exp",
+    "log",
+    "sigmoid",
+    "if_leq",
+    "if_lt",
+    "if_between",
+    "sample",
+    "uniform",
+    "normal",
+    "beta",
+    "exponential",
+    "gamma",
+    "score",
+    "observe",
+    "observe_normal",
+    "observe_uniform",
+    "choice",
+    "flip",
+    "let_many",
+]
+
+TermLike = "Term | float | int"
+
+
+def to_term(value: Term | float | int) -> Term:
+    """Promote Python numbers to constants."""
+    if isinstance(value, Term):
+        return value
+    return Const(float(value))
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def const(value: float) -> Const:
+    return Const(float(value))
+
+
+def interval_const(lo: float, hi: float) -> IntervalConst:
+    return IntervalConst(Interval(lo, hi))
+
+
+def lam(param: str, body: Term | float) -> Lam:
+    return Lam(param, to_term(body))
+
+
+def fix(fname: str, param: str, body: Term | float) -> Fix:
+    return Fix(fname, param, to_term(body))
+
+
+def app(func: Term, arg: Term | float) -> App:
+    return App(func, to_term(arg))
+
+
+def call(func: Term, *args: Term | float) -> Term:
+    """Curried application of several arguments."""
+    result: Term = func
+    for arg in args:
+        result = App(result, to_term(arg))
+    return result
+
+
+def let(name: str, value: Term | float, body: Term | float) -> Term:
+    """``let name = value in body``."""
+    return App(Lam(name, to_term(body)), to_term(value))
+
+
+def let_many(bindings: Sequence[tuple[str, Term | float]], body: Term | float) -> Term:
+    """Nested ``let`` bindings, innermost last."""
+    result = to_term(body)
+    for name, value in reversed(list(bindings)):
+        result = let(name, value, result)
+    return result
+
+
+def seq(first: Term | float, second: Term | float) -> Term:
+    """``first; second`` — evaluate ``first`` for effect, return ``second``."""
+    return let("_", first, second)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+
+def add(left: Term | float, right: Term | float) -> Prim:
+    return Prim("add", (to_term(left), to_term(right)))
+
+
+def sub(left: Term | float, right: Term | float) -> Prim:
+    return Prim("sub", (to_term(left), to_term(right)))
+
+
+def mul(left: Term | float, right: Term | float) -> Prim:
+    return Prim("mul", (to_term(left), to_term(right)))
+
+
+def div(left: Term | float, right: Term | float) -> Prim:
+    return Prim("div", (to_term(left), to_term(right)))
+
+
+def neg(arg: Term | float) -> Prim:
+    return Prim("neg", (to_term(arg),))
+
+
+def minimum(left: Term | float, right: Term | float) -> Prim:
+    return Prim("min", (to_term(left), to_term(right)))
+
+
+def maximum(left: Term | float, right: Term | float) -> Prim:
+    return Prim("max", (to_term(left), to_term(right)))
+
+
+def absolute(arg: Term | float) -> Prim:
+    return Prim("abs", (to_term(arg),))
+
+
+def square(arg: Term | float) -> Prim:
+    return Prim("square", (to_term(arg),))
+
+
+def sqrt(arg: Term | float) -> Prim:
+    return Prim("sqrt", (to_term(arg),))
+
+
+def exp(arg: Term | float) -> Prim:
+    return Prim("exp", (to_term(arg),))
+
+
+def log(arg: Term | float) -> Prim:
+    return Prim("log", (to_term(arg),))
+
+
+def sigmoid(arg: Term | float) -> Prim:
+    return Prim("sigmoid", (to_term(arg),))
+
+
+# ----------------------------------------------------------------------
+# Control flow
+# ----------------------------------------------------------------------
+
+def if_leq(left: Term | float, right: Term | float, then: Term | float, orelse: Term | float) -> If:
+    """``if left <= right then ... else ...`` (SPCF branches on ``cond <= 0``)."""
+    return If(sub(left, right), to_term(then), to_term(orelse))
+
+
+def if_lt(left: Term | float, right: Term | float, then: Term | float, orelse: Term | float) -> If:
+    """Strict comparison; measure-theoretically equivalent to :func:`if_leq`."""
+    return If(sub(left, right), to_term(then), to_term(orelse))
+
+
+def if_between(
+    value: Term | float,
+    low: float,
+    high: float,
+    then: Term | float,
+    orelse: Term | float,
+    bind_name: str = "_between",
+) -> Term:
+    """``if low <= value <= high then ... else ...`` with a single evaluation of ``value``."""
+    inner = if_leq(Var(bind_name), high, if_leq(low, Var(bind_name), then, orelse), orelse)
+    return let(bind_name, value, inner)
+
+
+# ----------------------------------------------------------------------
+# Probabilistic constructs
+# ----------------------------------------------------------------------
+
+def sample(dist: Distribution | None = None) -> Sample:
+    """``sample`` (uniform on [0, 1]) or a draw from ``dist``."""
+    return Sample(dist)
+
+
+def uniform(low: float = 0.0, high: float = 1.0) -> Sample:
+    return Sample(Uniform(low, high))
+
+
+def normal(mean: float, std: float) -> Sample:
+    return Sample(Normal(mean, std))
+
+
+def beta(alpha: float, beta_param: float) -> Sample:
+    return Sample(Beta(alpha, beta_param))
+
+
+def exponential(rate: float) -> Sample:
+    return Sample(Exponential(rate))
+
+
+def gamma(shape: float, rate: float = 1.0) -> Sample:
+    return Sample(Gamma(shape, rate))
+
+
+def score(weight: Term | float) -> Score:
+    return Score(to_term(weight))
+
+
+def observe(value: Term | float, dist: Distribution) -> Score:
+    """``observe value from dist`` — multiply the weight by the density at ``value``."""
+    value_term = to_term(value)
+    if isinstance(dist, Normal):
+        return observe_normal(dist.mean, dist.std, value_term)
+    if isinstance(dist, Uniform):
+        return observe_uniform(dist.low, dist.high, value_term)
+    if isinstance(dist, Beta):
+        return Score(Prim("beta_pdf", (const(dist.alpha), const(dist.beta), value_term)))
+    if isinstance(dist, Exponential):
+        return Score(Prim("exponential_pdf", (const(dist.rate), value_term)))
+    if isinstance(dist, Gamma):
+        return Score(Prim("gamma_pdf", (const(dist.shape), const(dist.rate), value_term)))
+    if isinstance(dist, Bernoulli):
+        return Score(Prim("bernoulli_pmf", (const(dist.p), value_term)))
+    raise TypeError(f"observe does not support distribution {dist!r}")
+
+
+def observe_normal(mean: Term | float, std: Term | float, value: Term | float) -> Score:
+    """``observe value from Normal(mean, std)`` with possibly term-valued parameters."""
+    return Score(Prim("normal_pdf", (to_term(mean), to_term(std), to_term(value))))
+
+
+def observe_uniform(low: Term | float, high: Term | float, value: Term | float) -> Score:
+    return Score(Prim("uniform_pdf", (to_term(low), to_term(high), to_term(value))))
+
+
+def choice(probability: float, left: Term | float, right: Term | float) -> Term:
+    """Probabilistic choice ``left ⊕_p right``: take ``left`` with probability ``p``.
+
+    Desugared exactly as in the paper: ``if(sample - p, left, right)``.
+    """
+    return If(sub(Sample(), probability), to_term(left), to_term(right))
+
+
+def flip(probability: float) -> Term:
+    """A Bernoulli draw returning 1.0 with probability ``p`` and 0.0 otherwise."""
+    return choice(probability, 1.0, 0.0)

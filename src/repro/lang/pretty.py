@@ -1,0 +1,56 @@
+"""Pretty printing of SPCF terms.
+
+Produces a compact, ML-like rendering that is convenient for debugging and
+for the documentation examples.  ``let``-sugar (a beta redex with a lambda)
+is re-sugared during printing.
+"""
+
+from __future__ import annotations
+
+from .ast import App, Const, Fix, If, IntervalConst, Lam, Prim, Sample, Score, Term, Var
+
+__all__ = ["pretty"]
+
+_INFIX = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+
+def pretty(term: Term, indent: int = 0) -> str:
+    """Render a term as a readable string."""
+    pad = "  " * indent
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return f"{term.value:g}"
+    if isinstance(term, IntervalConst):
+        return f"[{term.interval.lo:g}, {term.interval.hi:g}]"
+    if isinstance(term, Sample):
+        if term.dist is None:
+            return "sample"
+        return f"sample {term.dist!r}"
+    if isinstance(term, Score):
+        return f"score({pretty(term.arg)})"
+    if isinstance(term, Prim):
+        if term.op in _INFIX and len(term.args) == 2:
+            left, right = (pretty(arg) for arg in term.args)
+            return f"({left} {_INFIX[term.op]} {right})"
+        args = ", ".join(pretty(arg) for arg in term.args)
+        return f"{term.op}({args})"
+    if isinstance(term, If):
+        return (
+            f"if ({pretty(term.cond)} <= 0)\n{pad}  then {pretty(term.then, indent + 1)}"
+            f"\n{pad}  else {pretty(term.orelse, indent + 1)}"
+        )
+    if isinstance(term, Lam):
+        return f"(λ{term.param}. {pretty(term.body, indent)})"
+    if isinstance(term, Fix):
+        return f"(μ{term.fname} {term.param}. {pretty(term.body, indent)})"
+    if isinstance(term, App):
+        if isinstance(term.func, Lam):
+            # Re-sugar `let`.
+            binder = term.func
+            return (
+                f"let {binder.param} = {pretty(term.arg)} in\n"
+                f"{pad}{pretty(binder.body, indent)}"
+            )
+        return f"({pretty(term.func)} {pretty(term.arg)})"
+    raise TypeError(f"unknown term {term!r}")

@@ -1,0 +1,219 @@
+"""Simple types for SPCF and a unification-based type inference.
+
+SPCF's simple types are ``α, β ::= R | α -> β`` (paper Section 2.2).  The
+weight-aware interval type system (Section 5) builds its symbolic skeleton on
+top of the simple types of the program, so the constraint generator needs to
+know the simple type of every ``λ``/``μ`` parameter.  This module provides a
+standard unification-based inference that annotates every node of a term
+(addressed by its *path*, the sequence of child indices from the root) with
+its simple type.  Unconstrained type variables default to ``R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .ast import App, Const, Fix, If, IntervalConst, Lam, Prim, Sample, Score, Term, Var
+
+__all__ = [
+    "SimpleType",
+    "RealType",
+    "FunType",
+    "REAL",
+    "TypeError_",
+    "TypeAnnotations",
+    "infer_types",
+    "type_of_program",
+]
+
+
+class SimpleType:
+    """Base class for simple types."""
+
+
+@dataclass(frozen=True)
+class RealType(SimpleType):
+    """The ground type ``R``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "R"
+
+
+@dataclass(frozen=True)
+class FunType(SimpleType):
+    """A function type ``arg -> res``."""
+
+    arg: SimpleType
+    res: SimpleType
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.arg!r} -> {self.res!r})"
+
+
+REAL = RealType()
+
+
+class TypeError_(Exception):
+    """Raised when a term is not simply typable."""
+
+
+@dataclass(frozen=True)
+class _TypeVar(SimpleType):
+    """Internal unification variable."""
+
+    identifier: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.identifier}"
+
+
+class _Unifier:
+    """A minimal union-find based unifier over simple types."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[int, SimpleType] = {}
+        self._counter = 0
+
+    def fresh(self) -> _TypeVar:
+        self._counter += 1
+        return _TypeVar(self._counter)
+
+    def resolve(self, type_: SimpleType) -> SimpleType:
+        """Follow variable bindings one level (path compression on the way)."""
+        while isinstance(type_, _TypeVar) and type_.identifier in self._bindings:
+            type_ = self._bindings[type_.identifier]
+        return type_
+
+    def fully_resolve(self, type_: SimpleType, default_real: bool = True) -> SimpleType:
+        type_ = self.resolve(type_)
+        if isinstance(type_, _TypeVar):
+            return REAL if default_real else type_
+        if isinstance(type_, FunType):
+            return FunType(
+                self.fully_resolve(type_.arg, default_real),
+                self.fully_resolve(type_.res, default_real),
+            )
+        return type_
+
+    def _occurs(self, variable: _TypeVar, type_: SimpleType) -> bool:
+        type_ = self.resolve(type_)
+        if isinstance(type_, _TypeVar):
+            return type_.identifier == variable.identifier
+        if isinstance(type_, FunType):
+            return self._occurs(variable, type_.arg) or self._occurs(variable, type_.res)
+        return False
+
+    def unify(self, left: SimpleType, right: SimpleType) -> None:
+        left, right = self.resolve(left), self.resolve(right)
+        if left == right:
+            return
+        if isinstance(left, _TypeVar):
+            if self._occurs(left, right):
+                raise TypeError_(f"occurs check failed: {left!r} in {right!r}")
+            self._bindings[left.identifier] = right
+            return
+        if isinstance(right, _TypeVar):
+            self.unify(right, left)
+            return
+        if isinstance(left, FunType) and isinstance(right, FunType):
+            self.unify(left.arg, right.arg)
+            self.unify(left.res, right.res)
+            return
+        raise TypeError_(f"cannot unify {left!r} with {right!r}")
+
+
+@dataclass
+class TypeAnnotations:
+    """Simple types for every node of a program, addressed by path."""
+
+    root_type: SimpleType
+    node_types: Dict[tuple[int, ...], SimpleType]
+    param_types: Dict[tuple[int, ...], SimpleType]
+    fix_result_types: Dict[tuple[int, ...], SimpleType]
+
+    def type_at(self, path: tuple[int, ...]) -> SimpleType:
+        return self.node_types[path]
+
+    def param_type_at(self, path: tuple[int, ...]) -> SimpleType:
+        """Parameter type of the ``Lam``/``Fix`` node at ``path``."""
+        return self.param_types[path]
+
+    def fix_result_type_at(self, path: tuple[int, ...]) -> SimpleType:
+        """Result type of the ``Fix`` node at ``path``."""
+        return self.fix_result_types[path]
+
+
+def infer_types(term: Term, env: Optional[Dict[str, SimpleType]] = None) -> TypeAnnotations:
+    """Infer simple types for ``term`` and all of its subterms.
+
+    Raises :class:`TypeError_` when the term is not simply typable (e.g. a
+    real literal applied to an argument).
+    """
+    unifier = _Unifier()
+    node_types: Dict[tuple[int, ...], SimpleType] = {}
+    param_types: Dict[tuple[int, ...], SimpleType] = {}
+    fix_result_types: Dict[tuple[int, ...], SimpleType] = {}
+
+    def visit(node: Term, environment: Dict[str, SimpleType], path: tuple[int, ...]) -> SimpleType:
+        result: SimpleType
+        if isinstance(node, Var):
+            if node.name not in environment:
+                raise TypeError_(f"unbound variable {node.name!r}")
+            result = environment[node.name]
+        elif isinstance(node, (Const, IntervalConst, Sample)):
+            result = REAL
+        elif isinstance(node, Score):
+            unifier.unify(visit(node.arg, environment, path + (0,)), REAL)
+            result = REAL
+        elif isinstance(node, Prim):
+            for index, arg in enumerate(node.args):
+                unifier.unify(visit(arg, environment, path + (index,)), REAL)
+            result = REAL
+        elif isinstance(node, If):
+            unifier.unify(visit(node.cond, environment, path + (0,)), REAL)
+            then_type = visit(node.then, environment, path + (1,))
+            else_type = visit(node.orelse, environment, path + (2,))
+            unifier.unify(then_type, else_type)
+            result = then_type
+        elif isinstance(node, Lam):
+            param_type = unifier.fresh()
+            param_types[path] = param_type
+            body_type = visit(node.body, {**environment, node.param: param_type}, path + (0,))
+            result = FunType(param_type, body_type)
+        elif isinstance(node, Fix):
+            param_type = unifier.fresh()
+            result_type = unifier.fresh()
+            param_types[path] = param_type
+            fix_result_types[path] = result_type
+            fun_type = FunType(param_type, result_type)
+            body_env = {**environment, node.fname: fun_type, node.param: param_type}
+            body_type = visit(node.body, body_env, path + (0,))
+            unifier.unify(body_type, result_type)
+            result = fun_type
+        elif isinstance(node, App):
+            fun_type = visit(node.func, environment, path + (0,))
+            arg_type = visit(node.arg, environment, path + (1,))
+            result_type = unifier.fresh()
+            unifier.unify(fun_type, FunType(arg_type, result_type))
+            result = result_type
+        else:
+            raise TypeError_(f"unknown term {node!r}")
+        node_types[path] = result
+        return result
+
+    root_type = visit(term, dict(env or {}), ())
+    resolved_nodes = {path: unifier.fully_resolve(t) for path, t in node_types.items()}
+    resolved_params = {path: unifier.fully_resolve(t) for path, t in param_types.items()}
+    resolved_fix_results = {path: unifier.fully_resolve(t) for path, t in fix_result_types.items()}
+    return TypeAnnotations(
+        root_type=unifier.fully_resolve(root_type),
+        node_types=resolved_nodes,
+        param_types=resolved_params,
+        fix_result_types=resolved_fix_results,
+    )
+
+
+def type_of_program(term: Term) -> SimpleType:
+    """The simple type of a closed program."""
+    return infer_types(term).root_type

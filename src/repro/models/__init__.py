@@ -1,0 +1,61 @@
+"""Benchmark model suites used by the paper's evaluation."""
+
+from .continuous_models import (
+    binary_gmm_2d_log_density,
+    binary_gmm_2d_program,
+    binary_gmm_log_density,
+    binary_gmm_program,
+    binary_gmm_sbc_model,
+    coin_bias_program,
+    max_of_normals_program,
+    neals_funnel_log_density,
+    neals_funnel_program,
+)
+from .pedestrian import (
+    pedestrian_bounded_program,
+    pedestrian_program,
+    pedestrian_sbc_model,
+    simulate_pedestrian_distance,
+)
+from .probest_suite import ProbEstBenchmark, benchmark_by_name, probest_suite
+from .psi_discrete import DiscreteBenchmark, discrete_benchmark_by_name, discrete_suite
+from .recursive_models import (
+    RecursiveBenchmark,
+    add_uniform_with_counter,
+    cav_example_5,
+    cav_example_7,
+    growing_walk,
+    param_estimation_recursive,
+    random_box_walk,
+    recursive_suite,
+)
+
+__all__ = [
+    "pedestrian_program",
+    "pedestrian_bounded_program",
+    "pedestrian_sbc_model",
+    "simulate_pedestrian_distance",
+    "ProbEstBenchmark",
+    "probest_suite",
+    "benchmark_by_name",
+    "DiscreteBenchmark",
+    "discrete_suite",
+    "discrete_benchmark_by_name",
+    "coin_bias_program",
+    "max_of_normals_program",
+    "binary_gmm_program",
+    "binary_gmm_log_density",
+    "binary_gmm_sbc_model",
+    "binary_gmm_2d_program",
+    "binary_gmm_2d_log_density",
+    "neals_funnel_program",
+    "neals_funnel_log_density",
+    "RecursiveBenchmark",
+    "recursive_suite",
+    "cav_example_5",
+    "cav_example_7",
+    "add_uniform_with_counter",
+    "random_box_walk",
+    "growing_walk",
+    "param_estimation_recursive",
+]

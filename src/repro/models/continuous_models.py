@@ -1,0 +1,185 @@
+"""Non-recursive continuous models (paper Figure 5 and Table 3).
+
+* ``coin_bias`` — a Beta prior on a coin's bias observed through repeated
+  flips (Fig. 5a);
+* ``max_of_normals`` — the maximum of two i.i.d. Gaussians (Fig. 5b);
+* ``binary_gmm`` — a two-mode Gaussian mixture whose posterior is bimodal;
+  gradient-based samplers typically find only one mode (Fig. 5c, Table 3);
+* ``neals_funnel`` — Neal's funnel, where HMC misses probability mass around
+  the neck (Fig. 5d).
+
+Besides the SPCF programs, the module provides the closed-form log densities
+used to drive the plain HMC baseline, and the SBC decompositions used by the
+Table 3 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions import Beta, Normal
+from ..inference.sbc import SBCModel
+from ..lang import builder as b
+from ..lang.ast import Sample, Term
+
+__all__ = [
+    "coin_bias_program",
+    "max_of_normals_program",
+    "binary_gmm_program",
+    "binary_gmm_log_density",
+    "binary_gmm_sbc_model",
+    "binary_gmm_2d_program",
+    "binary_gmm_2d_log_density",
+    "neals_funnel_program",
+    "neals_funnel_log_density",
+]
+
+
+# ----------------------------------------------------------------------
+# coinBias (Fig. 5a)
+# ----------------------------------------------------------------------
+
+def coin_bias_program(flips: Sequence[int] = (1, 1, 0, 1, 0), alpha: float = 2.0, beta: float = 2.0) -> Term:
+    """Beta prior on the bias of a coin, observed through Bernoulli flips."""
+    bindings: list[tuple[str, Term]] = [("bias", Sample(Beta(alpha, beta)))]
+    for index, flip in enumerate(flips):
+        likelihood = b.var("bias") if flip else b.sub(1.0, b.var("bias"))
+        bindings.append((f"_obs{index}", b.score(likelihood)))
+    return b.let_many(bindings, b.var("bias"))
+
+
+# ----------------------------------------------------------------------
+# max of two normals (Fig. 5b)
+# ----------------------------------------------------------------------
+
+def max_of_normals_program(mean: float = 0.0, std: float = 1.0) -> Term:
+    """The maximum of two i.i.d. normal draws."""
+    return b.let(
+        "first",
+        Sample(Normal(mean, std)),
+        b.let("second", Sample(Normal(mean, std)), b.maximum(b.var("first"), b.var("second"))),
+    )
+
+
+# ----------------------------------------------------------------------
+# binary Gaussian mixture model (Fig. 5c, Table 3)
+# ----------------------------------------------------------------------
+
+def binary_gmm_program(observation: float = 0.6, component_std: float = 0.5, prior_std: float = 2.0) -> Term:
+    """A binary GMM: ``μ ~ N(0, prior_std)``, data from ``½N(μ, σ) + ½N(−μ, σ)``.
+
+    The posterior over ``μ`` is symmetric and bimodal; MCMC methods usually
+    find only one of the modes (the paper's Fig. 5c observation).
+    """
+    mixture = b.add(
+        b.mul(0.5, _normal_pdf_term(observation, component_std, b.var("mu"))),
+        b.mul(0.5, _normal_pdf_term(observation, component_std, b.neg(b.var("mu")))),
+    )
+    return b.let(
+        "mu",
+        Sample(Normal(0.0, prior_std)),
+        b.seq(b.score(mixture), b.var("mu")),
+    )
+
+
+def _normal_pdf_term(mean: float, std: float, value: Term) -> Term:
+    """``normal_pdf(mean, std, value)`` as a primitive application."""
+    from ..lang.ast import Prim
+
+    return Prim("normal_pdf", (b.const(mean), b.const(std), value))
+
+
+def binary_gmm_log_density(mu: float, observation: float = 0.6, component_std: float = 0.5, prior_std: float = 2.0) -> float:
+    """Closed-form unnormalised log posterior density of the binary GMM."""
+    prior = Normal(0.0, prior_std).log_pdf(mu)
+    component1 = Normal(mu, component_std).pdf(observation)
+    component2 = Normal(-mu, component_std).pdf(observation)
+    likelihood = 0.5 * component1 + 0.5 * component2
+    return prior + (math.log(likelihood) if likelihood > 0 else -math.inf)
+
+
+def binary_gmm_sbc_model(component_std: float = 0.5, prior_std: float = 2.0) -> SBCModel:
+    """The binary GMM in generative form for the SBC harness (Table 3)."""
+
+    def prior(rng: np.random.Generator) -> float:
+        return float(rng.normal(0.0, prior_std))
+
+    def generate(mu: float, rng: np.random.Generator) -> Sequence[float]:
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return [float(rng.normal(sign * mu, component_std))]
+
+    def build(data: Sequence[float]) -> Term:
+        return binary_gmm_program(observation=float(data[0]), component_std=component_std, prior_std=prior_std)
+
+    return SBCModel(
+        name="binary-gmm-1d",
+        prior_sampler=prior,
+        data_generator=generate,
+        program_builder=build,
+    )
+
+
+def binary_gmm_2d_program(
+    observations: Sequence[float] = (0.6, -0.4),
+    component_std: float = 0.5,
+    prior_std: float = 2.0,
+) -> Term:
+    """A two-dimensional binary GMM (one mean per coordinate); returns ``μ_1``."""
+    bindings: list[tuple[str, Term]] = [
+        ("mu1", Sample(Normal(0.0, prior_std))),
+        ("mu2", Sample(Normal(0.0, prior_std))),
+    ]
+    for index, (observation, mean_var) in enumerate(zip(observations, ("mu1", "mu2"))):
+        mixture = b.add(
+            b.mul(0.5, _normal_pdf_term(observation, component_std, b.var(mean_var))),
+            b.mul(0.5, _normal_pdf_term(observation, component_std, b.neg(b.var(mean_var)))),
+        )
+        bindings.append((f"_obs{index}", b.score(mixture)))
+    return b.let_many(bindings, b.var("mu1"))
+
+
+def binary_gmm_2d_log_density(
+    mu: Sequence[float],
+    observations: Sequence[float] = (0.6, -0.4),
+    component_std: float = 0.5,
+    prior_std: float = 2.0,
+) -> float:
+    total = 0.0
+    for mean, observation in zip(mu, observations):
+        total += binary_gmm_log_density(mean, observation, component_std, prior_std)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Neal's funnel (Fig. 5d)
+# ----------------------------------------------------------------------
+
+def neals_funnel_program(scale: float = 3.0) -> Term:
+    """Neal's funnel: ``y ~ N(0, scale)``, ``x ~ N(0, exp(y/2))``; returns ``y``.
+
+    The model has no observations, so the posterior over ``y`` is just its
+    prior — but the joint geometry (the funnel neck at very negative ``y``)
+    makes gradient-based samplers miss mass around 0 of the ``x`` marginal and
+    the negative tail of ``y`` (Fig. 5d).
+    """
+    return b.let(
+        "y",
+        Sample(Normal(0.0, scale)),
+        b.let(
+            "x",
+            b.mul(b.exp(b.mul(0.5, b.var("y"))), Sample(Normal(0.0, 1.0))),
+            b.var("y"),
+        ),
+    )
+
+
+def neals_funnel_log_density(state: Sequence[float], scale: float = 3.0) -> float:
+    """Joint log density of Neal's funnel over ``(y, x)``."""
+    y, x = float(state[0]), float(state[1])
+    log_p_y = Normal(0.0, scale).log_pdf(y)
+    std_x = math.exp(0.5 * y)
+    log_p_x = Normal(0.0, std_x).log_pdf(x)
+    return log_p_y + log_p_x

@@ -1,0 +1,448 @@
+"""Probability-estimation benchmark suite (paper Table 1 / Table 4).
+
+The original suite comes from Sankaranarayanan et al. [56]; the exact sources
+are not distributed with the paper, so the programs here are *faithful
+reconstructions*: score-free models with uniform priors and (mostly) linear
+guards matching the benchmark names and query shapes of Table 4.  Because the
+sources differ in detail, the absolute probabilities do not have to coincide
+with the paper's; what the Table 1 benchmark reproduces is the *relationship*
+between the two analyses on every program — GuBPI's bounds are valid and
+(much) tighter, the [56]-style baseline is faster but looser whenever its path
+budget does not cover all of the probability mass.
+
+Every benchmark carries the bounds reported in the paper (both for the tool of
+[56] and for GuBPI) so the harness can print them side by side with ours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..intervals import Interval
+from ..lang import builder as b
+from ..lang.ast import Term
+
+__all__ = ["ProbEstBenchmark", "probest_suite", "benchmark_by_name"]
+
+
+@dataclass(frozen=True)
+class ProbEstBenchmark:
+    """One (program, query) pair of the Table 1 suite."""
+
+    name: str
+    query: str
+    description: str
+    program: Term
+    target: Interval
+    paper_tool56: tuple[float, float]
+    paper_gubpi: tuple[float, float]
+
+    @property
+    def identifier(self) -> str:
+        return f"{self.name}/{self.query}"
+
+
+# ----------------------------------------------------------------------
+# Individual models
+# ----------------------------------------------------------------------
+
+def _strength(name: str, scale: float, body: Term) -> Term:
+    """A player's strength: a scaled uniform draw."""
+    return b.let(name, b.mul(scale, b.sample()), body)
+
+
+def _lazy_pull(strength_var: str, pull_name: str, body: Term) -> Term:
+    """With probability 1/3 a player is lazy and pulls at half strength."""
+    return b.let(
+        pull_name,
+        b.choice(1.0 / 3.0, b.mul(0.5, b.var(strength_var)), b.var(strength_var)),
+        body,
+    )
+
+
+def tug_of_war_program(first_team: tuple[str, str], second_team: tuple[str, str]) -> Term:
+    """Tug of war between two teams of two players; returns team1 − team2 pull."""
+    players = {"alice": 1.20, "bob": 1.00, "tom": 1.00, "sally": 0.80}
+    team1 = b.add(b.var(f"pull_{first_team[0]}"), b.var(f"pull_{first_team[1]}"))
+    team2 = b.add(b.var(f"pull_{second_team[0]}"), b.var(f"pull_{second_team[1]}"))
+    body: Term = b.sub(team1, team2)
+    for name in reversed(list(players)):
+        body = _lazy_pull(name, f"pull_{name}", body)
+    for name, scale in reversed(list(players.items())):
+        body = _strength(name, scale, body)
+    return body
+
+
+def beauquier3_program() -> Term:
+    """A 3-process randomised self-stabilisation protocol (Beauquier et al. style).
+
+    Each process initially holds a token with probability 1/2; in every round
+    a coin decides whether two neighbouring tokens merge.  The program returns
+    the number of rounds until exactly one token remains (capped at 3 rounds).
+    """
+    def round_(tokens_var: str, count_var: str, next_: Callable[[str, str], Term], level: int) -> Term:
+        tokens = b.var(tokens_var)
+        count = b.var(count_var)
+        merged_tokens = f"tokens{level}"
+        merged_count = f"count{level}"
+        do_round = b.let(
+            merged_tokens,
+            b.choice(0.5, b.sub(tokens, 1.0), tokens),
+            b.let(merged_count, b.add(count, 1.0), next_(merged_tokens, merged_count)),
+        )
+        # A round only happens while more than one token is present.
+        return b.if_leq(tokens, 1.0, next_(tokens_var, count_var), do_round)
+
+    def finish(tokens_var: str, count_var: str) -> Term:
+        return b.var(count_var)
+
+    body = round_(
+        "tokens0",
+        "count0",
+        lambda t1, c1: round_(t1, c1, lambda t2, c2: round_(t2, c2, finish, 3), 2),
+        1,
+    )
+    return b.let(
+        "t1",
+        b.flip(0.5),
+        b.let(
+            "t2",
+            b.flip(0.5),
+            b.let(
+                "t3",
+                b.flip(0.5),
+                b.let(
+                    "tokens0",
+                    b.add(b.var("t1"), b.add(b.var("t2"), b.var("t3"))),
+                    b.let("count0", 0.0, body),
+                ),
+            ),
+        ),
+    )
+
+
+def counting_walk_program(threshold: float, step_scale: float, drift: float, max_steps: int) -> Term:
+    """Count how many additive steps are needed to exceed ``threshold``.
+
+    ``x`` starts at 0 and each step adds ``step_scale·U(0,1) − drift``; the
+    program returns the number of steps taken before ``x > threshold`` (capped
+    at ``max_steps``).  This is the shape of the ``example-book`` and
+    ``example-cart`` benchmarks.
+    """
+    def step(level: int, position_var: str) -> Term:
+        if level > max_steps:
+            return b.const(float(max_steps))
+        next_position = f"x{level}"
+        return b.if_leq(
+            threshold,
+            b.var(position_var),
+            b.const(float(level - 1)),
+            b.let(
+                next_position,
+                b.add(b.var(position_var), b.sub(b.mul(step_scale, b.sample()), drift)),
+                step(level + 1, next_position),
+            ),
+        )
+
+    return b.let("x0", 0.0, step(1, "x0"))
+
+
+def ckd_epi_program() -> Term:
+    """A simplified CKD-EPI estimator with uncertain inputs (non-linear guards).
+
+    Two log-scale eGFR estimates ``f1`` and ``f2`` are computed from an
+    uncertain serum-creatinine measurement and an uncertain age; the program
+    returns 1 when ``f1 ≤ 4.4`` and ``f2 ≥ 4.6`` (the conjunctive query of the
+    original benchmark) and 0 otherwise.
+    """
+    scr = b.add(0.6, b.mul(0.2, b.sample()))  # serum creatinine in [0.6, 0.8]
+    age = b.add(60.0, b.mul(10.0, b.sample()))  # age in [60, 70]
+    f1 = b.add(
+        4.50,
+        b.sub(
+            b.mul(-0.329, b.log(b.div(b.var("scr"), 0.7))),
+            b.mul(0.012, b.sub(b.var("age"), 60.0)),
+        ),
+    )
+    f2 = b.add(
+        4.70,
+        b.sub(
+            b.mul(-0.411, b.log(b.div(b.var("scr"), 0.9))),
+            b.mul(0.005, b.sub(b.var("age"), 60.0)),
+        ),
+    )
+    inner = b.if_leq(
+        b.var("f1"),
+        4.4,
+        b.if_leq(4.6, b.var("f2"), 1.0, 0.0),
+        0.0,
+    )
+    return b.let("scr", scr, b.let("age", age, b.let("f1", f1, b.let("f2", f2, inner))))
+
+
+def geometric_counter_program(stop_probability: float, max_rounds: int) -> Term:
+    """Rounds until a uniform draw falls below ``stop_probability`` (recursive)."""
+    loop = b.fix(
+        "loop",
+        "count",
+        b.if_leq(
+            float(max_rounds),
+            b.var("count"),
+            b.var("count"),
+            b.if_leq(
+                b.sample(),
+                stop_probability,
+                b.add(b.var("count"), 1.0),
+                b.app(b.var("loop"), b.add(b.var("count"), 1.0)),
+            ),
+        ),
+    )
+    return b.app(loop, 0.0)
+
+
+def sum_of_uniforms_program(scales: tuple[float, ...]) -> Term:
+    """The sum of independently scaled uniform draws."""
+    result: Term = b.const(0.0)
+    for scale in scales:
+        result = b.add(result, b.mul(scale, b.sample()))
+    return result
+
+
+def herman3_program() -> Term:
+    """Herman's randomised self-stabilisation with 3 processes.
+
+    The program returns the number of rounds until exactly one token remains;
+    the initial configuration assigns a token to every process independently
+    with probability 1/2.  (Stabilisation in zero rounds happens exactly when
+    the initial configuration already has a single token, with probability
+    3/8 = 0.375 — the value reported in the paper.)
+    """
+    def simulate_round(tokens_var: str, count_var: str, remaining: int) -> Term:
+        if remaining == 0:
+            return b.var(count_var)
+        merged_tokens = f"h_tokens{remaining}"
+        merged_count = f"h_count{remaining}"
+        do_round = b.let(
+            merged_tokens,
+            b.choice(0.75, b.sub(b.var(tokens_var), 2.0), b.var(tokens_var)),
+            b.let(
+                merged_count,
+                b.add(b.var(count_var), 1.0),
+                simulate_round(merged_tokens, merged_count, remaining - 1),
+            ),
+        )
+        # Stabilised exactly when a single token remains; zero tokens is a dead
+        # configuration that never stabilises (return the round cap).
+        return b.if_leq(
+            b.var(tokens_var),
+            1.0,
+            b.if_leq(1.0, b.var(tokens_var), b.var(count_var), 3.0),
+            do_round,
+        )
+
+    return b.let(
+        "h1",
+        b.flip(0.5),
+        b.let(
+            "h2",
+            b.flip(0.5),
+            b.let(
+                "h3",
+                b.flip(0.5),
+                b.let(
+                    "h_tokens0",
+                    b.add(b.var("h1"), b.add(b.var("h2"), b.var("h3"))),
+                    b.let("h_count0", 0.0, simulate_round("h_tokens0", "h_count0", 2)),
+                ),
+            ),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+def probest_suite() -> list[ProbEstBenchmark]:
+    """All Table 1 benchmarks (18 program/query pairs)."""
+    below_zero = Interval(-math.inf, 0.0)
+    suite: list[ProbEstBenchmark] = []
+
+    tug_q1 = tug_of_war_program(("alice", "bob"), ("tom", "sally"))
+    tug_q2 = tug_of_war_program(("alice", "sally"), ("bob", "tom"))
+    suite.append(
+        ProbEstBenchmark(
+            name="tug-of-war",
+            query="Q1",
+            description="P(team tom/sally out-pulls team alice/bob)",
+            program=tug_q1,
+            target=Interval(0.0, math.inf),
+            paper_tool56=(0.6126, 0.6227),
+            paper_gubpi=(0.6134, 0.6135),
+        )
+    )
+    suite.append(
+        ProbEstBenchmark(
+            name="tug-of-war",
+            query="Q2",
+            description="P(team bob/tom out-pulls team alice/sally)",
+            program=tug_q2,
+            target=Interval(0.0, math.inf),
+            paper_tool56=(0.5973, 0.6266),
+            paper_gubpi=(0.6134, 0.6135),
+        )
+    )
+    suite.append(
+        ProbEstBenchmark(
+            name="beauquier-3",
+            query="Q1",
+            description="P(count < 1): protocol stabilises immediately",
+            program=beauquier3_program(),
+            target=Interval(-math.inf, 0.5),
+            paper_tool56=(0.5000, 0.5261),
+            paper_gubpi=(0.4999, 0.5001),
+        )
+    )
+    book = counting_walk_program(threshold=0.5, step_scale=1.0, drift=0.0, max_steps=5)
+    suite.append(
+        ProbEstBenchmark(
+            name="ex-book-s",
+            query="Q1",
+            description="P(count >= 2) for the additive counting walk",
+            program=book,
+            target=Interval(2.0, math.inf),
+            paper_tool56=(0.6633, 0.7234),
+            paper_gubpi=(0.7417, 0.7418),
+        )
+    )
+    suite.append(
+        ProbEstBenchmark(
+            name="ex-book-s",
+            query="Q2",
+            description="P(count >= 4) for the additive counting walk",
+            program=book,
+            target=Interval(4.0, math.inf),
+            paper_tool56=(0.3365, 0.3848),
+            paper_gubpi=(0.4137, 0.4138),
+        )
+    )
+    cart = counting_walk_program(threshold=1.0, step_scale=1.0, drift=0.3, max_steps=6)
+    for query, target, tool56, gubpi in (
+        ("Q1", Interval(1.0, math.inf), (0.8980, 1.1573), (0.9999, 1.0001)),
+        ("Q2", Interval(2.0, math.inf), (0.8897, 1.1573), (0.9999, 1.0001)),
+        ("Q3", Interval(4.0, math.inf), (0.0000, 0.1150), (0.0000, 0.0001)),
+    ):
+        suite.append(
+            ProbEstBenchmark(
+                name="ex-cart",
+                query=query,
+                description=f"P(count in {target!r}) for the drifting cart",
+                program=cart,
+                target=target,
+                paper_tool56=tool56,
+                paper_gubpi=gubpi,
+            )
+        )
+    ckd = ckd_epi_program()
+    suite.append(
+        ProbEstBenchmark(
+            name="ex-ckd-epi-s",
+            query="Q1",
+            description="P(f1 <= 4.4 and f2 >= 4.6) for the CKD-EPI estimator",
+            program=ckd,
+            target=Interval(0.5, 1.5),
+            paper_tool56=(0.5515, 0.5632),
+            paper_gubpi=(0.0003, 0.0004),
+        )
+    )
+    ckd_q2 = ckd_epi_program()
+    suite.append(
+        ProbEstBenchmark(
+            name="ex-ckd-epi-s",
+            query="Q2",
+            description="P(not (f1 <= 4.4 and f2 >= 4.6)) for the CKD-EPI estimator",
+            program=ckd_q2,
+            target=Interval(-0.5, 0.5),
+            paper_tool56=(0.3019, 0.3149),
+            paper_gubpi=(0.0003, 0.0004),
+        )
+    )
+    fig6 = geometric_counter_program(stop_probability=0.25, max_rounds=12)
+    for query, bound, tool56, gubpi in (
+        ("Q1", 1.0, (0.1619, 0.7956), (0.1899, 0.1903)),
+        ("Q2", 2.0, (0.2916, 1.0571), (0.3705, 0.3720)),
+        ("Q3", 5.0, (0.4314, 2.0155), (0.7438, 0.7668)),
+        ("Q4", 8.0, (0.4400, 3.0956), (0.8682, 0.9666)),
+    ):
+        suite.append(
+            ProbEstBenchmark(
+                name="ex-fig6",
+                query=query,
+                description=f"P(count <= {bound:g}) for the geometric counter",
+                program=fig6,
+                target=Interval(-math.inf, bound + 0.5),
+                paper_tool56=tool56,
+                paper_gubpi=gubpi,
+            )
+        )
+    fig7 = sum_of_uniforms_program((500.0, 400.0, 200.0))
+    suite.append(
+        ProbEstBenchmark(
+            name="ex-fig7",
+            query="Q1",
+            description="P(x <= 1000) for a sum of scaled uniforms",
+            program=fig7,
+            target=Interval(-math.inf, 1000.0),
+            paper_tool56=(0.9921, 1.0000),
+            paper_gubpi=(0.9980, 0.9981),
+        )
+    )
+    example4 = b.sub(10.0, b.add(b.mul(10.0, b.sample()), b.mul(4.0, b.sample())))
+    suite.append(
+        ProbEstBenchmark(
+            name="example4",
+            query="Q1",
+            description="P(x + y > 10), x ~ U(0,10), y ~ U(0,4)",
+            program=example4,
+            target=below_zero,
+            paper_tool56=(0.1910, 0.1966),
+            paper_gubpi=(0.1918, 0.1919),
+        )
+    )
+    example5 = b.sub(
+        b.add(b.mul(5.0, b.sample()), 10.0),
+        b.add(b.mul(10.0, b.sample()), b.mul(10.0, b.sample())),
+    )
+    suite.append(
+        ProbEstBenchmark(
+            name="example5",
+            query="Q1",
+            description="P(x + y > z + 10), x, y ~ U(0,10), z ~ U(0,5)",
+            program=example5,
+            target=below_zero,
+            paper_tool56=(0.4478, 0.4708),
+            paper_gubpi=(0.4540, 0.4541),
+        )
+    )
+    suite.append(
+        ProbEstBenchmark(
+            name="herman-3",
+            query="Q1",
+            description="P(count < 1): Herman's protocol stabilises immediately",
+            program=herman3_program(),
+            target=Interval(-math.inf, 0.5),
+            paper_tool56=(0.3750, 0.4091),
+            paper_gubpi=(0.3749, 0.3751),
+        )
+    )
+    return suite
+
+
+def benchmark_by_name(name: str, query: str) -> ProbEstBenchmark:
+    """Look up a suite entry by benchmark name and query label."""
+    for benchmark in probest_suite():
+        if benchmark.name == name and benchmark.query == query:
+            return benchmark
+    raise KeyError(f"unknown benchmark {name}/{query}")

@@ -1,0 +1,323 @@
+"""Discrete benchmark programs (paper Table 2).
+
+These are the finite discrete models from the PSI repository used in the
+paper's exact-inference consistency check: Bayesian-network classics
+(burglar alarm, sprinkler/grass, noisy-or, murder mystery, Bertrand's boxes,
+...), written once in SPCF with native Bernoulli/categorical draws and *hard*
+conditioning expressed as ``score(indicator)``.
+
+Each program is consumed by two engines:
+
+* the exact enumeration engine (:mod:`repro.exact`) — the PSI stand-in, and
+* the GuBPI engine — whose box analyser resolves every finite discrete draw
+  into point cells, so its bounds are tight and must agree with enumeration
+  (that agreement is asserted by the Table 2 benchmark and the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions import Bernoulli, Categorical
+from ..intervals import Interval
+from ..lang import builder as b
+from ..lang.ast import Sample, Term
+
+__all__ = ["DiscreteBenchmark", "discrete_suite", "discrete_benchmark_by_name"]
+
+
+@dataclass(frozen=True)
+class DiscreteBenchmark:
+    """A finite discrete program plus the query the harness evaluates."""
+
+    name: str
+    description: str
+    program: Term
+    query_target: Interval
+    query_description: str
+    paper_time_psi: float
+    paper_time_gubpi: float
+
+
+def bernoulli(p: float) -> Term:
+    """A native Bernoulli draw (returns 0.0 or 1.0)."""
+    return Sample(Bernoulli(p))
+
+
+def categorical(outcomes: list[float], probabilities: list[float]) -> Term:
+    return Sample(Categorical(outcomes, probabilities))
+
+
+def condition(indicator: Term) -> Term:
+    """Hard conditioning: keep the execution only when ``indicator`` is 1."""
+    return b.score(indicator)
+
+
+def bool_and(left: Term, right: Term) -> Term:
+    return b.mul(left, right)
+
+
+def bool_or(left: Term, right: Term) -> Term:
+    return b.maximum(left, right)
+
+
+def bool_not(value: Term) -> Term:
+    return b.sub(1.0, value)
+
+
+def if_flag(flag: Term, then: Term, orelse: Term) -> Term:
+    """Branch on a 0/1 flag (flags are ≤ 0 exactly when false)."""
+    return b.if_leq(flag, 0.0, orelse, then)
+
+
+# ----------------------------------------------------------------------
+# Models
+# ----------------------------------------------------------------------
+
+def burglar_alarm() -> Term:
+    """The classic burglary/earthquake/alarm network; posterior of burglary given a call."""
+    return b.let_many(
+        [
+            ("burglary", bernoulli(0.001)),
+            ("earthquake", bernoulli(0.002)),
+            (
+                "alarm",
+                if_flag(
+                    b.var("burglary"),
+                    if_flag(b.var("earthquake"), bernoulli(0.95), bernoulli(0.94)),
+                    if_flag(b.var("earthquake"), bernoulli(0.29), bernoulli(0.001)),
+                ),
+            ),
+            ("john_calls", if_flag(b.var("alarm"), bernoulli(0.9), bernoulli(0.05))),
+            ("_", condition(b.var("john_calls"))),
+        ],
+        b.var("burglary"),
+    )
+
+
+def two_coins() -> Term:
+    """Two fair coins; observe that not both are heads; posterior of the first coin."""
+    return b.let_many(
+        [
+            ("first", bernoulli(0.5)),
+            ("second", bernoulli(0.5)),
+            ("_", condition(bool_not(bool_and(b.var("first"), b.var("second"))))),
+        ],
+        b.var("first"),
+    )
+
+
+def coins() -> Term:
+    """Two biased coins; observe at least one head; posterior of the first coin."""
+    return b.let_many(
+        [
+            ("first", bernoulli(0.4)),
+            ("second", bernoulli(0.7)),
+            ("_", condition(bool_or(b.var("first"), b.var("second")))),
+        ],
+        b.var("first"),
+    )
+
+
+def grass_model() -> Term:
+    """The sprinkler/rain/wet-grass network; posterior of rain given wet grass."""
+    return b.let_many(
+        [
+            ("cloudy", bernoulli(0.5)),
+            ("sprinkler", if_flag(b.var("cloudy"), bernoulli(0.1), bernoulli(0.5))),
+            ("rain", if_flag(b.var("cloudy"), bernoulli(0.8), bernoulli(0.2))),
+            (
+                "wet",
+                bool_or(
+                    bool_and(b.var("sprinkler"), bernoulli(0.9)),
+                    bool_and(b.var("rain"), bernoulli(0.9)),
+                ),
+            ),
+            ("_", condition(b.var("wet"))),
+        ],
+        b.var("rain"),
+    )
+
+
+def noisy_or() -> Term:
+    """A small noisy-or network; posterior of the first cause given the effect."""
+    return b.let_many(
+        [
+            ("cause1", bernoulli(0.3)),
+            ("cause2", bernoulli(0.2)),
+            (
+                "effect",
+                bool_or(
+                    bool_and(b.var("cause1"), bernoulli(0.8)),
+                    bool_or(bool_and(b.var("cause2"), bernoulli(0.6)), bernoulli(0.05)),
+                ),
+            ),
+            ("_", condition(b.var("effect"))),
+        ],
+        b.var("cause1"),
+    )
+
+
+def murder_mystery() -> Term:
+    """The aunt/nephew murder mystery; posterior that the nephew did it given the evidence."""
+    return b.let_many(
+        [
+            ("nephew", bernoulli(0.3)),
+            (
+                "gun_found",
+                if_flag(b.var("nephew"), bernoulli(0.9), bernoulli(0.2)),
+            ),
+            ("_", condition(b.var("gun_found"))),
+        ],
+        b.var("nephew"),
+    )
+
+
+def bertrand() -> Term:
+    """Bertrand's box paradox: posterior that the gold coin came from the gold-gold box."""
+    return b.let_many(
+        [
+            ("box", categorical([0.0, 1.0, 2.0], [1.0, 1.0, 1.0])),
+            (
+                "coin_is_gold",
+                b.if_leq(
+                    b.var("box"),
+                    0.0,
+                    b.const(1.0),  # gold-gold box
+                    b.if_leq(b.var("box"), 1.0, bernoulli(0.5), b.const(0.0)),
+                ),
+            ),
+            ("_", condition(b.var("coin_is_gold"))),
+        ],
+        b.if_leq(b.var("box"), 0.0, 1.0, 0.0),
+    )
+
+
+def coin_bias_small() -> Term:
+    """Discretised coin-bias estimation: categorical prior over the bias, three flips."""
+    outcomes = [0.1, 0.3, 0.5, 0.7, 0.9]
+    return b.let_many(
+        [
+            ("bias", categorical(outcomes, [1.0] * len(outcomes))),
+            ("_1", b.score(b.var("bias"))),  # first flip: heads
+            ("_2", b.score(b.var("bias"))),  # second flip: heads
+            ("_3", b.score(b.sub(1.0, b.var("bias")))),  # third flip: tails
+        ],
+        b.var("bias"),
+    )
+
+
+def coin_pattern() -> Term:
+    """Four fair flips; observe at least one 'heads, heads' adjacent pattern; return the first flip."""
+    flips = [("c1", bernoulli(0.5)), ("c2", bernoulli(0.5)), ("c3", bernoulli(0.5)), ("c4", bernoulli(0.5))]
+    pattern = bool_or(
+        bool_and(b.var("c1"), b.var("c2")),
+        bool_or(bool_and(b.var("c2"), b.var("c3")), bool_and(b.var("c3"), b.var("c4"))),
+    )
+    return b.let_many(flips + [("_", condition(pattern))], b.var("c1"))
+
+
+def gossip() -> Term:
+    """A tiny gossip network: posterior that A started the rumour given that C heard it."""
+    return b.let_many(
+        [
+            ("a_started", bernoulli(0.3)),
+            ("b_heard", if_flag(b.var("a_started"), bernoulli(0.8), bernoulli(0.1))),
+            ("c_heard", if_flag(b.var("b_heard"), bernoulli(0.7), bernoulli(0.05))),
+            ("_", condition(b.var("c_heard"))),
+        ],
+        b.var("a_started"),
+    )
+
+
+def evidence_model1() -> Term:
+    """Evidence example 1: a coin observed through a noisy channel."""
+    return b.let_many(
+        [
+            ("coin", bernoulli(0.5)),
+            ("reading", if_flag(b.var("coin"), bernoulli(0.9), bernoulli(0.1))),
+            ("_", condition(b.var("reading"))),
+        ],
+        b.var("coin"),
+    )
+
+
+def evidence_model2() -> Term:
+    """Evidence example 2: two noisy readings of the same coin."""
+    return b.let_many(
+        [
+            ("coin", bernoulli(0.5)),
+            ("reading1", if_flag(b.var("coin"), bernoulli(0.9), bernoulli(0.1))),
+            ("reading2", if_flag(b.var("coin"), bernoulli(0.9), bernoulli(0.1))),
+            ("_", condition(bool_and(b.var("reading1"), bool_not(b.var("reading2"))))),
+        ],
+        b.var("coin"),
+    )
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+_TRUE = Interval(0.5, 1.5)
+
+
+def discrete_suite() -> list[DiscreteBenchmark]:
+    """All Table 2 benchmarks."""
+    return [
+        DiscreteBenchmark(
+            "burglarAlarm", "burglary/earthquake/alarm network", burglar_alarm(), _TRUE,
+            "P(burglary | John calls)", 0.06, 0.21,
+        ),
+        DiscreteBenchmark(
+            "coins", "two biased coins, at least one head", coins(), _TRUE,
+            "P(first coin heads | evidence)", 0.04, 0.18,
+        ),
+        DiscreteBenchmark(
+            "twoCoins", "two fair coins, not both heads", two_coins(), _TRUE,
+            "P(first coin heads | evidence)", 0.04, 0.21,
+        ),
+        DiscreteBenchmark(
+            "ev-model1", "noisy reading of a coin", evidence_model1(), _TRUE,
+            "P(coin heads | reading)", 0.04, 0.21,
+        ),
+        DiscreteBenchmark(
+            "grass", "sprinkler / rain / wet grass", grass_model(), _TRUE,
+            "P(rain | wet grass)", 0.06, 0.37,
+        ),
+        DiscreteBenchmark(
+            "ev-model2", "two noisy readings of a coin", evidence_model2(), _TRUE,
+            "P(coin heads | readings)", 0.04, 0.20,
+        ),
+        DiscreteBenchmark(
+            "noisyOr", "noisy-or network", noisy_or(), _TRUE,
+            "P(cause 1 | effect)", 0.14, 0.72,
+        ),
+        DiscreteBenchmark(
+            "murderMystery", "aunt/nephew murder mystery", murder_mystery(), _TRUE,
+            "P(nephew | gun found)", 0.04, 0.19,
+        ),
+        DiscreteBenchmark(
+            "bertrand", "Bertrand's box paradox", bertrand(), _TRUE,
+            "P(gold-gold box | gold coin)", 0.04, 0.22,
+        ),
+        DiscreteBenchmark(
+            "coinBiasSmall", "discretised coin-bias estimation", coin_bias_small(),
+            Interval(0.6, 1.0), "P(bias >= 0.7 | H, H, T)", 0.13, 1.92,
+        ),
+        DiscreteBenchmark(
+            "coinPattern", "adjacent heads pattern in four flips", coin_pattern(), _TRUE,
+            "P(first flip heads | pattern)", 0.04, 0.19,
+        ),
+        DiscreteBenchmark(
+            "gossip", "rumour propagation", gossip(), _TRUE,
+            "P(A started | C heard)", 0.08, 0.24,
+        ),
+    ]
+
+
+def discrete_benchmark_by_name(name: str) -> DiscreteBenchmark:
+    for benchmark in discrete_suite():
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"unknown discrete benchmark {name!r}")

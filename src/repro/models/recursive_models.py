@@ -1,0 +1,255 @@
+"""Recursive models (paper Figure 6).
+
+These programs use unbounded loops/recursion, which puts them outside the
+scope of exact solvers such as PSI (which can only unroll them to a fixed
+depth — visibly changing the posterior, Figs. 6a–6c).  GuBPI handles the
+unbounded programs directly through its fixpoint summaries.
+
+The six models mirror the six sub-figures:
+
+* ``cav_example_7``     — geometric loop accumulating a value (PSI unrolls to depth 10);
+* ``cav_example_5``     — an unbounded loop with soft conditioning;
+* ``add_uniform_with_counter`` — accumulate uniforms until a threshold, return the counter;
+* ``random_box_walk``   — cumulative distance of a biased random walk;
+* ``growing_walk``      — a geometric random walk with growing steps, observed near 3;
+* ``param_estimation_recursive`` — posterior over the step-direction bias of a walk
+  observed to halt at location 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from ..lang import builder as b
+from ..lang.ast import Term
+
+__all__ = [
+    "RecursiveBenchmark",
+    "cav_example_7",
+    "cav_example_5",
+    "add_uniform_with_counter",
+    "random_box_walk",
+    "growing_walk",
+    "param_estimation_recursive",
+    "recursive_suite",
+]
+
+
+@dataclass(frozen=True)
+class RecursiveBenchmark:
+    """A recursive model plus the histogram window used by the Fig. 6 harness."""
+
+    name: str
+    description: str
+    program: Term
+    histogram_low: float
+    histogram_high: float
+    buckets: int
+    fixpoint_depth: int
+    paper_seconds: float
+
+
+def cav_example_7() -> Term:
+    """A geometric loop that keeps adding 1 with probability 0.8 (unbounded).
+
+    PSI analyses a version unrolled to a fixed depth, producing a spurious
+    spike at the unrolling bound (Fig. 6a); the unbounded program's
+    distribution is geometric.  The stopping decision is a native Bernoulli
+    draw so that the very same program can also be fed to the exact
+    enumeration engine (which then has to truncate the recursion, reproducing
+    PSI's behaviour).
+    """
+    from ..distributions import Bernoulli
+    from ..lang.ast import Sample
+
+    loop = b.fix(
+        "loop",
+        "count",
+        b.if_leq(
+            Sample(Bernoulli(0.2)),
+            0.0,
+            b.app(b.var("loop"), b.add(b.var("count"), 1.0)),
+            b.var("count"),
+        ),
+    )
+    return b.app(loop, 0.0)
+
+
+def cav_example_5() -> Term:
+    """An unbounded loop with soft conditioning on the accumulated value.
+
+    Each iteration adds a uniform step; the loop stops with probability 1/2
+    per round; the accumulated value is observed near 1.5.  PSI cannot handle
+    the unbounded loop at all (Fig. 6b).
+    """
+    loop = b.fix(
+        "loop",
+        "total",
+        b.choice(
+            0.5,
+            b.var("total"),
+            b.app(b.var("loop"), b.add(b.var("total"), b.sample())),
+        ),
+    )
+    return b.let(
+        "result",
+        b.app(loop, 0.0),
+        b.seq(b.observe_normal(1.5, 0.5, b.var("result")), b.var("result")),
+    )
+
+
+def add_uniform_with_counter(threshold: float = 2.0) -> Term:
+    """Add uniform draws until their sum exceeds ``threshold``; return the counter.
+
+    The PSI repository version bounds the loop; GuBPI analyses the unbounded
+    program (Fig. 6c).
+    """
+    loop = b.fix(
+        "loop",
+        "total",
+        b.lam(
+            "count",
+            b.if_leq(
+                threshold,
+                b.var("total"),
+                b.var("count"),
+                b.call(
+                    b.var("loop"),
+                    b.add(b.var("total"), b.sample()),
+                    b.add(b.var("count"), 1.0),
+                ),
+            ),
+        ),
+    )
+    return b.call(loop, 0.0, 0.0)
+
+
+def random_box_walk(threshold: float = 1.0) -> Term:
+    """Cumulative distance travelled by a biased random walk (Fig. 6d).
+
+    A uniformly sampled step ``s`` moves left when ``s < 1/2`` and right
+    otherwise; the walk stops once the position crosses ``threshold`` and the
+    program returns the cumulative distance travelled.
+    """
+    loop = b.fix(
+        "walk",
+        "position",
+        b.lam(
+            "travelled",
+            b.if_leq(
+                threshold,
+                b.var("position"),
+                b.var("travelled"),
+                b.let(
+                    "step",
+                    b.sample(),
+                    b.if_leq(
+                        b.var("step"),
+                        0.5,
+                        b.call(
+                            b.var("walk"),
+                            b.sub(b.var("position"), b.var("step")),
+                            b.add(b.var("travelled"), b.var("step")),
+                        ),
+                        b.call(
+                            b.var("walk"),
+                            b.add(b.var("position"), b.var("step")),
+                            b.add(b.var("travelled"), b.var("step")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return b.call(loop, 0.0, 0.0)
+
+
+def growing_walk(observed: float = 3.0, std: float = 0.5) -> Term:
+    """A geometric random walk whose step size grows with the distance (Fig. 6e)."""
+    loop = b.fix(
+        "walk",
+        "distance",
+        b.choice(
+            0.5,
+            b.var("distance"),
+            b.app(
+                b.var("walk"),
+                b.add(b.var("distance"), b.mul(b.add(1.0, b.mul(0.5, b.var("distance"))), b.sample())),
+            ),
+        ),
+    )
+    return b.let(
+        "distance",
+        b.app(loop, 0.0),
+        b.seq(b.observe_normal(observed, std, b.var("distance")), b.var("distance")),
+    )
+
+
+def param_estimation_recursive(observed: float = 1.0, std: float = 0.5, max_position: float = 3.0) -> Term:
+    """Posterior over the direction bias of a random walk observed to halt at 1 (Fig. 6f).
+
+    A uniform prior ``p`` controls the probability of stepping left (towards
+    0) versus right; the walk starts at 1 and halts when it reaches 0 or
+    ``max_position``; the halting position is observed from a normal centred
+    at ``observed``.
+    """
+    loop = b.fix(
+        "walk",
+        "position",
+        b.if_leq(
+            b.var("position"),
+            0.0,
+            b.var("position"),
+            b.if_leq(
+                max_position,
+                b.var("position"),
+                b.var("position"),
+                b.if_leq(
+                    b.sample(),
+                    b.var("p"),
+                    b.app(b.var("walk"), b.sub(b.var("position"), 1.0)),
+                    b.app(b.var("walk"), b.add(b.var("position"), 1.0)),
+                ),
+            ),
+        ),
+    )
+    return b.let(
+        "p",
+        b.sample(),
+        b.let(
+            "final",
+            b.app(loop, 1.0),
+            b.seq(b.observe_normal(observed, std, b.var("final")), b.var("p")),
+        ),
+    )
+
+
+def recursive_suite() -> list[RecursiveBenchmark]:
+    """The six Fig. 6 models with the harness parameters used to reproduce them."""
+    return [
+        RecursiveBenchmark(
+            "cav-example-7", "geometric loop (PSI unrolls to depth 10)", cav_example_7(),
+            0.0, 12.0, 12, 14, 112.0,
+        ),
+        RecursiveBenchmark(
+            "cav-example-5", "unbounded loop with soft conditioning", cav_example_5(),
+            0.0, 4.0, 8, 8, 192.0,
+        ),
+        RecursiveBenchmark(
+            "add-uniform-with-counter", "uniform sum counter", add_uniform_with_counter(),
+            0.0, 8.0, 8, 8, 21.0,
+        ),
+        RecursiveBenchmark(
+            "random-box-walk", "cumulative distance of a biased walk", random_box_walk(),
+            0.0, 4.0, 8, 6, 167.0,
+        ),
+        RecursiveBenchmark(
+            "growing-walk", "geometric walk with growing steps", growing_walk(),
+            0.0, 6.0, 8, 7, 67.0,
+        ),
+        RecursiveBenchmark(
+            "param-estimation-recursive", "posterior over a walk's direction bias",
+            param_estimation_recursive(), 0.0, 1.0, 8, 7, 162.0,
+        ),
+    ]

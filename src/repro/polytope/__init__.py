@@ -1,0 +1,14 @@
+"""Convex polytope substrate: feasibility, LP bounds and exact volumes."""
+
+from .linear_bounds import bound_form, form_rows
+from .polytope import Polytope, PolytopeError
+from .vertex_enum import enumerate_vertices, volume_by_enumeration
+
+__all__ = [
+    "Polytope",
+    "PolytopeError",
+    "enumerate_vertices",
+    "volume_by_enumeration",
+    "bound_form",
+    "form_rows",
+]

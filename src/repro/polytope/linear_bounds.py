@@ -1,0 +1,57 @@
+"""Bounding linear forms over polytopes.
+
+The linear path analyser needs, for every linear score atom ``Z_j``, its range
+over the path polytope (paper Section 6.4: "first computing a lower and upper
+bound on each W_i over 𝔓 by solving a linear program").  This module bridges
+between :class:`repro.symbolic.LinearForm` (sparse, interval constants) and the
+dense LP interface of :class:`repro.polytope.Polytope`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..intervals import Interval
+from ..symbolic.linear import LinearForm
+from .polytope import Polytope
+
+__all__ = ["bound_form", "form_rows"]
+
+
+def bound_form(polytope: Polytope, form: LinearForm) -> Optional[Interval]:
+    """The range of an interval-linear form over a polytope (``None`` if empty)."""
+    base = polytope.bound_linear(form.as_dense(polytope.dimension))
+    if base is None:
+        return None
+    return base + form.constant
+
+
+def form_rows(
+    form: LinearForm,
+    dimension: int,
+    upper: Optional[float] = None,
+    lower: Optional[float] = None,
+    for_lower_bound: bool = True,
+) -> tuple[list[list[float]], list[float]]:
+    """Constraint rows restricting a linear form to ``[lower, upper]``.
+
+    ``for_lower_bound`` selects the universal reading (every point of the
+    interval constant must satisfy the restriction — used for ``𝔓_lb``),
+    otherwise the existential reading (``𝔓_ub``).  For a form
+    ``w·α + [a, b]``:
+
+    * universal  ``≤ u``: ``w·α + b ≤ u``;  existential ``≤ u``: ``w·α + a ≤ u``.
+    * universal  ``≥ l``: ``w·α + a ≥ l``;  existential ``≥ l``: ``w·α + b ≥ l``.
+    """
+    rows: list[list[float]] = []
+    rhs: list[float] = []
+    dense = form.as_dense(dimension)
+    constant_hi = form.constant.hi if for_lower_bound else form.constant.lo
+    constant_lo = form.constant.lo if for_lower_bound else form.constant.hi
+    if upper is not None:
+        rows.append(list(dense))
+        rhs.append(upper - constant_hi)
+    if lower is not None:
+        rows.append([-c for c in dense])
+        rhs.append(constant_lo - lower)
+    return rows, rhs

@@ -1,0 +1,247 @@
+"""Convex polytopes in halfspace representation.
+
+The linear interval trace semantics (paper Section 6.4) reduces path
+denotations to integrals over convex polytopes ``{α : A α ≤ b}``.  GuBPI uses
+the external tools Vinci/LattE for exact volume computation and an LP solver
+for bounding linear forms; this module provides both from scratch on top of
+``scipy`` (with a pure-Python fallback for vertex enumeration):
+
+* feasibility and Chebyshev centre via linear programming,
+* exact bounds on a linear function over the polytope (:meth:`Polytope.bound_linear`),
+* exact volume via halfspace intersection + convex hull, with sound
+  ``[0, box volume]`` fallback bounds when the geometry degenerates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
+
+from ..intervals import Interval
+
+__all__ = ["Polytope", "PolytopeError"]
+
+_FEASIBILITY_TOL = 1e-9
+
+
+class PolytopeError(Exception):
+    """Raised on malformed polytope operations."""
+
+
+@dataclass(frozen=True)
+class Polytope:
+    """A polytope ``{x ∈ R^n : A x ≤ b}`` (always used with bounded boxes)."""
+
+    a: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.atleast_2d(np.asarray(self.a, dtype=float))
+        b = np.asarray(self.b, dtype=float).reshape(-1)
+        if a.shape[0] != b.shape[0]:
+            raise PolytopeError("constraint matrix and right-hand side sizes differ")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_box(bounds: Sequence[Interval]) -> "Polytope":
+        """The axis-aligned box ``∏ [lo_i, hi_i]`` as a polytope."""
+        dimension = len(bounds)
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        for index, interval in enumerate(bounds):
+            if interval.is_empty:
+                # An empty box: encode an infeasible constraint 0 <= -1.
+                rows.append(np.zeros(dimension))
+                rhs.append(-1.0)
+                continue
+            if math.isfinite(interval.hi):
+                row = np.zeros(dimension)
+                row[index] = 1.0
+                rows.append(row)
+                rhs.append(interval.hi)
+            if math.isfinite(interval.lo):
+                row = np.zeros(dimension)
+                row[index] = -1.0
+                rows.append(row)
+                rhs.append(-interval.lo)
+        if not rows:
+            rows.append(np.zeros(dimension))
+            rhs.append(0.0)
+        return Polytope(np.array(rows), np.array(rhs))
+
+    def add_constraints(self, rows: Sequence[Sequence[float]], rhs: Sequence[float]) -> "Polytope":
+        """A new polytope with additional constraints ``rows · x ≤ rhs``."""
+        if len(rows) == 0:
+            return self
+        new_a = np.vstack([self.a, np.atleast_2d(np.asarray(rows, dtype=float))])
+        new_b = np.concatenate([self.b, np.asarray(rhs, dtype=float).reshape(-1)])
+        return Polytope(new_a, new_b)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def constraint_count(self) -> int:
+        return self.a.shape[0]
+
+    def contains(self, point: Sequence[float], tolerance: float = 1e-9) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(self.a @ point <= self.b + tolerance))
+
+    # ------------------------------------------------------------------
+    # Linear programming
+    # ------------------------------------------------------------------
+    def bound_linear(self, coefficients: Sequence[float], constant: float = 0.0) -> Optional[Interval]:
+        """Exact range of ``c·x + constant`` over the polytope (``None`` if empty)."""
+        if self.dimension == 0:
+            return None if self.is_empty() else Interval.point(constant)
+        coefficients = np.asarray(coefficients, dtype=float)
+        lower = self._optimise(coefficients, minimise=True)
+        if lower is None:
+            return None
+        upper = self._optimise(coefficients, minimise=False)
+        if upper is None:
+            return None
+        lo, hi = lower + constant, upper + constant
+        if lo > hi:
+            lo, hi = hi, lo
+        return Interval(lo, hi)
+
+    def _optimise(self, coefficients: np.ndarray, minimise: bool) -> Optional[float]:
+        sign = 1.0 if minimise else -1.0
+        result = linprog(
+            sign * coefficients,
+            A_ub=self.a,
+            b_ub=self.b,
+            bounds=[(None, None)] * self.dimension,
+            method="highs",
+        )
+        if result.status == 2:  # infeasible
+            return None
+        if not result.success:
+            return None
+        return float(sign * result.fun)
+
+    def is_empty(self) -> bool:
+        """Feasibility check via LP."""
+        if self.dimension == 0:
+            # A zero-dimensional polytope is the single point (); it is empty
+            # exactly when some constraint ``0 <= b`` fails.
+            return bool(np.any(self.b < 0.0))
+        result = linprog(
+            np.zeros(self.dimension),
+            A_ub=self.a,
+            b_ub=self.b,
+            bounds=[(None, None)] * self.dimension,
+            method="highs",
+        )
+        return result.status == 2
+
+    def chebyshev_center(self) -> Optional[tuple[np.ndarray, float]]:
+        """Centre and radius of the largest inscribed ball (``None`` if empty)."""
+        if self.dimension == 0:
+            return None if self.is_empty() else (np.zeros(0), math.inf)
+        norms = np.linalg.norm(self.a, axis=1)
+        objective = np.zeros(self.dimension + 1)
+        objective[-1] = -1.0  # maximise the radius
+        a_ub = np.hstack([self.a, norms.reshape(-1, 1)])
+        result = linprog(
+            objective,
+            A_ub=a_ub,
+            b_ub=self.b,
+            bounds=[(None, None)] * self.dimension + [(0.0, None)],
+            method="highs",
+        )
+        if not result.success:
+            return None
+        center = np.asarray(result.x[:-1], dtype=float)
+        radius = float(result.x[-1])
+        return center, radius
+
+    # ------------------------------------------------------------------
+    # Volume
+    # ------------------------------------------------------------------
+    def vertices(self) -> Optional[np.ndarray]:
+        """Vertex enumeration via Qhull halfspace intersection (``None`` on failure)."""
+        if self.dimension == 0:
+            return np.zeros((1, 0))
+        center_radius = self.chebyshev_center()
+        if center_radius is None:
+            return None
+        center, radius = center_radius
+        if radius <= _FEASIBILITY_TOL:
+            return None
+        if self.dimension == 1:
+            bound = self.bound_linear([1.0])
+            if bound is None:
+                return None
+            return np.array([[bound.lo], [bound.hi]])
+        halfspaces = np.hstack([self.a, -self.b.reshape(-1, 1)])
+        try:
+            intersection = HalfspaceIntersection(halfspaces, center)
+            return np.asarray(intersection.intersections)
+        except (QhullError, ValueError):
+            return None
+
+    def volume_bounds(self) -> Interval:
+        """Sound bounds on the Lebesgue volume.
+
+        The result is a point interval (the exact volume) in the regular case;
+        when the polytope is lower-dimensional the volume is exactly 0; when
+        Qhull fails on a genuinely full-dimensional polytope the fallback is
+        ``[0, volume of the bounding box]``, which keeps every downstream
+        bound sound (just less precise).
+        """
+        if self.dimension == 0:
+            return Interval.point(0.0) if self.is_empty() else Interval.point(1.0)
+        center_radius = self.chebyshev_center()
+        if center_radius is None:
+            return Interval.point(0.0)
+        _, radius = center_radius
+        if radius <= _FEASIBILITY_TOL:
+            # Lower-dimensional (or empty): Lebesgue volume 0.
+            return Interval.point(0.0)
+        if self.dimension == 1:
+            bound = self.bound_linear([1.0])
+            if bound is None:
+                return Interval.point(0.0)
+            return Interval.point(bound.width)
+        vertices = self.vertices()
+        if vertices is None or len(vertices) <= self.dimension:
+            return Interval(0.0, self._bounding_box_volume())
+        try:
+            hull = ConvexHull(vertices, qhull_options="QJ")
+            return Interval.point(float(hull.volume))
+        except (QhullError, ValueError):
+            return Interval(0.0, self._bounding_box_volume())
+
+    def volume(self) -> float:
+        """The exact volume when available, otherwise the sound upper bound."""
+        return self.volume_bounds().hi
+
+    def _bounding_box_volume(self) -> float:
+        volume = 1.0
+        for index in range(self.dimension):
+            direction = np.zeros(self.dimension)
+            direction[index] = 1.0
+            bound = self.bound_linear(direction)
+            if bound is None:
+                return 0.0
+            if not bound.is_bounded:
+                return math.inf
+            volume *= bound.width
+        return volume

@@ -1,0 +1,60 @@
+"""Brute-force vertex enumeration and simplex-decomposition volume.
+
+This is the pure-Python fallback / oracle for :class:`repro.polytope.Polytope`:
+it enumerates all vertices of ``{x : A x ≤ b}`` by intersecting every choice of
+``n`` constraint hyperplanes and keeping the feasible intersection points.
+The cost is ``O(C(m, n) · n³)``, which is fine for the small path polytopes
+used in tests but is not the production path (Qhull is).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from .polytope import Polytope
+
+__all__ = ["enumerate_vertices", "volume_by_enumeration"]
+
+
+def enumerate_vertices(polytope: Polytope, tolerance: float = 1e-9) -> np.ndarray:
+    """All vertices of the polytope (may be empty)."""
+    dimension = polytope.dimension
+    if dimension == 0:
+        return np.zeros((0, 0))
+    vertices: list[np.ndarray] = []
+    rows = polytope.a
+    rhs = polytope.b
+    for subset in itertools.combinations(range(polytope.constraint_count), dimension):
+        sub_a = rows[list(subset)]
+        sub_b = rhs[list(subset)]
+        if abs(np.linalg.det(sub_a)) < tolerance:
+            continue
+        point = np.linalg.solve(sub_a, sub_b)
+        if polytope.contains(point, tolerance=1e-7):
+            if not any(np.allclose(point, existing, atol=1e-7) for existing in vertices):
+                vertices.append(point)
+    if not vertices:
+        return np.zeros((0, dimension))
+    return np.vstack(vertices)
+
+
+def volume_by_enumeration(polytope: Polytope) -> Optional[float]:
+    """Exact volume via brute-force vertex enumeration (``None`` on failure)."""
+    dimension = polytope.dimension
+    vertices = enumerate_vertices(polytope)
+    if len(vertices) == 0:
+        return 0.0
+    if dimension == 1:
+        return float(vertices.max() - vertices.min())
+    if len(vertices) <= dimension:
+        return 0.0
+    try:
+        hull = ConvexHull(vertices, qhull_options="QJ")
+    except (QhullError, ValueError):
+        return None
+    return float(hull.volume)

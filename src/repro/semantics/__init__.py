@@ -1,0 +1,39 @@
+"""Operational semantics: concrete traces, interval traces and direct bounds."""
+
+from .bounds import DirectBounds, direct_bounds, grid_interval_traces, lower_bound, upper_bound
+from .interval_reduction import (
+    IntervalOutcome,
+    interval_outcomes,
+    interval_value_function,
+    interval_weight_function,
+)
+from .reduction import Config, NotTerminatedError, RunResult, StuckError, run, step, value_and_weight
+from .sampler import EvaluationError, ExecutionResult, NonTerminationError, replay, simulate
+from .trace import Trace, TraceExhausted, random_trace
+
+__all__ = [
+    "Trace",
+    "TraceExhausted",
+    "random_trace",
+    "Config",
+    "RunResult",
+    "StuckError",
+    "NotTerminatedError",
+    "step",
+    "run",
+    "value_and_weight",
+    "ExecutionResult",
+    "EvaluationError",
+    "NonTerminationError",
+    "simulate",
+    "replay",
+    "IntervalOutcome",
+    "interval_outcomes",
+    "interval_value_function",
+    "interval_weight_function",
+    "DirectBounds",
+    "direct_bounds",
+    "lower_bound",
+    "upper_bound",
+    "grid_interval_traces",
+]

@@ -1,0 +1,117 @@
+"""Lower and upper bounds on the denotation from sets of interval traces.
+
+This implements the measure-level constructions of Section 3.3:
+
+* ``lowerBd^T_P(U) = Σ_t vol(t) · min wt^I_P(t) · [val^I_P(t) ⊆ U]`` for a
+  countable *compatible* set ``T`` (Theorem 4.1 — sound lower bounds), and
+* ``upperBd^T_P(U) = Σ_t Σ_branches vol(t) · sup w · [val ∩ U ≠ ∅]`` for a
+  countable *exhaustive* set (Theorem 4.2 plus the Appendix A.4 refinement
+  that explores both branches of an undecided conditional).
+
+These direct bounds are exponential in the number of samples; the production
+path goes through symbolic execution (:mod:`repro.analysis.engine`).  They are
+retained both for fidelity with the paper's definitions and as an oracle in
+the test suite (the engine's bounds are cross-checked against them on small
+programs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..intervals import Interval
+from ..intervals.box import Box, compatible_set, unit_box
+from ..lang.ast import Term
+from .interval_reduction import interval_outcomes, interval_value_function, interval_weight_function
+
+__all__ = [
+    "lower_bound",
+    "upper_bound",
+    "DirectBounds",
+    "direct_bounds",
+    "grid_interval_traces",
+]
+
+
+def _trace_volume(trace: Box) -> float:
+    volume = 1.0
+    for interval in trace:
+        volume *= interval.width
+    return volume
+
+
+def lower_bound(term: Term, traces: Iterable[Box], target: Interval, fuel: int = 100_000) -> float:
+    """``lowerBd^T_P(target)`` for a compatible set of interval traces."""
+    total = 0.0
+    for trace in traces:
+        weight = interval_weight_function(term, trace, fuel=fuel)
+        value = interval_value_function(term, trace, fuel=fuel)
+        if target.contains_interval(value):
+            total += _trace_volume(trace) * max(0.0, weight.lo)
+    return total
+
+
+def upper_bound(term: Term, traces: Iterable[Box], target: Interval, fuel: int = 100_000) -> float:
+    """``upperBd^T_P(target)`` for an exhaustive set of interval traces.
+
+    Uses the Appendix A.4 rules: an undecided conditional contributes both
+    branches with weight multiplied by ``[0, 1]``.  Branches that fail to
+    complete contribute ``∞`` (they are genuinely unbounded as far as the
+    interval semantics can tell).
+    """
+    total = 0.0
+    for trace in traces:
+        volume = _trace_volume(trace)
+        for outcome in interval_outcomes(term, trace, mode="both", fuel=fuel):
+            if not outcome.complete:
+                return math.inf
+            if outcome.value.intersects(target):
+                total += volume * outcome.weight.hi
+                if math.isinf(total):
+                    return math.inf
+    return total
+
+
+@dataclass(frozen=True)
+class DirectBounds:
+    """A pair of guaranteed bounds on ``⟦P⟧(target)``."""
+
+    lower: float
+    upper: float
+    target: Interval
+
+    def contains(self, value: float) -> bool:
+        return self.lower - 1e-12 <= value <= self.upper + 1e-12
+
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def direct_bounds(
+    term: Term,
+    traces: Sequence[Box],
+    target: Interval,
+    fuel: int = 100_000,
+    check_compatibility: bool = True,
+) -> DirectBounds:
+    """Convenience wrapper computing both bounds from the same trace set."""
+    if check_compatibility and not compatible_set(traces):
+        raise ValueError("the interval trace set is not pairwise compatible")
+    return DirectBounds(
+        lower=lower_bound(term, traces, target, fuel=fuel),
+        upper=upper_bound(term, traces, target, fuel=fuel),
+        target=target,
+    )
+
+
+def grid_interval_traces(sample_count: int, parts: int) -> list[Box]:
+    """A compatible and exhaustive set of interval traces of a fixed length.
+
+    Partitions ``[0, 1]^n`` into ``parts^n`` congruent boxes.  For a program
+    that terminates using exactly ``sample_count`` samples on (almost) every
+    trace, the resulting set is both compatible and exhaustive, so it yields
+    sound lower *and* upper bounds.
+    """
+    return list(unit_box(sample_count).grid([parts] * sample_count))

@@ -1,0 +1,248 @@
+"""Interval trace semantics of SPCF (paper Section 3.2, Fig. 3, Appendix A.4).
+
+Programs are evaluated on *interval traces* — finite sequences of sub-intervals
+of ``[0, 1]`` — with interval arithmetic approximating primitive operations.
+Two evaluation modes are provided:
+
+* ``strict`` — exactly the rules of Fig. 3: a conditional whose interval guard
+  straddles zero gets *stuck* (the trace contributes the trivial bounds
+  ``wt ∈ [0, ∞]``, ``val ∈ [-∞, ∞]``).
+* ``both`` — the extension of Appendix A.4: an undecided conditional explores
+  both branches and multiplies the weight by ``[0, 1]``, which can only
+  improve upper bounds.
+
+The evaluator is big-step (environment based) but returns *all* outcomes of
+the (possibly branching) reduction, each tagged with how much of the trace it
+consumed and whether it completed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional, Union
+
+from ..intervals import Interval, get_primitive
+from ..intervals.box import Box
+from ..lang.ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "IntervalOutcome",
+    "interval_outcomes",
+    "interval_value_function",
+    "interval_weight_function",
+]
+
+Mode = Literal["strict", "both"]
+
+
+@dataclass(frozen=True)
+class _IClosure:
+    param: str
+    body: Term
+    env: "_IEnv"
+
+
+@dataclass(frozen=True)
+class _IFixClosure:
+    fname: str
+    param: str
+    body: Term
+    env: "_IEnv"
+
+
+IValue = Union[Interval, _IClosure, _IFixClosure]
+
+
+@dataclass(frozen=True)
+class _IEnv:
+    name: Optional[str] = None
+    value: Optional[IValue] = None
+    parent: Optional["_IEnv"] = None
+
+    def bind(self, name: str, value: IValue) -> "_IEnv":
+        return _IEnv(name, value, self)
+
+    def lookup(self, name: str) -> IValue:
+        env: Optional[_IEnv] = self
+        while env is not None:
+            if env.name == name:
+                assert env.value is not None
+                return env.value
+            env = env.parent
+        raise KeyError(f"unbound variable {name!r}")
+
+
+_EMPTY_IENV = _IEnv()
+
+
+@dataclass(frozen=True)
+class IntervalOutcome:
+    """One outcome of an interval reduction.
+
+    ``complete`` is True when the reduction reached an interval value without
+    getting stuck and without running out of fuel; ``consumed`` is the number
+    of trace entries used.
+    """
+
+    value: Interval
+    weight: Interval
+    consumed: int
+    complete: bool
+
+
+class _Branching(Exception):
+    """Internal: raised in strict mode when a guard interval straddles zero."""
+
+
+class _OutOfFuel(Exception):
+    """Internal: evaluation exceeded the recursion budget."""
+
+
+def _expect_interval(value: IValue) -> Interval:
+    if isinstance(value, Interval):
+        return value
+    raise TypeError(f"expected an interval value, got {value!r}")
+
+
+def interval_outcomes(
+    term: Term,
+    interval_trace: Box,
+    mode: Mode = "strict",
+    fuel: int = 100_000,
+) -> list[IntervalOutcome]:
+    """All outcomes of reducing ``term`` on the given interval trace."""
+    incomplete = IntervalOutcome(
+        value=Interval(-math.inf, math.inf),
+        weight=Interval(0.0, math.inf),
+        consumed=0,
+        complete=False,
+    )
+
+    results: list[IntervalOutcome] = []
+
+    def evaluate(
+        node: Term,
+        env: _IEnv,
+        position: int,
+        weight: Interval,
+        remaining_fuel: int,
+    ) -> list[tuple[IValue, int, Interval, int]]:
+        """Return a list of ``(value, position, weight, fuel)`` outcomes."""
+        if remaining_fuel <= 0:
+            raise _OutOfFuel
+        remaining_fuel -= 1
+
+        if isinstance(node, Var):
+            return [(env.lookup(node.name), position, weight, remaining_fuel)]
+        if isinstance(node, Const):
+            return [(Interval.point(node.value), position, weight, remaining_fuel)]
+        if isinstance(node, IntervalConst):
+            return [(node.interval, position, weight, remaining_fuel)]
+        if isinstance(node, Lam):
+            return [(_IClosure(node.param, node.body, env), position, weight, remaining_fuel)]
+        if isinstance(node, Fix):
+            return [(_IFixClosure(node.fname, node.param, node.body, env), position, weight, remaining_fuel)]
+        if isinstance(node, Sample):
+            if position >= interval_trace.dimension:
+                raise _Branching  # not enough interval trace entries: stuck
+            uniform = interval_trace[position]
+            if node.dist is None:
+                drawn = uniform
+            else:
+                drawn = node.distribution().quantile_interval(uniform)
+            return [(drawn, position + 1, weight, remaining_fuel)]
+        if isinstance(node, Score):
+            outcomes = evaluate(node.arg, env, position, weight, remaining_fuel)
+            produced = []
+            for value, pos, wt, fl in outcomes:
+                interval = _expect_interval(value)
+                if interval.hi < 0.0:
+                    raise _Branching  # definitely negative score: stuck
+                clamped = interval.clamp_nonnegative()
+                produced.append((clamped, pos, wt * clamped, fl))
+            return produced
+        if isinstance(node, Prim):
+            primitive = get_primitive(node.op)
+            outcomes: list[tuple[list[Interval], int, Interval, int]] = [([], position, weight, remaining_fuel)]
+            for arg in node.args:
+                next_outcomes = []
+                for values, pos, wt, fl in outcomes:
+                    for value, new_pos, new_wt, new_fl in evaluate(arg, env, pos, wt, fl):
+                        next_outcomes.append((values + [_expect_interval(value)], new_pos, new_wt, new_fl))
+                outcomes = next_outcomes
+            return [
+                (primitive.apply_interval(*values), pos, wt, fl)
+                for values, pos, wt, fl in outcomes
+            ]
+        if isinstance(node, If):
+            produced = []
+            for cond, pos, wt, fl in evaluate(node.cond, env, position, weight, remaining_fuel):
+                guard = _expect_interval(cond)
+                if guard.hi <= 0.0:
+                    produced.extend(evaluate(node.then, env, pos, wt, fl))
+                elif guard.lo > 0.0:
+                    produced.extend(evaluate(node.orelse, env, pos, wt, fl))
+                else:
+                    if mode == "strict":
+                        raise _Branching
+                    slack = Interval(0.0, 1.0)
+                    produced.extend(evaluate(node.then, env, pos, wt * slack, fl))
+                    produced.extend(evaluate(node.orelse, env, pos, wt * slack, fl))
+            return produced
+        if isinstance(node, App):
+            produced = []
+            for func, pos, wt, fl in evaluate(node.func, env, position, weight, remaining_fuel):
+                for argument, pos2, wt2, fl2 in evaluate(node.arg, env, pos, wt, fl):
+                    if isinstance(func, _IClosure):
+                        produced.extend(
+                            evaluate(func.body, func.env.bind(func.param, argument), pos2, wt2, fl2)
+                        )
+                    elif isinstance(func, _IFixClosure):
+                        env2 = func.env.bind(func.fname, func).bind(func.param, argument)
+                        produced.extend(evaluate(func.body, env2, pos2, wt2, fl2))
+                    else:
+                        raise TypeError(f"application of non-function {func!r}")
+            return produced
+        raise TypeError(f"cannot evaluate term {node!r}")
+
+    try:
+        raw = evaluate(term, _EMPTY_IENV, 0, Interval.point(1.0), fuel)
+    except (_Branching, _OutOfFuel, RecursionError):
+        return [incomplete]
+    for value, position, weight, _ in raw:
+        if isinstance(value, Interval):
+            results.append(
+                IntervalOutcome(value=value, weight=weight, consumed=position, complete=True)
+            )
+        else:
+            results.append(incomplete)
+    return results or [incomplete]
+
+
+def interval_weight_function(term: Term, interval_trace: Box, fuel: int = 100_000) -> Interval:
+    """The paper's ``wt^I_P(t)`` under the strict rules of Fig. 3."""
+    outcomes = interval_outcomes(term, interval_trace, mode="strict", fuel=fuel)
+    if len(outcomes) == 1 and outcomes[0].complete and outcomes[0].consumed == interval_trace.dimension:
+        return outcomes[0].weight
+    return Interval(0.0, math.inf)
+
+
+def interval_value_function(term: Term, interval_trace: Box, fuel: int = 100_000) -> Interval:
+    """The paper's ``val^I_P(t)`` under the strict rules of Fig. 3."""
+    outcomes = interval_outcomes(term, interval_trace, mode="strict", fuel=fuel)
+    if len(outcomes) == 1 and outcomes[0].complete and outcomes[0].consumed == interval_trace.dimension:
+        return outcomes[0].value
+    return Interval(-math.inf, math.inf)

@@ -1,0 +1,186 @@
+"""Standard call-by-value trace semantics of SPCF (paper Fig. 2).
+
+The small-step reduction operates on configurations ``(M, s, w)`` where ``M``
+is a term, ``s`` the remaining trace and ``w`` the accumulated weight.  The
+module exposes
+
+* :func:`step` — one reduction step,
+* :func:`run` — iterate to a value (or failure), yielding ``val_P(s)`` and
+  ``wt_P(s)``,
+* :func:`value_and_weight` — the paper's ``val_P`` / ``wt_P`` pair.
+
+This substitution-based interpreter exists primarily as the *reference*
+semantics: the faster environment-based evaluator in
+:mod:`repro.semantics.sampler` is checked against it in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..intervals import get_primitive
+from ..lang.ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    is_value,
+    substitute,
+)
+from .trace import Trace
+
+__all__ = ["Config", "StuckError", "NotTerminatedError", "step", "run", "value_and_weight", "RunResult"]
+
+
+class StuckError(Exception):
+    """The configuration is stuck (e.g. ``score`` of a negative number)."""
+
+
+class NotTerminatedError(Exception):
+    """The run did not reach a value with the trace exactly consumed."""
+
+
+@dataclass(frozen=True)
+class Config:
+    """A configuration ``(term, remaining trace, weight)``."""
+
+    term: Term
+    trace: Trace
+    weight: float
+
+    @property
+    def is_terminal(self) -> bool:
+        return is_value(self.term)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a terminating run."""
+
+    value: float
+    weight: float
+    steps: int
+
+
+def _step_term(term: Term, trace: Trace, weight: float) -> Optional[tuple[Term, Trace, float]]:
+    """Reduce the leftmost-innermost redex of ``term``; ``None`` if ``term`` is a value."""
+    if is_value(term):
+        return None
+
+    if isinstance(term, Sample):
+        if not trace:
+            raise StuckError("sample with an empty trace")
+        draw = trace[0]
+        if not 0.0 <= draw <= 1.0:
+            raise StuckError(f"trace entry {draw} outside [0, 1]")
+        value = term.distribution().quantile(draw) if term.dist is not None else draw
+        return Const(value), trace[1:], weight
+
+    if isinstance(term, Score):
+        inner = _step_term(term.arg, trace, weight)
+        if inner is not None:
+            new_arg, new_trace, new_weight = inner
+            return Score(new_arg), new_trace, new_weight
+        argument = _literal_value(term.arg)
+        if argument < 0.0:
+            raise StuckError(f"score of a negative value {argument}")
+        return Const(argument), trace, weight * argument
+
+    if isinstance(term, Prim):
+        for index, arg in enumerate(term.args):
+            inner = _step_term(arg, trace, weight)
+            if inner is not None:
+                new_arg, new_trace, new_weight = inner
+                new_args = term.args[:index] + (new_arg,) + term.args[index + 1 :]
+                return Prim(term.op, new_args), new_trace, new_weight
+        primitive = get_primitive(term.op)
+        arguments = [_literal_value(arg) for arg in term.args]
+        return Const(float(primitive(*arguments))), trace, weight
+
+    if isinstance(term, If):
+        inner = _step_term(term.cond, trace, weight)
+        if inner is not None:
+            new_cond, new_trace, new_weight = inner
+            return If(new_cond, term.then, term.orelse), new_trace, new_weight
+        condition = _literal_value(term.cond)
+        chosen = term.then if condition <= 0.0 else term.orelse
+        return chosen, trace, weight
+
+    if isinstance(term, App):
+        inner = _step_term(term.func, trace, weight)
+        if inner is not None:
+            new_func, new_trace, new_weight = inner
+            return App(new_func, term.arg), new_trace, new_weight
+        inner = _step_term(term.arg, trace, weight)
+        if inner is not None:
+            new_arg, new_trace, new_weight = inner
+            return App(term.func, new_arg), new_trace, new_weight
+        func = term.func
+        if isinstance(func, Lam):
+            return substitute(func.body, func.param, term.arg), trace, weight
+        if isinstance(func, Fix):
+            unfolded = substitute(func.body, func.param, term.arg)
+            unfolded = substitute(unfolded, func.fname, func)
+            return unfolded, trace, weight
+        raise StuckError(f"application of a non-function value {func!r}")
+
+    raise StuckError(f"cannot reduce term {term!r}")
+
+
+def _literal_value(term: Term) -> float:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, IntervalConst) and term.interval.is_point:
+        return term.interval.lo
+    raise StuckError(f"expected a numeric literal, got {term!r}")
+
+
+def step(config: Config) -> Optional[Config]:
+    """One small-step reduction; ``None`` when the configuration is terminal."""
+    outcome = _step_term(config.term, config.trace, config.weight)
+    if outcome is None:
+        return None
+    term, trace, weight = outcome
+    return Config(term, trace, weight)
+
+
+def run(term: Term, trace: Trace, max_steps: int = 1_000_000) -> Config:
+    """Reduce ``(term, trace, 1)`` to a terminal configuration."""
+    config = Config(term, tuple(trace), 1.0)
+    for _ in range(max_steps):
+        next_config = step(config)
+        if next_config is None:
+            return config
+        config = next_config
+    raise NotTerminatedError(f"no value reached within {max_steps} steps")
+
+
+def value_and_weight(term: Term, trace: Trace, max_steps: int = 1_000_000) -> RunResult:
+    """The paper's ``val_P(s)`` and ``wt_P(s)`` for a terminating trace.
+
+    Raises :class:`NotTerminatedError` when the program does not consume the
+    trace exactly or does not reach a real value.
+    """
+    steps = 0
+    config = Config(term, tuple(trace), 1.0)
+    while not config.is_terminal:
+        next_config = step(config)
+        if next_config is None:
+            break
+        config = next_config
+        steps += 1
+        if steps > max_steps:
+            raise NotTerminatedError(f"no value reached within {max_steps} steps")
+    if not isinstance(config.term, Const):
+        raise NotTerminatedError(f"program reduced to a non-numeric value {config.term!r}")
+    if config.trace:
+        raise NotTerminatedError("trace not fully consumed")
+    return RunResult(value=config.term.value, weight=config.weight, steps=steps)

@@ -1,0 +1,48 @@
+"""Symbolic execution: symbolic values, linear forms, paths and the executor."""
+
+from .execute import (
+    ExecutionLimits,
+    PathExplosionError,
+    SymbolicExecutionResult,
+    SymbolicExecutor,
+    symbolic_paths,
+)
+from .linear import LinearForm, ScoreDecomposition, decompose_score, extract_linear
+from .paths import Relation, SymConstraint, SymbolicPath
+from .value import (
+    SAtom,
+    SConst,
+    SPrim,
+    SVar,
+    SymExpr,
+    evaluate,
+    evaluate_interval,
+    evaluate_with_atoms,
+    sample_variables,
+    uses_variables_at_most_once,
+)
+
+__all__ = [
+    "SymExpr",
+    "SVar",
+    "SConst",
+    "SAtom",
+    "SPrim",
+    "evaluate",
+    "evaluate_interval",
+    "evaluate_with_atoms",
+    "sample_variables",
+    "uses_variables_at_most_once",
+    "LinearForm",
+    "extract_linear",
+    "ScoreDecomposition",
+    "decompose_score",
+    "Relation",
+    "SymConstraint",
+    "SymbolicPath",
+    "ExecutionLimits",
+    "PathExplosionError",
+    "SymbolicExecutor",
+    "SymbolicExecutionResult",
+    "symbolic_paths",
+]

@@ -1,0 +1,455 @@
+"""Stochastic symbolic execution with fixpoint over-approximation.
+
+This is the entry point of the GuBPI analysis (paper Section 6.1, Appendix B,
+Algorithm 1).  Programs are evaluated with
+
+* every ``sample`` producing a fresh *sample variable*,
+* both branches of every conditional explored (recording the guard as a
+  symbolic constraint), and
+* every ``score`` recorded symbolically.
+
+Recursion is explored up to a configurable fixpoint depth ``D``; any further
+application of a recursive function is replaced by its interval-type summary
+(the ``approxFix`` operation): the call's result becomes an interval constant
+and its weight contribution becomes an interval score.  The result is a
+*finite* set of symbolic interval paths whose lower/upper denotations bracket
+the program denotation (Theorem 6.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Union
+
+from ..distributions import Distribution, Uniform
+from ..intervals import Interval, get_primitive
+from ..lang.ast import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Term,
+    Var,
+    free_variables,
+)
+from ..typesystem import (
+    ArrowIType,
+    BaseIType,
+    IntervalType,
+    TypeInferenceError,
+    WeightedIType,
+    infer_weighted_type,
+)
+from .paths import Relation, SymConstraint, SymbolicPath
+from .value import SConst, SPrim, SVar, SymExpr, evaluate_interval
+
+__all__ = [
+    "ExecutionLimits",
+    "PathExplosionError",
+    "SymbolicExecutionResult",
+    "SymbolicExecutor",
+    "symbolic_paths",
+]
+
+_UNIFORM01 = Uniform(0.0, 1.0)
+
+
+class PathExplosionError(Exception):
+    """Raised when symbolic execution produces more paths than allowed."""
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Tunable limits of the symbolic exploration.
+
+    ``max_fixpoint_depth`` is the depth limit ``D`` of Algorithm 1 (counted as
+    the number of recursive-function applications along a path);
+    ``max_paths`` aborts the analysis when the well-known path-explosion
+    problem makes it infeasible (Section 7.5).
+    """
+
+    max_fixpoint_depth: int = 6
+    max_paths: int = 50_000
+
+
+@dataclass(frozen=True)
+class _SClosure:
+    param: str
+    body: Term
+    env: "._SEnv"
+
+
+@dataclass(frozen=True)
+class _SFixClosure:
+    fname: str
+    param: str
+    body: Term
+    env: "._SEnv"
+
+
+@dataclass(frozen=True)
+class _SSummaryClosure:
+    """A function value produced by ``approxFix`` for higher-order fixpoints.
+
+    Applying it does not evaluate any code: it emits the weight bound of the
+    summarised call as an interval score and returns the summarised result
+    (an interval constant, or another summary closure for curried functions).
+    """
+
+    itype: ArrowIType
+
+
+SymValue = Union[SymExpr, _SClosure, _SFixClosure, _SSummaryClosure]
+
+
+@dataclass(frozen=True)
+class _SEnv:
+    name: Optional[str] = None
+    value: Optional[SymValue] = None
+    parent: Optional["_SEnv"] = None
+
+    def bind(self, name: str, value: SymValue) -> "_SEnv":
+        return _SEnv(name, value, self)
+
+    def lookup(self, name: str) -> SymValue:
+        env: Optional[_SEnv] = self
+        while env is not None:
+            if env.name == name:
+                assert env.value is not None
+                return env.value
+            env = env.parent
+        raise KeyError(f"unbound variable {name!r}")
+
+
+_EMPTY_SENV = _SEnv()
+
+
+@dataclass
+class _PathState:
+    """Mutable per-path execution state (copied at branch points)."""
+
+    distributions: list[Distribution] = field(default_factory=list)
+    constraints: list[SymConstraint] = field(default_factory=list)
+    scores: list[SymExpr] = field(default_factory=list)
+    fix_depth: int = 0
+    truncated: bool = False
+    infeasible: bool = False
+
+    def copy(self) -> "_PathState":
+        return _PathState(
+            distributions=list(self.distributions),
+            constraints=list(self.constraints),
+            scores=list(self.scores),
+            fix_depth=self.fix_depth,
+            truncated=self.truncated,
+            infeasible=self.infeasible,
+        )
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.distributions)
+
+    def fresh_variable(self, dist: Distribution) -> SVar:
+        self.distributions.append(dist)
+        return SVar(len(self.distributions) - 1)
+
+    def domains(self) -> list[Interval]:
+        return [dist.support() for dist in self.distributions]
+
+
+@dataclass
+class SymbolicExecutionResult:
+    """All symbolic interval paths of a program plus exploration statistics."""
+
+    paths: list[SymbolicPath]
+    truncated_paths: int
+    pruned_paths: int
+
+    @property
+    def exact(self) -> bool:
+        """True when no fixpoint had to be over-approximated."""
+        return self.truncated_paths == 0
+
+
+class SymbolicExecutor:
+    """Explores all symbolic paths of a program (Algorithm 1, lines 2–11)."""
+
+    def __init__(self, limits: ExecutionLimits | None = None) -> None:
+        self.limits = limits or ExecutionLimits()
+        self._pruned = 0
+
+    # ------------------------------------------------------------------
+    def run(self, term: Term) -> SymbolicExecutionResult:
+        self._pruned = 0
+        outcomes = self._eval(term, _EMPTY_SENV, _PathState())
+        paths: list[SymbolicPath] = []
+        truncated = 0
+        for value, state in outcomes:
+            if state.infeasible:
+                self._pruned += 1
+                continue
+            if not isinstance(value, SymExpr):
+                raise TypeError("program must return a ground (real-valued) result")
+            path = SymbolicPath(
+                result=value,
+                variable_count=state.variable_count,
+                distributions=tuple(state.distributions),
+                constraints=tuple(state.constraints),
+                scores=tuple(state.scores),
+                truncated=state.truncated,
+            )
+            paths.append(path)
+            truncated += int(state.truncated)
+        return SymbolicExecutionResult(paths=paths, truncated_paths=truncated, pruned_paths=self._pruned)
+
+    # ------------------------------------------------------------------
+    # Core evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, term: Term, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
+        if isinstance(term, Var):
+            return [(env.lookup(term.name), state)]
+        if isinstance(term, Const):
+            return [(SConst(Interval.point(term.value)), state)]
+        if isinstance(term, IntervalConst):
+            return [(SConst(term.interval), state)]
+        if isinstance(term, Lam):
+            return [(_SClosure(term.param, term.body, env), state)]
+        if isinstance(term, Fix):
+            return [(_SFixClosure(term.fname, term.param, term.body, env), state)]
+        if isinstance(term, Sample):
+            dist = term.dist if term.dist is not None else _UNIFORM01
+            return [(state.fresh_variable(dist), state)]
+        if isinstance(term, Score):
+            outcomes = []
+            for value, next_state in self._eval(term.arg, env, state):
+                expr = self._expect_expr(value)
+                outcomes.append((expr, self._record_score(expr, next_state)))
+            return outcomes
+        if isinstance(term, Prim):
+            return self._eval_prim(term, env, state)
+        if isinstance(term, If):
+            return self._eval_if(term, env, state)
+        if isinstance(term, App):
+            return self._eval_app(term, env, state)
+        raise TypeError(f"cannot symbolically evaluate {term!r}")
+
+    def _eval_prim(self, term: Prim, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
+        outcomes: list[tuple[list[SymExpr], _PathState]] = [([], state)]
+        for arg in term.args:
+            next_outcomes: list[tuple[list[SymExpr], _PathState]] = []
+            for values, current in outcomes:
+                for value, next_state in self._eval(arg, env, current):
+                    next_outcomes.append((values + [self._expect_expr(value)], next_state))
+            outcomes = next_outcomes
+            self._check_budget(len(outcomes))
+        results: list[tuple[SymValue, _PathState]] = []
+        for values, current in outcomes:
+            results.append((self._make_prim(term.op, values), current))
+        return results
+
+    def _eval_if(self, term: If, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
+        results: list[tuple[SymValue, _PathState]] = []
+        for guard_value, guard_state in self._eval(term.cond, env, state):
+            guard = self._expect_expr(guard_value)
+            if isinstance(guard, SConst):
+                if guard.interval.hi <= 0.0:
+                    results.extend(self._eval(term.then, env, guard_state))
+                    continue
+                if guard.interval.lo > 0.0:
+                    results.extend(self._eval(term.orelse, env, guard_state))
+                    continue
+            then_state = guard_state.copy()
+            then_state.constraints.append(SymConstraint(guard, Relation.LEQ))
+            results.extend(self._eval(term.then, env, then_state))
+            else_state = guard_state
+            else_state.constraints.append(SymConstraint(guard, Relation.GT))
+            results.extend(self._eval(term.orelse, env, else_state))
+            self._check_budget(len(results))
+        return results
+
+    def _eval_app(self, term: App, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
+        results: list[tuple[SymValue, _PathState]] = []
+        for func_value, func_state in self._eval(term.func, env, state):
+            for arg_value, arg_state in self._eval(term.arg, env, func_state):
+                results.extend(self._apply(func_value, arg_value, arg_state))
+                self._check_budget(len(results))
+        return results
+
+    def _apply(self, func: SymValue, argument: SymValue, state: _PathState) -> list[tuple[SymValue, _PathState]]:
+        if isinstance(func, _SClosure):
+            return self._eval(func.body, func.env.bind(func.param, argument), state)
+        if isinstance(func, _SSummaryClosure):
+            return [self._apply_summary(func.itype, state)]
+        if isinstance(func, _SFixClosure):
+            if state.fix_depth >= self.limits.max_fixpoint_depth:
+                return [self._approx_fix(func, argument, state)]
+            new_state = state
+            new_state.fix_depth += 1
+            env = func.env.bind(func.fname, func).bind(func.param, argument)
+            return self._eval(func.body, env, new_state)
+        raise TypeError(f"application of a non-function symbolic value {func!r}")
+
+    # ------------------------------------------------------------------
+    # approxFix: summarise a fixpoint via the interval type system
+    # ------------------------------------------------------------------
+    def _approx_fix(
+        self, closure: _SFixClosure, argument: SymValue, state: _PathState
+    ) -> tuple[SymValue, _PathState]:
+        state.truncated = True
+        weighted = self._summarise(closure, argument, state)
+        return self._emit_summary(weighted, state)
+
+    def _apply_summary(self, itype: ArrowIType, state: _PathState) -> tuple[SymValue, _PathState]:
+        """Apply a summary closure: emit its weight bound and return its result."""
+        state.truncated = True
+        return self._emit_summary(itype.res, state)
+
+    def _emit_summary(self, weighted: WeightedIType, state: _PathState) -> tuple[SymValue, _PathState]:
+        result_state = state
+        weight = weighted.weight.meet(Interval(0.0, math.inf))
+        if weight.is_empty:
+            weight = Interval(0.0, math.inf)
+        if weight != Interval.point(1.0):
+            result_state = self._record_score(SConst(weight), result_state)
+        if isinstance(weighted.wtype, ArrowIType):
+            return _SSummaryClosure(weighted.wtype), result_state
+        if isinstance(weighted.wtype, BaseIType):
+            return SConst(weighted.wtype.interval), result_state
+        return SConst(Interval(-math.inf, math.inf)), result_state
+
+    def _summarise(self, closure: _SFixClosure, argument: SymValue, state: _PathState) -> WeightedIType:
+        conservative = WeightedIType(
+            BaseIType(Interval(-math.inf, math.inf)), Interval(0.0, math.inf)
+        )
+        domains = state.domains()
+        fix_term = Fix(closure.fname, closure.param, closure.body)
+        try:
+            if isinstance(argument, SymExpr):
+                argument_term: Term = IntervalConst(evaluate_interval(argument, domains))
+            else:
+                # A function-valued argument: type the bare fixpoint and apply
+                # its arrow type conservatively below.
+                argument_term = None  # type: ignore[assignment]
+            env_types = self._environment_types(fix_term, closure.env, domains, depth=2)
+            if argument_term is None:
+                weighted = infer_weighted_type(fix_term, env_types)
+                if isinstance(weighted.wtype, ArrowIType):
+                    return weighted.wtype.res
+                return conservative
+            return infer_weighted_type(App(fix_term, argument_term), env_types)
+        except Exception:
+            return conservative
+
+    def _environment_types(
+        self, term: Term, env: _SEnv, domains: list[Interval], depth: int
+    ) -> Dict[str, IntervalType]:
+        """Interval types for the free variables captured by a closure."""
+        result: Dict[str, IntervalType] = {}
+        for name in free_variables(term):
+            value = env.lookup(name)
+            result[name] = self._interval_type_of(value, domains, depth)
+        return result
+
+    def _interval_type_of(self, value: SymValue, domains: list[Interval], depth: int) -> IntervalType:
+        if isinstance(value, SymExpr):
+            return BaseIType(evaluate_interval(value, domains))
+        if depth <= 0:
+            raise TypeInferenceError("closure nesting too deep for approxFix summaries")
+        if isinstance(value, _SClosure):
+            inner_term: Term = Lam(value.param, value.body)
+        else:
+            inner_term = Fix(value.fname, value.param, value.body)
+        env_types = self._environment_types(inner_term, value.env, domains, depth - 1)
+        weighted = infer_weighted_type(inner_term, env_types)
+        return weighted.wtype
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _record_score(self, expr: SymExpr, state: _PathState) -> _PathState:
+        bounds = evaluate_interval(expr, state.domains())
+        if bounds.hi <= 0.0:
+            # Scoring a value that is certainly non-positive makes the weight
+            # of every completion of this path zero (negative scores are
+            # errors of weight zero), so the path contributes nothing.
+            state.infeasible = True
+            return state
+        if isinstance(expr, SConst) and expr.interval == Interval.point(1.0):
+            return state
+        if not isinstance(expr, SConst) and bounds.lo < 0.0:
+            # As in the paper, record that the score argument must be >= 0;
+            # when the interval bound already proves non-negativity (the
+            # common pdf case) the constraint is redundant and would only
+            # spoil linearity of the path.
+            state.constraints.append(SymConstraint(expr, Relation.GEQ))
+        state.scores.append(expr)
+        return state
+
+    def _make_prim(self, op: str, args: list[SymExpr]) -> SymExpr:
+        if all(isinstance(arg, SConst) for arg in args):
+            primitive = get_primitive(op)
+            folded = primitive.apply_interval(*(arg.interval for arg in args))  # type: ignore[union-attr]
+            return SConst(folded)
+        return _simplify_prim(op, args)
+
+    def _expect_expr(self, value: SymValue) -> SymExpr:
+        if isinstance(value, SymExpr):
+            return value
+        raise TypeError(f"expected a ground symbolic value, got {value!r}")
+
+    def _check_budget(self, count: int) -> None:
+        if count > self.limits.max_paths:
+            raise PathExplosionError(
+                f"symbolic execution exceeded {self.limits.max_paths} paths; "
+                "reduce the fixpoint depth or simplify the program"
+            )
+
+
+def _is_zero(expr: SymExpr) -> bool:
+    return isinstance(expr, SConst) and expr.interval == Interval.point(0.0)
+
+
+def _is_one(expr: SymExpr) -> bool:
+    return isinstance(expr, SConst) and expr.interval == Interval.point(1.0)
+
+
+def _simplify_prim(op: str, args: list[SymExpr]) -> SymExpr:
+    """Peephole simplification of postponed primitive applications.
+
+    Keeping symbolic values small matters: it speeds up interval evaluation
+    and helps the single-use side condition of the completeness theorem.
+    """
+    if op == "add":
+        left, right = args
+        if _is_zero(left):
+            return right
+        if _is_zero(right):
+            return left
+    elif op == "sub":
+        left, right = args
+        if _is_zero(right):
+            return left
+    elif op == "mul":
+        left, right = args
+        if _is_one(left):
+            return right
+        if _is_one(right):
+            return left
+        if _is_zero(left) or _is_zero(right):
+            return SConst(Interval.point(0.0))
+    elif op == "div":
+        left, right = args
+        if _is_one(right):
+            return left
+    return SPrim(op, tuple(args))
+
+
+def symbolic_paths(term: Term, limits: ExecutionLimits | None = None) -> SymbolicExecutionResult:
+    """Convenience wrapper: all symbolic interval paths of ``term``."""
+    return SymbolicExecutor(limits).run(term)

@@ -1,0 +1,177 @@
+"""Symbolic values produced by symbolic execution (paper Appendix B).
+
+A symbolic value is a term built from
+
+* *sample variables* ``α_i`` (one per ``sample`` evaluated on the path),
+* constants — real numbers or intervals (interval literals appear once
+  ``approxFix`` has summarised a fixpoint), and
+* postponed primitive applications.
+
+The module also provides concrete and interval evaluation of symbolic values
+and the syntactic checks behind the completeness Assumption 1 (each sample
+variable used at most once per guard / score / result).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence
+
+from ..intervals import Interval, get_primitive
+
+__all__ = [
+    "SymExpr",
+    "SVar",
+    "SConst",
+    "SAtom",
+    "SPrim",
+    "sym_const",
+    "sym_point",
+    "sample_variables",
+    "evaluate",
+    "evaluate_interval",
+    "evaluate_with_atoms",
+    "max_variable_index",
+    "uses_variables_at_most_once",
+    "substitute_atoms",
+]
+
+
+class SymExpr:
+    """Base class of symbolic expressions."""
+
+    def children(self) -> tuple["SymExpr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class SVar(SymExpr):
+    """The sample variable ``α_index`` (0-based)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class SConst(SymExpr):
+    """A constant — possibly a proper interval (from ``approxFix``)."""
+
+    interval: Interval
+
+    @property
+    def is_point(self) -> bool:
+        return self.interval.is_point
+
+
+@dataclass(frozen=True)
+class SAtom(SymExpr):
+    """A placeholder for an extracted linear sub-expression (Appendix E.1)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class SPrim(SymExpr):
+    """A postponed primitive application ``op(args...)``."""
+
+    op: str
+    args: tuple[SymExpr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def children(self) -> tuple[SymExpr, ...]:
+        return self.args
+
+
+def sym_const(interval: Interval) -> SConst:
+    return SConst(interval)
+
+
+def sym_point(value: float) -> SConst:
+    return SConst(Interval.point(value))
+
+
+def _walk(expr: SymExpr) -> Iterator[SymExpr]:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def sample_variables(expr: SymExpr) -> set[int]:
+    """Indices of sample variables occurring in the expression."""
+    return {node.index for node in _walk(expr) if isinstance(node, SVar)}
+
+
+def max_variable_index(expr: SymExpr) -> int:
+    """Largest sample-variable index in the expression, or ``-1`` if none."""
+    indices = sample_variables(expr)
+    return max(indices) if indices else -1
+
+
+def uses_variables_at_most_once(expr: SymExpr) -> bool:
+    """Check the per-expression part of completeness Assumption 1."""
+    seen: set[int] = set()
+    for node in _walk(expr):
+        if isinstance(node, SVar):
+            if node.index in seen:
+                return False
+            seen.add(node.index)
+    return True
+
+
+def evaluate(expr: SymExpr, assignment: Sequence[float]) -> float:
+    """Concrete evaluation ``expr[s / α]``; requires point constants."""
+    if isinstance(expr, SVar):
+        return float(assignment[expr.index])
+    if isinstance(expr, SConst):
+        if not expr.is_point:
+            raise ValueError(f"cannot evaluate proper interval constant {expr.interval!r} concretely")
+        return expr.interval.lo
+    if isinstance(expr, SAtom):
+        raise ValueError("cannot concretely evaluate a linear-atom placeholder")
+    if isinstance(expr, SPrim):
+        primitive = get_primitive(expr.op)
+        return float(primitive(*(evaluate(arg, assignment) for arg in expr.args)))
+    raise TypeError(f"unknown symbolic expression {expr!r}")
+
+
+def evaluate_interval(expr: SymExpr, bounds: Sequence[Interval]) -> Interval:
+    """Interval evaluation given per-sample-variable bounds."""
+    if isinstance(expr, SVar):
+        return bounds[expr.index]
+    if isinstance(expr, SConst):
+        return expr.interval
+    if isinstance(expr, SAtom):
+        raise ValueError("evaluate_interval does not accept atom placeholders; use evaluate_with_atoms")
+    if isinstance(expr, SPrim):
+        primitive = get_primitive(expr.op)
+        return primitive.apply_interval(*(evaluate_interval(arg, bounds) for arg in expr.args))
+    raise TypeError(f"unknown symbolic expression {expr!r}")
+
+
+def evaluate_with_atoms(expr: SymExpr, atom_bounds: Sequence[Interval]) -> Interval:
+    """Interval evaluation of a template whose leaves are atom placeholders."""
+    if isinstance(expr, SAtom):
+        return atom_bounds[expr.index]
+    if isinstance(expr, SConst):
+        return expr.interval
+    if isinstance(expr, SVar):
+        raise ValueError("template still contains a raw sample variable")
+    if isinstance(expr, SPrim):
+        primitive = get_primitive(expr.op)
+        return primitive.apply_interval(*(evaluate_with_atoms(arg, atom_bounds) for arg in expr.args))
+    raise TypeError(f"unknown symbolic expression {expr!r}")
+
+
+def substitute_atoms(expr: SymExpr, replacements: Dict[int, SymExpr]) -> SymExpr:
+    """Replace atom placeholders by expressions (used in tests)."""
+    if isinstance(expr, SAtom):
+        return replacements[expr.index]
+    if isinstance(expr, (SVar, SConst)):
+        return expr
+    if isinstance(expr, SPrim):
+        return SPrim(expr.op, tuple(substitute_atoms(arg, replacements) for arg in expr.args))
+    raise TypeError(f"unknown symbolic expression {expr!r}")

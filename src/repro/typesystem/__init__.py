@@ -1,0 +1,50 @@
+"""Weight-aware interval type system (paper Section 5 and Appendix D)."""
+
+from .constraints import (
+    ClampConstraint,
+    Constraint,
+    ConstraintSystem,
+    FlowConstraint,
+    PrimConstraint,
+    ProductConstraint,
+    SeedConstraint,
+    generate_constraints,
+)
+from .inference import FixpointSummary, TypeInferenceError, fixpoint_summary, infer_weighted_type
+from .itypes import (
+    ArrowIType,
+    BaseIType,
+    IntervalType,
+    WeightedIType,
+    is_weighted_subtype,
+    is_weightless_subtype,
+    top_weighted,
+    top_weightless,
+)
+from .solver import Solution, SolverStats, solve
+
+__all__ = [
+    "IntervalType",
+    "BaseIType",
+    "ArrowIType",
+    "WeightedIType",
+    "is_weightless_subtype",
+    "is_weighted_subtype",
+    "top_weightless",
+    "top_weighted",
+    "Constraint",
+    "SeedConstraint",
+    "FlowConstraint",
+    "PrimConstraint",
+    "ProductConstraint",
+    "ClampConstraint",
+    "ConstraintSystem",
+    "generate_constraints",
+    "Solution",
+    "SolverStats",
+    "solve",
+    "infer_weighted_type",
+    "fixpoint_summary",
+    "FixpointSummary",
+    "TypeInferenceError",
+]

@@ -1,0 +1,112 @@
+"""Public API of the weight-aware interval type system.
+
+The two entry points are:
+
+* :func:`infer_weighted_type` — the interval type of a (possibly open) term,
+  sound in the sense of Theorem 5.1: every terminating execution returns a
+  value inside the inferred value interval and has weight inside the inferred
+  weight interval.
+* :func:`fixpoint_summary` — the ``approxFix`` ingredient of Algorithm 1:
+  given a recursive function and an interval for its argument, bound the
+  value and weight of *any* terminating call.  Symbolic execution uses this
+  to replace a fixpoint by ``λ_. score([e, f]); [c, d]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..intervals import Interval
+from ..lang.ast import App, Fix, IntervalConst, Lam, Term
+from ..lang.types import TypeError_
+from .constraints import (
+    ConstraintSystem,
+    SymArrow,
+    SymBase,
+    SymType,
+    SymWeighted,
+    generate_constraints,
+)
+from .itypes import ArrowIType, BaseIType, IntervalType, WeightedIType
+from .solver import Solution, solve
+
+__all__ = ["infer_weighted_type", "fixpoint_summary", "FixpointSummary", "TypeInferenceError"]
+
+
+class TypeInferenceError(Exception):
+    """Raised when interval type inference cannot produce a (useful) result."""
+
+
+def _reify(stype: SymType, solution: Solution) -> IntervalType:
+    if isinstance(stype, SymBase):
+        interval = solution.value(stype.var)
+        if interval.is_empty:
+            # An unreachable / unconstrained position: any sound interval will
+            # do, the widest is the safest for downstream consumers.
+            interval = Interval(-math.inf, math.inf)
+        return BaseIType(interval)
+    if isinstance(stype, SymArrow):
+        return ArrowIType(_reify(stype.arg, solution), _reify_weighted(stype.res, solution))
+    raise TypeError(f"unexpected symbolic type {stype!r}")
+
+
+def _reify_weighted(weighted: SymWeighted, solution: Solution) -> WeightedIType:
+    weight = solution.value(weighted.weight)
+    if weight.is_empty:
+        weight = Interval(0.0, math.inf)
+    weight = weight.meet(Interval(0.0, math.inf))
+    if weight.is_empty:
+        weight = Interval(0.0, math.inf)
+    return WeightedIType(_reify(weighted.stype, solution), weight)
+
+
+def infer_weighted_type(
+    term: Term,
+    env: Optional[Mapping[str, IntervalType]] = None,
+) -> WeightedIType:
+    """Infer a weighted interval type for ``term`` (Theorem 5.1 soundness)."""
+    try:
+        system = generate_constraints(term, dict(env) if env else None)
+    except (TypeError, TypeError_, KeyError) as exc:
+        raise TypeInferenceError(f"constraint generation failed: {exc}") from exc
+    solution = solve(system)
+    return _reify_weighted(system.root, solution)
+
+
+@dataclass(frozen=True)
+class FixpointSummary:
+    """Bounds on a single application of a recursive function.
+
+    ``value`` bounds the returned value, ``weight`` bounds the factor the
+    call multiplies the execution weight by (both for terminating calls only;
+    the bounds are partial-correctness statements, cf. Theorem 5.1).
+    """
+
+    value: Interval
+    weight: Interval
+
+
+def fixpoint_summary(
+    fix_term: Term,
+    argument: Interval,
+    env: Optional[Mapping[str, IntervalType]] = None,
+) -> FixpointSummary:
+    """Summarise ``(μφ x. M) arg`` for ``arg`` ranging over ``argument``.
+
+    The fixpoint (or lambda) term is applied to an interval literal and the
+    resulting application is typed in the interval type system; the weighted
+    type of the application is exactly the paper's ``⟨[c, d] / [e, f]⟩`` used
+    by ``approxFix``.
+    """
+    if not isinstance(fix_term, (Fix, Lam)):
+        raise TypeInferenceError(f"fixpoint_summary expects a function term, got {fix_term!r}")
+    application = App(fix_term, IntervalConst(argument))
+    weighted = infer_weighted_type(application, env)
+    if isinstance(weighted.wtype, BaseIType):
+        value = weighted.wtype.interval
+    else:
+        # Higher-order result: no useful ground bound, stay conservative.
+        value = Interval(-math.inf, math.inf)
+    return FixpointSummary(value=value, weight=weighted.weight)

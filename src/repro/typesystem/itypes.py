@@ -1,0 +1,100 @@
+"""Interval types for the weight-aware type system (paper Section 5.1).
+
+The grammar is::
+
+    σ ::= I | σ -> A          (weightless types)
+    A ::= ⟨σ, I⟩              (weighted types: a weightless type plus a weight bound)
+
+``⟨σ, [c, d]⟩`` types a term whose terminating executions produce a value
+described by ``σ`` while multiplying the execution weight by a factor inside
+``[c, d]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from ..lang.types import FunType, RealType, SimpleType
+
+__all__ = [
+    "IntervalType",
+    "BaseIType",
+    "ArrowIType",
+    "WeightedIType",
+    "is_weightless_subtype",
+    "is_weighted_subtype",
+    "top_weightless",
+    "top_weighted",
+]
+
+
+class IntervalType:
+    """Base class of weightless interval types ``σ``."""
+
+
+@dataclass(frozen=True)
+class BaseIType(IntervalType):
+    """A ground interval type: the refinement ``{x : R | x ∈ interval}``."""
+
+    interval: Interval
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.interval)
+
+
+@dataclass(frozen=True)
+class WeightedIType:
+    """A weighted type ``⟨wtype, weight⟩``."""
+
+    wtype: IntervalType
+    weight: Interval
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⟨{self.wtype!r} / {self.weight!r}⟩"
+
+
+@dataclass(frozen=True)
+class ArrowIType(IntervalType):
+    """A function interval type ``arg -> res``."""
+
+    arg: IntervalType
+    res: WeightedIType
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.arg!r} -> {self.res!r})"
+
+
+def is_weightless_subtype(sub: IntervalType, sup: IntervalType) -> bool:
+    """The subtype relation ``⊑_σ`` (contravariant in function arguments)."""
+    if isinstance(sub, BaseIType) and isinstance(sup, BaseIType):
+        return sup.interval.contains_interval(sub.interval)
+    if isinstance(sub, ArrowIType) and isinstance(sup, ArrowIType):
+        return is_weightless_subtype(sup.arg, sub.arg) and is_weighted_subtype(sub.res, sup.res)
+    return False
+
+
+def is_weighted_subtype(sub: WeightedIType, sup: WeightedIType) -> bool:
+    """The subtype relation ``⊑_A``: component-wise refinement."""
+    return (
+        is_weightless_subtype(sub.wtype, sup.wtype)
+        and sup.weight.contains_interval(sub.weight)
+    )
+
+
+def top_weightless(simple_type: SimpleType) -> IntervalType:
+    """The largest interval type refining a given simple type.
+
+    Used for the weak-completeness fallback (Proposition 5.2): every simply
+    typed term admits this type.
+    """
+    if isinstance(simple_type, RealType):
+        return BaseIType(Interval(-math.inf, math.inf))
+    if isinstance(simple_type, FunType):
+        return ArrowIType(top_weightless(simple_type.arg), top_weighted(simple_type.res))
+    raise TypeError(f"unexpected simple type {simple_type!r}")
+
+
+def top_weighted(simple_type: SimpleType) -> WeightedIType:
+    return WeightedIType(top_weightless(simple_type), Interval(0.0, math.inf))

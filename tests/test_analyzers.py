@@ -1,0 +1,213 @@
+"""Tests for the two path analysers (box splitting and linear/polytope)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate, stats
+
+from repro.analysis import (
+    AnalysisOptions,
+    analyze_path_boxes,
+    analyze_path_linear,
+    linear_analysis_applicable,
+    split_domain,
+)
+from repro.distributions import Bernoulli, Categorical, Normal, Uniform
+from repro.intervals import Interval
+from repro.lang import builder as b
+from repro.symbolic import symbolic_paths
+
+EVERYTHING = Interval(-math.inf, math.inf)
+
+
+def single_path(program):
+    result = symbolic_paths(program)
+    assert len(result.paths) == 1
+    return result.paths[0]
+
+
+class TestSplitDomain:
+    def test_uniform_split(self):
+        cells = split_domain(Uniform(0.0, 1.0), 4)
+        assert len(cells) == 4
+        assert cells[0] == Interval(0.0, 0.25)
+
+    def test_discrete_point_cells(self):
+        cells = split_domain(Bernoulli(0.3), 4)
+        assert cells == [Interval.point(0.0), Interval.point(1.0)]
+        cells = split_domain(Categorical([2.0, 5.0], [0.5, 0.5]), 10)
+        assert cells == [Interval.point(2.0), Interval.point(5.0)]
+
+    def test_normal_quantile_split_has_equal_mass(self):
+        dist = Normal(0.0, 1.0)
+        cells = split_domain(dist, 8)
+        assert len(cells) == 8
+        for cell in cells:
+            assert dist.measure(cell) == pytest.approx(1.0 / 8.0, abs=1e-9)
+        assert math.isinf(cells[0].lo) and math.isinf(cells[-1].hi)
+
+    def test_single_part(self):
+        assert split_domain(Uniform(0.0, 1.0), 1) == [Interval(0.0, 1.0)]
+
+
+class TestLinearApplicability:
+    def test_applicable_for_uniform_linear_paths(self):
+        path = single_path(b.add(b.mul(2.0, b.sample()), b.sample()))
+        assert linear_analysis_applicable(path)
+
+    def test_not_applicable_for_normal_prior(self):
+        from repro.lang.ast import Sample
+
+        path = single_path(Sample(Normal(0.0, 1.0)))
+        assert not linear_analysis_applicable(path)
+
+    def test_not_applicable_for_nonlinear_result(self):
+        path = single_path(b.mul(b.sample(), b.sample()))
+        assert not linear_analysis_applicable(path)
+
+
+class TestScoreFreeExactness:
+    """Score-free linear paths: both analysers must bracket the exact volume."""
+
+    def test_triangle_probability_linear(self):
+        program = b.sub(b.add(b.sample(), b.sample()), 1.0)  # x + y - 1
+        path = single_path(program)
+        options = AnalysisOptions()
+        ((lower, upper),) = analyze_path_linear(path, [Interval(-math.inf, 0.0)], options)
+        assert lower == pytest.approx(0.5, abs=1e-9)
+        assert upper == pytest.approx(0.5, abs=1e-9)
+
+    def test_triangle_probability_boxes(self):
+        program = b.sub(b.add(b.sample(), b.sample()), 1.0)
+        path = single_path(program)
+        options = AnalysisOptions(splits_per_dimension=16)
+        ((lower, upper),) = analyze_path_boxes(path, [Interval(-math.inf, 0.0)], options)
+        assert lower <= 0.5 <= upper
+        assert upper - lower < 0.2
+
+    def test_linear_beats_boxes_on_score_free_path(self):
+        """The Section 6.4 claim: direct linear splitting is tighter than box splitting."""
+        program = b.sub(b.add(b.sample(), b.add(b.sample(), b.sample())), 1.5)
+        path = single_path(program)
+        options = AnalysisOptions(splits_per_dimension=8)
+        target = [Interval(-math.inf, 0.0)]
+        ((lin_lower, lin_upper),) = analyze_path_linear(path, target, options)
+        ((box_lower, box_upper),) = analyze_path_boxes(path, target, options)
+        assert (lin_upper - lin_lower) < (box_upper - box_lower)
+        assert box_lower - 1e-9 <= lin_lower and lin_upper <= box_upper + 1e-9
+
+    def test_total_mass_is_one(self):
+        program = b.add(b.sample(), b.sample())
+        path = single_path(program)
+        ((lower, upper),) = analyze_path_linear(path, [EVERYTHING], AnalysisOptions())
+        assert lower == pytest.approx(1.0, abs=1e-9)
+        assert upper == pytest.approx(1.0, abs=1e-9)
+
+    def test_multiple_targets_partition(self):
+        program = b.sample()
+        path = single_path(program)
+        targets = [Interval(0.0, 0.25), Interval(0.25, 0.75), Interval(0.75, 1.0)]
+        results = analyze_path_linear(path, targets, AnalysisOptions())
+        masses = [upper for _, upper in results]
+        assert masses == pytest.approx([0.25, 0.5, 0.25], abs=1e-9)
+
+
+class TestScoredPaths:
+    def _observe_path(self, std=0.25):
+        program = b.let(
+            "x",
+            b.mul(3.0, b.sample()),
+            b.seq(b.observe_normal(1.1, std, b.var("x")), b.var("x")),
+        )
+        return single_path(program)
+
+    def _truth(self, target: Interval, std=0.25) -> float:
+        lo = max(0.0, target.lo / 3.0)
+        hi = min(1.0, target.hi / 3.0) if math.isfinite(target.hi) else 1.0
+        value, _ = integrate.quad(lambda u: stats.norm.pdf(1.1, loc=3 * u, scale=std), lo, hi)
+        return value
+
+    @pytest.mark.parametrize("target", [Interval(0.0, 1.0), Interval(1.0, 2.0), EVERYTHING])
+    def test_linear_analyzer_brackets_truth(self, target):
+        path = self._observe_path()
+        options = AnalysisOptions(score_splits=64)
+        ((lower, upper),) = analyze_path_linear(path, [target], options)
+        truth = self._truth(target)
+        assert lower <= truth + 1e-9
+        assert truth <= upper + 1e-9
+        assert upper - lower < 0.15
+
+    @pytest.mark.parametrize("target", [Interval(0.0, 1.0), EVERYTHING])
+    def test_box_analyzer_brackets_truth(self, target):
+        path = self._observe_path()
+        options = AnalysisOptions(splits_per_dimension=64)
+        ((lower, upper),) = analyze_path_boxes(path, [target], options)
+        truth = self._truth(target)
+        assert lower <= truth + 1e-9
+        assert truth <= upper + 1e-9
+
+    def test_more_splits_tighten_linear_bounds(self):
+        path = self._observe_path()
+        coarse = analyze_path_linear(path, [EVERYTHING], AnalysisOptions(score_splits=8))[0]
+        fine = analyze_path_linear(path, [EVERYTHING], AnalysisOptions(score_splits=128))[0]
+        assert (fine[1] - fine[0]) < (coarse[1] - coarse[0])
+
+    def test_more_splits_tighten_box_bounds(self):
+        path = self._observe_path()
+        coarse = analyze_path_boxes(path, [EVERYTHING], AnalysisOptions(splits_per_dimension=8))[0]
+        fine = analyze_path_boxes(path, [EVERYTHING], AnalysisOptions(splits_per_dimension=64))[0]
+        assert (fine[1] - fine[0]) < (coarse[1] - coarse[0])
+
+    def test_normal_prior_path_via_boxes(self):
+        """A native Normal prior with an observation — handled by box splitting."""
+        from repro.lang.ast import Sample
+
+        program = b.let(
+            "mu",
+            Sample(Normal(0.0, 2.0)),
+            b.seq(b.observe_normal(1.0, 0.5, b.var("mu")), b.var("mu")),
+        )
+        path = single_path(program)
+        options = AnalysisOptions(splits_per_dimension=64)
+        ((lower, upper),) = analyze_path_boxes(path, [EVERYTHING], options)
+        truth, _ = integrate.quad(
+            lambda m: stats.norm.pdf(m, scale=2.0) * stats.norm.pdf(1.0, loc=m, scale=0.5),
+            -12.0,
+            12.0,
+        )
+        assert lower <= truth + 1e-9 <= upper + 2e-9
+
+    def test_unsatisfiable_constraints_give_zero(self):
+        program = b.if_leq(b.sample(), 0.5, b.seq(b.score(2.0), 1.0), 2.0)
+        paths = symbolic_paths(program).paths
+        then_path = next(p for p in paths if p.scores)
+        # Restrict the result to a region the then-branch cannot reach.
+        result = analyze_path_linear(then_path, [Interval(5.0, 6.0)], AnalysisOptions())
+        assert result[0] == (0.0, 0.0)
+
+
+class TestDiscretePaths:
+    def test_bernoulli_point_cells_exact(self):
+        from repro.lang.ast import Sample
+
+        program = b.if_leq(Sample(Bernoulli(0.3)), 0.0, 10.0, 20.0)
+        paths = symbolic_paths(program).paths
+        totals = {"low": 0.0, "high": 0.0}
+        for path in paths:
+            ((lower, upper),) = analyze_path_boxes(path, [Interval(5.0, 15.0)], AnalysisOptions())
+            assert lower == pytest.approx(upper)
+            totals["low"] += lower
+            totals["high"] += upper
+        assert totals["low"] == pytest.approx(0.7)
+
+    def test_zero_dimensional_path(self):
+        program = b.seq(b.score(2.0), 5.0)
+        path = single_path(program)
+        ((lower, upper),) = analyze_path_boxes(path, [Interval(4.0, 6.0)], AnalysisOptions())
+        assert lower == pytest.approx(2.0)
+        assert upper == pytest.approx(2.0)
+        ((lower2, upper2),) = analyze_path_boxes(path, [Interval(6.0, 7.0)], AnalysisOptions())
+        assert (lower2, upper2) == (0.0, 0.0)

@@ -1,0 +1,102 @@
+"""Tests for boxes (interval traces) and their combinatorics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intervals import Box, Interval, compatible_set, grid_boxes, unit_box
+
+
+class TestBoxBasics:
+    def test_dimension_and_volume(self):
+        box = Box.of(Interval(0.0, 1.0), Interval(0.0, 0.5))
+        assert box.dimension == 2
+        assert box.volume() == pytest.approx(0.5)
+
+    def test_empty_box(self):
+        box = Box.of(Interval(0.0, 1.0), Interval.empty())
+        assert box.is_empty
+        assert box.volume() == 0.0
+
+    def test_zero_dimensional_volume_is_one(self):
+        assert Box.of().volume() == 1.0
+
+    def test_contains_point(self):
+        box = unit_box(3)
+        assert box.contains_point((0.2, 0.5, 1.0))
+        assert not box.contains_point((0.2, 1.5, 1.0))
+        assert not box.contains_point((0.2, 0.5))
+
+    def test_contains_box(self):
+        outer = unit_box(2)
+        inner = Box.of(Interval(0.2, 0.4), Interval(0.1, 0.9))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_intersect(self):
+        first = Box.of(Interval(0.0, 0.6), Interval(0.0, 1.0))
+        second = Box.of(Interval(0.4, 1.0), Interval(0.5, 1.0))
+        intersection = first.intersect(second)
+        assert intersection[0] == Interval(0.4, 0.6)
+        assert intersection[1] == Interval(0.5, 1.0)
+
+    def test_intersect_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            unit_box(2).intersect(unit_box(3))
+
+    def test_extend_and_replace(self):
+        box = unit_box(1).extend(Interval(0.0, 0.5))
+        assert box.dimension == 2
+        replaced = box.replace(0, Interval(0.25, 0.75))
+        assert replaced[0] == Interval(0.25, 0.75)
+
+    def test_corners(self):
+        corners = set(Box.of(Interval(0.0, 1.0), Interval(2.0, 3.0)).corners())
+        assert corners == {(0.0, 2.0), (0.0, 3.0), (1.0, 2.0), (1.0, 3.0)}
+
+
+class TestCompatibility:
+    def test_paper_example_3_1(self):
+        """Example 3.1(ii): {⟨[0,0.6]⟩, ⟨[0.3,1]⟩} is not compatible."""
+        first = Box.of(Interval(0.0, 0.6))
+        second = Box.of(Interval(0.3, 1.0))
+        assert not first.compatible_with(second)
+
+    def test_compatible_prefixes(self):
+        """Example 3.1(iii): repeated [1/2,1] prefixes ending in [0,1/2] are compatible."""
+        half = Interval(0.5, 1.0)
+        low = Interval(0.0, 0.5)
+        t1 = Box.of(low)
+        t2 = Box.of(half, low)
+        t3 = Box.of(half, half, low)
+        assert compatible_set([t1, t2, t3])
+
+    def test_grid_is_compatible(self):
+        cells = grid_boxes(unit_box(2), 3)
+        assert len(cells) == 9
+        assert compatible_set(cells)
+
+    def test_incompatible_overlapping_set(self):
+        assert not compatible_set([Box.of(Interval(0.0, 0.6)), Box.of(Interval(0.5, 1.0))])
+
+
+class TestGrids:
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    def test_grid_volume_sums_to_one(self, dimension, parts):
+        cells = grid_boxes(unit_box(dimension), parts)
+        assert len(cells) == parts**dimension
+        assert sum(cell.volume() for cell in cells) == pytest.approx(1.0)
+
+    def test_grid_with_per_dimension_parts(self):
+        cells = list(unit_box(2).grid([2, 3]))
+        assert len(cells) == 6
+
+    def test_grid_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            list(unit_box(2).grid([2]))
+
+    def test_split_dimension(self):
+        pieces = unit_box(2).split_dimension(1, 4)
+        assert len(pieces) == 4
+        assert all(piece[0] == Interval(0.0, 1.0) for piece in pieces)

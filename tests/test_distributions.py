@@ -1,0 +1,213 @@
+"""Tests for the distribution library: densities, CDFs, quantiles, interval bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.distributions import (
+    Bernoulli,
+    Beta,
+    Binomial,
+    Categorical,
+    Cauchy,
+    DiscreteUniform,
+    Exponential,
+    Gamma,
+    Geometric,
+    Normal,
+    Poisson,
+    Uniform,
+)
+from repro.intervals import Interval
+
+CONTINUOUS = [
+    Uniform(0.0, 1.0),
+    Uniform(-2.0, 3.0),
+    Normal(0.0, 1.0),
+    Normal(1.1, 0.1),
+    Beta(2.0, 5.0),
+    Beta(1.0, 1.0),
+    Exponential(2.0),
+    Gamma(3.0, 2.0),
+    Cauchy(0.0, 1.0),
+]
+
+DISCRETE = [
+    Bernoulli(0.3),
+    Categorical([0.0, 1.0, 2.0], [0.2, 0.3, 0.5]),
+    DiscreteUniform(1, 6),
+    Binomial(5, 0.4),
+    Poisson(2.5),
+    Geometric(0.3),
+]
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Normal(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+        with pytest.raises(ValueError):
+            Categorical([1.0], [])
+        with pytest.raises(ValueError):
+            DiscreteUniform(3, 2)
+
+    def test_equality_and_hash(self):
+        assert Normal(0.0, 1.0) == Normal(0.0, 1.0)
+        assert Normal(0.0, 1.0) != Normal(0.0, 2.0)
+        assert hash(Uniform(0.0, 1.0)) == hash(Uniform(0.0, 1.0))
+
+
+@pytest.mark.parametrize("dist", CONTINUOUS, ids=lambda d: repr(d))
+class TestContinuousConsistency:
+    def test_cdf_monotone_and_normalised(self, dist):
+        support = dist.support()
+        lo = support.lo if math.isfinite(support.lo) else -50.0
+        hi = support.hi if math.isfinite(support.hi) else 50.0
+        xs = np.linspace(lo, hi, 51)
+        cdfs = [dist.cdf(float(x)) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert cdfs[0] >= -1e-9
+        assert cdfs[-1] <= 1.0 + 1e-9
+
+    def test_quantile_inverts_cdf(self, dist):
+        for p in (0.1, 0.25, 0.5, 0.75, 0.9):
+            x = dist.quantile(p)
+            assert dist.cdf(x) == pytest.approx(p, abs=5e-3)
+
+    def test_pdf_nonnegative(self, dist):
+        for x in np.linspace(-5, 5, 21):
+            assert dist.pdf(float(x)) >= 0.0
+
+    def test_measure_matches_cdf(self, dist):
+        interval = Interval(0.1, 0.7)
+        assert dist.measure(interval) == pytest.approx(dist.cdf(0.7) - dist.cdf(0.1), abs=1e-9)
+
+    def test_pdf_integrates_to_one(self, dist):
+        """Riemann-sum check that the density integrates to ~1 over the bulk of the support."""
+        lo = dist.quantile(1e-3)
+        hi = dist.quantile(1.0 - 1e-3)
+        xs = np.linspace(lo, hi, 4001)
+        values = np.array([dist.pdf(float(x)) for x in xs])
+        values = np.nan_to_num(values, posinf=0.0)
+        integral = float(np.trapezoid(values, xs))
+        assert integral == pytest.approx(0.998, abs=0.05)
+
+    def test_sampling_within_support(self, dist):
+        rng = np.random.default_rng(0)
+        support = dist.support()
+        for _ in range(100):
+            assert dist.sample(rng) in support
+
+    def test_pdf_interval_sound(self, dist):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b_ = sorted(rng.uniform(-4, 4, size=2))
+            interval = Interval(float(a), float(b_))
+            bounds = dist.pdf_interval(interval)
+            for x in np.linspace(a, b_, 9):
+                value = dist.pdf(float(x))
+                if math.isfinite(value):
+                    assert bounds.lo - 1e-9 <= value <= bounds.hi + 1e-9
+
+
+@pytest.mark.parametrize("dist", DISCRETE, ids=lambda d: repr(d))
+class TestDiscreteConsistency:
+    def test_pmf_sums_to_one(self, dist):
+        total = sum(dist.pdf(v) for v in dist.support_values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_measure_counts_support(self, dist):
+        values = dist.support_values()
+        full = Interval(min(values), max(values))
+        assert dist.measure(full) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_step_function(self, dist):
+        values = sorted(dist.support_values())
+        running = 0.0
+        for value in values:
+            running += dist.pdf(value)
+            assert dist.cdf(value) == pytest.approx(running, abs=1e-9)
+
+    def test_sampling_hits_support(self, dist):
+        rng = np.random.default_rng(2)
+        support = set(dist.support_values())
+        for _ in range(200):
+            assert dist.sample(rng) in support
+
+    def test_pmf_interval_sound(self, dist):
+        bounds = dist.pdf_interval(Interval(-0.5, 1.5))
+        for value in (0.0, 1.0):
+            assert bounds.lo - 1e-12 <= dist.pdf(value) <= bounds.hi + 1e-12
+
+
+class TestNormalSpecifics:
+    def test_pdf_closed_form(self):
+        dist = Normal(1.1, 0.1)
+        assert dist.pdf(0.9) == pytest.approx(0.5399096651318806 / 0.1 * 0.1, rel=1e-9)
+
+    def test_log_pdf(self):
+        dist = Normal(0.0, 2.0)
+        assert dist.log_pdf(0.3) == pytest.approx(math.log(dist.pdf(0.3)))
+
+    def test_pdf_interval_peak(self):
+        dist = Normal(0.0, 1.0)
+        bounds = dist.pdf_interval(Interval(-0.5, 2.0))
+        assert bounds.hi == pytest.approx(dist.pdf(0.0))
+        assert bounds.lo == pytest.approx(dist.pdf(2.0))
+
+    def test_pdf_interval_params_sound(self):
+        rng = np.random.default_rng(3)
+        mean_interval = Interval(0.0, 2.0)
+        std_interval = Interval(0.5, 1.5)
+        value_interval = Interval(-1.0, 1.0)
+        bounds = Normal.pdf_interval_params(mean_interval, std_interval, value_interval)
+        for _ in range(200):
+            mean = rng.uniform(mean_interval.lo, mean_interval.hi)
+            std = rng.uniform(std_interval.lo, std_interval.hi)
+            value = rng.uniform(value_interval.lo, value_interval.hi)
+            assert bounds.lo - 1e-9 <= Normal(mean, std).pdf(value) <= bounds.hi + 1e-9
+
+    def test_pdf_interval_params_unbounded_mean(self):
+        bounds = Normal.pdf_interval_params(
+            Interval(0.0, math.inf), Interval.point(0.1), Interval.point(1.1)
+        )
+        assert bounds.hi == pytest.approx(Normal(1.1, 0.1).pdf(1.1))
+        assert bounds.lo == 0.0
+
+
+class TestBetaSpecifics:
+    def test_unbounded_density_near_boundary(self):
+        dist = Beta(0.5, 0.5)
+        bounds = dist.pdf_interval(Interval(0.0, 0.1))
+        assert math.isinf(bounds.hi)
+
+    def test_mode_inside(self):
+        dist = Beta(2.0, 2.0)
+        bounds = dist.pdf_interval(Interval(0.0, 1.0))
+        assert bounds.hi == pytest.approx(dist.pdf(0.5))
+
+
+class TestQuantileIntervals:
+    def test_uniform_quantile_interval(self):
+        dist = Uniform(0.0, 2.0)
+        assert dist.quantile_interval(Interval(0.25, 0.75)) == Interval(0.5, 1.5)
+
+    def test_normal_quantile_interval_contains_median(self):
+        dist = Normal(0.0, 1.0)
+        interval = dist.quantile_interval(Interval(0.4, 0.6))
+        assert 0.0 in interval
+
+    def test_empty_probability_interval(self):
+        assert Uniform(0.0, 1.0).quantile_interval(Interval.empty()).is_empty

@@ -1,0 +1,195 @@
+"""Tests for the stochastic inference baselines (IS, MH, HMC) and diagnostics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.inference import (
+    autocorrelation,
+    effective_sample_size,
+    hmc,
+    hmc_truncated_program,
+    importance_sampling,
+    metropolis_hastings,
+    rank_statistic,
+    suggested_thinning,
+)
+from repro.intervals import Interval
+from repro.lang import builder as b
+
+from conftest import simple_observe_model
+
+
+def conjugate_uniform_normal(observed=0.7, std=0.2):
+    """x ~ U(0,1); observe(observed ~ N(x, std)); posterior is a truncated normal."""
+    return b.let(
+        "x",
+        b.sample(),
+        b.seq(b.observe_normal(observed, std, b.var("x")), b.var("x")),
+    )
+
+
+def truncated_normal_probability(target: Interval, observed=0.7, std=0.2) -> float:
+    normaliser = stats.norm.cdf(1.0, loc=observed, scale=std) - stats.norm.cdf(0.0, loc=observed, scale=std)
+    lo = max(0.0, target.lo)
+    hi = min(1.0, target.hi)
+    mass = stats.norm.cdf(hi, loc=observed, scale=std) - stats.norm.cdf(lo, loc=observed, scale=std)
+    return float(mass / normaliser)
+
+
+class TestImportanceSampling:
+    def test_posterior_probability_estimate(self, rng):
+        program = conjugate_uniform_normal()
+        result = importance_sampling(program, 30_000, rng)
+        target = Interval(0.5, 0.9)
+        assert result.estimate_probability(target) == pytest.approx(
+            truncated_normal_probability(target), abs=0.02
+        )
+
+    def test_posterior_mean(self, rng):
+        program = conjugate_uniform_normal()
+        result = importance_sampling(program, 30_000, rng)
+        # Mean of a Normal(0.7, 0.2) truncated to [0, 1].
+        a, b_ = (0.0 - 0.7) / 0.2, (1.0 - 0.7) / 0.2
+        truth = float(stats.truncnorm.mean(a, b_, loc=0.7, scale=0.2))
+        assert result.posterior_mean() == pytest.approx(truth, abs=0.02)
+
+    def test_evidence_estimate(self, rng):
+        program = conjugate_uniform_normal()
+        result = importance_sampling(program, 30_000, rng)
+        truth = stats.norm.cdf(1.0, loc=0.7, scale=0.2) - stats.norm.cdf(0.0, loc=0.7, scale=0.2)
+        assert result.evidence_estimate() == pytest.approx(truth, abs=0.03)
+
+    def test_effective_sample_size_bounds(self, rng):
+        result = importance_sampling(simple_observe_model(), 2_000, rng)
+        ess = result.effective_sample_size()
+        assert 0 < ess <= 2_000
+
+    def test_normalised_weights_sum_to_one(self, rng):
+        result = importance_sampling(simple_observe_model(), 500, rng)
+        assert result.normalised_weights().sum() == pytest.approx(1.0)
+
+    def test_resample_and_histogram(self, rng):
+        result = importance_sampling(conjugate_uniform_normal(), 5_000, rng)
+        samples = result.resample(1_000, rng)
+        assert samples.shape == (1_000,)
+        assert np.all((samples >= 0.0) & (samples <= 1.0))
+        histogram = result.posterior_histogram([0.0, 0.5, 1.0])
+        assert histogram.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_zero_weights_cannot_resample(self, rng):
+        program = b.seq(b.score(0.0), b.sample())
+        result = importance_sampling(program, 50, rng)
+        with pytest.raises(ValueError):
+            result.resample(10, rng)
+
+
+class TestMetropolisHastings:
+    def test_posterior_mean_on_conjugate_model(self, rng):
+        program = conjugate_uniform_normal()
+        result = metropolis_hastings(program, num_samples=4_000, rng=rng, burn_in=500, thinning=2)
+        assert result.values.mean() == pytest.approx(0.7, abs=0.05)
+        assert 0.0 < result.acceptance_rate <= 1.0
+
+    def test_samples_respect_support(self, rng):
+        program = conjugate_uniform_normal()
+        result = metropolis_hastings(program, num_samples=500, rng=rng, burn_in=100)
+        assert np.all((result.values >= 0.0) & (result.values <= 1.0))
+
+    def test_variable_dimension_program(self, rng):
+        """MH must handle traces whose length changes across proposals."""
+        from conftest import geometric_program
+
+        result = metropolis_hastings(geometric_program(0.5), num_samples=2_000, rng=rng, burn_in=200)
+        # Geometric(1/2) over {0, 1, 2, ...} has mean 1.
+        assert result.values.mean() == pytest.approx(1.0, abs=0.2)
+
+
+class TestHMC:
+    def test_standard_normal_target(self, rng):
+        result = hmc(
+            lambda x: float(-0.5 * np.dot(x, x)),
+            initial=[0.5],
+            num_samples=2_000,
+            rng=rng,
+            step_size=0.2,
+            leapfrog_steps=10,
+            gradient=lambda x: -x,
+        )
+        samples = result.first_coordinate()
+        assert samples.mean() == pytest.approx(0.0, abs=0.1)
+        assert samples.std() == pytest.approx(1.0, abs=0.15)
+        assert result.acceptance_rate > 0.5
+
+    def test_numeric_gradient_matches_analytic(self, rng):
+        result = hmc(
+            lambda x: float(-0.5 * np.dot(x, x)),
+            initial=[0.3, -0.2],
+            num_samples=500,
+            rng=rng,
+            step_size=0.2,
+            leapfrog_steps=10,
+        )
+        assert result.samples.shape == (500, 2)
+        assert abs(result.samples.mean()) < 0.2
+
+    def test_mode_collapse_on_bimodal_target(self, rng):
+        """HMC with a small step size stays in one mode of a well-separated mixture."""
+
+        def log_density(x):
+            value = 0.5 * math.exp(-0.5 * ((x[0] - 4.0) / 0.3) ** 2) + 0.5 * math.exp(
+                -0.5 * ((x[0] + 4.0) / 0.3) ** 2
+            )
+            return math.log(value) if value > 0 else -math.inf
+
+        result = hmc(log_density, initial=[4.0], num_samples=1_000, rng=rng, step_size=0.05, leapfrog_steps=5)
+        samples = result.first_coordinate()
+        assert np.mean(samples > 0) > 0.99  # never visits the mode at -4
+
+    def test_truncated_program_hmc_runs(self, rng):
+        program = conjugate_uniform_normal()
+        result, values = hmc_truncated_program(
+            program, trace_dimension=1, num_samples=300, rng=rng, step_size=0.3, leapfrog_steps=10, burn_in=100
+        )
+        values = values[~np.isnan(values)]
+        assert len(values) > 0
+        assert np.all((values >= 0.0) & (values <= 1.0))
+        assert values.mean() == pytest.approx(0.7, abs=0.1)
+
+
+class TestDiagnostics:
+    def test_autocorrelation_of_iid_series(self, rng):
+        series = rng.normal(size=4_000)
+        rho = autocorrelation(series, max_lag=10)
+        assert rho[0] == pytest.approx(1.0)
+        assert abs(rho[1]) < 0.1
+
+    def test_autocorrelation_of_correlated_series(self, rng):
+        noise = rng.normal(size=4_000)
+        series = np.cumsum(noise)  # strongly autocorrelated random walk
+        rho = autocorrelation(series, max_lag=5)
+        assert rho[1] > 0.9
+
+    def test_effective_sample_size_ordering(self, rng):
+        iid = rng.normal(size=2_000)
+        walk = np.cumsum(rng.normal(size=2_000))
+        assert effective_sample_size(iid) > effective_sample_size(walk)
+
+    def test_suggested_thinning(self, rng):
+        iid = rng.normal(size=1_000)
+        assert suggested_thinning(iid) <= 2
+        walk = np.cumsum(rng.normal(size=1_000))
+        assert suggested_thinning(walk) > 5
+
+    def test_rank_statistic(self):
+        assert rank_statistic(0.5, [0.1, 0.4, 0.6, 0.9]) == 2
+        assert rank_statistic(0.0, [0.1, 0.4]) == 0
+
+    def test_edge_cases(self):
+        assert effective_sample_size([]) == 0.0
+        assert autocorrelation([]).size == 0
+        assert suggested_thinning([]) == 1

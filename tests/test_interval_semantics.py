@@ -1,0 +1,168 @@
+"""Tests for interval SPCF reduction and the direct interval-trace bounds.
+
+The key properties checked here are the paper's Lemma 3.1 (interval reduction
+over-approximates concrete reduction) and Theorems 4.1/4.2 (the derived
+lower/upper bounds sandwich the true denotation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import integrate, stats
+
+from repro.intervals import Box, Interval, unit_box
+from repro.lang import builder as b
+from repro.semantics import (
+    direct_bounds,
+    grid_interval_traces,
+    interval_outcomes,
+    interval_value_function,
+    interval_weight_function,
+    lower_bound,
+    upper_bound,
+    value_and_weight,
+)
+
+from conftest import simple_observe_model
+
+
+def _containing_box(trace: tuple[float, ...], width: float = 0.1) -> Box:
+    """An interval trace containing the given concrete trace."""
+    cells = []
+    for value in trace:
+        lo = max(0.0, value - width)
+        hi = min(1.0, value + width)
+        cells.append(Interval(lo, hi))
+    return Box(tuple(cells))
+
+
+class TestIntervalReduction:
+    def test_value_and_weight_functions(self):
+        program = simple_observe_model()
+        trace = Box.of(Interval(0.2, 0.4))
+        value = interval_value_function(program, trace)
+        weight = interval_weight_function(program, trace)
+        assert value.lo == pytest.approx(0.6)
+        assert value.hi == pytest.approx(1.2)
+        assert weight.lo >= 0.0
+        assert weight.hi <= stats.norm.pdf(0, scale=0.25) + 1e-9
+
+    def test_wrong_length_trace_gives_trivial_bounds(self):
+        program = simple_observe_model()
+        trace = Box.of(Interval(0.2, 0.4), Interval(0.0, 1.0))
+        assert interval_weight_function(program, trace) == Interval(0.0, math.inf)
+        assert interval_value_function(program, trace) == Interval(-math.inf, math.inf)
+
+    def test_undecided_conditional_gets_stuck_in_strict_mode(self):
+        program = b.if_leq(b.sample(), 0.5, 1.0, 2.0)
+        trace = Box.of(Interval(0.4, 0.6))
+        assert interval_value_function(program, trace) == Interval(-math.inf, math.inf)
+
+    def test_undecided_conditional_explored_in_both_mode(self):
+        program = b.if_leq(b.sample(), 0.5, 1.0, 2.0)
+        trace = Box.of(Interval(0.4, 0.6))
+        outcomes = interval_outcomes(program, trace, mode="both")
+        values = {outcome.value for outcome in outcomes if outcome.complete}
+        assert Interval.point(1.0) in values
+        assert Interval.point(2.0) in values
+
+    def test_decided_conditional(self):
+        program = b.if_leq(b.sample(), 0.5, 1.0, 2.0)
+        assert interval_value_function(program, Box.of(Interval(0.0, 0.3))) == Interval.point(1.0)
+        assert interval_value_function(program, Box.of(Interval(0.7, 0.9))) == Interval.point(2.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_lemma_3_1_refinement(self, draw):
+        """Lemma 3.1: wt_P(s) ∈ wt^I_P(t) and val_P(s) ∈ val^I_P(t) for s ◁ t."""
+        program = simple_observe_model()
+        concrete = value_and_weight(program, (draw,))
+        box = _containing_box((draw,))
+        assert concrete.value in interval_value_function(program, box)
+        assert concrete.weight in interval_weight_function(program, box)
+
+    def test_lemma_3_1_on_branching_program(self):
+        program = b.let(
+            "u",
+            b.sample(),
+            b.if_leq(b.var("u"), 0.5, b.mul(2.0, b.var("u")), b.add(b.var("u"), 1.0)),
+        )
+        for draw in (0.1, 0.3, 0.49, 0.51, 0.8, 0.99):
+            concrete = value_and_weight(program, (draw,))
+            box = _containing_box((draw,), width=0.005)
+            assert concrete.value in interval_value_function(program, box)
+
+
+class TestDirectBounds:
+    def _truth(self, target: Interval) -> float:
+        """Ground truth ⟦P⟧(target) for the simple observe model by quadrature."""
+        lo = max(0.0, target.lo / 3.0)
+        hi = min(1.0, target.hi / 3.0)
+        if hi <= lo:
+            return 0.0
+        value, _ = integrate.quad(lambda u: stats.norm.pdf(1.1, loc=3 * u, scale=0.25), lo, hi)
+        return value
+
+    @pytest.mark.parametrize("target", [Interval(0.0, 1.0), Interval(0.5, 2.0), Interval(-math.inf, math.inf)])
+    def test_bounds_sandwich_truth(self, target):
+        program = simple_observe_model()
+        traces = grid_interval_traces(sample_count=1, parts=40)
+        bounds = direct_bounds(program, traces, target)
+        truth = self._truth(target)
+        assert bounds.lower <= truth + 1e-9
+        assert truth <= bounds.upper + 1e-9
+        assert bounds.width() < 0.5
+
+    def test_bounds_tighten_with_refinement(self):
+        program = simple_observe_model()
+        target = Interval(0.0, 1.5)
+        coarse = direct_bounds(program, grid_interval_traces(1, 5), target)
+        fine = direct_bounds(program, grid_interval_traces(1, 50), target)
+        assert fine.width() < coarse.width()
+        assert fine.lower >= coarse.lower - 1e-12
+        assert fine.upper <= coarse.upper + 1e-12
+
+    def test_incompatible_set_rejected(self):
+        program = simple_observe_model()
+        overlapping = [Box.of(Interval(0.0, 0.6)), Box.of(Interval(0.3, 1.0))]
+        with pytest.raises(ValueError):
+            direct_bounds(program, overlapping, Interval(0.0, 1.0))
+
+    def test_lower_bound_of_partial_cover_is_sound(self):
+        program = simple_observe_model()
+        partial = [Box.of(Interval(0.0, 0.25))]
+        value = lower_bound(program, partial, Interval(-math.inf, math.inf))
+        assert value <= self._truth(Interval(-math.inf, math.inf))
+
+    def test_upper_bound_infinite_for_incomplete_reduction(self):
+        """A program that cannot finish on the given traces yields an infinite upper bound."""
+        program = b.add(b.sample(), b.sample())
+        traces = [Box.of(Interval(0.0, 1.0))]  # too short: reduction cannot complete
+        assert upper_bound(program, traces, Interval(-math.inf, math.inf)) == math.inf
+
+    def test_two_sample_grid(self):
+        program = b.add(b.sample(), b.sample())
+        traces = grid_interval_traces(2, 8)
+        bounds = direct_bounds(program, traces, Interval(0.0, 1.0))
+        assert bounds.lower <= 0.5 <= bounds.upper
+
+    def test_discrete_like_program_bounds(self):
+        """Bounds for a probabilistic choice converge up to the boundary cell.
+
+        The cell containing the branching threshold cannot be decided by
+        closed-interval reasoning (Appendix A.4), so the upper bound exceeds
+        the true probability by at most that cell's width.
+        """
+        program = b.choice(0.25, 1.0, 0.0)
+        traces = [
+            Box.of(Interval(0.0, 0.25)),
+            Box.of(Interval(0.25, 0.3)),
+            Box.of(Interval(0.3, 1.0)),
+        ]
+        bounds = direct_bounds(program, traces, Interval(0.5, 1.5))
+        assert bounds.lower == pytest.approx(0.25)
+        assert 0.25 <= bounds.upper <= 0.3 + 1e-9

@@ -1,0 +1,221 @@
+"""Unit and property tests for interval arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intervals import EMPTY, REALS, UNIT, Interval
+
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def intervals(draw, min_value=-1e6, max_value=1e6):
+    lo = draw(st.floats(min_value=min_value, max_value=max_value, allow_nan=False))
+    hi = draw(st.floats(min_value=min_value, max_value=max_value, allow_nan=False))
+    if lo > hi:
+        lo, hi = hi, lo
+    return Interval(lo, hi)
+
+
+@st.composite
+def interval_with_point(draw):
+    interval = draw(intervals())
+    if interval.is_point:
+        return interval, interval.lo
+    point = draw(st.floats(min_value=interval.lo, max_value=interval.hi, allow_nan=False))
+    return interval, point
+
+
+class TestConstruction:
+    def test_point(self):
+        interval = Interval.point(2.5)
+        assert interval.lo == interval.hi == 2.5
+        assert interval.is_point
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_empty_is_empty(self):
+        assert EMPTY.is_empty
+        assert not UNIT.is_empty
+
+    def test_hull_of(self):
+        assert Interval.hull_of([3.0, -1.0, 2.0]) == Interval(-1.0, 3.0)
+        assert Interval.hull_of([]).is_empty
+
+    def test_width_and_midpoint(self):
+        assert Interval(1.0, 3.0).width == 2.0
+        assert Interval(1.0, 3.0).midpoint == 2.0
+        assert Interval(0.0, math.inf).width == math.inf
+
+    def test_midpoint_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = EMPTY.midpoint
+
+
+class TestMembershipAndOrder:
+    def test_contains_value(self):
+        assert 0.5 in UNIT
+        assert 1.0 in UNIT
+        assert 1.5 not in UNIT
+        assert 0.0 not in EMPTY
+
+    def test_contains_interval(self):
+        assert UNIT.contains_interval(Interval(0.2, 0.8))
+        assert not Interval(0.2, 0.8).contains_interval(UNIT)
+        assert UNIT.contains_interval(EMPTY)
+        assert not EMPTY.contains_interval(UNIT)
+
+    def test_intersects(self):
+        assert Interval(0.0, 1.0).intersects(Interval(1.0, 2.0))
+        assert not Interval(0.0, 1.0).intersects(Interval(1.5, 2.0))
+        assert not EMPTY.intersects(UNIT)
+
+    def test_almost_disjoint(self):
+        assert Interval(0.0, 1.0).almost_disjoint(Interval(1.0, 2.0))
+        assert not Interval(0.0, 1.5).almost_disjoint(Interval(1.0, 2.0))
+
+    def test_sign_predicates(self):
+        assert Interval(0.5, 1.0).strictly_positive()
+        assert not Interval(0.0, 1.0).strictly_positive()
+        assert Interval(-2.0, 0.0).non_positive()
+
+
+class TestLattice:
+    def test_join_meet_basic(self):
+        a, c = Interval(0.0, 1.0), Interval(0.5, 2.0)
+        assert a.join(c) == Interval(0.0, 2.0)
+        assert a.meet(c) == Interval(0.5, 1.0)
+
+    def test_meet_disjoint_is_empty(self):
+        assert Interval(0.0, 1.0).meet(Interval(2.0, 3.0)).is_empty
+
+    def test_join_with_empty(self):
+        assert UNIT.join(EMPTY) == UNIT
+        assert EMPTY.join(UNIT) == UNIT
+
+    @given(intervals(), intervals())
+    def test_join_is_upper_bound(self, a, c):
+        joined = a.join(c)
+        assert joined.contains_interval(a)
+        assert joined.contains_interval(c)
+
+    @given(intervals(), intervals())
+    def test_meet_is_lower_bound(self, a, c):
+        met = a.meet(c)
+        assert a.contains_interval(met)
+        assert c.contains_interval(met)
+
+    @given(intervals(), intervals())
+    def test_widen_over_approximates_join(self, a, c):
+        widened = a.widen(c)
+        assert widened.contains_interval(a.join(c))
+
+    def test_widening_stabilises(self):
+        current = Interval(0.0, 0.0)
+        for step in range(1, 200):
+            current = current.widen(Interval(0.0, float(step)))
+        assert current == Interval(0.0, math.inf)
+
+
+class TestArithmeticSoundness:
+    @given(interval_with_point(), interval_with_point())
+    def test_addition_sound(self, first, second):
+        (a, x), (c, y) = first, second
+        assert x + y in a + c
+
+    @given(interval_with_point(), interval_with_point())
+    def test_subtraction_sound(self, first, second):
+        (a, x), (c, y) = first, second
+        assert x - y in a - c
+
+    @given(interval_with_point(), interval_with_point())
+    def test_multiplication_sound(self, first, second):
+        (a, x), (c, y) = first, second
+        result = a * c
+        assert result.lo <= x * y <= result.hi or math.isclose(x * y, result.lo) or math.isclose(x * y, result.hi)
+
+    @given(interval_with_point())
+    def test_negation_and_abs_sound(self, first):
+        a, x = first
+        assert -x in -a
+        assert abs(x) in a.abs()
+
+    @given(interval_with_point(), interval_with_point())
+    def test_min_max_sound(self, first, second):
+        (a, x), (c, y) = first, second
+        assert min(x, y) in a.min_with(c)
+        assert max(x, y) in a.max_with(c)
+
+    def test_division_by_interval_containing_zero(self):
+        assert (Interval(1.0, 2.0) / Interval(-1.0, 1.0)) == REALS
+        assert (Interval(0.0, 0.0) / Interval(-1.0, 1.0)) == Interval.point(0.0)
+
+    def test_division_exact(self):
+        assert Interval(1.0, 2.0) / Interval(2.0, 4.0) == Interval(0.25, 1.0)
+
+    def test_zero_times_infinity_is_zero(self):
+        assert Interval(0.0, 0.0) * Interval(0.0, math.inf) == Interval.point(0.0)
+
+    def test_scalar_promotion(self):
+        assert Interval(1.0, 2.0) + 1.0 == Interval(2.0, 3.0)
+        assert 2.0 * Interval(1.0, 2.0) == Interval(2.0, 4.0)
+        assert 1.0 - Interval(0.0, 1.0) == Interval(0.0, 1.0)
+
+    def test_empty_propagates(self):
+        assert (EMPTY + UNIT).is_empty
+        assert (UNIT * EMPTY).is_empty
+
+
+class TestSplitting:
+    def test_split_into_equal_parts(self):
+        parts = Interval(0.0, 1.0).split(4)
+        assert len(parts) == 4
+        assert parts[0] == Interval(0.0, 0.25)
+        assert parts[-1].hi == 1.0
+
+    def test_split_point_interval(self):
+        assert Interval.point(1.0).split(5) == [Interval.point(1.0)]
+
+    def test_split_unbounded_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, math.inf).split(2)
+
+    def test_split_invalid_count(self):
+        with pytest.raises(ValueError):
+            UNIT.split(0)
+
+    @given(intervals(min_value=-100, max_value=100), st.integers(min_value=1, max_value=10))
+    def test_split_covers_interval(self, interval, parts):
+        pieces = interval.split(parts)
+        assert pieces[0].lo == interval.lo
+        assert pieces[-1].hi == pytest.approx(interval.hi)
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.hi == pytest.approx(right.lo)
+
+    def test_sample_points(self):
+        points = list(Interval(0.0, 1.0).sample_points(3))
+        assert points == [0.0, 0.5, 1.0]
+
+
+class TestMonotoneImage:
+    def test_increasing(self):
+        assert Interval(0.0, 1.0).monotone_image(math.exp) == Interval(1.0, math.exp(1.0))
+
+    def test_decreasing(self):
+        image = Interval(1.0, 2.0).monotone_image(lambda x: -x, increasing=False)
+        assert image == Interval(-2.0, -1.0)
+
+    def test_clamp_nonnegative(self):
+        assert Interval(-1.0, 2.0).clamp_nonnegative() == Interval(0.0, 2.0)
+        assert Interval(-3.0, -1.0).clamp_nonnegative().is_empty

@@ -1,0 +1,181 @@
+"""Tests for the SPCF abstract syntax: traversal, substitution, builder sugar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import Normal, Uniform
+from repro.intervals import Interval
+from repro.lang import (
+    App,
+    Const,
+    Fix,
+    If,
+    IntervalConst,
+    Lam,
+    Prim,
+    Sample,
+    Score,
+    Var,
+    contains_fixpoint,
+    free_variables,
+    is_value,
+    pretty,
+    substitute,
+    subterms,
+)
+from repro.lang import builder as b
+
+
+class TestBuilders:
+    def test_let_desugars_to_beta_redex(self):
+        term = b.let("x", 1.0, b.var("x"))
+        assert isinstance(term, App)
+        assert isinstance(term.func, Lam)
+        assert term.func.param == "x"
+
+    def test_seq_binds_throwaway(self):
+        term = b.seq(b.score(1.0), 2.0)
+        assert isinstance(term, App)
+        assert isinstance(term.func, Lam)
+        assert term.func.param == "_"
+
+    def test_choice_desugars_to_sample_comparison(self):
+        term = b.choice(0.25, 1.0, 2.0)
+        assert isinstance(term, If)
+        assert isinstance(term.cond, Prim)
+        assert term.cond.op == "sub"
+        assert isinstance(term.cond.args[0], Sample)
+
+    def test_observe_normal(self):
+        term = b.observe(b.var("x"), Normal(1.1, 0.1))
+        assert isinstance(term, Score)
+        assert isinstance(term.arg, Prim)
+        assert term.arg.op == "normal_pdf"
+        assert term.arg.args[0] == Const(1.1)
+
+    def test_observe_uniform(self):
+        term = b.observe(0.5, Uniform(0.0, 2.0))
+        assert isinstance(term.arg, Prim) and term.arg.op == "uniform_pdf"
+
+    def test_observe_unsupported(self):
+        from repro.distributions import Poisson
+
+        with pytest.raises(TypeError):
+            b.observe(1.0, Poisson(2.0))
+
+    def test_numeric_promotion(self):
+        term = b.add(1, 2.5)
+        assert term.args == (Const(1.0), Const(2.5))
+
+    def test_let_many_nests_in_order(self):
+        term = b.let_many([("a", 1.0), ("c", 2.0)], b.add(b.var("a"), b.var("c")))
+        assert isinstance(term, App)
+        assert term.func.param == "a"
+        inner = term.func.body
+        assert isinstance(inner, App)
+        assert inner.func.param == "c"
+
+    def test_call_curries(self):
+        f = b.lam("x", b.lam("y", b.add(b.var("x"), b.var("y"))))
+        term = b.call(f, 1.0, 2.0)
+        assert isinstance(term, App)
+        assert isinstance(term.func, App)
+
+    def test_if_between_single_evaluation(self):
+        term = b.if_between(b.sample(), 0.2, 0.8, 1.0, 0.0)
+        samples = [t for t in subterms(term) if isinstance(t, Sample)]
+        assert len(samples) == 1
+
+    def test_interval_const(self):
+        term = b.interval_const(0.0, 2.0)
+        assert isinstance(term, IntervalConst)
+        assert term.interval == Interval(0.0, 2.0)
+
+    def test_prim_arity_check(self):
+        with pytest.raises(ValueError):
+            Prim("add", (Const(1.0), Const(2.0), Const(3.0)))
+
+
+class TestFreeVariables:
+    def test_simple_cases(self):
+        assert free_variables(Var("x")) == {"x"}
+        assert free_variables(Const(1.0)) == frozenset()
+        assert free_variables(b.add(Var("x"), Var("y"))) == {"x", "y"}
+
+    def test_lambda_binds(self):
+        assert free_variables(Lam("x", b.add(Var("x"), Var("y")))) == {"y"}
+
+    def test_fix_binds_both_names(self):
+        term = Fix("f", "x", b.add(Var("f"), b.add(Var("x"), Var("z"))))
+        assert free_variables(term) == {"z"}
+
+    def test_let_scoping(self):
+        term = b.let("x", Var("y"), Var("x"))
+        assert free_variables(term) == {"y"}
+
+
+class TestSubstitution:
+    def test_substitute_free_variable(self):
+        term = substitute(b.add(Var("x"), Var("y")), "x", Const(3.0))
+        assert term == b.add(Const(3.0), Var("y"))
+
+    def test_substitute_respects_binding(self):
+        term = Lam("x", Var("x"))
+        assert substitute(term, "x", Const(1.0)) == term
+
+    def test_capture_avoidance(self):
+        # (λx. x + y)[x / y] must not capture the substituted x.
+        term = Lam("x", b.add(Var("x"), Var("y")))
+        result = substitute(term, "y", Var("x"))
+        assert isinstance(result, Lam)
+        assert result.param != "x"
+        assert free_variables(result) == {"x"}
+
+    def test_capture_avoidance_fix(self):
+        term = Fix("f", "x", b.add(Var("x"), Var("y")))
+        result = substitute(term, "y", Var("x"))
+        assert isinstance(result, Fix)
+        assert free_variables(result) == {"x"}
+
+    def test_substitute_in_all_constructs(self):
+        term = If(Var("c"), Score(Var("c")), Prim("neg", (Var("c"),)))
+        result = substitute(term, "c", Const(0.5))
+        assert result == If(Const(0.5), Score(Const(0.5)), Prim("neg", (Const(0.5),)))
+
+
+class TestTraversal:
+    def test_subterms_preorder(self):
+        term = b.add(Const(1.0), Const(2.0))
+        nodes = list(subterms(term))
+        assert nodes[0] is term
+        assert Const(1.0) in nodes and Const(2.0) in nodes
+
+    def test_contains_fixpoint(self):
+        assert not contains_fixpoint(b.add(1.0, 2.0))
+        assert contains_fixpoint(b.app(Fix("f", "x", Var("x")), 1.0))
+
+    def test_is_value(self):
+        assert is_value(Const(1.0))
+        assert is_value(Lam("x", Var("x")))
+        assert is_value(IntervalConst(Interval(0.0, 1.0)))
+        assert not is_value(b.add(1.0, 2.0))
+        assert not is_value(Sample())
+
+
+class TestPrettyPrinter:
+    def test_pretty_let(self):
+        text = pretty(b.let("x", b.sample(), b.var("x")))
+        assert "let x = sample" in text
+
+    def test_pretty_infix(self):
+        assert pretty(b.add(1.0, 2.0)) == "(1 + 2)"
+
+    def test_pretty_fix_and_if(self):
+        text = pretty(Fix("f", "x", If(Var("x"), Const(0.0), App(Var("f"), Var("x")))))
+        assert "μf x." in text
+        assert "if" in text
+
+    def test_pretty_score_and_interval(self):
+        assert pretty(Score(Const(2.0))) == "score(2)"
+        assert pretty(IntervalConst(Interval(0.0, 1.0))) == "[0, 1]"

@@ -1,0 +1,215 @@
+"""Tests for the benchmark model suites: well-formedness and basic statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exact import enumerate_posterior
+from repro.inference import importance_sampling
+from repro.intervals import Interval
+from repro.lang import type_of_program
+from repro.lang.types import REAL
+from repro.models import (
+    binary_gmm_2d_log_density,
+    binary_gmm_2d_program,
+    binary_gmm_log_density,
+    binary_gmm_program,
+    binary_gmm_sbc_model,
+    coin_bias_program,
+    discrete_suite,
+    max_of_normals_program,
+    neals_funnel_log_density,
+    neals_funnel_program,
+    pedestrian_bounded_program,
+    pedestrian_program,
+    pedestrian_sbc_model,
+    probest_suite,
+    recursive_suite,
+    simulate_pedestrian_distance,
+)
+from repro.semantics import simulate
+
+
+class TestSuitesWellFormed:
+    def test_probest_suite_complete(self):
+        suite = probest_suite()
+        assert len(suite) == 18
+        names = {entry.name for entry in suite}
+        assert {"tug-of-war", "beauquier-3", "herman-3", "ex-fig6", "example4"} <= names
+        for entry in suite:
+            assert type_of_program(entry.program) == REAL
+            assert entry.paper_gubpi[0] <= entry.paper_gubpi[1]
+
+    def test_discrete_suite_complete(self):
+        suite = discrete_suite()
+        assert len(suite) == 12
+        for entry in suite:
+            assert type_of_program(entry.program) == REAL
+
+    def test_recursive_suite_complete(self):
+        suite = recursive_suite()
+        assert len(suite) == 6
+        for entry in suite:
+            assert type_of_program(entry.program) == REAL
+            assert entry.histogram_low < entry.histogram_high
+
+    def test_lookup_helpers(self):
+        from repro.models import benchmark_by_name, discrete_benchmark_by_name
+
+        assert benchmark_by_name("herman-3", "Q1").name == "herman-3"
+        assert discrete_benchmark_by_name("grass").name == "grass"
+        with pytest.raises(KeyError):
+            benchmark_by_name("nope", "Q1")
+        with pytest.raises(KeyError):
+            discrete_benchmark_by_name("nope")
+
+
+class TestProbestModelsSimulate:
+    @pytest.mark.parametrize("entry", probest_suite(), ids=lambda e: e.identifier)
+    def test_score_free_and_runnable(self, entry, rng):
+        run = simulate(entry.program, rng)
+        assert run.weight == 1.0  # the suite is score-free
+        assert math.isfinite(run.value)
+
+    def test_herman_immediate_stabilisation_probability(self, rng):
+        from repro.models import benchmark_by_name
+
+        entry = benchmark_by_name("herman-3", "Q1")
+        hits = 0
+        runs = 4_000
+        for _ in range(runs):
+            if simulate(entry.program, rng).value < 0.5:
+                hits += 1
+        assert hits / runs == pytest.approx(0.375, abs=0.03)
+
+
+class TestDiscreteModels:
+    def test_known_posteriors(self):
+        expectations = {
+            "twoCoins": 1.0 / 3.0,
+            "bertrand": 2.0 / 3.0,
+            "ev-model1": 0.9,
+        }
+        for name, expected in expectations.items():
+            from repro.models import discrete_benchmark_by_name
+
+            case = discrete_benchmark_by_name(name)
+            result = enumerate_posterior(case.program)
+            assert result.probability_of(case.query_target) == pytest.approx(expected, abs=1e-9)
+
+    def test_burglar_alarm_posterior_is_small_but_positive(self):
+        from repro.models import discrete_benchmark_by_name
+
+        case = discrete_benchmark_by_name("burglarAlarm")
+        posterior = enumerate_posterior(case.program).probability_of(case.query_target)
+        assert 0.001 < posterior < 0.1
+
+    @pytest.mark.parametrize("entry", discrete_suite(), ids=lambda e: e.name)
+    def test_posterior_well_defined(self, entry):
+        result = enumerate_posterior(entry.program)
+        assert result.normalising_constant > 0
+        total = sum(result.as_normalised_dict().values())
+        assert total == pytest.approx(1.0)
+
+
+class TestPedestrian:
+    def test_programs_typecheck(self):
+        assert type_of_program(pedestrian_program()) == REAL
+        assert type_of_program(pedestrian_bounded_program()) == REAL
+
+    def test_bounded_walk_terminates_quickly(self, rng):
+        program = pedestrian_bounded_program(max_distance=5.0)
+        for _ in range(20):
+            run = simulate(program, rng)
+            assert 0.0 <= run.value <= 3.0
+
+    def test_simulated_distance_consistent_with_start(self, rng):
+        for start in (0.0, 0.5, 2.0):
+            distance = simulate_pedestrian_distance(start, rng)
+            assert distance >= 0.0
+            if start == 0.0:
+                assert distance == 0.0
+
+    def test_sbc_model_round_trip(self, rng):
+        model = pedestrian_sbc_model()
+        theta = model.prior_sampler(rng)
+        assert 0.0 <= theta <= 3.0
+        data = model.data_generator(theta, rng)
+        program = model.program_builder(data)
+        assert type_of_program(program) == REAL
+
+    def test_posterior_concentrates_near_observed_distance(self, rng):
+        """IS on the pedestrian should put most mass on starts below ~2 km."""
+        result = importance_sampling(pedestrian_bounded_program(), 4_000, rng)
+        assert result.estimate_probability(Interval(0.0, 2.0)) > 0.9
+
+
+class TestContinuousModels:
+    def test_programs_typecheck(self):
+        for program in (
+            coin_bias_program(),
+            max_of_normals_program(),
+            binary_gmm_program(),
+            binary_gmm_2d_program(),
+            neals_funnel_program(),
+        ):
+            assert type_of_program(program) == REAL
+
+    def test_coin_bias_posterior_mean(self, rng):
+        """Beta(2,2) prior with flips (1,1,0,1,0) has posterior mean 5/9."""
+        result = importance_sampling(coin_bias_program(), 30_000, rng)
+        assert result.posterior_mean() == pytest.approx(5.0 / 9.0, abs=0.02)
+
+    def test_max_of_normals_mean(self, rng):
+        """E[max(X, Y)] = 1/sqrt(pi) for two standard normals."""
+        result = importance_sampling(max_of_normals_program(), 30_000, rng)
+        assert result.posterior_mean() == pytest.approx(1.0 / math.sqrt(math.pi), abs=0.03)
+
+    def test_binary_gmm_posterior_symmetric(self, rng):
+        result = importance_sampling(binary_gmm_program(observation=1.0), 30_000, rng)
+        positive = result.estimate_probability(Interval(0.0, math.inf))
+        assert positive == pytest.approx(0.5, abs=0.03)
+
+    def test_binary_gmm_log_density_consistency(self):
+        assert binary_gmm_log_density(1.0) == pytest.approx(binary_gmm_log_density(-1.0))
+        assert binary_gmm_2d_log_density([1.0, -0.5]) == pytest.approx(
+            binary_gmm_log_density(1.0, 0.6) + binary_gmm_log_density(-0.5, -0.4)
+        )
+
+    def test_funnel_log_density_matches_program_marginal(self, rng):
+        result = importance_sampling(neals_funnel_program(), 20_000, rng)
+        # The program returns y ~ N(0, 3).
+        assert result.posterior_mean() == pytest.approx(0.0, abs=0.1)
+        assert np.std(result.values()) == pytest.approx(3.0, abs=0.15)
+        assert neals_funnel_log_density([0.0, 0.0]) > neals_funnel_log_density([0.0, 5.0])
+
+    def test_sbc_model_builders(self, rng):
+        model = binary_gmm_sbc_model()
+        theta = model.prior_sampler(rng)
+        data = model.data_generator(theta, rng)
+        assert type_of_program(model.program_builder(data)) == REAL
+
+
+class TestRecursiveModels:
+    @pytest.mark.parametrize("entry", recursive_suite(), ids=lambda e: e.name)
+    def test_models_simulate(self, entry, rng):
+        for _ in range(5):
+            run = simulate(entry.program, rng)
+            assert math.isfinite(run.value)
+            assert run.weight >= 0.0
+
+    def test_cav_example_7_is_geometric(self, rng):
+        from repro.models import cav_example_7
+
+        values = [simulate(cav_example_7(), rng).value for _ in range(4_000)]
+        assert np.mean(values) == pytest.approx(4.0, abs=0.3)  # mean of Geometric(0.2) successes
+
+    def test_param_estimation_posterior_prefers_low_p(self, rng):
+        """Halting at 1 (the start) is most likely when the walk is balanced-to-left."""
+        from repro.models import param_estimation_recursive
+
+        result = importance_sampling(param_estimation_recursive(), 8_000, rng)
+        assert result.effective_sample_size() > 100

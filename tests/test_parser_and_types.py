@@ -1,0 +1,156 @@
+"""Tests for the s-expression parser and the simple type system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import Normal
+from repro.lang import (
+    App,
+    Const,
+    Fix,
+    If,
+    Lam,
+    ParseError,
+    Prim,
+    Sample,
+    Score,
+    TypeError_,
+    Var,
+    infer_types,
+    parse,
+    type_of_program,
+)
+from repro.lang import builder as b
+from repro.lang.types import REAL, FunType, RealType
+
+
+class TestParser:
+    def test_parse_number_and_symbol(self):
+        assert parse("1.5") == Const(1.5)
+        assert parse("x") == Var("x")
+
+    def test_parse_arithmetic(self):
+        term = parse("(+ 1 (* 2 3))")
+        assert isinstance(term, Prim) and term.op == "add"
+        assert isinstance(term.args[1], Prim) and term.args[1].op == "mul"
+
+    def test_parse_let_and_lambda(self):
+        term = parse("(let x (sample) (lam y (+ x y)))")
+        assert isinstance(term, App)
+        assert isinstance(term.func, Lam)
+
+    def test_parse_fix_if_score(self):
+        term = parse("(fix f x (if x 0 (score (f (- x 1)))))")
+        assert isinstance(term, Fix)
+        assert isinstance(term.body, If)
+
+    def test_parse_sample_with_distribution(self):
+        term = parse("(sample normal 0 1)")
+        assert isinstance(term, Sample)
+        assert term.dist == Normal(0.0, 1.0)
+
+    def test_parse_observe(self):
+        term = parse("(observe normal 1.1 0.1 x)")
+        assert isinstance(term, Score)
+        assert isinstance(term.arg, Prim) and term.arg.op == "normal_pdf"
+
+    def test_parse_choice_and_interval(self):
+        term = parse("(choice 0.5 1 0)")
+        assert isinstance(term, If)
+        interval = parse("(interval 0 1)")
+        from repro.lang import IntervalConst
+
+        assert isinstance(interval, IntervalConst)
+
+    def test_parse_application_fallback(self):
+        term = parse("(f 1 2)")
+        assert isinstance(term, App)
+        assert isinstance(term.func, App)
+        assert term.func.func == Var("f")
+
+    def test_parse_roundtrip_evaluates(self):
+        """A parsed program runs in the concrete semantics."""
+        from repro.semantics import value_and_weight
+
+        program = parse("(let x (sample) (+ x 1))")
+        result = value_and_weight(program, (0.25,))
+        assert result.value == pytest.approx(1.25)
+
+    @pytest.mark.parametrize(
+        "source",
+        ["", "(let x)", "(", ")", "(sample wrongdist 1)", "(if 1 2)", "(interval 1)", "(let 3 4 5)"],
+    )
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse("(+ 1 2) extra")
+
+
+class TestSimpleTypes:
+    def test_ground_program(self):
+        assert type_of_program(b.add(b.sample(), 1.0)) == REAL
+
+    def test_lambda_type(self):
+        term = b.lam("x", b.add(b.var("x"), 1.0))
+        assert type_of_program(term) == FunType(REAL, REAL)
+
+    def test_fix_type(self):
+        term = b.fix("f", "x", b.if_leq(b.var("x"), 0.0, 0.0, b.app(b.var("f"), b.sub(b.var("x"), 1.0))))
+        assert type_of_program(term) == FunType(REAL, REAL)
+
+    def test_higher_order(self):
+        term = b.lam("f", b.app(b.var("f"), 1.0))
+        inferred = type_of_program(term)
+        assert inferred == FunType(FunType(REAL, REAL), REAL)
+
+    def test_curried_fix(self):
+        term = b.fix("f", "x", b.lam("y", b.add(b.var("x"), b.var("y"))))
+        assert type_of_program(term) == FunType(REAL, FunType(REAL, REAL))
+
+    def test_annotations_track_parameters(self):
+        term = b.lam("x", b.score(b.var("x")))
+        annotations = infer_types(term)
+        assert annotations.param_type_at(()) == REAL
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_types(b.var("ghost"))
+
+    def test_self_application_rejected(self):
+        term = b.lam("x", b.app(b.var("x"), b.var("x")))
+        with pytest.raises(TypeError_):
+            infer_types(term)
+
+    def test_branch_type_mismatch_rejected(self):
+        term = If(Const(0.0), Lam("x", Var("x")), Const(1.0))
+        with pytest.raises(TypeError_):
+            infer_types(term)
+
+    def test_score_requires_ground_argument(self):
+        term = Score(Lam("x", Var("x")))
+        with pytest.raises(TypeError_):
+            infer_types(term)
+
+    def test_environment_for_open_terms(self):
+        term = b.add(b.var("x"), 1.0)
+        annotations = infer_types(term, {"x": REAL})
+        assert annotations.root_type == REAL
+
+    def test_pedestrian_program_is_typable(self):
+        from repro.models import pedestrian_program
+
+        assert type_of_program(pedestrian_program()) == REAL
+
+    def test_all_benchmark_models_typable(self):
+        from repro.models import discrete_suite, probest_suite, recursive_suite
+
+        for benchmark in probest_suite():
+            assert type_of_program(benchmark.program) == REAL
+        for benchmark in discrete_suite():
+            assert type_of_program(benchmark.program) == REAL
+        for benchmark in recursive_suite():
+            assert type_of_program(benchmark.program) == REAL

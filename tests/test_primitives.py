@@ -1,0 +1,165 @@
+"""Property tests for the primitive registry and its interval liftings."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.intervals import Interval, Primitive, PrimitiveRegistry, REGISTRY, get_primitive
+
+moderate_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def interval_and_point(draw):
+    lo = draw(moderate_floats)
+    hi = draw(moderate_floats)
+    if lo > hi:
+        lo, hi = hi, lo
+    point = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    return Interval(lo, hi), point
+
+
+class TestRegistry:
+    def test_known_primitives_present(self):
+        for name in ("add", "sub", "mul", "div", "neg", "abs", "min", "max", "exp", "log",
+                     "sqrt", "square", "sigmoid", "normal_pdf", "uniform_pdf", "beta_pdf"):
+            assert name in REGISTRY
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            get_primitive("definitely-not-a-primitive")
+
+    def test_duplicate_registration_rejected(self):
+        registry = PrimitiveRegistry()
+        primitive = Primitive("p", 1, lambda x: x, lambda x: x)
+        registry.register(primitive)
+        with pytest.raises(ValueError):
+            registry.register(primitive)
+        registry.register(Primitive("p", 1, lambda x: x, lambda x: x), overwrite=True)
+
+    def test_arity_checked_by_prim_nodes(self):
+        from repro.lang.ast import Const, Prim
+
+        with pytest.raises(ValueError):
+            Prim("add", (Const(1.0),))
+
+    def test_empty_argument_propagates(self):
+        assert get_primitive("add").apply_interval(Interval.empty(), Interval(0.0, 1.0)).is_empty
+
+
+class TestIntervalSoundness:
+    """For every primitive: ``f(x, y) ∈ f^I(X, Y)`` whenever ``x ∈ X``, ``y ∈ Y``."""
+
+    @pytest.mark.parametrize("name", ["add", "sub", "mul", "min", "max"])
+    @given(interval_and_point(), interval_and_point())
+    def test_binary_arithmetic_sound(self, name, first, second):
+        (ix, x), (iy, y) = first, second
+        primitive = get_primitive(name)
+        result = primitive.apply_interval(ix, iy)
+        value = primitive(x, y)
+        assert result.lo - 1e-9 <= value <= result.hi + 1e-9
+
+    @pytest.mark.parametrize("name", ["neg", "abs", "square", "sigmoid", "exp", "floor"])
+    @given(interval_and_point())
+    def test_unary_sound(self, name, pair):
+        interval, x = pair
+        primitive = get_primitive(name)
+        result = primitive.apply_interval(interval)
+        value = primitive(x)
+        if math.isfinite(value):
+            assert result.lo - 1e-9 <= value <= result.hi + 1e-6 * max(1.0, abs(value))
+
+    @given(interval_and_point())
+    def test_log_sound_on_positive(self, pair):
+        interval, x = pair
+        assume(x > 1e-6)
+        primitive = get_primitive("log")
+        result = primitive.apply_interval(interval)
+        assert result.lo - 1e-9 <= math.log(x) <= result.hi + 1e-9
+
+    @given(interval_and_point(), interval_and_point())
+    def test_div_sound(self, first, second):
+        (ix, x), (iy, y) = first, second
+        assume(abs(y) > 1e-6)
+        primitive = get_primitive("div")
+        result = primitive.apply_interval(ix, iy)
+        assert result.lo - 1e-6 <= x / y <= result.hi + 1e-6
+
+    @given(interval_and_point(), st.integers(min_value=0, max_value=4))
+    def test_pow_nat_sound(self, pair, exponent):
+        interval, x = pair
+        primitive = get_primitive("pow_nat")
+        result = primitive.apply_interval(interval, Interval.point(float(exponent)))
+        assert result.lo - 1e-6 * max(1.0, abs(x) ** exponent) <= x**exponent <= result.hi + 1e-6 * max(
+            1.0, abs(x) ** exponent
+        )
+
+    def test_exp_handles_infinite_endpoints(self):
+        result = get_primitive("exp").apply_interval(Interval(-math.inf, 0.0))
+        assert result == Interval(0.0, 1.0)
+
+    def test_sigmoid_range(self):
+        result = get_primitive("sigmoid").apply_interval(Interval(-math.inf, math.inf))
+        assert result == Interval(0.0, 1.0)
+
+
+class TestDensityPrimitives:
+    @given(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=0.1, max_value=3, allow_nan=False),
+        interval_and_point(),
+    )
+    def test_normal_pdf_sound(self, mean, std, pair):
+        interval, x = pair
+        primitive = get_primitive("normal_pdf")
+        bounds = primitive.apply_interval(Interval.point(mean), Interval.point(std), interval)
+        value = primitive(mean, std, x)
+        assert bounds.lo - 1e-9 <= value <= bounds.hi + 1e-9
+
+    def test_normal_pdf_peak_inside_interval(self):
+        primitive = get_primitive("normal_pdf")
+        bounds = primitive.apply_interval(
+            Interval.point(0.0), Interval.point(1.0), Interval(-1.0, 1.0)
+        )
+        peak = 1.0 / math.sqrt(2 * math.pi)
+        assert bounds.hi == pytest.approx(peak)
+
+    def test_normal_pdf_with_interval_mean(self):
+        """Interval mean (from approxFix): bounds must contain all point instances."""
+        primitive = get_primitive("normal_pdf")
+        bounds = primitive.apply_interval(
+            Interval(0.0, math.inf), Interval.point(0.1), Interval.point(1.1)
+        )
+        for mean in (0.0, 0.5, 1.1, 2.0, 10.0):
+            assert bounds.lo - 1e-12 <= primitive(mean, 0.1, 1.1) <= bounds.hi + 1e-12
+
+    @given(
+        st.floats(min_value=0.1, max_value=5, allow_nan=False),
+        interval_and_point(),
+    )
+    def test_exponential_pdf_sound(self, rate, pair):
+        interval, x = pair
+        primitive = get_primitive("exponential_pdf")
+        bounds = primitive.apply_interval(Interval.point(rate), interval)
+        assert bounds.lo - 1e-9 <= primitive(rate, x) <= bounds.hi + 1e-9
+
+    def test_uniform_pdf_values(self):
+        primitive = get_primitive("uniform_pdf")
+        assert primitive(0.0, 2.0, 1.0) == pytest.approx(0.5)
+        assert primitive(0.0, 2.0, 3.0) == 0.0
+        bounds = primitive.apply_interval(
+            Interval.point(0.0), Interval.point(2.0), Interval(1.0, 3.0)
+        )
+        assert bounds.lo == 0.0
+        assert bounds.hi == pytest.approx(0.5)
+
+    def test_bernoulli_pmf(self):
+        primitive = get_primitive("bernoulli_pmf")
+        assert primitive(0.3, 1.0) == pytest.approx(0.3)
+        assert primitive(0.3, 0.0) == pytest.approx(0.7)
+        assert primitive(0.3, 0.5) == 0.0
+        bounds = primitive.apply_interval(Interval.point(0.3), Interval(0.0, 1.0))
+        assert bounds.hi == pytest.approx(0.7)

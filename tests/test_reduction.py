@@ -1,0 +1,152 @@
+"""Tests for the concrete trace semantics (small-step and big-step)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import Normal, Uniform
+from repro.lang import builder as b
+from repro.lang.ast import Const, Sample
+from repro.semantics import (
+    NotTerminatedError,
+    StuckError,
+    replay,
+    run,
+    simulate,
+    value_and_weight,
+)
+from repro.semantics.sampler import EvaluationError
+
+from conftest import pedestrian_walk_fixpoint, simple_observe_model
+
+
+class TestSmallStep:
+    def test_constant_program(self):
+        result = value_and_weight(Const(2.0), ())
+        assert result.value == 2.0
+        assert result.weight == 1.0
+
+    def test_sample_consumes_trace(self):
+        result = value_and_weight(b.mul(3.0, b.sample()), (0.5,))
+        assert result.value == pytest.approx(1.5)
+
+    def test_score_multiplies_weight(self):
+        program = b.seq(b.score(0.3), b.seq(b.score(0.5), 7.0))
+        result = value_and_weight(program, ())
+        assert result.weight == pytest.approx(0.15)
+        assert result.value == 7.0
+
+    def test_negative_score_is_stuck(self):
+        with pytest.raises(StuckError):
+            value_and_weight(b.score(-1.0), ())
+
+    def test_if_branches_on_nonpositive(self):
+        assert value_and_weight(b.if_leq(0.0, 0.0, 1.0, 2.0), ()).value == 1.0
+        assert value_and_weight(b.if_leq(1.0, 0.0, 1.0, 2.0), ()).value == 2.0
+
+    def test_trace_must_be_consumed_exactly(self):
+        with pytest.raises(NotTerminatedError):
+            value_and_weight(Const(1.0), (0.3,))
+        with pytest.raises(StuckError):
+            value_and_weight(b.add(b.sample(), b.sample()), (0.3,))
+
+    def test_trace_entries_must_be_unit(self):
+        with pytest.raises(StuckError):
+            value_and_weight(b.sample(), (1.5,))
+
+    def test_nonuniform_sample_uses_quantile(self):
+        program = Sample(Uniform(2.0, 4.0))
+        result = value_and_weight(program, (0.25,))
+        assert result.value == pytest.approx(2.5)
+
+    def test_recursion_unfolds(self):
+        countdown = b.fix(
+            "f", "x", b.if_leq(b.var("x"), 0.0, b.var("x"), b.app(b.var("f"), b.sub(b.var("x"), 1.0)))
+        )
+        assert value_and_weight(b.app(countdown, 3.0), ()).value == 0.0
+
+    def test_paper_example_2_1(self):
+        """Example 2.1: the pedestrian on trace ⟨0.1, 0.2, 0.4, 0.7, 0.8⟩."""
+        walk = pedestrian_walk_fixpoint()
+        program = b.let(
+            "start",
+            b.mul(3.0, b.sample()),
+            b.let(
+                "distance",
+                b.app(walk, b.var("start")),
+                b.seq(b.observe_normal(1.1, 0.1, b.var("distance")), b.var("start")),
+            ),
+        )
+        result = value_and_weight(program, (0.1, 0.2, 0.4, 0.7, 0.8))
+        assert result.value == pytest.approx(0.3)
+        assert result.weight == pytest.approx(Normal(1.1, 0.1).pdf(0.9))
+
+    def test_run_returns_terminal_configuration(self):
+        config = run(b.add(1.0, 2.0), ())
+        assert isinstance(config.term, Const)
+        assert config.term.value == 3.0
+
+
+class TestBigStepAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.001, max_value=0.999), min_size=5, max_size=5))
+    def test_small_step_and_replay_agree_on_observe_model(self, trace):
+        program = simple_observe_model()
+        small = value_and_weight(program, tuple(trace[:1]))
+        big = replay(program, tuple(trace[:1]))
+        assert small.value == pytest.approx(big.value)
+        assert small.weight == pytest.approx(big.weight, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_simulate_then_replay_roundtrip(self, seed):
+        program = simple_observe_model()
+        rng = np.random.default_rng(seed)
+        forward = simulate(program, rng)
+        replayed = replay(program, forward.trace)
+        assert replayed.value == pytest.approx(forward.value)
+        assert replayed.log_weight == pytest.approx(forward.log_weight)
+
+    def test_simulate_pedestrian_agrees_with_small_step(self, rng):
+        from repro.models import pedestrian_bounded_program
+
+        # The bounded variant guarantees finite runs (the unbounded walk has
+        # infinite *expected* running time, so a test run could be arbitrarily
+        # long); the reference interpreter is only exercised on short traces.
+        program = pedestrian_bounded_program(max_distance=4.0)
+        checked = 0
+        while checked < 8:
+            forward = simulate(program, rng)
+            if len(forward.trace) > 25:
+                continue
+            reference = value_and_weight(program, forward.trace)
+            assert reference.value == pytest.approx(forward.value)
+            assert reference.weight == pytest.approx(forward.weight, rel=1e-9)
+            checked += 1
+
+    def test_replay_requires_exact_consumption(self):
+        program = b.sample()
+        with pytest.raises(Exception):
+            replay(program, (0.5, 0.5))
+        result = replay(program, (0.5, 0.5), require_exact=False)
+        assert result.value == 0.5
+
+    def test_zero_score_gives_zero_weight(self):
+        program = b.seq(b.score(0.0), 1.0)
+        result = replay(program, ())
+        assert result.weight == 0.0
+        assert result.log_weight == -math.inf
+
+    def test_evaluation_error_on_non_function_application(self):
+        program = b.app(Const(1.0), Const(2.0))
+        with pytest.raises(EvaluationError):
+            replay(program, ())
+
+    def test_interval_literal_rejected_concretely(self):
+        program = b.interval_const(0.0, 1.0)
+        with pytest.raises(EvaluationError):
+            replay(program, ())

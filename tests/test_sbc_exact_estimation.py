@@ -1,0 +1,215 @@
+"""Tests for SBC, the exact enumeration engine and the probability-estimation baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Bernoulli, Categorical
+from repro.estimation import ProbabilityEstimate, ScoreFreeError, estimate_probability
+from repro.exact import ExactInferenceError, UnrollLimitReached, enumerate_posterior
+from repro.inference import SBCModel, importance_sampling, simulation_based_calibration
+from repro.intervals import Interval
+from repro.lang import builder as b
+from repro.lang.ast import Sample
+from repro.models import discrete_benchmark_by_name
+
+
+class TestExactEnumeration:
+    def test_single_bernoulli(self):
+        result = enumerate_posterior(Sample(Bernoulli(0.3)))
+        assert result.probability(1.0) == pytest.approx(0.3)
+        assert result.probability(0.0) == pytest.approx(0.7)
+        assert result.normalising_constant == pytest.approx(1.0)
+
+    def test_conditioning_renormalises(self):
+        program = b.let_many(
+            [("c1", Sample(Bernoulli(0.5))), ("c2", Sample(Bernoulli(0.5))),
+             ("_", b.score(b.sub(1.0, b.mul(b.var("c1"), b.var("c2")))))],
+            b.var("c1"),
+        )
+        result = enumerate_posterior(program)
+        assert result.probability(1.0) == pytest.approx(1.0 / 3.0)
+        assert result.normalising_constant == pytest.approx(0.75)
+
+    def test_soft_scores_supported(self):
+        program = b.let(
+            "c",
+            Sample(Bernoulli(0.5)),
+            b.seq(b.score(b.add(1.0, b.var("c"))), b.var("c")),
+        )
+        result = enumerate_posterior(program)
+        assert result.probability(1.0) == pytest.approx(2.0 / 3.0)
+
+    def test_arithmetic_and_expectation(self):
+        program = b.add(Sample(Bernoulli(0.5)), b.mul(2.0, Sample(Bernoulli(0.5))))
+        result = enumerate_posterior(program)
+        assert sorted(result.support()) == [0.0, 1.0, 2.0, 3.0]
+        assert result.expectation() == pytest.approx(1.5)
+
+    def test_categorical_support(self):
+        program = Sample(Categorical([1.0, 2.0, 4.0], [0.2, 0.3, 0.5]))
+        result = enumerate_posterior(program)
+        assert result.expectation() == pytest.approx(0.2 + 0.6 + 2.0)
+
+    def test_probability_of_interval(self):
+        result = enumerate_posterior(Sample(Categorical([0.0, 1.0, 2.0], [0.25, 0.25, 0.5])))
+        assert result.probability_of(Interval(0.5, 2.5)) == pytest.approx(0.75)
+
+    def test_continuous_sample_rejected(self):
+        with pytest.raises(ExactInferenceError):
+            enumerate_posterior(b.sample())
+
+    def test_recursion_requires_unrolling_bound(self):
+        loop = b.fix(
+            "f",
+            "x",
+            b.if_leq(b.var("x"), 0.0, b.var("x"), b.app(b.var("f"), b.sub(b.var("x"), 1.0))),
+        )
+        assert enumerate_posterior(b.app(loop, 3.0), max_unroll=10).probability(0.0) == 1.0
+        with pytest.raises(UnrollLimitReached):
+            enumerate_posterior(b.app(loop, 100.0), max_unroll=5)
+
+    def test_geometric_truncation_changes_posterior(self):
+        """The Fig. 6a effect: truncated enumeration differs from the true distribution."""
+        loop = b.fix(
+            "f",
+            "count",
+            b.if_leq(
+                Sample(Bernoulli(0.5)),
+                0.0,
+                b.var("count"),
+                b.app(b.var("f"), b.add(b.var("count"), 1.0)),
+            ),
+        )
+        program = b.app(loop, 0.0)
+        with pytest.raises(UnrollLimitReached):
+            enumerate_posterior(program, max_unroll=6)
+        truncated = enumerate_posterior(program, max_unroll=6, on_limit="truncate")
+        # The enumeration only sees counts up to the truncation depth, so the
+        # tail mass is missing entirely.
+        assert truncated.normalising_constant < 1.0
+        assert max(truncated.support()) <= 6.0
+
+    def test_zero_mass_distribution(self):
+        program = b.seq(b.score(0.0), Sample(Bernoulli(0.5)))
+        result = enumerate_posterior(program)
+        assert result.normalising_constant == 0.0
+        assert result.probability(1.0) == 0.0
+        with pytest.raises(ExactInferenceError):
+            result.expectation()
+
+    def test_agrees_with_gubpi_on_suite_entry(self):
+        case = discrete_benchmark_by_name("noisyOr")
+        from repro.analysis import bound_query
+
+        exact = enumerate_posterior(case.program).probability_of(case.query_target)
+        bounds = bound_query(case.program, case.query_target)
+        assert bounds.contains(exact, slack=1e-9)
+
+
+class TestProbabilityEstimationBaseline:
+    def test_exact_on_single_path_program(self):
+        program = b.sub(b.add(b.sample(), b.sample()), 1.0)
+        estimate = estimate_probability(program, Interval(-math.inf, 0.0))
+        assert estimate.lower == pytest.approx(0.5, abs=1e-9)
+        assert estimate.upper == pytest.approx(0.5, abs=1e-9)
+
+    def test_budget_limits_precision(self):
+        """With a tiny path budget the unexplored mass widens the bounds."""
+        program = b.if_leq(
+            b.sample(), 0.5,
+            b.if_leq(b.sample(), 0.5, 1.0, 2.0),
+            b.if_leq(b.sample(), 0.5, 3.0, 4.0),
+        )
+        target = Interval(0.5, 1.5)
+        full = estimate_probability(program, target, path_budget=10)
+        limited = estimate_probability(program, target, path_budget=1)
+        assert full.width < 1e-9
+        assert limited.width > 0.5
+        assert limited.lower <= 0.25 <= limited.upper
+
+    def test_score_free_restriction(self):
+        program = b.seq(b.observe_normal(0.0, 1.0, b.sample()), b.sample())
+        with pytest.raises(ScoreFreeError):
+            estimate_probability(program, Interval(0.0, 0.5))
+
+    def test_bounds_contain_truth_for_recursive_program(self):
+        from conftest import geometric_program
+
+        estimate = estimate_probability(geometric_program(0.5), Interval(-0.5, 0.5), max_fixpoint_depth=5)
+        assert estimate.lower <= 0.5 <= estimate.upper
+
+    def test_result_dataclass_fields(self):
+        program = b.sample()
+        estimate = estimate_probability(program, Interval(0.0, 0.25))
+        assert isinstance(estimate, ProbabilityEstimate)
+        assert estimate.explored_paths == 1
+        assert estimate.explored_mass == pytest.approx(1.0, abs=1e-9)
+        assert estimate.seconds >= 0.0
+
+
+class TestSimulationBasedCalibration:
+    @staticmethod
+    def _uniform_normal_model() -> SBCModel:
+        def prior(rng):
+            return float(rng.uniform(0.0, 1.0))
+
+        def generate(theta, rng):
+            return [float(rng.normal(theta, 0.2))]
+
+        def build(data):
+            return b.let(
+                "x",
+                b.sample(),
+                b.seq(b.observe_normal(float(data[0]), 0.2, b.var("x")), b.var("x")),
+            )
+
+        return SBCModel("uniform-normal", prior, generate, build)
+
+    @staticmethod
+    def _is_inference(program, count, rng):
+        result = importance_sampling(program, max(count * 4, 200), rng)
+        return list(result.resample(count, rng))
+
+    def test_calibrated_inference_gives_uniform_ranks(self, rng):
+        sbc = simulation_based_calibration(
+            self._uniform_normal_model(), self._is_inference, simulations=120, samples_per_simulation=15, rng=rng
+        )
+        assert len(sbc.ranks) == 120
+        assert all(0 <= rank <= 15 for rank in sbc.ranks)
+        assert sbc.looks_calibrated
+        assert sbc.seconds > 0
+
+    def test_broken_inference_detected(self, rng):
+        def broken_inference(program, count, rng_):
+            # Ignores the data entirely: posterior samples from the prior's lower half.
+            return list(rng_.uniform(0.0, 0.5, size=count))
+
+        sbc = simulation_based_calibration(
+            self._uniform_normal_model(), broken_inference, simulations=120, samples_per_simulation=15, rng=rng
+        )
+        statistic, p_value = sbc.uniformity()
+        assert p_value < 0.01
+        assert not sbc.looks_calibrated
+
+    def test_rank_histogram_shape(self, rng):
+        sbc = simulation_based_calibration(
+            self._uniform_normal_model(), self._is_inference, simulations=40, samples_per_simulation=7, rng=rng
+        )
+        histogram = sbc.rank_histogram(bins=4)
+        assert histogram.sum() == 40
+
+    def test_thinning_recorded(self, rng):
+        sbc = simulation_based_calibration(
+            self._uniform_normal_model(),
+            self._is_inference,
+            simulations=10,
+            samples_per_simulation=7,
+            rng=rng,
+            thinning=3,
+        )
+        assert sbc.thinning == 3
+        assert len(sbc.ranks) == 10

@@ -1,0 +1,251 @@
+"""Tests for symbolic values, linear forms and symbolic execution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval
+from repro.lang import builder as b
+from repro.symbolic import (
+    ExecutionLimits,
+    LinearForm,
+    PathExplosionError,
+    Relation,
+    SConst,
+    SPrim,
+    SVar,
+    SymConstraint,
+    decompose_score,
+    evaluate,
+    evaluate_interval,
+    evaluate_with_atoms,
+    extract_linear,
+    sample_variables,
+    symbolic_paths,
+    uses_variables_at_most_once,
+)
+
+from conftest import pedestrian_walk_fixpoint, geometric_program
+
+
+def _linear_expr():
+    # 3·α0 − α1 + 2
+    return SPrim(
+        "add",
+        (
+            SPrim("sub", (SPrim("mul", (SConst(Interval.point(3.0)), SVar(0))), SVar(1))),
+            SConst(Interval.point(2.0)),
+        ),
+    )
+
+
+class TestSymbolicValues:
+    def test_concrete_evaluation(self):
+        assert evaluate(_linear_expr(), [0.5, 1.0]) == pytest.approx(2.5)
+
+    def test_concrete_evaluation_rejects_intervals(self):
+        with pytest.raises(ValueError):
+            evaluate(SConst(Interval(0.0, 1.0)), [])
+
+    def test_interval_evaluation_sound(self):
+        expr = _linear_expr()
+        bounds = evaluate_interval(expr, [Interval(0.0, 1.0), Interval(0.0, 1.0)])
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            point = rng.random(2)
+            assert evaluate(expr, point) in bounds
+
+    def test_sample_variables_and_single_use(self):
+        expr = _linear_expr()
+        assert sample_variables(expr) == {0, 1}
+        assert uses_variables_at_most_once(expr)
+        squared = SPrim("mul", (SVar(0), SVar(0)))
+        assert not uses_variables_at_most_once(squared)
+
+    def test_evaluate_with_atoms(self):
+        from repro.symbolic import SAtom
+
+        template = SPrim("normal_pdf", (SConst(Interval.point(0.0)), SConst(Interval.point(1.0)), SAtom(0)))
+        bounds = evaluate_with_atoms(template, [Interval(-0.5, 0.5)])
+        assert bounds.hi == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+
+class TestLinearForms:
+    def test_extract_linear_on_linear_expression(self):
+        form = extract_linear(_linear_expr())
+        assert form is not None
+        assert form.coefficient_dict == {0: 3.0, 1: -1.0}
+        assert form.constant == Interval.point(2.0)
+
+    def test_extract_linear_rejects_products_of_variables(self):
+        assert extract_linear(SPrim("mul", (SVar(0), SVar(1)))) is None
+
+    def test_extract_linear_scaling_and_division(self):
+        expr = SPrim("div", (SPrim("mul", (SConst(Interval.point(2.0)), SVar(0))), SConst(Interval.point(4.0))))
+        form = extract_linear(expr)
+        assert form.coefficient_dict == {0: 0.5}
+
+    def test_extract_linear_constant_folding_through_primitives(self):
+        expr = SPrim("exp", (SConst(Interval.point(0.0)),))
+        form = extract_linear(expr)
+        assert form is not None and form.is_constant
+        assert 1.0 in form.constant
+
+    def test_linear_form_arithmetic(self):
+        first = LinearForm.from_dict({0: 1.0, 1: 2.0}, Interval.point(1.0))
+        second = LinearForm.from_dict({1: -2.0}, Interval.point(0.5))
+        combined = first.add(second)
+        assert combined.coefficient_dict == {0: 1.0}
+        assert combined.constant == Interval.point(1.5)
+        assert combined.scale(2.0).coefficient_dict == {0: 2.0}
+
+    def test_linear_form_evaluation_matches_dense(self):
+        form = LinearForm.from_dict({0: 2.0, 2: -1.0}, Interval.point(0.25))
+        assert form.evaluate([1.0, 99.0, 3.0]) == pytest.approx(-0.75)
+        assert form.as_dense(3) == [2.0, 0.0, -1.0]
+        with pytest.raises(ValueError):
+            form.as_dense(2)
+
+    def test_decompose_score_linear_atom(self):
+        expr = SPrim(
+            "normal_pdf",
+            (SConst(Interval.point(1.1)), SConst(Interval.point(0.1)), SPrim("add", (SVar(0), SVar(1)))),
+        )
+        decomposition = decompose_score(expr)
+        assert len(decomposition.atoms) == 1
+        assert decomposition.atoms[0].coefficient_dict == {0: 1.0, 1: 1.0}
+
+    def test_decompose_score_shares_atoms(self):
+        atoms: list[LinearForm] = []
+        expr = SPrim("add", (SVar(0), SVar(1)))
+        decompose_score(SPrim("exp", (expr,)), atoms)
+        decompose_score(SPrim("log", (expr,)), atoms)
+        assert len(atoms) == 1
+
+    def test_decompose_whole_linear_expression(self):
+        decomposition = decompose_score(_linear_expr())
+        assert decomposition.is_linear
+
+
+class TestSymbolicExecution:
+    def test_straight_line_program_single_path(self):
+        program = b.add(b.mul(2.0, b.sample()), b.sample())
+        result = symbolic_paths(program)
+        assert len(result.paths) == 1
+        path = result.paths[0]
+        assert path.variable_count == 2
+        assert path.is_linear
+        assert not path.truncated
+
+    def test_branching_produces_two_paths(self):
+        program = b.if_leq(b.sample(), 0.5, 1.0, 2.0)
+        result = symbolic_paths(program)
+        assert len(result.paths) == 2
+        relations = {path.constraints[0].relation for path in result.paths}
+        assert relations == {Relation.LEQ, Relation.GT}
+
+    def test_constant_guard_folds(self):
+        program = b.if_leq(1.0, 2.0, b.sample(), b.score(0.0))
+        result = symbolic_paths(program)
+        assert len(result.paths) == 1
+        assert not result.paths[0].constraints
+
+    def test_zero_score_path_pruned(self):
+        program = b.if_leq(b.sample(), 0.5, b.seq(b.score(0.0), 1.0), 2.0)
+        result = symbolic_paths(program)
+        assert len(result.paths) == 1
+        assert result.pruned_paths == 1
+
+    def test_score_recorded(self):
+        program = b.seq(b.observe_normal(0.0, 1.0, b.sample()), 1.0)
+        result = symbolic_paths(program)
+        assert len(result.paths[0].scores) == 1
+
+    def test_geometric_program_paths(self):
+        result = symbolic_paths(geometric_program(0.5), ExecutionLimits(max_fixpoint_depth=4))
+        values = set()
+        for path in result.paths:
+            if not path.truncated:
+                assert isinstance(path.result, SConst)
+                values.add(path.result.interval.lo)
+        assert {0.0, 1.0, 2.0, 3.0}.issubset(values)
+        assert result.truncated_paths >= 1
+
+    def test_pedestrian_paths_match_paper_structure(self):
+        """Example 6.1/6.2: linear constraints, normal-pdf scores, approxFix summaries."""
+        walk = pedestrian_walk_fixpoint()
+        program = b.let(
+            "start",
+            b.mul(3.0, b.sample()),
+            b.let(
+                "distance",
+                b.app(walk, b.var("start")),
+                b.seq(b.observe_normal(1.1, 0.1, b.var("distance")), b.var("start")),
+            ),
+        )
+        result = symbolic_paths(program, ExecutionLimits(max_fixpoint_depth=3))
+        assert result.truncated_paths > 0
+        for path in result.paths:
+            assert path.is_linear
+            assert path.satisfies_single_use_assumption()
+            assert len(path.scores) == 1
+
+    def test_path_explosion_raises(self):
+        program = geometric_program(0.5)
+        with pytest.raises(PathExplosionError):
+            symbolic_paths(program, ExecutionLimits(max_fixpoint_depth=30, max_paths=5))
+
+    def test_single_use_assumption_violated_detected(self):
+        program = b.let("s", b.sample(), b.if_leq(b.sub(b.var("s"), b.var("s")), 0.0, 0.0, 1.0))
+        result = symbolic_paths(program)
+        assert any(not path.satisfies_single_use_assumption() for path in result.paths)
+
+    def test_monte_carlo_cross_check_of_paths(self, rng):
+        """Theorem 6.1 sanity check: summed path estimates match a direct estimate."""
+        from repro.semantics import simulate
+
+        program = b.let(
+            "u",
+            b.sample(),
+            b.seq(
+                b.observe_normal(0.5, 0.2, b.var("u")),
+                b.if_leq(b.var("u"), 0.4, b.mul(2.0, b.var("u")), b.var("u")),
+            ),
+        )
+        result = symbolic_paths(program)
+        target = Interval(0.0, 0.8)
+        path_total = sum(
+            path.monte_carlo_estimate(target, 4000, rng) for path in result.paths
+        )
+        direct = 0.0
+        samples = 4000
+        for _ in range(samples):
+            run = simulate(program, rng)
+            if run.value in target:
+                direct += run.weight
+        direct /= samples
+        assert path_total == pytest.approx(direct, rel=0.2)
+
+
+class TestSymbolicPathAPI:
+    def test_constraint_relations(self):
+        constraint = SymConstraint(SVar(0), Relation.LEQ)
+        assert constraint.holds(-0.1) and constraint.holds(0.0) and not constraint.holds(0.1)
+        assert constraint.holds_forall(Interval(-1.0, 0.0))
+        assert not constraint.holds_forall(Interval(-1.0, 0.5))
+        assert constraint.holds_exists(Interval(-1.0, 0.5))
+        assert not constraint.holds_exists(Interval(0.5, 1.0))
+
+    def test_invalid_relation_rejected(self):
+        with pytest.raises(ValueError):
+            SymConstraint(SVar(0), "bogus")
+
+    def test_describe_and_domains(self):
+        program = b.add(b.sample(), b.sample())
+        path = symbolic_paths(program).paths[0]
+        assert "n=2" in path.describe()
+        assert path.variable_domains() == [Interval(0.0, 1.0), Interval(0.0, 1.0)]
+        assert path.result_interval() == Interval(0.0, 2.0)

@@ -1,0 +1,188 @@
+"""Tests for the weight-aware interval type system (paper Section 5, Appendix D)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval
+from repro.lang import builder as b
+from repro.semantics import simulate
+from repro.typesystem import (
+    ArrowIType,
+    BaseIType,
+    ConstraintSystem,
+    ProductConstraint,
+    SeedConstraint,
+    WeightedIType,
+    fixpoint_summary,
+    generate_constraints,
+    infer_weighted_type,
+    is_weighted_subtype,
+    is_weightless_subtype,
+    solve,
+    top_weighted,
+    top_weightless,
+)
+from repro.lang.types import REAL, FunType
+
+from conftest import pedestrian_walk_fixpoint
+
+
+class TestSubtyping:
+    def test_base_subtyping_is_inclusion(self):
+        small = BaseIType(Interval(0.0, 1.0))
+        large = BaseIType(Interval(-1.0, 2.0))
+        assert is_weightless_subtype(small, large)
+        assert not is_weightless_subtype(large, small)
+
+    def test_arrow_subtyping_contravariant(self):
+        narrow_arg = BaseIType(Interval(0.0, 1.0))
+        wide_arg = BaseIType(Interval(-5.0, 5.0))
+        result = WeightedIType(BaseIType(Interval(0.0, 1.0)), Interval(0.0, 1.0))
+        f_wide = ArrowIType(wide_arg, result)
+        f_narrow = ArrowIType(narrow_arg, result)
+        # A function accepting a wider argument is a subtype of one accepting a narrower one.
+        assert is_weightless_subtype(f_wide, f_narrow)
+        assert not is_weightless_subtype(f_narrow, f_wide)
+
+    def test_weighted_subtyping_requires_weight_inclusion(self):
+        small = WeightedIType(BaseIType(Interval(0.0, 1.0)), Interval(1.0, 1.0))
+        large = WeightedIType(BaseIType(Interval(0.0, 1.0)), Interval(0.0, 2.0))
+        assert is_weighted_subtype(small, large)
+        assert not is_weighted_subtype(large, small)
+
+    def test_top_types(self):
+        assert top_weightless(REAL) == BaseIType(Interval(-math.inf, math.inf))
+        arrow = top_weightless(FunType(REAL, REAL))
+        assert isinstance(arrow, ArrowIType)
+        assert top_weighted(REAL).weight == Interval(0.0, math.inf)
+
+
+class TestConstraintGenerationAndSolver:
+    def test_constant_program(self):
+        weighted = infer_weighted_type(b.const(3.0))
+        assert weighted.wtype == BaseIType(Interval.point(3.0))
+        assert weighted.weight == Interval.point(1.0)
+
+    def test_sample_has_unit_interval(self):
+        weighted = infer_weighted_type(b.sample())
+        assert weighted.wtype == BaseIType(Interval(0.0, 1.0))
+
+    def test_arithmetic_propagates(self):
+        weighted = infer_weighted_type(b.add(b.mul(2.0, b.sample()), 1.0))
+        assert weighted.wtype == BaseIType(Interval(1.0, 3.0))
+
+    def test_score_bounds_weight(self):
+        weighted = infer_weighted_type(b.seq(b.score(b.sample()), 0.0))
+        assert weighted.weight == Interval(0.0, 1.0)
+
+    def test_paper_example_5_1_shape(self):
+        """Example 5.1: a score of a sample gives weight [0,1] and value within [0, 20]."""
+        term = b.seq(b.score(b.sample()), b.mul(5.0, b.mul(4.0, b.sample())))
+        weighted = infer_weighted_type(term)
+        assert weighted.wtype == BaseIType(Interval(0.0, 20.0))
+        assert weighted.weight == Interval(0.0, 1.0)
+
+    def test_if_joins_branches(self):
+        term = b.if_leq(b.sample(), 0.5, 1.0, 3.0)
+        weighted = infer_weighted_type(term)
+        assert weighted.wtype == BaseIType(Interval(1.0, 3.0))
+
+    def test_branch_weights_join(self):
+        term = b.if_leq(b.sample(), 0.5, b.score(2.0), b.score(4.0))
+        weighted = infer_weighted_type(term)
+        assert weighted.weight.contains_interval(Interval(2.0, 4.0))
+
+    def test_solver_terminates_on_widening_example(self):
+        """The Appendix D.3 divergence example: ν3 ⊒ ν3 + ν2 must terminate via widening."""
+        term = b.app(
+            b.fix("f", "x", b.app(b.var("f"), b.add(b.var("x"), 1.0))),
+            0.0,
+        )
+        weighted = infer_weighted_type(term)
+        assert weighted.wtype.interval.hi == math.inf
+
+    def test_constraint_system_structure(self):
+        system = generate_constraints(b.score(b.sample()))
+        assert isinstance(system, ConstraintSystem)
+        assert any(isinstance(c, SeedConstraint) for c in system.constraints)
+        assert any(isinstance(c, ProductConstraint) for c in system.constraints)
+        solution = solve(system)
+        assert solution.stats.iterations > 0
+
+    def test_open_term_with_environment(self):
+        term = b.add(b.var("x"), 1.0)
+        weighted = infer_weighted_type(term, {"x": BaseIType(Interval(0.0, 2.0))})
+        assert weighted.wtype == BaseIType(Interval(1.0, 3.0))
+
+
+class TestSoundness:
+    """Theorem 5.1: inferred intervals contain the value and weight of every run."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_inferred_type_contains_concrete_runs(self, seed):
+        term = b.let(
+            "x",
+            b.sample(),
+            b.seq(
+                b.score(b.add(b.var("x"), 0.5)),
+                b.if_leq(b.var("x"), 0.5, b.mul(2.0, b.var("x")), b.add(b.var("x"), 3.0)),
+            ),
+        )
+        weighted = infer_weighted_type(term)
+        rng = np.random.default_rng(seed)
+        for _ in range(50):
+            run = simulate(term, rng)
+            assert run.value in weighted.wtype.interval
+            assert run.weight in weighted.weight
+
+    def test_pedestrian_walk_summary_matches_paper(self):
+        """Example 5.2 / 6.2: the walk types as [a,b] -> ⟨[0,∞] / [1,1]⟩."""
+        summary = fixpoint_summary(pedestrian_walk_fixpoint(), Interval(-1.0, 4.0))
+        assert summary.value == Interval(0.0, math.inf)
+        assert summary.weight == Interval.point(1.0)
+
+    def test_scoring_fixpoint_weight_widens(self):
+        loop = b.fix(
+            "f",
+            "x",
+            b.if_leq(b.var("x"), 0.0, 1.0, b.seq(b.score(2.0), b.app(b.var("f"), b.sub(b.var("x"), 1.0)))),
+        )
+        summary = fixpoint_summary(loop, Interval(0.0, 5.0))
+        assert summary.weight.lo >= 1.0
+        assert summary.weight.hi == math.inf
+        assert 1.0 in summary.value
+
+    def test_fixpoint_summary_concrete_soundness(self, rng):
+        """The approxFix summary bounds actual terminating calls."""
+        loop = b.fix(
+            "f",
+            "x",
+            b.if_leq(
+                b.var("x"),
+                0.0,
+                b.var("x"),
+                b.seq(b.score(0.5), b.app(b.var("f"), b.sub(b.var("x"), b.sample()))),
+            ),
+        )
+        summary = fixpoint_summary(loop, Interval(0.0, 2.0))
+        program = b.app(loop, b.mul(2.0, b.sample()))
+        for _ in range(50):
+            run = simulate(program, rng)
+            assert run.value in summary.value
+            assert run.weight in summary.weight
+
+    def test_higher_order_argument_falls_back(self):
+        term = b.lam("x", b.var("x"))
+        summary = fixpoint_summary(term, Interval(0.0, 1.0))
+        assert Interval(0.0, 1.0).contains_interval(Interval(0.0, 1.0))
+        assert summary.weight.contains_interval(Interval.point(1.0))
+
+    def test_non_function_rejected(self):
+        from repro.typesystem import TypeInferenceError
+
+        with pytest.raises(TypeInferenceError):
+            fixpoint_summary(b.const(1.0), Interval(0.0, 1.0))
