@@ -2,20 +2,20 @@
 
 The harness reproduces the figure's data: posterior histograms of the
 pedestrian starting point from likelihood-weighted importance sampling and
-from a fixed-dimension HMC run on a truncated version of the model.  The
-asserted shape is the paper's observation that the two samplers produce
-visibly different distributions (here measured by total-variation distance of
-their histograms).
+from a fixed-dimension HMC run on a truncated version of the model, both run
+through the unified ``Model.sample`` interface.  The asserted shape is the
+paper's observation that the two samplers produce visibly different
+distributions (here measured by total-variation distance of their histograms).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.inference import hmc_truncated_program, importance_sampling
+from repro.analysis import Model
 from repro.models import pedestrian_bounded_program
 
-from conftest import emit
+from bench_utils import emit
 
 _EDGES = np.linspace(0.0, 3.0, 13)
 
@@ -27,16 +27,16 @@ def _histogram(values: np.ndarray) -> np.ndarray:
 
 
 def test_fig1_sampler_disagreement(bench_once, rng):
-    program = pedestrian_bounded_program()
+    model = Model(pedestrian_bounded_program())
 
     def run_samplers():
-        is_result = importance_sampling(program, 4_000, rng)
+        is_result = model.sample(4_000, method="importance", rng=rng)
         is_values = is_result.resample(4_000, rng)
-        _, hmc_values = hmc_truncated_program(
-            program,
-            trace_dimension=5,
-            num_samples=150,
+        _, hmc_values = model.sample(
+            150,
+            method="hmc",
             rng=rng,
+            trace_dimension=5,
             step_size=0.08,
             leapfrog_steps=15,
             burn_in=50,

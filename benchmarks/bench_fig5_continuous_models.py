@@ -4,6 +4,8 @@ Four models — coinBias, max of two normals, the binary Gaussian mixture and
 Neal's funnel — get histogram-shaped guaranteed bounds; importance sampling
 provides the reference series the bounds must contain, and (for the GMM) a
 mode-collapsed HMC run is flagged as violating them (the Fig. 5c observation).
+Each model runs through one ``Model`` facade so the guaranteed-bounds
+histogram and the sampler cross-checks share the program object.
 """
 
 from __future__ import annotations
@@ -11,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import hmc, importance_sampling
+from repro.analysis import AnalysisOptions, Model
+from repro.inference import hmc
 from repro.models import (
     binary_gmm_log_density,
     binary_gmm_program,
@@ -21,7 +23,7 @@ from repro.models import (
     neals_funnel_program,
 )
 
-from conftest import emit
+from bench_utils import emit
 
 _BOX_OPTIONS = AnalysisOptions(splits_per_dimension=80, use_linear_semantics=False)
 
@@ -33,15 +35,15 @@ def _summarise(name: str, histogram, extra: list[str] | None = None) -> None:
     emit(name, lines)
 
 
-def _is_reference(program, rng, count=20_000):
-    result = importance_sampling(program, count, rng)
+def _is_reference(model, rng, count=20_000):
+    result = model.sample(count, method="importance", rng=rng)
     return result.resample(count // 2, rng)
 
 
 def test_fig5a_coin_bias(bench_once, rng):
-    program = coin_bias_program()
-    histogram = bench_once(bound_posterior_histogram, program, 0.0, 1.0, 10, _BOX_OPTIONS)
-    samples = _is_reference(program, rng)
+    model = Model(coin_bias_program(), _BOX_OPTIONS)
+    histogram = bench_once(model.histogram, 0.0, 1.0, 10)
+    samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5a_coin_bias", histogram, [f"IS consistent: {report.consistent}"])
     assert histogram.z_lower > 0
@@ -49,9 +51,9 @@ def test_fig5a_coin_bias(bench_once, rng):
 
 
 def test_fig5b_max_of_normals(bench_once, rng):
-    program = max_of_normals_program()
-    histogram = bench_once(bound_posterior_histogram, program, -3.0, 3.0, 12, _BOX_OPTIONS)
-    samples = _is_reference(program, rng)
+    model = Model(max_of_normals_program(), _BOX_OPTIONS)
+    histogram = bench_once(model.histogram, -3.0, 3.0, 12)
+    samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5b_max_of_normals", histogram, [f"IS consistent: {report.consistent}"])
     assert report.consistent
@@ -68,12 +70,12 @@ def test_fig5b_max_of_normals(bench_once, rng):
 
 
 def test_fig5c_binary_gmm(bench_once, rng):
-    program = binary_gmm_program(observation=1.0)
-    histogram = bench_once(
-        bound_posterior_histogram, program, -3.0, 3.0, 12,
+    model = Model(
+        binary_gmm_program(observation=1.0),
         AnalysisOptions(splits_per_dimension=160, use_linear_semantics=False),
     )
-    samples = _is_reference(program, rng)
+    histogram = bench_once(model.histogram, -3.0, 3.0, 12)
+    samples = _is_reference(model, rng)
     is_report = histogram.validate_samples(samples, tolerance=0.02)
 
     # A mode-collapsed HMC chain (started in the positive mode, small steps).
@@ -102,9 +104,9 @@ def test_fig5c_binary_gmm(bench_once, rng):
 
 
 def test_fig5d_neals_funnel(bench_once, rng):
-    program = neals_funnel_program()
-    histogram = bench_once(bound_posterior_histogram, program, -9.0, 9.0, 12, _BOX_OPTIONS)
-    samples = _is_reference(program, rng)
+    model = Model(neals_funnel_program(), _BOX_OPTIONS)
+    histogram = bench_once(model.histogram, -9.0, 9.0, 12)
+    samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5d_neals_funnel", histogram, [f"IS consistent: {report.consistent}"])
     assert report.consistent

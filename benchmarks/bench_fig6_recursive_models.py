@@ -13,12 +13,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import importance_sampling
+from repro.analysis import AnalysisOptions, Model
 from repro.intervals import Interval
 from repro.models import recursive_suite
 
-from conftest import emit
+from bench_utils import emit
 
 #: per-model (fixpoint depth, score splits, box splits) — reduced for bench runtime
 _BENCH_SETTINGS = {
@@ -42,17 +41,16 @@ def test_fig6_model(entry, bench_once, rng):
         splits_per_dimension=box_splits,
         max_boxes_per_path=4_000,
     )
+    model = Model(entry.program, options)
     buckets = min(entry.buckets, 8)
     histogram = bench_once(
-        bound_posterior_histogram,
-        entry.program,
+        model.histogram,
         entry.histogram_low,
         entry.histogram_high,
         buckets,
-        options,
     )
 
-    is_result = importance_sampling(entry.program, 4_000, rng)
+    is_result = model.sample(4_000, method="importance", rng=rng)
     samples = is_result.resample(4_000, rng)
     report = histogram.validate_samples(samples, tolerance=0.04)
 
@@ -70,20 +68,16 @@ def test_fig6_model(entry, bench_once, rng):
 
 def test_fig6a_truncated_exact_inference_differs(bench_once):
     """Fig. 6a/6c: unrolling the loop to a fixed depth visibly changes the result."""
-    from repro.exact import enumerate_posterior
     from repro.models import cav_example_7
 
-    program = cav_example_7()
-    truncated = bench_once(enumerate_posterior, program, 6, "truncate")
+    model = Model(cav_example_7(), AnalysisOptions(max_fixpoint_depth=12))
+    truncated = bench_once(model.exact, 6, "truncate")
     # The unbounded program assigns P(count = 0) = 0.2 exactly; the truncated
     # enumeration loses the tail mass and renormalises it away.
     truncated_p0 = truncated.probability(0.0)
     missing_mass = 1.0 - truncated.normalising_constant
 
-    options = AnalysisOptions(max_fixpoint_depth=12)
-    from repro.analysis import bound_query
-
-    bounds = bound_query(program, Interval(-0.5, 0.5), options)
+    bounds = model.probability(Interval(-0.5, 0.5))
     lines = [
         f"truncated exact inference (depth 6): P(count=0) = {truncated_p0:.4f}, "
         f"missing tail mass = {missing_mass:.4f}",

@@ -5,38 +5,37 @@ pedestrian's starting point, checked against importance sampling (which should
 be consistent) and against a fixed-dimension HMC run on the truncated model
 (which should violate the bounds).  The paper runs this at depth/splits that
 take ~1.5 hours; the harness uses a reduced depth, which loosens the bounds
-but preserves the qualitative verdict.
+but preserves the qualitative verdict.  Both samplers run through the unified
+``Model.sample`` interface on the bounded variant of the model.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import hmc_truncated_program, importance_sampling
+from repro.analysis import AnalysisOptions, Model
 from repro.models import pedestrian_bounded_program, pedestrian_program
 
-from conftest import emit
+from bench_utils import emit
 
 _DEPTH = 5
 _BUCKETS = 6
 
 
 def test_fig7_pedestrian_bounds(bench_once, rng):
-    program = pedestrian_program()
-    options = AnalysisOptions(max_fixpoint_depth=_DEPTH, score_splits=16)
-    histogram = bench_once(bound_posterior_histogram, program, 0.0, 3.0, _BUCKETS, options)
+    model = Model(pedestrian_program(), AnalysisOptions(max_fixpoint_depth=_DEPTH, score_splits=16))
+    histogram = bench_once(model.histogram, 0.0, 3.0, _BUCKETS)
 
-    sampler_program = pedestrian_bounded_program()
-    is_result = importance_sampling(sampler_program, 6_000, rng)
+    sampler_model = Model(pedestrian_bounded_program())
+    is_result = sampler_model.sample(6_000, method="importance", rng=rng)
     is_samples = is_result.resample(6_000, rng)
     is_report = histogram.validate_samples(is_samples, tolerance=0.03)
 
-    _, hmc_values = hmc_truncated_program(
-        sampler_program,
-        trace_dimension=5,
-        num_samples=150,
+    _, hmc_values = sampler_model.sample(
+        150,
+        method="hmc",
         rng=rng,
+        trace_dimension=5,
         step_size=0.08,
         leapfrog_steps=15,
         burn_in=50,

@@ -2,9 +2,10 @@
 
 For every (program, query) pair of the suite the harness computes guaranteed
 bounds with the GuBPI engine and with the Sankaranarayanan-et-al.-style
-baseline, then prints both next to the values the paper reports for the
-original tools.  The asserted shape: GuBPI's bounds are valid (contain a
-Monte-Carlo estimate) and at least as tight as the baseline's.
+baseline — both through one ``Model`` per program — then prints them next to
+the values the paper reports for the original tools.  The asserted shape:
+GuBPI's bounds are valid (contain a Monte-Carlo estimate) and at least as
+tight as the baseline's.
 """
 
 from __future__ import annotations
@@ -12,12 +13,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisOptions, bound_query
-from repro.estimation import estimate_probability
-from repro.inference import importance_sampling
+from repro.analysis import AnalysisOptions, Model
 from repro.models import probest_suite
 
-from conftest import emit
+from bench_utils import emit
 
 SUITE = probest_suite()
 _OPTIONS = AnalysisOptions(max_fixpoint_depth=12, splits_per_dimension=24)
@@ -27,11 +26,10 @@ _collected_rows: list[str] = []
 
 @pytest.mark.parametrize("entry", SUITE, ids=lambda e: e.identifier)
 def test_table1_row(entry, bench_once, rng):
-    bounds = bench_once(bound_query, entry.program, entry.target, _OPTIONS)
+    model = Model(entry.program, _OPTIONS)
+    bounds = bench_once(model.probability, entry.target)
     try:
-        baseline = estimate_probability(
-            entry.program, entry.target, path_budget=_BASELINE_PATH_BUDGET
-        )
+        baseline = model.estimate(entry.target, path_budget=_BASELINE_PATH_BUDGET)
         baseline_text = f"[{baseline.lower:.4f}, {baseline.upper:.4f}]"
         baseline_width = baseline.width
     except Exception as error:
@@ -39,7 +37,7 @@ def test_table1_row(entry, bench_once, rng):
         baseline_width = float("inf")
 
     # Monte-Carlo sanity estimate of the query probability.
-    estimate = importance_sampling(entry.program, 3_000, rng).estimate_probability(entry.target)
+    estimate = model.sample(3_000, method="importance", rng=rng).estimate_probability(entry.target)
 
     row = (
         f"{entry.identifier:20s} ours=[{bounds.lower:.4f}, {bounds.upper:.4f}]"

@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
+from repro.analysis import AnalysisOptions, Model
 from repro.inference import importance_sampling, simulation_based_calibration
 from repro.models import (
     binary_gmm_program,
@@ -27,7 +27,7 @@ from repro.models import (
     pedestrian_sbc_model,
 )
 
-from conftest import emit
+from bench_utils import emit
 
 _SBC_SIMULATIONS = 24
 _SBC_SAMPLES = 15
@@ -55,10 +55,12 @@ def _record(name: str, gubpi_seconds: float, sbc_seconds: float, detected: bool)
 
 
 def test_binary_gmm_1d(bench_once, rng):
-    program = binary_gmm_program(observation=1.0)
-    options = AnalysisOptions(splits_per_dimension=120, use_linear_semantics=False)
+    gmm = Model(
+        binary_gmm_program(observation=1.0),
+        AnalysisOptions(splits_per_dimension=120, use_linear_semantics=False),
+    )
     start = time.perf_counter()
-    histogram = bench_once(bound_posterior_histogram, program, -3.0, 3.0, 10, options)
+    histogram = bench_once(gmm.histogram, -3.0, 3.0, 10)
     gubpi_seconds = time.perf_counter() - start
 
     model = binary_gmm_sbc_model()
@@ -80,10 +82,11 @@ def test_binary_gmm_1d(bench_once, rng):
 
 
 def test_pedestrian(bench_once, rng):
-    program = pedestrian_program()
-    options = AnalysisOptions(max_fixpoint_depth=4, score_splits=16)
+    pedestrian = Model(
+        pedestrian_program(), AnalysisOptions(max_fixpoint_depth=4, score_splits=16)
+    )
     start = time.perf_counter()
-    bench_once(bound_posterior_histogram, program, 0.0, 3.0, 4, options)
+    bench_once(pedestrian.histogram, 0.0, 3.0, 4)
     gubpi_seconds = time.perf_counter() - start
 
     model = pedestrian_sbc_model()

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Previously these lived in ``benchmarks/conftest.py`` and were imported via
+``from conftest import emit``, which collides with ``tests/conftest.py`` when
+pytest collects both directories; benchmark modules import them explicitly
+from this module instead.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

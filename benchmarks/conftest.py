@@ -1,28 +1,16 @@
-"""Shared helpers for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper at laptop scale:
 it computes the rows/series, asserts the qualitative shape the paper reports,
 and both prints the result and appends it to ``benchmarks/results/<name>.txt``
-so the numbers survive the pytest capture.
+so the numbers survive the pytest capture.  Shared helpers live in
+``benchmarks/bench_utils.py``.
 """
 
 from __future__ import annotations
 
-import pathlib
-from typing import Iterable
-
 import numpy as np
 import pytest
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def emit(name: str, lines: Iterable[str]) -> None:
-    """Print a result block and persist it under ``benchmarks/results``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = "\n".join(lines)
-    print(f"\n=== {name} ===\n{text}")
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
 @pytest.fixture

@@ -1,9 +1,9 @@
 """Exact discrete inference vs guaranteed bounds (the Table 2 consistency check).
 
 For every finite discrete benchmark (burglar alarm, sprinkler network, ...)
-the exact enumeration engine computes the posterior and the GuBPI engine
-computes guaranteed bounds; on these programs the bounds must be tight and
-agree with enumeration.
+one ``repro.Model`` fronts both engines: ``model.exact()`` enumerates the
+posterior and ``model.probability()`` computes guaranteed bounds; on these
+programs the bounds must be tight and agree with enumeration.
 
 Run with::
 
@@ -14,8 +14,7 @@ from __future__ import annotations
 
 import time
 
-from repro.analysis import bound_query
-from repro.exact import enumerate_posterior
+from repro import Model
 from repro.models import discrete_suite
 
 
@@ -23,12 +22,14 @@ def main() -> None:
     print(f"{'benchmark':18s} {'query':32s} {'exact':>8s} {'GuBPI bounds':>22s} {'agree':>6s}")
     print("-" * 92)
     for benchmark in discrete_suite():
+        model = Model(benchmark.program)
+
         start = time.perf_counter()
-        exact = enumerate_posterior(benchmark.program).probability_of(benchmark.query_target)
+        exact = model.exact().probability_of(benchmark.query_target)
         enumeration_time = time.perf_counter() - start
 
         start = time.perf_counter()
-        bounds = bound_query(benchmark.program, benchmark.query_target)
+        bounds = model.probability(benchmark.query_target)
         gubpi_time = time.perf_counter() - start
 
         agrees = bounds.contains(exact, slack=1e-6) and bounds.width < 1e-6

@@ -14,30 +14,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import hmc, importance_sampling
+from repro import AnalysisOptions, Model
+from repro.inference import hmc
 from repro.models import binary_gmm_log_density, binary_gmm_program
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    program = binary_gmm_program(observation=1.0)
+    model = Model(
+        binary_gmm_program(observation=1.0),
+        AnalysisOptions(splits_per_dimension=160, use_linear_semantics=False),
+    )
 
     print("=== guaranteed bounds on the posterior of mu ===")
-    options = AnalysisOptions(splits_per_dimension=160, use_linear_semantics=False)
-    histogram = bound_posterior_histogram(program, -3.0, 3.0, bucket_count=12, options=options)
+    histogram = model.histogram(-3.0, 3.0, bucket_count=12)
     for line in histogram.summary_lines():
         print(line)
     print()
 
     print("=== importance sampling (unbiased, multi-modal) ===")
-    is_result = importance_sampling(program, 20_000, rng)
+    is_result = model.sample(20_000, method="importance", rng=rng)
     is_samples = is_result.resample(10_000, rng)
     is_report = histogram.validate_samples(is_samples, tolerance=0.02)
     print(f"IS histogram consistent with the bounds: {is_report.consistent}")
     print()
 
     print("=== HMC started in the positive mode ===")
+    # Density-level HMC (not the program-level "hmc" sampler): the broken
+    # chain is deliberately initialised inside one mode of the known density.
     result = hmc(
         lambda x: binary_gmm_log_density(float(x[0]), observation=1.0),
         initial=[1.0],

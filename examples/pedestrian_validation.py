@@ -3,7 +3,8 @@
 Reproduces the narrative of Figures 1 and 7 (at laptop scale): run importance
 sampling and a fixed-dimension (truncated) HMC sampler on the pedestrian
 model, compute GuBPI-style guaranteed bounds on the posterior of the starting
-point, and check which sampler's histogram is consistent with them.
+point, and check which sampler's histogram is consistent with them.  Both the
+bounds and the samplers run through the ``repro.Model`` facade.
 
 Run with::
 
@@ -16,8 +17,7 @@ import argparse
 
 import numpy as np
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import hmc_truncated_program, importance_sampling
+from repro import AnalysisOptions, Model
 from repro.models import pedestrian_bounded_program, pedestrian_program
 
 
@@ -31,19 +31,23 @@ def main() -> None:
     args = parser.parse_args()
 
     rng = np.random.default_rng(1)
-    program = pedestrian_program()
+    model = Model(
+        pedestrian_program(),
+        AnalysisOptions(max_fixpoint_depth=args.depth, score_splits=24),
+    )
 
     print("=== guaranteed bounds (GuBPI engine) ===")
-    options = AnalysisOptions(max_fixpoint_depth=args.depth, score_splits=24)
-    histogram = bound_posterior_histogram(program, 0.0, 3.0, args.buckets, options)
+    histogram = model.histogram(0.0, 3.0, args.buckets)
     for line in histogram.summary_lines():
         print(line)
     print()
 
-    print("=== likelihood-weighted importance sampling ===")
     # As in the paper's Appendix F.1, the samplers run on the variant with a
     # stopping condition (negligible effect on the posterior, finite runs).
-    is_result = importance_sampling(pedestrian_bounded_program(), args.is_samples, rng)
+    sampler_model = Model(pedestrian_bounded_program())
+
+    print("=== likelihood-weighted importance sampling ===")
+    is_result = sampler_model.sample(args.is_samples, method="importance", rng=rng)
     print(f"effective sample size: {is_result.effective_sample_size():.1f} / {args.is_samples}")
     is_samples = is_result.resample(args.is_samples, rng)
     is_report = histogram.validate_samples(is_samples, tolerance=0.02)
@@ -51,12 +55,11 @@ def main() -> None:
     print()
 
     print("=== fixed-dimension (truncated) HMC ===")
-    bounded = pedestrian_bounded_program()
-    _, hmc_values = hmc_truncated_program(
-        bounded,
-        trace_dimension=args.hmc_dimension,
-        num_samples=args.hmc_samples,
+    _, hmc_values = sampler_model.sample(
+        args.hmc_samples,
+        method="hmc",
         rng=rng,
+        trace_dimension=args.hmc_dimension,
         step_size=0.08,
         leapfrog_steps=15,
         burn_in=50,

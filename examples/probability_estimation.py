@@ -1,12 +1,13 @@
 """Probability estimation: GuBPI bounds vs the path-exploration baseline (Table 1).
 
-For each score-free benchmark of the Table 1 suite we compute
+For each score-free benchmark of the Table 1 suite one ``repro.Model``
+computes
 
-* guaranteed bounds with the GuBPI engine, and
+* guaranteed bounds with the GuBPI engine (``model.probability``), and
 * the looser/faster bounds of the Sankaranarayanan-et-al.-style baseline that
-  only explores a bounded number of paths,
+  only explores a bounded number of paths (``model.estimate``),
 
-and print them side by side with the values the paper reports for the
+and prints them side by side with the values the paper reports for the
 original tools.
 
 Run with::
@@ -19,8 +20,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.analysis import AnalysisOptions, bound_query
-from repro.estimation import estimate_probability
+from repro import AnalysisOptions, Model
 from repro.models import probest_suite
 
 
@@ -37,13 +37,12 @@ def main() -> None:
     print("-" * len(header))
     options = AnalysisOptions(max_fixpoint_depth=10)
     for benchmark in probest_suite():
+        model = Model(benchmark.program, options)
         start = time.perf_counter()
-        bounds = bound_query(benchmark.program, benchmark.target, options)
+        bounds = model.probability(benchmark.target)
         gubpi_time = time.perf_counter() - start
         try:
-            baseline = estimate_probability(
-                benchmark.program, benchmark.target, path_budget=args.path_budget
-            )
+            baseline = model.estimate(benchmark.target, path_budget=args.path_budget)
             baseline_text = f"[{baseline.lower:.4f}, {baseline.upper:.4f}]"
         except Exception as error:  # pragma: no cover - informational only
             baseline_text = f"n/a ({type(error).__name__})"

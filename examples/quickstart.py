@@ -1,9 +1,11 @@
 """Quickstart: guaranteed posterior bounds for a tiny Bayesian model.
 
 The model: a quantity ``x`` has a uniform prior on [0, 3] and is observed to
-be 1.1 with Gaussian noise (σ = 0.25).  We ask for guaranteed bounds on the
-posterior probability that ``x ≤ 1`` and for histogram-shaped bounds on the
-whole posterior, then cross-check them against importance sampling.
+be 1.1 with Gaussian noise (σ = 0.25).  We wrap it in a ``repro.Model``, ask
+for guaranteed bounds on the posterior probability that ``x ≤ 1`` and for
+histogram-shaped bounds on the whole posterior — both served from a single
+cached symbolic execution — then cross-check them against importance sampling
+via the same facade.
 
 Run with::
 
@@ -14,32 +16,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram, bound_query
-from repro.inference import importance_sampling
-from repro.intervals import Interval
+from repro import AnalysisOptions, Interval, Model
 from repro.lang import builder as b
 from repro.lang.pretty import pretty
 
 
-def build_model():
+def build_model() -> Model:
     """``let x = 3 * sample in observe 1.1 from Normal(x, 0.25); x``"""
-    return b.let(
+    program = b.let(
         "x",
         b.mul(3.0, b.sample()),
         b.seq(b.observe_normal(1.1, 0.25, b.var("x")), b.var("x")),
     )
+    return Model(program, AnalysisOptions(score_splits=128))
 
 
 def main() -> None:
-    program = build_model()
+    model = build_model()
     print("The SPCF program under analysis:")
-    print(pretty(program))
+    print(pretty(model.term))
     print()
 
-    options = AnalysisOptions(score_splits=128)
-
-    # Guaranteed bounds on a single posterior query.
-    query = bound_query(program, Interval(0.0, 1.0), options)
+    # Guaranteed bounds on a single posterior query.  The first query compiles
+    # the program (runs symbolic execution); everything below reuses the cache.
+    query = model.probability(Interval(0.0, 1.0))
     print(f"Guaranteed bounds on Pr[x <= 1 | data]: [{query.lower:.4f}, {query.upper:.4f}]")
     print(
         "Unnormalised evidence Z is guaranteed to lie in "
@@ -47,16 +47,17 @@ def main() -> None:
     )
     print()
 
-    # Histogram-shaped bounds on the full posterior.
-    histogram = bound_posterior_histogram(program, 0.0, 3.0, bucket_count=12, options=options)
+    # Histogram-shaped bounds on the full posterior — served from the cache.
+    histogram = model.histogram(0.0, 3.0, bucket_count=12)
     print("Histogram bounds on the posterior of x:")
     for line in histogram.summary_lines():
         print(line)
+    print(f"(symbolic executions run: {model.compile_count}, cache hits: {model.cache_hits})")
     print()
 
     # Cross-check with likelihood-weighted importance sampling.
     rng = np.random.default_rng(20220613)
-    result = importance_sampling(program, num_samples=20_000, rng=rng)
+    result = model.sample(20_000, method="importance", rng=rng)
     estimate = result.estimate_probability(Interval(0.0, 1.0))
     print(f"Importance sampling estimate of Pr[x <= 1 | data]: {estimate:.4f}")
     print(f"Estimate inside the guaranteed bounds: {query.contains(estimate)}")

@@ -3,7 +3,8 @@
 Exact solvers cannot handle unbounded loops/recursion; GuBPI summarises the
 recursion beyond a depth limit with its interval type system and still returns
 sound bounds.  This example prints histogram bounds for each of the six
-recursive models and cross-checks them against importance sampling.
+recursive models — through the ``repro.Model`` facade — and cross-checks them
+against importance sampling via ``model.sample``.
 
 Run with::
 
@@ -16,8 +17,7 @@ import argparse
 
 import numpy as np
 
-from repro.analysis import AnalysisOptions, bound_posterior_histogram
-from repro.inference import importance_sampling
+from repro import AnalysisOptions, Model
 from repro.models import recursive_suite
 
 
@@ -35,14 +35,15 @@ def main() -> None:
         depth = args.depth if args.depth is not None else benchmark.fixpoint_depth
         buckets = args.buckets if args.buckets is not None else benchmark.buckets
         print(f"=== {benchmark.name}: {benchmark.description} (depth {depth}) ===")
-        options = AnalysisOptions(max_fixpoint_depth=depth, score_splits=16, splits_per_dimension=6)
-        histogram = bound_posterior_histogram(
-            benchmark.program, benchmark.histogram_low, benchmark.histogram_high, buckets, options
+        model = Model(
+            benchmark.program,
+            AnalysisOptions(max_fixpoint_depth=depth, score_splits=16, splits_per_dimension=6),
         )
+        histogram = model.histogram(benchmark.histogram_low, benchmark.histogram_high, buckets)
         for line in histogram.summary_lines():
             print(line)
 
-        is_result = importance_sampling(benchmark.program, 4_000, rng)
+        is_result = model.sample(4_000, method="importance", rng=rng)
         samples = is_result.resample(4_000, rng)
         report = histogram.validate_samples(samples, tolerance=0.03)
         print(f"importance-sampling histogram consistent with the bounds: {report.consistent}")

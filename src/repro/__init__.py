@@ -3,19 +3,27 @@
 The package reproduces the system of "Guaranteed Bounds for Posterior
 Inference in Universal Probabilistic Programming" (PLDI 2022): an SPCF
 modelling language, interval trace semantics, a weight-aware interval type
-system, symbolic execution with fixpoint summaries and two path analysers
-(polytope-based and box-splitting), plus the stochastic and exact baselines
-used by the paper's evaluation.
+system, symbolic execution with fixpoint summaries and pluggable path
+analysers (polytope-based and box-splitting ship built in), plus the
+stochastic and exact baselines used by the paper's evaluation.
 
-Typical usage::
+The public API is the :class:`Model` facade: it owns one SPCF term, runs the
+expensive symbolic execution once per execution-limits configuration and
+serves every query from the cached path set::
 
+    from repro import Model, Interval, AnalysisOptions
     from repro.lang import builder as b
-    from repro.analysis import bound_query, AnalysisOptions
-    from repro.intervals import Interval
 
     program = b.let("x", b.sample(), b.seq(b.observe_normal(0.7, 0.1, b.var("x")), b.var("x")))
-    bounds = bound_query(program, Interval(0.5, 1.0))
-    print(bounds.lower, bounds.upper)
+    model = Model(program, AnalysisOptions(score_splits=64))
+
+    query = model.probability(Interval(0.5, 1.0))   # symbolic execution runs here...
+    histogram = model.histogram(0.0, 1.0, 10)       # ...and is reused here
+    samples = model.sample(10_000, method="importance")
+
+New path-analysis strategies register through
+:func:`repro.analysis.register_analyzer` and are selected by name via
+``AnalysisOptions(analyzers=...)``.
 """
 
 import sys as _sys
@@ -27,7 +35,18 @@ if _sys.getrecursionlimit() < 100_000:
     _sys.setrecursionlimit(100_000)
 
 from . import analysis, distributions, estimation, exact, inference, intervals, lang, models, polytope, semantics, symbolic, typesystem
-from .analysis import AnalysisOptions, bound_denotation, bound_posterior_histogram, bound_query
+from .analysis import (
+    AnalysisOptions,
+    AnalysisReport,
+    CompiledProgram,
+    Model,
+    available_analyzers,
+    bound_denotation,
+    bound_posterior_histogram,
+    bound_query,
+    get_analyzer,
+    register_analyzer,
+)
 from .intervals import Interval
 
 __all__ = [
@@ -43,11 +62,17 @@ __all__ = [
     "exact",
     "estimation",
     "models",
+    "Model",
+    "CompiledProgram",
     "AnalysisOptions",
+    "AnalysisReport",
+    "register_analyzer",
+    "get_analyzer",
+    "available_analyzers",
     "bound_denotation",
     "bound_query",
     "bound_posterior_histogram",
     "Interval",
 ]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

@@ -1,29 +1,66 @@
-"""Guaranteed-bounds analysis: the GuBPI engine and its path analysers."""
+"""Guaranteed-bounds analysis: the Model facade, the GuBPI engine and its analysers.
 
-from .box_analyzer import analyze_path_boxes, split_domain
+The recommended entry point is :class:`Model` (see
+:mod:`repro.analysis.model`), which caches the symbolic phase per
+execution-limits configuration and serves bounds, posterior queries and
+histograms from it.  Path-analysis strategies are pluggable through the
+registry in :mod:`repro.analysis.registry`; ``"linear"`` and ``"box"`` ship
+built in.  The free functions ``bound_denotation`` / ``bound_query`` /
+``bound_posterior_histogram`` are deprecated shims kept for backwards
+compatibility.
+"""
+
+from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, split_domain
 from .config import AnalysisOptions
 from .engine import (
     AnalysisReport,
     DenotationBounds,
     QueryBounds,
+    analyze_execution,
     bound_denotation,
     bound_posterior_histogram,
     bound_query,
+    histogram_buckets,
+    normalised_query,
 )
 from .histogram import BucketBound, HistogramBounds, ValidationReport
-from .linear_analyzer import analyze_path_linear, linear_analysis_applicable
+from .linear_analyzer import LinearPathAnalyzer, analyze_path_linear, linear_analysis_applicable
+from .model import CompiledProgram, Model
+from .registry import (
+    PathAnalyzer,
+    UnknownAnalyzerError,
+    available_analyzers,
+    get_analyzer,
+    register_analyzer,
+    resolve_analyzers,
+    unregister_analyzer,
+)
 
 __all__ = [
+    "Model",
+    "CompiledProgram",
     "AnalysisOptions",
     "AnalysisReport",
     "DenotationBounds",
     "QueryBounds",
+    "analyze_execution",
+    "normalised_query",
+    "histogram_buckets",
     "bound_denotation",
     "bound_query",
     "bound_posterior_histogram",
     "BucketBound",
     "HistogramBounds",
     "ValidationReport",
+    "PathAnalyzer",
+    "UnknownAnalyzerError",
+    "register_analyzer",
+    "unregister_analyzer",
+    "get_analyzer",
+    "available_analyzers",
+    "resolve_analyzers",
+    "BoxPathAnalyzer",
+    "LinearPathAnalyzer",
     "analyze_path_boxes",
     "analyze_path_linear",
     "linear_analysis_applicable",

@@ -31,7 +31,7 @@ from ..symbolic.paths import SymbolicPath
 from ..symbolic.value import evaluate_interval
 from .config import AnalysisOptions
 
-__all__ = ["analyze_path_boxes", "split_domain"]
+__all__ = ["BoxPathAnalyzer", "analyze_path_boxes", "split_domain"]
 
 _NON_NEGATIVE = Interval(0.0, math.inf)
 
@@ -162,3 +162,24 @@ def analyze_path_boxes(
             if definitely_satisfied and target.contains_interval(value):
                 lower[index] += cell.mass * max(0.0, weight.lo)
     return list(zip(lower, upper))
+
+
+class BoxPathAnalyzer:
+    """Registry adapter for the standard interval trace semantics.
+
+    Box splitting is the universal fallback: it is applicable to every
+    symbolic path, so it should come last in an analyzer preference list.
+    """
+
+    name = "box"
+
+    def applicable(self, path: SymbolicPath, options: AnalysisOptions) -> bool:
+        return True
+
+    def analyze(
+        self,
+        path: SymbolicPath,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[tuple[float, float]]:
+        return analyze_path_boxes(path, targets, options)

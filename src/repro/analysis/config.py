@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from ..symbolic import ExecutionLimits
 
 __all__ = ["AnalysisOptions"]
 
 
+def _require_positive(name: str, value: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
 @dataclass(frozen=True)
 class AnalysisOptions:
-    """Tunable knobs of Algorithm 1 and the two path analysers.
+    """Tunable knobs of Algorithm 1 and the path analysers.
 
     Attributes:
         max_fixpoint_depth: the depth limit ``D`` of Algorithm 1 — recursive
@@ -24,9 +32,17 @@ class AnalysisOptions:
         score_splits: how many chunks the range of every linear score atom is
             split into by the *linear* semantics (Section 6.4).
         max_score_combinations: cap on the product grid over score atoms.
-        use_linear_semantics: switch between the optimised linear semantics
-            and pure box splitting (the ablation of Section 6.4).
+        use_linear_semantics: legacy switch between the optimised linear
+            semantics and pure box splitting (the ablation of Section 6.4);
+            superseded by ``analyzers`` but still honoured when ``analyzers``
+            is not set.
         prune_empty_paths: skip paths whose constraint polytope is infeasible.
+        analyzers: ordered preference of registered path-analyzer names (see
+            :mod:`repro.analysis.registry`).  Every symbolic path is handled
+            by the first listed analyzer that declares itself applicable.
+            ``None`` (the default) derives the sequence from
+            ``use_linear_semantics``: ``("linear", "box")`` when true,
+            ``("box",)`` otherwise.
     """
 
     max_fixpoint_depth: int = 6
@@ -37,9 +53,45 @@ class AnalysisOptions:
     max_score_combinations: int = 4_096
     use_linear_semantics: bool = True
     prune_empty_paths: bool = True
+    analyzers: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        _require_positive("max_fixpoint_depth", self.max_fixpoint_depth)
+        _require_positive("max_paths", self.max_paths)
+        _require_positive("splits_per_dimension", self.splits_per_dimension)
+        _require_positive("max_boxes_per_path", self.max_boxes_per_path)
+        _require_positive("score_splits", self.score_splits)
+        _require_positive("max_score_combinations", self.max_score_combinations)
+        if self.analyzers is not None:
+            if isinstance(self.analyzers, str):
+                raise ValueError("analyzers must be a sequence of names, not a string")
+            names = tuple(self.analyzers)
+            if not names:
+                raise ValueError("analyzers must name at least one path analyzer")
+            for name in names:
+                if not isinstance(name, str) or not name:
+                    raise ValueError(f"analyzer names must be non-empty strings, got {name!r}")
+            object.__setattr__(self, "analyzers", names)
+
+    @property
+    def analyzer_names(self) -> tuple[str, ...]:
+        """The effective, ordered analyzer preference of this configuration."""
+        if self.analyzers is not None:
+            return self.analyzers
+        return ("linear", "box") if self.use_linear_semantics else ("box",)
+
+    def execution_limits(self) -> ExecutionLimits:
+        """The subset of options that parameterise symbolic execution.
+
+        Two configurations with equal :class:`ExecutionLimits` share the same
+        symbolic path set, which is what :class:`repro.Model` keys its
+        compiled-program cache on.
+        """
+        return ExecutionLimits(
+            max_fixpoint_depth=self.max_fixpoint_depth,
+            max_paths=self.max_paths,
+        )
 
     def with_updates(self, **changes) -> "AnalysisOptions":
         """A copy of the options with some fields replaced."""
-        from dataclasses import replace
-
         return replace(self, **changes)

@@ -1,39 +1,51 @@
-"""The GuBPI engine: guaranteed bounds on program denotations (Algorithm 1).
+"""The GuBPI engine core: guaranteed bounds on program denotations (Algorithm 1).
 
 Pipeline:
 
 1. symbolically execute the program up to the fixpoint depth limit, replacing
    deeper recursion by interval-type summaries (``approxFix``);
-2. analyse every resulting symbolic interval path with either the optimised
-   linear semantics (polytope volumes, Section 6.4) or the standard interval
-   trace semantics (box splitting, Section 6.3);
+2. analyse every resulting symbolic interval path with the first applicable
+   analyzer from the pluggable registry (:mod:`repro.analysis.registry`) —
+   by default the optimised linear semantics (polytope volumes, Section 6.4)
+   with the standard interval trace semantics (box splitting, Section 6.3) as
+   the universal fallback;
 3. sum the per-path bounds (Theorem 6.1 / Corollary 6.3) to obtain guaranteed
    bounds on ``⟦P⟧(U)`` for every requested target set ``U``, and normalise
    them into posterior bounds.
 
-The public entry points are :func:`bound_denotation`, :func:`bound_query` and
-:func:`bound_posterior_histogram`.
+The recommended entry point is the :class:`repro.Model` facade
+(:mod:`repro.analysis.model`), which compiles the symbolic phase once and
+serves every downstream query from the cache.  This module keeps the engine
+primitives — :func:`analyze_execution` turns one (possibly cached)
+:class:`~repro.symbolic.SymbolicExecutionResult` into denotation bounds, and
+:func:`normalised_query` / :func:`histogram_buckets` derive posterior-level
+results from them — plus the deprecated free-function shims
+(:func:`bound_denotation`, :func:`bound_query`,
+:func:`bound_posterior_histogram`) that delegate to ``Model``.
 """
 
 from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..intervals import Interval
 from ..lang.ast import Term
-from ..symbolic import ExecutionLimits, SymbolicExecutionResult, SymbolicPath, symbolic_paths
-from .box_analyzer import analyze_path_boxes
+from ..symbolic import SymbolicExecutionResult
 from .config import AnalysisOptions
-from .histogram import BucketBound, HistogramBounds
-from .linear_analyzer import analyze_path_linear, linear_analysis_applicable
+from .histogram import HistogramBounds
+from .registry import resolve_analyzers
 
 __all__ = [
     "DenotationBounds",
     "QueryBounds",
     "AnalysisReport",
+    "analyze_execution",
+    "normalised_query",
+    "histogram_buckets",
     "bound_denotation",
     "bound_query",
     "bound_posterior_histogram",
@@ -78,30 +90,64 @@ class QueryBounds:
 
 @dataclass
 class AnalysisReport:
-    """Statistics of one engine run (useful for benchmarks and debugging)."""
+    """Statistics of one engine run (useful for benchmarks and debugging).
+
+    ``analyzer_paths`` counts how many paths each registered analyzer handled;
+    ``linear_paths`` / ``box_paths`` mirror the built-in analyzers for
+    backwards compatibility.  ``compile_cache_hits`` counts queries served
+    from a :class:`~repro.analysis.model.Model`'s compiled-program cache
+    without re-running symbolic execution.
+    """
 
     path_count: int = 0
     truncated_paths: int = 0
     linear_paths: int = 0
     box_paths: int = 0
     seconds: float = 0.0
+    analyzer_paths: dict[str, int] = field(default_factory=dict)
+    compile_cache_hits: int = 0
+
+    def record_path(self, analyzer_name: str) -> None:
+        self.analyzer_paths[analyzer_name] = self.analyzer_paths.get(analyzer_name, 0) + 1
+        if analyzer_name == "linear":
+            self.linear_paths += 1
+        elif analyzer_name == "box":
+            self.box_paths += 1
 
 
-def _analyze_paths(
+def analyze_execution(
     execution: SymbolicExecutionResult,
     targets: Sequence[Interval],
-    options: AnalysisOptions,
-    report: AnalysisReport,
-) -> list[tuple[float, float]]:
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> list[DenotationBounds]:
+    """Bounds on ``⟦P⟧(U)`` for every target, from a prior symbolic execution.
+
+    Every path is handled by the first analyzer in ``options.analyzer_names``
+    whose ``applicable`` predicate accepts it.  The execution may come from a
+    cache; analysis never re-runs the symbolic phase.
+    """
+    options = options or AnalysisOptions()
+    report = report if report is not None else AnalysisReport()
+    analyzers = resolve_analyzers(options)
+    start = time.perf_counter()
+    # All report counters accumulate, so a report reused across queries stays
+    # self-consistent (path_count covers the same runs as linear_paths etc.).
+    report.path_count += len(execution.paths)
+    report.truncated_paths += execution.truncated_paths
     totals = [(0.0, 0.0) for _ in targets]
     for path in execution.paths:
-        use_linear = options.use_linear_semantics and linear_analysis_applicable(path)
-        if use_linear:
-            contributions = analyze_path_linear(path, targets, options)
-            report.linear_paths += 1
+        for analyzer in analyzers:
+            if analyzer.applicable(path, options):
+                contributions = analyzer.analyze(path, targets, options)
+                report.record_path(analyzer.name)
+                break
         else:
-            contributions = analyze_path_boxes(path, targets, options)
-            report.box_paths += 1
+            names = ", ".join(options.analyzer_names)
+            raise RuntimeError(
+                f"no analyzer in ({names}) is applicable to a symbolic path; "
+                "include the universal 'box' analyzer as a fallback"
+            )
         for index, (lower, upper) in enumerate(contributions):
             # The interval-type summary used by approxFix only covers
             # terminating continuations of a truncated path, so such paths
@@ -109,54 +155,25 @@ def _analyze_paths(
             path_lower = 0.0 if path.truncated else lower
             old_lower, old_upper = totals[index]
             totals[index] = (old_lower + path_lower, old_upper + upper)
-    return totals
-
-
-def _execution_limits(options: AnalysisOptions) -> ExecutionLimits:
-    return ExecutionLimits(
-        max_fixpoint_depth=options.max_fixpoint_depth,
-        max_paths=options.max_paths,
-    )
-
-
-def bound_denotation(
-    term: Term,
-    targets: Sequence[Interval],
-    options: Optional[AnalysisOptions] = None,
-    report: Optional[AnalysisReport] = None,
-) -> list[DenotationBounds]:
-    """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``."""
-    options = options or AnalysisOptions()
-    report = report if report is not None else AnalysisReport()
-    start = time.perf_counter()
-    execution = symbolic_paths(term, _execution_limits(options))
-    report.path_count = len(execution.paths)
-    report.truncated_paths = execution.truncated_paths
-    totals = _analyze_paths(execution, targets, options, report)
-    report.seconds = time.perf_counter() - start
+    report.seconds += time.perf_counter() - start
     return [
         DenotationBounds(target=target, lower=lower, upper=upper)
         for target, (lower, upper) in zip(targets, totals)
     ]
 
 
-def bound_query(
-    term: Term,
+def normalised_query(
     target: Interval,
-    options: Optional[AnalysisOptions] = None,
-    report: Optional[AnalysisReport] = None,
+    target_bounds: DenotationBounds,
+    total_bounds: DenotationBounds,
 ) -> QueryBounds:
-    """Bounds on the posterior probability ``Pr[result ∈ target]``.
+    """Posterior bounds from denotation bounds on a target and on ``R``.
 
     The normalised bounds are derived from bounds on the target set, its
     complement-style remainder and the normalising constant:
     ``lower = lb(U) / (lb(U) + ub(R \\ U))`` and symmetrically for the upper
     bound, which is tighter than dividing by the plain bounds on ``Z``.
     """
-    options = options or AnalysisOptions()
-    report = report if report is not None else AnalysisReport()
-    bounds = bound_denotation(term, [target, _REALS], options, report)
-    target_bounds, total_bounds = bounds
     complement_lower = max(0.0, total_bounds.lower - target_bounds.upper)
     complement_upper = max(0.0, total_bounds.upper - target_bounds.lower)
 
@@ -180,6 +197,56 @@ def bound_query(
     )
 
 
+def histogram_buckets(low: float, high: float, bucket_count: int) -> list[Interval]:
+    """The equal-width bucket intervals of a histogram over ``[low, high)``."""
+    if not isinstance(bucket_count, int) or isinstance(bucket_count, bool) or bucket_count <= 0:
+        raise ValueError(f"bucket_count must be a positive integer, got {bucket_count!r}")
+    if not high > low:
+        raise ValueError("histogram bounds require high > low")
+    edges = [low + (high - low) * k / bucket_count for k in range(bucket_count + 1)]
+    return [Interval(edges[k], edges[k + 1]) for k in range(bucket_count)]
+
+
+# ---------------------------------------------------------------------------
+# Deprecated free-function shims.
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.analysis.{old} is deprecated; use repro.Model and {new} instead "
+        "(the Model facade caches the symbolic execution across queries)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def bound_denotation(
+    term: Term,
+    targets: Sequence[Interval],
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> list[DenotationBounds]:
+    """Deprecated shim for ``Model(term).bounds(targets)``."""
+    _deprecated("bound_denotation", "Model.bounds")
+    from .model import Model
+
+    return Model(term, options=options).bounds(targets, report=report)
+
+
+def bound_query(
+    term: Term,
+    target: Interval,
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+) -> QueryBounds:
+    """Deprecated shim for ``Model(term).probability(target)``."""
+    _deprecated("bound_query", "Model.probability")
+    from .model import Model
+
+    return Model(term, options=options).probability(target, report=report)
+
+
 def bound_posterior_histogram(
     term: Term,
     low: float,
@@ -188,20 +255,8 @@ def bound_posterior_histogram(
     options: Optional[AnalysisOptions] = None,
     report: Optional[AnalysisReport] = None,
 ) -> HistogramBounds:
-    """Histogram-shaped bounds on the normalised posterior over ``[low, high)``."""
-    if bucket_count <= 0:
-        raise ValueError("bucket_count must be positive")
-    if not high > low:
-        raise ValueError("bound_posterior_histogram requires high > low")
-    options = options or AnalysisOptions()
-    report = report if report is not None else AnalysisReport()
-    edges = [low + (high - low) * k / bucket_count for k in range(bucket_count + 1)]
-    buckets = [Interval(edges[k], edges[k + 1]) for k in range(bucket_count)]
-    targets = list(buckets) + [_REALS]
-    bounds = bound_denotation(term, targets, options, report)
-    z_bounds = bounds[-1]
-    bucket_bounds = [
-        BucketBound(bucket=bucket, lower=bound.lower, upper=bound.upper)
-        for bucket, bound in zip(buckets, bounds[:-1])
-    ]
-    return HistogramBounds(buckets=bucket_bounds, z_lower=z_bounds.lower, z_upper=z_bounds.upper)
+    """Deprecated shim for ``Model(term).histogram(low, high, bucket_count)``."""
+    _deprecated("bound_posterior_histogram", "Model.histogram")
+    from .model import Model
+
+    return Model(term, options=options).histogram(low, high, bucket_count, report=report)

@@ -45,7 +45,7 @@ from ..symbolic.paths import Relation, SymbolicPath
 from ..symbolic.value import evaluate_with_atoms
 from .config import AnalysisOptions
 
-__all__ = ["linear_analysis_applicable", "analyze_path_linear"]
+__all__ = ["LinearPathAnalyzer", "linear_analysis_applicable", "analyze_path_linear"]
 
 _NON_NEGATIVE = Interval(0.0, math.inf)
 
@@ -420,3 +420,20 @@ def _combination_count(atom_ranges: list[list[Interval]]) -> int:
     for cells in atom_ranges:
         count *= len(cells)
     return count
+
+
+class LinearPathAnalyzer:
+    """Registry adapter for the optimised linear semantics (Section 6.4)."""
+
+    name = "linear"
+
+    def applicable(self, path: SymbolicPath, options: AnalysisOptions) -> bool:
+        return linear_analysis_applicable(path)
+
+    def analyze(
+        self,
+        path: SymbolicPath,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[tuple[float, float]]:
+        return analyze_path_linear(path, targets, options)

@@ -1,0 +1,303 @@
+"""The :class:`Model` facade: compile the symbolic phase once, query it many times.
+
+Symbolic execution is by far the most expensive phase of the GuBPI pipeline —
+it explores exponentially many paths and, for recursive programs, invokes the
+interval type system on every ``approxFix`` summary.  Yet its output depends
+only on the program term and on :class:`~repro.symbolic.ExecutionLimits`
+(fixpoint depth, path cap), not on any of the analysis knobs.  ``Model``
+exploits this: it owns an SPCF term, lazily compiles it into a
+:class:`CompiledProgram` (one cached symbolic execution per limits
+configuration) and serves every downstream query — denotation bounds,
+posterior probabilities, histogram bounds — from the cache.  It also fronts
+the stochastic (:meth:`Model.sample`), exact (:meth:`Model.exact`) and
+path-exploration (:meth:`Model.estimate`) baselines so a whole evaluation
+scenario runs off one object::
+
+    from repro import Model, Interval, AnalysisOptions
+
+    model = Model.parse("(let x (* 3 (sample)) (seq (observe-normal 1.1 0.25 x) x))")
+    query = model.probability(Interval(0.0, 1.0))       # runs symbolic execution
+    histogram = model.histogram(0.0, 3.0, 12)           # served from the cache
+    samples = model.sample(10_000, method="importance") # stochastic baseline
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..intervals import Interval
+from ..lang.ast import Term
+from ..symbolic import ExecutionLimits, SymbolicExecutionResult, symbolic_paths
+from .config import AnalysisOptions
+from .engine import (
+    _REALS,
+    AnalysisReport,
+    DenotationBounds,
+    QueryBounds,
+    analyze_execution,
+    histogram_buckets,
+    normalised_query,
+)
+from .histogram import BucketBound, HistogramBounds
+
+__all__ = ["CompiledProgram", "Model"]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """One symbolic execution of a term, reusable across analysis queries.
+
+    The pair ``(term, limits)`` determines ``execution`` completely, so a
+    compiled program can be cached and shared freely; all its fields are
+    immutable.
+    """
+
+    term: Term
+    limits: ExecutionLimits
+    execution: SymbolicExecutionResult
+    compile_seconds: float
+
+    @classmethod
+    def compile(cls, term: Term, limits: Optional[ExecutionLimits] = None) -> "CompiledProgram":
+        """Run symbolic execution once and package the result."""
+        limits = limits or ExecutionLimits()
+        start = time.perf_counter()
+        execution = symbolic_paths(term, limits)
+        return cls(
+            term=term,
+            limits=limits,
+            execution=execution,
+            compile_seconds=time.perf_counter() - start,
+        )
+
+    @property
+    def path_count(self) -> int:
+        return self.execution.path_count
+
+    @property
+    def exact(self) -> bool:
+        """True when no fixpoint had to be over-approximated."""
+        return self.execution.exact
+
+    def analyze(
+        self,
+        targets: Sequence[Interval],
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> list[DenotationBounds]:
+        """Denotation bounds for ``targets`` from the cached path set."""
+        return analyze_execution(self.execution, targets, options, report)
+
+
+class Model:
+    """Facade over one probabilistic program: bounds, baselines, caching.
+
+    A ``Model`` owns an SPCF :class:`~repro.lang.ast.Term` plus default
+    :class:`~repro.analysis.config.AnalysisOptions`.  Query methods accept
+    per-call option overrides; queries whose options share the same
+    :class:`~repro.symbolic.ExecutionLimits` share one cached
+    :class:`CompiledProgram` (changing analysis-only knobs such as
+    ``score_splits`` or the analyzer selection never re-runs symbolic
+    execution, changing ``max_fixpoint_depth`` / ``max_paths`` does).
+    """
+
+    def __init__(self, term: Term, options: Optional[AnalysisOptions] = None) -> None:
+        if not isinstance(term, Term):
+            raise TypeError(f"Model expects an SPCF Term, got {type(term).__name__}")
+        self._term = term
+        self._options = options if options is not None else AnalysisOptions()
+        self._compiled: dict[ExecutionLimits, CompiledProgram] = {}
+        self._compile_count = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Construction and configuration
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, source: str, options: Optional[AnalysisOptions] = None) -> "Model":
+        """Build a model from SPCF surface syntax (see :mod:`repro.lang.parser`)."""
+        from ..lang.parser import parse
+
+        return cls(parse(source), options)
+
+    @property
+    def term(self) -> Term:
+        return self._term
+
+    @property
+    def options(self) -> AnalysisOptions:
+        return self._options
+
+    def with_options(self, **changes) -> "Model":
+        """A model over the same term with updated default options.
+
+        The compiled-program cache is *shared* with the parent (not copied),
+        so switching analysis knobs never repeats symbolic execution — and
+        ``clear_cache`` on either model affects both.
+        """
+        clone = Model(self._term, self._options.with_updates(**changes))
+        clone._compiled = self._compiled
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Model(term={type(self._term).__name__}, "
+            f"compiled={len(self._compiled)}, cache_hits={self._cache_hits})"
+        )
+
+    # ------------------------------------------------------------------
+    # Compilation cache
+    # ------------------------------------------------------------------
+    def compile(self, options: Optional[AnalysisOptions] = None) -> CompiledProgram:
+        """The cached symbolic execution for the given options (compiling on miss)."""
+        options = self._resolve(options)
+        limits = options.execution_limits()
+        compiled = self._compiled.get(limits)
+        if compiled is None:
+            compiled = CompiledProgram.compile(self._term, limits)
+            self._compiled[limits] = compiled
+            self._compile_count += 1
+        else:
+            self._cache_hits += 1
+        return compiled
+
+    def clear_cache(self) -> None:
+        """Drop every cached compilation (subsequent queries recompile).
+
+        The cache may be shared with models created via :meth:`with_options`;
+        clearing it affects all of them.
+        """
+        self._compiled.clear()
+
+    @property
+    def compile_count(self) -> int:
+        """How many symbolic executions this model has run."""
+        return self._compile_count
+
+    @property
+    def cache_hits(self) -> int:
+        """How many queries were served without re-running symbolic execution."""
+        return self._cache_hits
+
+    def cache_info(self) -> dict[str, int]:
+        """Cache statistics: ``entries`` counts the (possibly shared) cache,
+        ``compilations``/``hits`` count this instance's own queries."""
+        return {
+            "entries": len(self._compiled),
+            "compilations": self._compile_count,
+            "hits": self._cache_hits,
+        }
+
+    def _resolve(self, options: Optional[AnalysisOptions]) -> AnalysisOptions:
+        return options if options is not None else self._options
+
+    # ------------------------------------------------------------------
+    # Guaranteed-bounds queries (the GuBPI engine)
+    # ------------------------------------------------------------------
+    def bounds(
+        self,
+        targets: Sequence[Interval],
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> list[DenotationBounds]:
+        """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``."""
+        options = self._resolve(options)
+        compilations_before = self._compile_count
+        compiled = self.compile(options)
+        if report is not None:
+            if self._compile_count > compilations_before:
+                report.seconds += compiled.compile_seconds
+            else:
+                report.compile_cache_hits += 1
+        return compiled.analyze(targets, options, report)
+
+    def bound(
+        self,
+        target: Interval,
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> DenotationBounds:
+        """Guaranteed bounds on the unnormalised denotation of one target set."""
+        return self.bounds([target], options, report)[0]
+
+    def probability(
+        self,
+        target: Interval,
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> QueryBounds:
+        """Bounds on the posterior probability ``Pr[result ∈ target]``."""
+        target_bounds, total_bounds = self.bounds([target, _REALS], options, report)
+        return normalised_query(target, target_bounds, total_bounds)
+
+    def histogram(
+        self,
+        low: float,
+        high: float,
+        bucket_count: int = 20,
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> HistogramBounds:
+        """Histogram-shaped bounds on the normalised posterior over ``[low, high)``."""
+        buckets = histogram_buckets(low, high, bucket_count)
+        bounds = self.bounds(list(buckets) + [_REALS], options, report)
+        z_bounds = bounds[-1]
+        bucket_bounds = [
+            BucketBound(bucket=bucket, lower=bound.lower, upper=bound.upper)
+            for bucket, bound in zip(buckets, bounds[:-1])
+        ]
+        return HistogramBounds(
+            buckets=bucket_bounds, z_lower=z_bounds.lower, z_upper=z_bounds.upper
+        )
+
+    # ------------------------------------------------------------------
+    # Unified baselines
+    # ------------------------------------------------------------------
+    def sample(self, n: int, method: str = "importance", rng=None, **kwargs):
+        """Run a stochastic baseline sampler on this model's program.
+
+        ``method`` is a registered sampler name — ``"importance"`` (alias
+        ``"is"``), ``"mh"`` or ``"hmc"`` out of the box (see
+        :func:`repro.inference.sampler_by_name`).  Keyword arguments are
+        forwarded to the sampler; each returns its existing result dataclass
+        (:class:`~repro.inference.ImportanceResult`,
+        :class:`~repro.inference.MHResult`, or the
+        ``(HMCResult, values)`` pair of truncated HMC).
+        """
+        from ..inference import sampler_by_name
+
+        sampler = sampler_by_name(method)
+        return sampler(self._term, n, rng=rng, **kwargs)
+
+    def exact(self, max_unroll: int = 200, on_limit: str = "raise"):
+        """Exhaustively enumerate the posterior (finite discrete programs only)."""
+        from ..exact import enumerate_posterior
+
+        return enumerate_posterior(self._term, max_unroll=max_unroll, on_limit=on_limit)
+
+    def estimate(
+        self,
+        target: Interval,
+        path_budget: int = 200,
+        max_fixpoint_depth: Optional[int] = None,
+        options: Optional[AnalysisOptions] = None,
+    ):
+        """Run the score-free probability-estimation baseline on ``target``.
+
+        Like the guaranteed-bounds queries, this honours the model's default
+        options (per-call ``options`` override them); ``max_fixpoint_depth``
+        overrides just the exploration depth of the baseline.
+        """
+        from ..estimation import estimate_probability
+
+        options = self._resolve(options)
+        depth = max_fixpoint_depth if max_fixpoint_depth is not None else options.max_fixpoint_depth
+        return estimate_probability(
+            self._term,
+            target,
+            path_budget=path_budget,
+            max_fixpoint_depth=depth,
+            options=options.with_updates(max_fixpoint_depth=depth),
+        )

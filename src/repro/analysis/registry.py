@@ -1,0 +1,143 @@
+"""Pluggable path-analyzer registry — the engine's extension point.
+
+The GuBPI engine turns every symbolic interval path into per-target bound
+contributions.  How a path is analysed is a strategy: the paper ships two
+(the polytope-based *linear* semantics of Section 6.4 and the box-splitting
+*standard* interval trace semantics of Section 6.3), but nothing about the
+engine is specific to those.  This module decouples the engine from the
+strategies:
+
+* :class:`PathAnalyzer` is the protocol a strategy implements;
+* :func:`register_analyzer` / :func:`get_analyzer` /
+  :func:`available_analyzers` manage the global registry;
+* :func:`resolve_analyzers` maps an :class:`~repro.analysis.config.AnalysisOptions`
+  preference list to analyzer instances.
+
+New strategies (e.g. adaptive splitting) plug in without touching the engine::
+
+    from repro.analysis import register_analyzer
+
+    class AdaptiveAnalyzer:
+        name = "adaptive"
+
+        def applicable(self, path, options):
+            return True
+
+        def analyze(self, path, targets, options):
+            ...
+
+    register_analyzer("adaptive", AdaptiveAnalyzer)
+    options = AnalysisOptions(analyzers=("adaptive", "box"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Sequence, Type, runtime_checkable
+
+from ..intervals import Interval
+from ..symbolic import SymbolicPath
+from .config import AnalysisOptions
+
+__all__ = [
+    "PathAnalyzer",
+    "UnknownAnalyzerError",
+    "register_analyzer",
+    "unregister_analyzer",
+    "get_analyzer",
+    "available_analyzers",
+    "resolve_analyzers",
+]
+
+
+@runtime_checkable
+class PathAnalyzer(Protocol):
+    """Strategy interface: bounds on one symbolic path's contributions.
+
+    Implementations are stateless; one shared instance serves all engine runs.
+    """
+
+    name: str
+
+    def applicable(self, path: SymbolicPath, options: AnalysisOptions) -> bool:
+        """Whether this analyzer can soundly handle ``path``."""
+
+    def analyze(
+        self,
+        path: SymbolicPath,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[tuple[float, float]]:
+        """One ``(lower, upper)`` contribution per entry of ``targets``."""
+
+
+class UnknownAnalyzerError(LookupError):
+    """Raised when an analyzer name is not present in the registry."""
+
+
+_REGISTRY: Dict[str, Type[PathAnalyzer]] = {}
+_INSTANCES: Dict[str, PathAnalyzer] = {}
+
+
+def register_analyzer(name: str, cls: Type[PathAnalyzer], *, replace: bool = False) -> None:
+    """Register a :class:`PathAnalyzer` implementation under ``name``.
+
+    ``replace=True`` allows overriding an existing registration (useful in
+    tests and for swapping tuned implementations in).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"analyzer name must be a non-empty string, got {name!r}")
+    if not callable(getattr(cls, "analyze", None)) or not callable(getattr(cls, "applicable", None)):
+        raise TypeError(
+            f"analyzer {cls!r} must implement applicable(path, options) and "
+            "analyze(path, targets, options)"
+        )
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"analyzer {name!r} is already registered; pass replace=True to override")
+    _REGISTRY[name] = cls
+    _INSTANCES.pop(name, None)
+
+
+def unregister_analyzer(name: str) -> None:
+    """Remove an analyzer registration (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+    _INSTANCES.pop(name, None)
+
+
+def get_analyzer(name: str) -> PathAnalyzer:
+    """The shared instance registered under ``name``.
+
+    Raises :class:`UnknownAnalyzerError` for unregistered names.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise UnknownAnalyzerError(
+            f"unknown path analyzer {name!r}; registered analyzers: {known}"
+        )
+    instance = cls()
+    if not getattr(instance, "name", None):
+        instance.name = name
+    _INSTANCES[name] = instance
+    return instance
+
+
+def available_analyzers() -> tuple[str, ...]:
+    """The sorted names of all registered analyzers."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_analyzers(options: AnalysisOptions) -> tuple[PathAnalyzer, ...]:
+    """The analyzer instances selected by ``options``, in preference order."""
+    return tuple(get_analyzer(name) for name in options.analyzer_names)
+
+
+# Built-in strategies.  Importing them here (rather than from the engine)
+# keeps the dependency direction one-way: engine -> registry -> analyzers.
+from .box_analyzer import BoxPathAnalyzer  # noqa: E402
+from .linear_analyzer import LinearPathAnalyzer  # noqa: E402
+
+register_analyzer("linear", LinearPathAnalyzer)
+register_analyzer("box", BoxPathAnalyzer)

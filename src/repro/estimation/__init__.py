@@ -1,4 +1,8 @@
-"""Score-free probability estimation baseline (Sankaranarayanan et al. style)."""
+"""Score-free probability estimation baseline (Sankaranarayanan et al. style).
+
+Fronted by :meth:`repro.Model.estimate`, which runs the baseline on the
+model's program term.
+"""
 
 from .probest import ProbabilityEstimate, ScoreFreeError, estimate_probability
 

@@ -1,4 +1,8 @@
-"""Exact enumeration engine for finite discrete programs (the PSI stand-in)."""
+"""Exact enumeration engine for finite discrete programs (the PSI stand-in).
+
+Fronted by :meth:`repro.Model.exact`, which runs the enumeration on the
+model's program term.
+"""
 
 from .enumeration import (
     ExactDistribution,

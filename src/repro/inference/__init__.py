@@ -1,5 +1,15 @@
-"""Stochastic inference baselines: IS, MCMC, HMC, SBC and diagnostics."""
+"""Stochastic inference baselines: IS, MCMC, HMC, SBC and diagnostics.
 
+Samplers that operate on a whole program term share the uniform call shape
+``sampler(term, n, rng=..., **kwargs)`` and are registered by name in
+:data:`SAMPLERS`, which is what :meth:`repro.Model.sample` dispatches on.
+"""
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..lang.ast import Term
 from .diagnostics import (
     autocorrelation,
     chi_square_uniformity,
@@ -12,7 +22,41 @@ from .importance import ImportanceResult, WeightedSample, importance_sampling
 from .mh import MHResult, metropolis_hastings
 from .sbc import InferenceRunner, SBCModel, SBCResult, simulation_based_calibration
 
+
+def _hmc_program_sampler(
+    term: Term,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    trace_dimension: int = 5,
+    **kwargs,
+):
+    """Adapter giving truncated-program HMC the uniform sampler call shape."""
+    return hmc_truncated_program(
+        term, trace_dimension=trace_dimension, num_samples=n, rng=rng, **kwargs
+    )
+
+
+#: Program-level samplers by name, all callable as ``sampler(term, n, rng=...)``.
+SAMPLERS: Dict[str, Callable] = {
+    "importance": importance_sampling,
+    "is": importance_sampling,
+    "mh": metropolis_hastings,
+    "hmc": _hmc_program_sampler,
+}
+
+
+def sampler_by_name(name: str) -> Callable:
+    """Look up a registered program-level sampler (raises on unknown names)."""
+    try:
+        return SAMPLERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SAMPLERS))
+        raise LookupError(f"unknown sampler {name!r}; registered samplers: {known}") from None
+
+
 __all__ = [
+    "SAMPLERS",
+    "sampler_by_name",
     "WeightedSample",
     "ImportanceResult",
     "importance_sampling",

@@ -163,13 +163,27 @@ class _PathState:
         return [dist.support() for dist in self.distributions]
 
 
-@dataclass
+@dataclass(frozen=True)
 class SymbolicExecutionResult:
-    """All symbolic interval paths of a program plus exploration statistics."""
+    """All symbolic interval paths of a program plus exploration statistics.
 
-    paths: list[SymbolicPath]
+    The result is immutable (paths are stored as a tuple) so it can be cached
+    and shared between analysis queries — :class:`repro.Model` compiles a
+    program once per :class:`ExecutionLimits` configuration and serves every
+    downstream query from the cached result.
+    """
+
+    paths: tuple[SymbolicPath, ...]
     truncated_paths: int
     pruned_paths: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.paths, tuple):
+            object.__setattr__(self, "paths", tuple(self.paths))
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
 
     @property
     def exact(self) -> bool:

@@ -1,55 +1,16 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Model builders live in :mod:`tests.helpers`; import them explicitly
+(``from helpers import ...``) rather than from this conftest.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.lang import builder as b
-
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for reproducible tests."""
     return np.random.default_rng(12345)
-
-
-def simple_observe_model(observed: float = 1.1, std: float = 0.25):
-    """``let x = 3 * sample in observe(observed ~ N(x, std)); x`` — analytically tractable."""
-    return b.let(
-        "x",
-        b.mul(3.0, b.sample()),
-        b.seq(b.observe_normal(observed, std, b.var("x")), b.var("x")),
-    )
-
-
-def pedestrian_walk_fixpoint():
-    """The pedestrian walk fixpoint (paper Example 5.2)."""
-    return b.fix(
-        "walk",
-        "x",
-        b.if_leq(
-            b.var("x"),
-            0.0,
-            0.0,
-            b.let(
-                "step",
-                b.sample(),
-                b.choice(
-                    0.5,
-                    b.add(b.var("step"), b.app(b.var("walk"), b.add(b.var("x"), b.var("step")))),
-                    b.add(b.var("step"), b.app(b.var("walk"), b.sub(b.var("x"), b.var("step")))),
-                ),
-            ),
-        ),
-    )
-
-
-def geometric_program(p_stop: float = 0.5):
-    """A geometric counter via recursion: rounds until a coin comes up heads."""
-    loop = b.fix(
-        "loop",
-        "count",
-        b.choice(p_stop, b.var("count"), b.app(b.var("loop"), b.add(b.var("count"), 1.0))),
-    )
-    return b.app(loop, 0.0)

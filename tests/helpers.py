@@ -1,0 +1,55 @@
+"""Shared model builders for the test suite.
+
+These used to live in ``tests/conftest.py``, but importing them via
+``from conftest import ...`` is fragile: whichever ``conftest.py`` pytest
+loads first (``benchmarks/`` or ``tests/``) wins the ``conftest`` slot in
+``sys.modules``, so collecting both directories broke the imports.  Test
+modules import the builders explicitly from this module instead.
+"""
+
+from __future__ import annotations
+
+from repro.lang import builder as b
+
+__all__ = ["simple_observe_model", "pedestrian_walk_fixpoint", "geometric_program"]
+
+
+def simple_observe_model(observed: float = 1.1, std: float = 0.25):
+    """``let x = 3 * sample in observe(observed ~ N(x, std)); x`` — analytically tractable."""
+    return b.let(
+        "x",
+        b.mul(3.0, b.sample()),
+        b.seq(b.observe_normal(observed, std, b.var("x")), b.var("x")),
+    )
+
+
+def pedestrian_walk_fixpoint():
+    """The pedestrian walk fixpoint (paper Example 5.2)."""
+    return b.fix(
+        "walk",
+        "x",
+        b.if_leq(
+            b.var("x"),
+            0.0,
+            0.0,
+            b.let(
+                "step",
+                b.sample(),
+                b.choice(
+                    0.5,
+                    b.add(b.var("step"), b.app(b.var("walk"), b.add(b.var("x"), b.var("step")))),
+                    b.add(b.var("step"), b.app(b.var("walk"), b.sub(b.var("x"), b.var("step")))),
+                ),
+            ),
+        ),
+    )
+
+
+def geometric_program(p_stop: float = 0.5):
+    """A geometric counter via recursion: rounds until a coin comes up heads."""
+    loop = b.fix(
+        "loop",
+        "count",
+        b.choice(p_stop, b.var("count"), b.app(b.var("loop"), b.add(b.var("count"), 1.0))),
+    )
+    return b.app(loop, 0.0)

@@ -1,4 +1,4 @@
-"""End-to-end tests for the GuBPI engine (Algorithm 1)."""
+"""End-to-end tests for the GuBPI engine (Algorithm 1) via the Model facade."""
 
 from __future__ import annotations
 
@@ -8,63 +8,55 @@ import numpy as np
 import pytest
 from scipy import integrate, stats
 
-from repro.analysis import (
-    AnalysisOptions,
-    AnalysisReport,
-    bound_denotation,
-    bound_posterior_histogram,
-    bound_query,
-)
-from repro.exact import enumerate_posterior
-from repro.inference import importance_sampling
+from repro.analysis import AnalysisOptions, AnalysisReport, Model
 from repro.intervals import Interval
 from repro.lang import builder as b
 from repro.models import discrete_suite
 
-from conftest import geometric_program, simple_observe_model
+from helpers import geometric_program, simple_observe_model
 
 
 class TestBoundDenotation:
     def test_deterministic_program(self):
-        bounds = bound_denotation(b.const(2.0), [Interval(1.5, 2.5), Interval(3.0, 4.0)])
+        bounds = Model(b.const(2.0)).bounds([Interval(1.5, 2.5), Interval(3.0, 4.0)])
         assert bounds[0].lower == pytest.approx(1.0)
         assert bounds[0].upper == pytest.approx(1.0)
         assert bounds[1].lower == bounds[1].upper == 0.0
 
     def test_uniform_program_exact(self):
-        bounds = bound_denotation(b.sample(), [Interval(0.2, 0.5)])
+        bounds = Model(b.sample()).bounds([Interval(0.2, 0.5)])
         assert bounds[0].lower == pytest.approx(0.3, abs=1e-9)
         assert bounds[0].upper == pytest.approx(0.3, abs=1e-9)
 
     def test_report_collected(self):
         report = AnalysisReport()
-        bound_denotation(b.if_leq(b.sample(), 0.5, 1.0, 2.0), [Interval(0.0, 3.0)], report=report)
+        Model(b.if_leq(b.sample(), 0.5, 1.0, 2.0)).bounds([Interval(0.0, 3.0)], report=report)
         assert report.path_count == 2
         assert report.linear_paths == 2
+        assert report.analyzer_paths == {"linear": 2}
         assert report.seconds > 0
 
     def test_observe_model_brackets_quadrature(self):
-        program = simple_observe_model()
+        model = Model(simple_observe_model(), AnalysisOptions(score_splits=64))
         target = Interval(0.0, 1.0)
-        bounds = bound_denotation(program, [target], AnalysisOptions(score_splits=64))[0]
+        bounds = model.bound(target)
         truth, _ = integrate.quad(lambda u: stats.norm.pdf(1.1, loc=3 * u, scale=0.25), 0.0, 1.0 / 3.0)
         assert bounds.lower <= truth <= bounds.upper
         assert bounds.width < 0.1
 
     def test_box_fallback_engaged_for_nonlinear(self):
-        program = b.mul(b.sample(), b.sample())
+        model = Model(b.mul(b.sample(), b.sample()))
         report = AnalysisReport()
-        bounds = bound_denotation(program, [Interval(0.0, 0.25)], report=report)[0]
+        bounds = model.bound(Interval(0.0, 0.25), report=report)
         assert report.box_paths == 1
         # P(U·V <= 1/4) = 1/4 (1 + ln 4)
         truth = 0.25 * (1 + math.log(4.0))
         assert bounds.lower <= truth <= bounds.upper
 
     def test_linear_semantics_can_be_disabled(self):
-        program = b.add(b.sample(), b.sample())
+        model = Model(b.add(b.sample(), b.sample()))
         report = AnalysisReport()
-        bound_denotation(
-            program,
+        model.bounds(
             [Interval(0.0, 1.0)],
             AnalysisOptions(use_linear_semantics=False),
             report=report,
@@ -72,15 +64,21 @@ class TestBoundDenotation:
         assert report.linear_paths == 0
         assert report.box_paths == 1
 
+    def test_analyzer_selected_by_name(self):
+        model = Model(b.add(b.sample(), b.sample()))
+        report = AnalysisReport()
+        model.bounds([Interval(0.0, 1.0)], AnalysisOptions(analyzers=("box",)), report=report)
+        assert report.analyzer_paths == {"box": 1}
+
 
 class TestBoundQuery:
     def test_normalised_bounds_in_unit_interval(self):
-        query = bound_query(simple_observe_model(), Interval(0.0, 1.0))
+        query = Model(simple_observe_model()).probability(Interval(0.0, 1.0))
         assert 0.0 <= query.lower <= query.upper <= 1.0
 
     def test_query_matches_quadrature(self):
-        program = simple_observe_model()
-        query = bound_query(program, Interval(0.0, 1.0), AnalysisOptions(score_splits=128))
+        model = Model(simple_observe_model(), AnalysisOptions(score_splits=128))
+        query = model.probability(Interval(0.0, 1.0))
         numerator, _ = integrate.quad(
             lambda u: stats.norm.pdf(1.1, loc=3 * u, scale=0.25), 0.0, 1.0 / 3.0
         )
@@ -92,12 +90,12 @@ class TestBoundQuery:
         assert query.width < 0.2
 
     def test_query_of_impossible_event(self):
-        query = bound_query(b.sample(), Interval(2.0, 3.0))
+        query = Model(b.sample()).probability(Interval(2.0, 3.0))
         assert query.lower == 0.0
         assert query.upper == 0.0
 
     def test_query_of_certain_event(self):
-        query = bound_query(b.sample(), Interval(-1.0, 2.0))
+        query = Model(b.sample()).probability(Interval(-1.0, 2.0))
         assert query.lower == pytest.approx(1.0)
         assert query.upper == pytest.approx(1.0)
 
@@ -108,24 +106,25 @@ class TestBoundQuery:
             b.seq(b.observe_normal(0.7, 0.2, b.var("x")), b.var("x")),
         )
         target = Interval(0.5, 1.0)
-        query = bound_query(program, target, AnalysisOptions(score_splits=96))
-        is_result = importance_sampling(program, 20_000, rng)
+        model = Model(program, AnalysisOptions(score_splits=96))
+        query = model.probability(target)
+        is_result = model.sample(20_000, method="importance", rng=rng)
         estimate = is_result.estimate_probability(target)
         assert query.lower - 0.02 <= estimate <= query.upper + 0.02
 
     def test_geometric_program_query(self):
         """P(count = 0) for a geometric(1/2) counter is 1/2; recursion is summarised."""
-        program = geometric_program(0.5)
-        query = bound_query(program, Interval(-0.5, 0.5), AnalysisOptions(max_fixpoint_depth=8))
+        model = Model(geometric_program(0.5), AnalysisOptions(max_fixpoint_depth=8))
+        query = model.probability(Interval(-0.5, 0.5))
         assert query.lower <= 0.5 <= query.upper
         assert query.lower > 0.45
         assert query.upper < 0.55
 
     def test_geometric_bounds_tighten_with_depth(self):
-        program = geometric_program(0.5)
+        model = Model(geometric_program(0.5))
         target = Interval(-0.5, 0.5)
-        shallow = bound_query(program, target, AnalysisOptions(max_fixpoint_depth=3))
-        deep = bound_query(program, target, AnalysisOptions(max_fixpoint_depth=10))
+        shallow = model.probability(target, AnalysisOptions(max_fixpoint_depth=3))
+        deep = model.probability(target, AnalysisOptions(max_fixpoint_depth=10))
         assert deep.width <= shallow.width + 1e-12
 
 
@@ -134,16 +133,17 @@ class TestDiscreteAgreement:
 
     @pytest.mark.parametrize("case", discrete_suite(), ids=lambda bm: bm.name)
     def test_bounds_agree_with_enumeration(self, case):
-        exact = enumerate_posterior(case.program).probability_of(case.query_target)
-        query = bound_query(case.program, case.query_target)
+        model = Model(case.program)
+        exact = model.exact().probability_of(case.query_target)
+        query = model.probability(case.query_target)
         assert query.contains(exact, slack=1e-6)
         assert query.width < 1e-6
 
 
 class TestHistograms:
     def test_histogram_bounds_cover_posterior(self):
-        program = simple_observe_model()
-        histogram = bound_posterior_histogram(program, 0.0, 3.0, 6, AnalysisOptions(score_splits=64))
+        model = Model(simple_observe_model(), AnalysisOptions(score_splits=64))
+        histogram = model.histogram(0.0, 3.0, 6)
         assert len(histogram.buckets) == 6
         assert histogram.z_lower <= histogram.z_upper
         lower_mass, upper_mass = histogram.covered_mass_bounds()
@@ -151,16 +151,16 @@ class TestHistograms:
         assert upper_mass >= 0.99  # nearly all posterior mass lies in [0, 3]
 
     def test_histogram_validates_correct_sampler(self, rng):
-        program = simple_observe_model()
-        histogram = bound_posterior_histogram(program, 0.0, 3.0, 6, AnalysisOptions(score_splits=64))
-        is_result = importance_sampling(program, 20_000, rng)
+        model = Model(simple_observe_model(), AnalysisOptions(score_splits=64))
+        histogram = model.histogram(0.0, 3.0, 6)
+        is_result = model.sample(20_000, method="importance", rng=rng)
         samples = is_result.resample(10_000, rng)
         report = histogram.validate_samples(samples, tolerance=0.02)
         assert report.consistent
 
     def test_histogram_flags_wrong_sampler(self, rng):
-        program = simple_observe_model()
-        histogram = bound_posterior_histogram(program, 0.0, 3.0, 6, AnalysisOptions(score_splits=64))
+        model = Model(simple_observe_model(), AnalysisOptions(score_splits=64))
+        histogram = model.histogram(0.0, 3.0, 6)
         wrong_samples = rng.uniform(2.0, 3.0, size=5_000)  # mass far from the posterior
         report = histogram.validate_samples(wrong_samples, tolerance=0.02)
         assert not report.consistent
@@ -168,19 +168,19 @@ class TestHistograms:
         assert report.details
 
     def test_histogram_normalised_density(self):
-        histogram = bound_posterior_histogram(b.sample(), 0.0, 1.0, 4)
+        histogram = Model(b.sample()).histogram(0.0, 1.0, 4)
         densities = histogram.normalised_density_bounds()
         for lower, upper in densities:
             assert lower <= 1.0 + 1e-9 <= upper + 1e-6
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):
-            bound_posterior_histogram(b.sample(), 0.0, 1.0, 0)
+            Model(b.sample()).histogram(0.0, 1.0, 0)
         with pytest.raises(ValueError):
-            bound_posterior_histogram(b.sample(), 1.0, 0.0, 4)
+            Model(b.sample()).histogram(1.0, 0.0, 4)
 
     def test_empty_validation_report(self):
-        histogram = bound_posterior_histogram(b.sample(), 0.0, 1.0, 4)
+        histogram = Model(b.sample()).histogram(0.0, 1.0, 4)
         report = histogram.validate_samples([])
         assert report.checked == 0
         assert report.consistent

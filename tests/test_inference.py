@@ -21,7 +21,7 @@ from repro.inference import (
 from repro.intervals import Interval
 from repro.lang import builder as b
 
-from conftest import simple_observe_model
+from helpers import simple_observe_model
 
 
 def conjugate_uniform_normal(observed=0.7, std=0.2):
@@ -102,7 +102,7 @@ class TestMetropolisHastings:
 
     def test_variable_dimension_program(self, rng):
         """MH must handle traces whose length changes across proposals."""
-        from conftest import geometric_program
+        from helpers import geometric_program
 
         result = metropolis_hastings(geometric_program(0.5), num_samples=2_000, rng=rng, burn_in=200)
         # Geometric(1/2) over {0, 1, 2, ...} has mean 1.

@@ -7,8 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisOptions, AnalysisReport, bound_posterior_histogram, bound_query
-from repro.inference import importance_sampling
+from repro.analysis import AnalysisOptions, AnalysisReport, Model
 from repro.intervals import Interval
 from repro.models import (
     benchmark_by_name,
@@ -17,30 +16,31 @@ from repro.models import (
     pedestrian_bounded_program,
     pedestrian_program,
 )
-from repro.exact import enumerate_posterior
-from repro.estimation import estimate_probability
 
 
 @pytest.mark.slow
 class TestPedestrianEndToEnd:
-    def test_bounds_contain_importance_sampling(self, rng):
-        program = pedestrian_program()
-        options = AnalysisOptions(max_fixpoint_depth=4, score_splits=16)
+    # One Model for the whole class: both tests query the same options, so the
+    # second histogram is served entirely from the compiled-program cache.
+    @pytest.fixture(scope="class")
+    def pedestrian_model(self):
+        return Model(pedestrian_program(), AnalysisOptions(max_fixpoint_depth=4, score_splits=16))
+
+    def test_bounds_contain_importance_sampling(self, pedestrian_model, rng):
         report = AnalysisReport()
-        histogram = bound_posterior_histogram(program, 0.0, 3.0, 4, options, report)
+        histogram = pedestrian_model.histogram(0.0, 3.0, 4, report=report)
 
         assert report.truncated_paths > 0
         assert report.linear_paths == report.path_count  # every pedestrian path is linear
 
-        is_result = importance_sampling(pedestrian_bounded_program(), 4_000, rng)
+        is_result = Model(pedestrian_bounded_program()).sample(4_000, method="importance", rng=rng)
         samples = is_result.resample(4_000, rng)
         validation = histogram.validate_samples(samples, tolerance=0.03)
         assert validation.consistent
 
-    def test_bounds_reject_a_grossly_wrong_posterior(self, rng):
-        program = pedestrian_program()
-        options = AnalysisOptions(max_fixpoint_depth=4, score_splits=16)
-        histogram = bound_posterior_histogram(program, 0.0, 3.0, 4, options)
+    def test_bounds_reject_a_grossly_wrong_posterior(self, pedestrian_model, rng):
+        histogram = pedestrian_model.histogram(0.0, 3.0, 4)
+        assert pedestrian_model.cache_hits >= 1  # symbolic execution ran once for the class
         wrong = rng.uniform(2.5, 3.0, size=3_000)  # nearly all mass far from the posterior
         # At this reduced depth the normalised lower bounds are small, so the
         # check uses a zero tolerance: any bucket frequency strictly below its
@@ -51,14 +51,15 @@ class TestPedestrianEndToEnd:
 class TestTable1Scenario:
     def test_gubpi_tighter_than_baseline_on_branching_program(self):
         entry = benchmark_by_name("beauquier-3", "Q1")
-        bounds = bound_query(entry.program, entry.target)
-        baseline = estimate_probability(entry.program, entry.target, path_budget=3)
+        model = Model(entry.program)
+        bounds = model.probability(entry.target)
+        baseline = model.estimate(entry.target, path_budget=3)
         assert bounds.width <= baseline.width + 1e-9
         assert bounds.lower <= 0.5 <= bounds.upper
 
     def test_herman_exact_value(self):
         entry = benchmark_by_name("herman-3", "Q1")
-        bounds = bound_query(entry.program, entry.target)
+        bounds = Model(entry.program).probability(entry.target)
         assert bounds.lower == pytest.approx(0.375, abs=1e-6)
         assert bounds.upper == pytest.approx(0.375, abs=1e-6)
 
@@ -66,18 +67,19 @@ class TestTable1Scenario:
 class TestTable2Scenario:
     def test_grass_model_agreement_and_value(self):
         case = discrete_benchmark_by_name("grass")
-        exact = enumerate_posterior(case.program).probability_of(case.query_target)
-        bounds = bound_query(case.program, case.query_target)
+        model = Model(case.program)
+        exact = model.exact().probability_of(case.query_target)
+        bounds = model.probability(case.query_target)
         assert bounds.contains(exact, slack=1e-9)
         assert 0.6 < exact < 0.8
 
 
 class TestFig6Scenario:
     def test_unbounded_geometric_vs_truncated_exact(self):
-        program = cav_example_7()
-        bounds = bound_query(program, Interval(-0.5, 0.5), AnalysisOptions(max_fixpoint_depth=12))
+        model = Model(cav_example_7(), AnalysisOptions(max_fixpoint_depth=12))
+        bounds = model.probability(Interval(-0.5, 0.5))
         assert bounds.lower <= 0.2 <= bounds.upper
-        truncated = enumerate_posterior(program, max_unroll=4, on_limit="truncate")
+        truncated = model.exact(max_unroll=4, on_limit="truncate")
         # The truncated exact answer differs from the unbounded program's true value.
         assert truncated.probability(0.0) > 0.2 + 0.01
 
@@ -105,7 +107,7 @@ class TestSoundnessSweep:
             ),
         )
         target = Interval(0.0, 1.0)
-        query = bound_query(program, target, AnalysisOptions(score_splits=48))
-        is_result = importance_sampling(program, 20_000, rng)
-        estimate = is_result.estimate_probability(target)
+        model = Model(program, AnalysisOptions(score_splits=48))
+        query = model.probability(target)
+        estimate = model.sample(20_000, method="importance", rng=rng).estimate_probability(target)
         assert query.lower - 0.03 <= estimate <= query.upper + 0.03

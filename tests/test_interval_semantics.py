@@ -27,7 +27,7 @@ from repro.semantics import (
     value_and_weight,
 )
 
-from conftest import simple_observe_model
+from helpers import simple_observe_model
 
 
 def _containing_box(trace: tuple[float, ...], width: float = 0.1) -> Box:

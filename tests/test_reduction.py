@@ -21,7 +21,7 @@ from repro.semantics import (
 )
 from repro.semantics.sampler import EvaluationError
 
-from conftest import pedestrian_walk_fixpoint, simple_observe_model
+from helpers import pedestrian_walk_fixpoint, simple_observe_model
 
 
 class TestSmallStep:

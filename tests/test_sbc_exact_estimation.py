@@ -102,11 +102,12 @@ class TestExactEnumeration:
             result.expectation()
 
     def test_agrees_with_gubpi_on_suite_entry(self):
-        case = discrete_benchmark_by_name("noisyOr")
-        from repro.analysis import bound_query
+        from repro.analysis import Model
 
-        exact = enumerate_posterior(case.program).probability_of(case.query_target)
-        bounds = bound_query(case.program, case.query_target)
+        case = discrete_benchmark_by_name("noisyOr")
+        model = Model(case.program)
+        exact = model.exact().probability_of(case.query_target)
+        bounds = model.probability(case.query_target)
         assert bounds.contains(exact, slack=1e-9)
 
 
@@ -137,7 +138,7 @@ class TestProbabilityEstimationBaseline:
             estimate_probability(program, Interval(0.0, 0.5))
 
     def test_bounds_contain_truth_for_recursive_program(self):
-        from conftest import geometric_program
+        from helpers import geometric_program
 
         estimate = estimate_probability(geometric_program(0.5), Interval(-0.5, 0.5), max_fixpoint_depth=5)
         assert estimate.lower <= 0.5 <= estimate.upper

@@ -28,7 +28,7 @@ from repro.symbolic import (
     uses_variables_at_most_once,
 )
 
-from conftest import pedestrian_walk_fixpoint, geometric_program
+from helpers import pedestrian_walk_fixpoint, geometric_program
 
 
 def _linear_expr():

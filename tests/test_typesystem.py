@@ -28,7 +28,7 @@ from repro.typesystem import (
 )
 from repro.lang.types import REAL, FunType
 
-from conftest import pedestrian_walk_fixpoint
+from helpers import pedestrian_walk_fixpoint
 
 
 class TestSubtyping:
