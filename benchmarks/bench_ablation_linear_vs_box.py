@@ -20,7 +20,7 @@ from repro.intervals import Interval
 from repro.lang import builder as b
 from repro.models import pedestrian_program
 
-from bench_utils import emit
+from bench_utils import emit, scaled
 
 _rows: list[str] = []
 
@@ -54,8 +54,8 @@ def test_ablation_observe_model(use_linear, bench_once):
     target = Interval(0.0, 1.0)
     options = AnalysisOptions(
         analyzers=("linear", "box") if use_linear else ("box",),
-        score_splits=64,
-        splits_per_dimension=64,
+        score_splits=scaled(64, 8),
+        splits_per_dimension=scaled(64, 8),
     )
     bounds, seconds, report = bench_once(_run, _OBSERVE, target, options)
     _rows.append(
@@ -75,9 +75,9 @@ def test_ablation_pedestrian_depth3(bench_once):
         options = AnalysisOptions(
             max_fixpoint_depth=3,
             analyzers=("linear", "box") if use_linear else ("box",),
-            score_splits=16,
-            splits_per_dimension=6,
-            max_boxes_per_path=4_000,
+            score_splits=scaled(16, 6),
+            splits_per_dimension=scaled(6, 3),
+            max_boxes_per_path=scaled(4_000, 800),
         )
         if use_linear:
             bounds, seconds, report = bench_once(_run, model, target, options)

@@ -15,9 +15,10 @@ import numpy as np
 from repro.analysis import Model
 from repro.models import pedestrian_bounded_program
 
-from bench_utils import emit
+from bench_utils import TINY, emit, scaled
 
 _EDGES = np.linspace(0.0, 3.0, 13)
+_IS_SAMPLES = scaled(4_000, 800)
 
 
 def _histogram(values: np.ndarray) -> np.ndarray:
@@ -30,16 +31,16 @@ def test_fig1_sampler_disagreement(bench_once, rng):
     model = Model(pedestrian_bounded_program())
 
     def run_samplers():
-        is_result = model.sample(4_000, method="importance", rng=rng)
-        is_values = is_result.resample(4_000, rng)
+        is_result = model.sample(_IS_SAMPLES, method="importance", rng=rng)
+        is_values = is_result.resample(_IS_SAMPLES, rng)
         _, hmc_values = model.sample(
-            150,
+            scaled(150, 60),
             method="hmc",
             rng=rng,
             trace_dimension=5,
             step_size=0.08,
             leapfrog_steps=15,
-            burn_in=50,
+            burn_in=scaled(50, 15),
         )
         return is_values, hmc_values[~np.isnan(hmc_values)]
 
@@ -57,5 +58,6 @@ def test_fig1_sampler_disagreement(bench_once, rng):
     emit("fig1_pedestrian_samplers", lines)
 
     # Shape: the two inference methods clearly disagree (Fig. 1).
-    assert len(hmc_values) > 20
-    assert tv_distance > 0.15
+    assert len(hmc_values) > scaled(20, 5)
+    if not TINY:
+        assert tv_distance > 0.15

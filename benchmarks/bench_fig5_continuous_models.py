@@ -23,9 +23,9 @@ from repro.models import (
     neals_funnel_program,
 )
 
-from bench_utils import emit
+from bench_utils import TINY, emit, scaled
 
-_BOX_OPTIONS = AnalysisOptions(splits_per_dimension=80, use_linear_semantics=False)
+_BOX_OPTIONS = AnalysisOptions(splits_per_dimension=scaled(80, 16), use_linear_semantics=False)
 
 
 def _summarise(name: str, histogram, extra: list[str] | None = None) -> None:
@@ -35,7 +35,7 @@ def _summarise(name: str, histogram, extra: list[str] | None = None) -> None:
     emit(name, lines)
 
 
-def _is_reference(model, rng, count=20_000):
+def _is_reference(model, rng, count=scaled(20_000, 3_000)):
     result = model.sample(count, method="importance", rng=rng)
     return result.resample(count // 2, rng)
 
@@ -47,7 +47,8 @@ def test_fig5a_coin_bias(bench_once, rng):
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5a_coin_bias", histogram, [f"IS consistent: {report.consistent}"])
     assert histogram.z_lower > 0
-    assert report.consistent
+    if not TINY:
+        assert report.consistent
 
 
 def test_fig5b_max_of_normals(bench_once, rng):
@@ -56,7 +57,8 @@ def test_fig5b_max_of_normals(bench_once, rng):
     samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5b_max_of_normals", histogram, [f"IS consistent: {report.consistent}"])
-    assert report.consistent
+    if not TINY:
+        assert report.consistent
     # The posterior of max(X, Y) is right-skewed: more guaranteed mass above 0 than below.
     upper_mass_above = sum(
         upper for bound, (lower, upper) in zip(histogram.buckets, histogram.normalised_bounds())
@@ -72,7 +74,7 @@ def test_fig5b_max_of_normals(bench_once, rng):
 def test_fig5c_binary_gmm(bench_once, rng):
     model = Model(
         binary_gmm_program(observation=1.0),
-        AnalysisOptions(splits_per_dimension=160, use_linear_semantics=False),
+        AnalysisOptions(splits_per_dimension=scaled(160, 24), use_linear_semantics=False),
     )
     histogram = bench_once(model.histogram, -3.0, 3.0, 12)
     samples = _is_reference(model, rng)
@@ -82,7 +84,7 @@ def test_fig5c_binary_gmm(bench_once, rng):
     result = hmc(
         lambda x: binary_gmm_log_density(float(x[0]), observation=1.0),
         initial=[1.0],
-        num_samples=1_500,
+        num_samples=scaled(1_500, 300),
         rng=rng,
         step_size=0.05,
         leapfrog_steps=10,
@@ -98,9 +100,10 @@ def test_fig5c_binary_gmm(bench_once, rng):
             f"({hmc_report.violations} bucket violations)",
         ],
     )
-    assert is_report.consistent
-    # Fig. 5c shape: MCMC finds only one mode, which the guaranteed bounds expose.
-    assert not hmc_report.consistent
+    if not TINY:
+        assert is_report.consistent
+        # Fig. 5c shape: MCMC finds only one mode, which the guaranteed bounds expose.
+        assert not hmc_report.consistent
 
 
 def test_fig5d_neals_funnel(bench_once, rng):
@@ -109,6 +112,7 @@ def test_fig5d_neals_funnel(bench_once, rng):
     samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
     _summarise("fig5d_neals_funnel", histogram, [f"IS consistent: {report.consistent}"])
-    assert report.consistent
+    if not TINY:
+        assert report.consistent
     covered_lower, covered_upper = histogram.covered_mass_bounds()
     assert covered_upper >= 0.95

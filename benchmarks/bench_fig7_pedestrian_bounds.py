@@ -16,29 +16,33 @@ import numpy as np
 from repro.analysis import AnalysisOptions, Model
 from repro.models import pedestrian_bounded_program, pedestrian_program
 
-from bench_utils import emit
+from bench_utils import TINY, emit, scaled
 
-_DEPTH = 5
-_BUCKETS = 6
+_DEPTH = scaled(5, 3)
+_BUCKETS = scaled(6, 4)
+_IS_SAMPLES = scaled(6_000, 1_000)
 
 
 def test_fig7_pedestrian_bounds(bench_once, rng):
-    model = Model(pedestrian_program(), AnalysisOptions(max_fixpoint_depth=_DEPTH, score_splits=16))
+    model = Model(
+        pedestrian_program(),
+        AnalysisOptions(max_fixpoint_depth=_DEPTH, score_splits=scaled(16, 6)),
+    )
     histogram = bench_once(model.histogram, 0.0, 3.0, _BUCKETS)
 
     sampler_model = Model(pedestrian_bounded_program())
-    is_result = sampler_model.sample(6_000, method="importance", rng=rng)
-    is_samples = is_result.resample(6_000, rng)
+    is_result = sampler_model.sample(_IS_SAMPLES, method="importance", rng=rng)
+    is_samples = is_result.resample(_IS_SAMPLES, rng)
     is_report = histogram.validate_samples(is_samples, tolerance=0.03)
 
     _, hmc_values = sampler_model.sample(
-        150,
+        scaled(150, 60),
         method="hmc",
         rng=rng,
         trace_dimension=5,
         step_size=0.08,
         leapfrog_steps=15,
-        burn_in=50,
+        burn_in=scaled(50, 15),
     )
     hmc_values = hmc_values[~np.isnan(hmc_values)]
     hmc_report = histogram.validate_samples(hmc_values, tolerance=0.0)
@@ -71,5 +75,6 @@ def test_fig7_pedestrian_bounds(bench_once, rng):
     # (strict, zero-tolerance) lower bounds or at least disagrees strongly
     # with IS — the full-precision bounds adjudicate this definitively in the paper.
     assert histogram.z_lower > 0.0
-    assert is_report.consistent
-    assert (not hmc_report.consistent) or tv_distance > 0.1
+    if not TINY:
+        assert is_report.consistent
+        assert (not hmc_report.consistent) or tv_distance > 0.1

@@ -1,0 +1,83 @@
+"""Parallel bound engine: wall-clock scaling on a path-heavy workload.
+
+The pedestrian model in the path-explosion regime (Section 7.5) is the
+canonical stress test for the per-path hot loop: at fixpoint depth ``D`` the
+walk contributes ``O(2^D)`` symbolic paths, each analysed independently.
+This driver runs the same histogram query through the serial engine and
+through process pools of increasing size, checks that every configuration
+returns **bit-identical** bounds, and reports the speedup.
+
+A genuine wall-clock speedup is asserted only on multi-core hosts (the
+engine cannot beat physics on one core); everywhere else the driver still
+pins the equally important property that parallelism never changes a bound.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis import AnalysisOptions, Model
+from repro.models import pedestrian_program
+
+from bench_utils import TINY, emit, scaled
+
+_DEPTH = scaled(6, 3)
+_BUCKETS = scaled(6, 3)
+_SCORE_SPLITS = scaled(8, 4)
+_MIN_SPEEDUP = 1.15
+
+
+def test_parallel_scaling(bench_once):
+    cores = os.cpu_count() or 1
+    worker_grid = sorted({2, min(4, max(2, cores))})
+    serial_options = AnalysisOptions(
+        max_fixpoint_depth=_DEPTH, score_splits=_SCORE_SPLITS, workers=1, executor="serial"
+    )
+    model = Model(pedestrian_program(), serial_options)
+
+    # Compile once up front so every timed run measures pure path analysis.
+    model.compile()
+    start = time.perf_counter()
+    serial = bench_once(model.histogram, 0.0, 3.0, _BUCKETS)
+    serial_seconds = time.perf_counter() - start
+
+    lines = [
+        f"pedestrian path-analysis scaling (depth {_DEPTH}, {_BUCKETS} buckets, "
+        f"{model.compile(serial_options).path_count} paths, {cores} cores)",
+        f"serial: {serial_seconds:.3f}s",
+    ]
+
+    speedups = {}
+    with model:
+        for workers in worker_grid:
+            options = serial_options.with_updates(workers=workers, executor="process")
+            # Warm the pool so its one-off fork cost is not billed to the query.
+            model.bounds([serial.buckets[0].bucket], options)
+            start = time.perf_counter()
+            parallel = model.histogram(0.0, 3.0, _BUCKETS, options)
+            parallel_seconds = time.perf_counter() - start
+            speedups[workers] = serial_seconds / max(parallel_seconds, 1e-9)
+            lines.append(
+                f"workers={workers} (process): {parallel_seconds:.3f}s "
+                f"(speedup ×{speedups[workers]:.2f})"
+            )
+
+            assert parallel.z_lower == serial.z_lower
+            assert parallel.z_upper == serial.z_upper
+            for serial_bucket, parallel_bucket in zip(serial.buckets, parallel.buckets):
+                assert parallel_bucket.lower == serial_bucket.lower
+                assert parallel_bucket.upper == serial_bucket.upper
+    lines.append("parallel bounds bit-identical to serial: True")
+
+    if cores >= 2 and not TINY:
+        # Only the full-fidelity workload amortises pool overhead enough for a
+        # stable speedup measurement; the tiny smoke run (15 paths, sub-second
+        # serial time) would make this assertion a noisy-neighbor lottery.
+        best = max(speedups.values())
+        lines.append(f"best speedup ×{best:.2f} (asserted ≥ ×{_MIN_SPEEDUP} on {cores} cores)")
+        assert best >= _MIN_SPEEDUP, f"expected ≥×{_MIN_SPEEDUP} speedup on {cores} cores, got ×{best:.2f}"
+    else:
+        lines.append("tiny or single-core run: speedup assertion skipped, equality still enforced")
+
+    emit("parallel_scaling", lines)

@@ -16,10 +16,10 @@ import pytest
 from repro.analysis import AnalysisOptions, Model
 from repro.models import probest_suite
 
-from bench_utils import emit
+from bench_utils import TINY, emit, scaled
 
 SUITE = probest_suite()
-_OPTIONS = AnalysisOptions(max_fixpoint_depth=12, splits_per_dimension=24)
+_OPTIONS = AnalysisOptions(max_fixpoint_depth=scaled(12, 6), splits_per_dimension=scaled(24, 8))
 _BASELINE_PATH_BUDGET = 6
 _collected_rows: list[str] = []
 
@@ -37,7 +37,7 @@ def test_table1_row(entry, bench_once, rng):
         baseline_width = float("inf")
 
     # Monte-Carlo sanity estimate of the query probability.
-    estimate = model.sample(3_000, method="importance", rng=rng).estimate_probability(entry.target)
+    estimate = model.sample(scaled(3_000, 800), method="importance", rng=rng).estimate_probability(entry.target)
 
     row = (
         f"{entry.identifier:20s} ours=[{bounds.lower:.4f}, {bounds.upper:.4f}]"
@@ -55,4 +55,5 @@ def test_table1_row(entry, bench_once, rng):
     # path volumes.
     assert bounds.lower <= bounds.upper
     assert bounds.lower - 0.03 <= estimate <= bounds.upper + 0.03
-    assert bounds.upper - bounds.lower <= baseline_width + 0.11
+    if not TINY:
+        assert bounds.upper - bounds.lower <= baseline_width + 0.11

@@ -40,6 +40,7 @@ from .analysis import (
     AnalysisReport,
     CompiledProgram,
     Model,
+    ParallelAnalysisExecutor,
     available_analyzers,
     bound_denotation,
     bound_posterior_histogram,
@@ -66,6 +67,7 @@ __all__ = [
     "CompiledProgram",
     "AnalysisOptions",
     "AnalysisReport",
+    "ParallelAnalysisExecutor",
     "register_analyzer",
     "get_analyzer",
     "available_analyzers",

@@ -11,25 +11,37 @@ compatibility.
 """
 
 from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, split_domain
-from .config import AnalysisOptions
+from .config import EXECUTOR_KINDS, AnalysisOptions
 from .engine import (
     AnalysisReport,
     DenotationBounds,
+    PathContribution,
     QueryBounds,
     analyze_execution,
+    analyze_single_path,
     bound_denotation,
     bound_posterior_histogram,
     bound_query,
     histogram_buckets,
     normalised_query,
+    reduce_contributions,
 )
 from .histogram import BucketBound, HistogramBounds, ValidationReport
 from .linear_analyzer import LinearPathAnalyzer, analyze_path_linear, linear_analysis_applicable
 from .model import CompiledProgram, Model
+from .parallel import (
+    ParallelAnalysisExecutor,
+    close_shared_executors,
+    partition_paths,
+    shared_executor,
+)
 from .registry import (
+    AnalyzerSpec,
     PathAnalyzer,
     UnknownAnalyzerError,
+    analyzer_specs,
     available_analyzers,
+    ensure_analyzers_registered,
     get_analyzer,
     register_analyzer,
     resolve_analyzers,
@@ -40,10 +52,18 @@ __all__ = [
     "Model",
     "CompiledProgram",
     "AnalysisOptions",
+    "EXECUTOR_KINDS",
     "AnalysisReport",
     "DenotationBounds",
     "QueryBounds",
+    "PathContribution",
+    "ParallelAnalysisExecutor",
+    "partition_paths",
+    "shared_executor",
+    "close_shared_executors",
     "analyze_execution",
+    "analyze_single_path",
+    "reduce_contributions",
     "normalised_query",
     "histogram_buckets",
     "bound_denotation",
@@ -54,6 +74,9 @@ __all__ = [
     "ValidationReport",
     "PathAnalyzer",
     "UnknownAnalyzerError",
+    "AnalyzerSpec",
+    "analyzer_specs",
+    "ensure_analyzers_registered",
     "register_analyzer",
     "unregister_analyzer",
     "get_analyzer",

@@ -25,10 +25,12 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..distributions import ContinuousDistribution, DiscreteDistribution, Distribution
-from ..intervals import Interval
-from ..symbolic.paths import SymbolicPath
-from ..symbolic.value import evaluate_interval
+from ..intervals import Interval, get_primitive
+from ..symbolic.paths import Relation, SymbolicPath
+from ..symbolic.value import SConst, SPrim, SVar, SymExpr, evaluate_interval
 from .config import AnalysisOptions
 
 __all__ = ["BoxPathAnalyzer", "analyze_path_boxes", "split_domain"]
@@ -103,6 +105,216 @@ def _enumerate_cells(path: SymbolicPath, options: AnalysisOptions) -> list[_Cell
     return cells
 
 
+# ----------------------------------------------------------------------
+# Vectorised cell evaluation
+#
+# The per-cell loop below evaluates every constraint, score and the result
+# value once per grid cell — for a path with thousands of cells that is
+# thousands of Python interpreter round-trips per expression node.  The
+# vectorised sweep evaluates each expression node once over *all* cells as a
+# pair of (lo, hi) NumPy arrays instead.  Exact IEEE operations (add, sub,
+# neg, mul, min, max, abs, square) are lifted wholesale; any other primitive
+# falls back to its scalar interval lifting applied cell-wise, so the sweep
+# never changes which liftings define the bounds.  Any anomaly (NaN from
+# inf−inf corner cases, empty constants, atom placeholders) abandons the
+# sweep and re-runs the path through the scalar loop.
+# ----------------------------------------------------------------------
+
+
+class _ScalarFallback(Exception):
+    """Internal: abandon the vectorised sweep and use the per-cell loop."""
+
+
+def _vec_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise product under the measure-theoretic ``0 · inf = 0``.
+
+    Overflow to ``±inf`` matches CPython float semantics and is sound for
+    interval endpoints, so both warnings are suppressed.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        product = a * b
+    return np.where((a == 0.0) | (b == 0.0), 0.0, product)
+
+
+def _vec_mul(alo: np.ndarray, ahi: np.ndarray, blo: np.ndarray, bhi: np.ndarray):
+    products = (
+        _vec_product(alo, blo),
+        _vec_product(alo, bhi),
+        _vec_product(ahi, blo),
+        _vec_product(ahi, bhi),
+    )
+    lo = np.minimum(np.minimum(products[0], products[1]), np.minimum(products[2], products[3]))
+    hi = np.maximum(np.maximum(products[0], products[1]), np.maximum(products[2], products[3]))
+    return lo, hi
+
+
+def _evaluate_cells(expr: SymExpr, los: np.ndarray, his: np.ndarray):
+    """``(lo, hi)`` arrays of ``expr`` over all cells (rows of ``los``/``his``)."""
+    if isinstance(expr, SVar):
+        return los[:, expr.index], his[:, expr.index]
+    if isinstance(expr, SConst):
+        if expr.interval.is_empty:
+            raise _ScalarFallback
+        count = los.shape[0]
+        return np.full(count, expr.interval.lo), np.full(count, expr.interval.hi)
+    if isinstance(expr, SPrim):
+        args = [_evaluate_cells(arg, los, his) for arg in expr.args]
+        op = expr.op
+        if op == "add":
+            (alo, ahi), (blo, bhi) = args
+            return alo + blo, ahi + bhi
+        if op == "sub":
+            (alo, ahi), (blo, bhi) = args
+            return alo - bhi, ahi - blo
+        if op == "neg":
+            ((alo, ahi),) = args
+            return -ahi, -alo
+        if op == "mul":
+            (alo, ahi), (blo, bhi) = args
+            return _vec_mul(alo, ahi, blo, bhi)
+        if op == "min":
+            (alo, ahi), (blo, bhi) = args
+            return np.minimum(alo, blo), np.minimum(ahi, bhi)
+        if op == "max":
+            (alo, ahi), (blo, bhi) = args
+            return np.maximum(alo, blo), np.maximum(ahi, bhi)
+        if op == "abs":
+            ((alo, ahi),) = args
+            magnitude_lo = np.minimum(np.abs(alo), np.abs(ahi))
+            magnitude_hi = np.maximum(np.abs(alo), np.abs(ahi))
+            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+            return np.where(spans_zero, 0.0, magnitude_lo), magnitude_hi
+        if op == "square":
+            ((alo, ahi),) = args
+            lo, hi = _vec_mul(alo, ahi, alo, ahi)
+            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+            square_hi = np.maximum(_vec_product(alo, alo), _vec_product(ahi, ahi))
+            return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
+        # Every other primitive: apply its scalar interval lifting cell-wise.
+        primitive = get_primitive(op)
+        count = los.shape[0]
+        out_lo = np.empty(count)
+        out_hi = np.empty(count)
+        for cell in range(count):
+            try:
+                intervals = [Interval(float(alo[cell]), float(ahi[cell])) for alo, ahi in args]
+                value = primitive.apply_interval(*intervals)
+            except ValueError as error:
+                # A NaN/ordering corner case the scalar loop's early exits
+                # might avoid (it skips infeasible cells before evaluating
+                # scores/results); let the scalar path decide.
+                raise _ScalarFallback from error
+            if value.is_empty:
+                raise _ScalarFallback
+            out_lo[cell] = value.lo
+            out_hi[cell] = value.hi
+        return out_lo, out_hi
+    raise _ScalarFallback
+
+
+def _checked_cells(expr: SymExpr, los: np.ndarray, his: np.ndarray):
+    # Overflow to ±inf matches CPython float arithmetic and is sound for
+    # interval endpoints; NaN (inf − inf and friends) aborts the sweep.
+    with np.errstate(over="ignore", invalid="ignore"):
+        lo, hi = _evaluate_cells(expr, los, his)
+    if np.isnan(lo).any() or np.isnan(hi).any():
+        raise _ScalarFallback
+    return lo, hi
+
+
+def _constraint_masks(relation: str, glo: np.ndarray, ghi: np.ndarray):
+    """Vectorised ``holds_exists`` / ``holds_forall`` for one constraint."""
+    if relation == Relation.LEQ:
+        return glo <= 0.0, ghi <= 0.0
+    if relation == Relation.LT:
+        return glo < 0.0, ghi < 0.0
+    if relation == Relation.GT:
+        return ghi > 0.0, glo > 0.0
+    return ghi >= 0.0, glo >= 0.0
+
+
+def _cell_arrays(path: SymbolicPath, options: AnalysisOptions):
+    """The cell grid as arrays: bounds ``(n, d)`` and masses ``(n,)``.
+
+    Mirrors :func:`_enumerate_cells` (same per-variable splits, same
+    zero-mass point-cell filter, same lexicographic cell order) but builds
+    the product grid with ``meshgrid`` instead of a Python cross product.
+    """
+    parts = _grid_parts(path.variable_count, options)
+    lows, highs, masses = [], [], []
+    for dist in path.distributions:
+        cells = []
+        for cell in split_domain(dist, parts):
+            cell_mass = dist.measure(cell)
+            if cell_mass <= 0.0 and cell.width == 0.0:
+                continue
+            cells.append((cell, cell_mass))
+        if not cells:
+            return None
+        lows.append(np.array([cell.lo for cell, _ in cells]))
+        highs.append(np.array([cell.hi for cell, _ in cells]))
+        masses.append(np.array([mass for _, mass in cells]))
+    lo_grid = np.meshgrid(*lows, indexing="ij")
+    hi_grid = np.meshgrid(*highs, indexing="ij")
+    mass_grid = np.meshgrid(*masses, indexing="ij")
+    los = np.stack([grid.reshape(-1) for grid in lo_grid], axis=1)
+    his = np.stack([grid.reshape(-1) for grid in hi_grid], axis=1)
+    mass = np.ones(los.shape[0])
+    for grid in mass_grid:
+        mass = mass * grid.reshape(-1)
+    return los, his, mass
+
+
+def _analyze_path_boxes_vectorized(
+    path: SymbolicPath,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> list[tuple[float, float]]:
+    """The vectorised sweep; raises :class:`_ScalarFallback` when unsupported."""
+    arrays = _cell_arrays(path, options)
+    if arrays is None:
+        return [(0.0, 0.0) for _ in targets]
+    los, his, mass = arrays
+
+    possible = mass > 0.0
+    definite = possible.copy()
+    for constraint in path.constraints:
+        glo, ghi = _checked_cells(constraint.expr, los, his)
+        exists_mask, forall_mask = _constraint_masks(constraint.relation, glo, ghi)
+        possible &= exists_mask
+        definite &= forall_mask
+    if not possible.any():
+        return [(0.0, 0.0) for _ in targets]
+
+    weight_lo = np.ones(los.shape[0])
+    weight_hi = np.ones(los.shape[0])
+    for score in path.scores:
+        slo, shi = _checked_cells(score, los, his)
+        # meet with [0, inf); an all-negative score interval collapses to 0.
+        slo = np.maximum(slo, 0.0)
+        negative = shi < slo
+        slo = np.where(negative, 0.0, slo)
+        shi = np.where(negative, 0.0, shi)
+        weight_lo, weight_hi = _vec_mul(weight_lo, weight_hi, slo, shi)
+    weight_lo = np.maximum(weight_lo, 0.0)
+    weight_hi = np.maximum(weight_hi, 0.0)
+    if np.isnan(weight_lo).any() or np.isnan(weight_hi).any():
+        raise _ScalarFallback
+
+    value_lo, value_hi = _checked_cells(path.result, los, his)
+    upper_mass = _vec_product(mass, weight_hi)
+    lower_mass = _vec_product(mass, weight_lo)
+
+    results: list[tuple[float, float]] = []
+    for target in targets:
+        intersects = possible & (value_hi >= target.lo) & (value_lo <= target.hi)
+        contained = definite & (value_lo >= target.lo) & (value_hi <= target.hi)
+        upper = float(np.sum(upper_mass, where=intersects, initial=0.0))
+        lower = float(np.sum(lower_mass, where=contained, initial=0.0))
+        results.append((lower, upper))
+    return results
+
+
 def analyze_path_boxes(
     path: SymbolicPath,
     targets: Sequence[Interval],
@@ -110,8 +322,19 @@ def analyze_path_boxes(
 ) -> list[tuple[float, float]]:
     """Bounds on ``⟦Ψ⟧_lb(U)`` / ``⟦Ψ⟧_ub(U)`` for every target ``U``.
 
-    Returns one ``(lower, upper)`` pair per entry of ``targets``.
+    Returns one ``(lower, upper)`` pair per entry of ``targets``.  With
+    ``options.vectorized_boxes`` (the default) the grid is evaluated in one
+    vectorised sweep over all cells; paths the sweep cannot express fall back
+    to the per-cell loop transparently.
     """
+    if options.vectorized_boxes and path.variable_count > 0:
+        try:
+            return _analyze_path_boxes_vectorized(path, targets, options)
+        except _ScalarFallback:
+            # Unsupported expression shapes and per-cell NaN corner cases
+            # re-run through the scalar loop; genuine defects (e.g. shape
+            # mismatches) propagate instead of silently degrading to it.
+            pass
     lower = [0.0] * len(targets)
     upper = [0.0] * len(targets)
     if path.variable_count == 0:
@@ -183,3 +406,17 @@ class BoxPathAnalyzer:
         options: AnalysisOptions,
     ) -> list[tuple[float, float]]:
         return analyze_path_boxes(path, targets, options)
+
+    def analyze_batch(
+        self,
+        paths: Sequence[SymbolicPath],
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[list[tuple[float, float]]]:
+        """Per-path contributions for a whole chunk of paths.
+
+        Used by the parallel chunk workers; each path runs the same
+        (vectorised) analysis as :meth:`analyze`, so batch results are
+        identical to per-path calls.
+        """
+        return [analyze_path_boxes(path, targets, options) for path in paths]

@@ -2,17 +2,46 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..symbolic import ExecutionLimits
 
-__all__ = ["AnalysisOptions"]
+__all__ = ["AnalysisOptions", "EXECUTOR_KINDS"]
+
+#: The recognised execution backends of the bound engine.  ``"serial"`` runs
+#: the classic single-threaded loop, ``"thread"`` / ``"process"`` fan path
+#: chunks out over a ``concurrent.futures`` pool (see
+#: :mod:`repro.analysis.parallel`).
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Environment overrides for the parallel defaults.  They let a CI job (or an
+#: operator) run an unmodified workload in parallel mode::
+#:
+#:     REPRO_ANALYSIS_WORKERS=2 REPRO_ANALYSIS_EXECUTOR=thread pytest
+_WORKERS_ENV = "REPRO_ANALYSIS_WORKERS"
+_EXECUTOR_ENV = "REPRO_ANALYSIS_EXECUTOR"
 
 
 def _require_positive(name: str, value: int) -> None:
     if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
         raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
+def _default_workers() -> int:
+    raw = os.environ.get(_WORKERS_ENV)
+    if not raw:  # unset or empty-but-set both mean "no override"
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{_WORKERS_ENV} must be an integer, got {raw!r}") from exc
+    return workers
+
+
+def _default_executor() -> Optional[str]:
+    return os.environ.get(_EXECUTOR_ENV) or None
 
 
 @dataclass(frozen=True)
@@ -43,6 +72,21 @@ class AnalysisOptions:
             ``None`` (the default) derives the sequence from
             ``use_linear_semantics``: ``("linear", "box")`` when true,
             ``("box",)`` otherwise.
+        workers: how many workers the parallel bound engine fans path chunks
+            out over.  ``1`` (the default) keeps the engine serial unless
+            ``executor`` explicitly requests a pool.  Defaults to
+            ``$REPRO_ANALYSIS_WORKERS`` when that variable is set.
+        chunk_size: number of symbolic paths per parallel work unit.  ``None``
+            derives a deterministic, cost-balanced partition from the path
+            set and the worker count (see
+            :func:`repro.analysis.parallel.partition_paths`).
+        executor: ``"serial"``, ``"thread"`` or ``"process"``; ``None`` (the
+            default) derives the backend from ``workers`` — a process pool
+            when ``workers > 1``, the serial loop otherwise.  Defaults to
+            ``$REPRO_ANALYSIS_EXECUTOR`` when that variable is set.
+        vectorized_boxes: let the box analyser evaluate all grid cells of a
+            path in one vectorised sweep instead of a per-cell Python loop
+            (:func:`repro.analysis.box_analyzer.analyze_path_boxes`).
     """
 
     max_fixpoint_depth: int = 6
@@ -54,6 +98,10 @@ class AnalysisOptions:
     use_linear_semantics: bool = True
     prune_empty_paths: bool = True
     analyzers: Optional[tuple[str, ...]] = None
+    workers: int = field(default_factory=_default_workers)
+    chunk_size: Optional[int] = None
+    executor: Optional[str] = field(default_factory=_default_executor)
+    vectorized_boxes: bool = True
 
     def __post_init__(self) -> None:
         _require_positive("max_fixpoint_depth", self.max_fixpoint_depth)
@@ -62,6 +110,15 @@ class AnalysisOptions:
         _require_positive("max_boxes_per_path", self.max_boxes_per_path)
         _require_positive("score_splits", self.score_splits)
         _require_positive("max_score_combinations", self.max_score_combinations)
+        _require_positive("workers", self.workers)
+        if self.chunk_size is not None:
+            _require_positive("chunk_size", self.chunk_size)
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            kinds = ", ".join(repr(kind) for kind in EXECUTOR_KINDS)
+            raise ValueError(
+                f"executor must be one of {kinds} (or None for automatic), "
+                f"got {self.executor!r}"
+            )
         if self.analyzers is not None:
             if isinstance(self.analyzers, str):
                 raise ValueError("analyzers must be a sequence of names, not a string")
@@ -80,6 +137,22 @@ class AnalysisOptions:
             return self.analyzers
         return ("linear", "box") if self.use_linear_semantics else ("box",)
 
+    @property
+    def effective_executor(self) -> str:
+        """The execution backend selected by this configuration.
+
+        An explicit ``executor`` wins; otherwise ``workers > 1`` selects a
+        process pool and ``workers == 1`` the serial loop.
+        """
+        if self.executor is not None:
+            return self.executor
+        return "process" if self.workers > 1 else "serial"
+
+    @property
+    def parallel(self) -> bool:
+        """Whether queries with these options run on a worker pool."""
+        return self.effective_executor != "serial"
+
     def execution_limits(self) -> ExecutionLimits:
         """The subset of options that parameterise symbolic execution.
 
@@ -91,6 +164,15 @@ class AnalysisOptions:
             max_fixpoint_depth=self.max_fixpoint_depth,
             max_paths=self.max_paths,
         )
+
+    def executor_key(self) -> tuple[str, int]:
+        """The subset of options that identify a reusable worker pool.
+
+        ``chunk_size`` is deliberately absent: it only affects how one call
+        partitions its paths, not the pool itself, so sweeping chunk sizes
+        reuses a single pool.
+        """
+        return (self.effective_executor, self.workers)
 
     def with_updates(self, **changes) -> "AnalysisOptions":
         """A copy of the options with some fields replaced."""

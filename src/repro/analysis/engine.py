@@ -34,16 +34,19 @@ from typing import Optional, Sequence
 
 from ..intervals import Interval
 from ..lang.ast import Term
-from ..symbolic import SymbolicExecutionResult
+from ..symbolic import SymbolicExecutionResult, SymbolicPath
 from .config import AnalysisOptions
 from .histogram import HistogramBounds
-from .registry import resolve_analyzers
+from .registry import PathAnalyzer, resolve_analyzers
 
 __all__ = [
     "DenotationBounds",
     "QueryBounds",
     "AnalysisReport",
+    "PathContribution",
     "analyze_execution",
+    "analyze_single_path",
+    "reduce_contributions",
     "normalised_query",
     "histogram_buckets",
     "bound_denotation",
@@ -115,46 +118,128 @@ class AnalysisReport:
             self.box_paths += 1
 
 
+@dataclass(frozen=True)
+class PathContribution:
+    """One path's raw per-target ``(lower, upper)`` contributions.
+
+    ``truncated`` records whether the path was cut off by ``approxFix``; the
+    reduction zeroes the lower contributions of truncated paths (the
+    interval-type summary only covers terminating continuations, so such
+    paths are sound for upper bounds only).
+    """
+
+    analyzer_name: str
+    truncated: bool
+    contributions: tuple[tuple[float, float], ...]
+
+
+def analyze_single_path(
+    path: SymbolicPath,
+    analyzers: Sequence[PathAnalyzer],
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> PathContribution:
+    """Analyse one path with the first applicable analyzer.
+
+    This is the unit of work shared by the serial loop and the parallel
+    chunk workers, which is what guarantees that both modes compute exactly
+    the same per-path numbers.
+    """
+    for analyzer in analyzers:
+        if analyzer.applicable(path, options):
+            contributions = analyzer.analyze(path, targets, options)
+            return PathContribution(
+                analyzer_name=analyzer.name,
+                truncated=path.truncated,
+                contributions=tuple(contributions),
+            )
+    names = ", ".join(options.analyzer_names)
+    raise RuntimeError(
+        f"no analyzer in ({names}) is applicable to a symbolic path; "
+        "include the universal 'box' analyzer as a fallback"
+    )
+
+
+def _accumulate(
+    totals: list[tuple[float, float]],
+    contribution: PathContribution,
+    report: Optional[AnalysisReport],
+) -> None:
+    """Fold one path's contributions into the running totals (in place)."""
+    if report is not None:
+        report.record_path(contribution.analyzer_name)
+    for index, (lower, upper) in enumerate(contribution.contributions):
+        path_lower = 0.0 if contribution.truncated else lower
+        old_lower, old_upper = totals[index]
+        totals[index] = (old_lower + path_lower, old_upper + upper)
+
+
+def reduce_contributions(
+    contributions: Sequence[PathContribution],
+    targets: Sequence[Interval],
+    report: Optional[AnalysisReport] = None,
+) -> list[DenotationBounds]:
+    """Sum per-path contributions into denotation bounds (Theorem 6.1).
+
+    The accumulation always runs in canonical path order, so the result is
+    bit-reproducible and independent of how the paths were partitioned into
+    chunks or of the order in which workers finished: parallel runs return
+    exactly the floats the serial loop returns.
+    """
+    totals = [(0.0, 0.0) for _ in targets]
+    for contribution in contributions:
+        _accumulate(totals, contribution, report)
+    return [
+        DenotationBounds(target=target, lower=lower, upper=upper)
+        for target, (lower, upper) in zip(targets, totals)
+    ]
+
+
 def analyze_execution(
     execution: SymbolicExecutionResult,
     targets: Sequence[Interval],
     options: Optional[AnalysisOptions] = None,
     report: Optional[AnalysisReport] = None,
+    executor: Optional["ParallelAnalysisExecutor"] = None,
 ) -> list[DenotationBounds]:
     """Bounds on ``⟦P⟧(U)`` for every target, from a prior symbolic execution.
 
     Every path is handled by the first analyzer in ``options.analyzer_names``
     whose ``applicable`` predicate accepts it.  The execution may come from a
     cache; analysis never re-runs the symbolic phase.
+
+    When ``options`` request parallelism (``workers > 1`` or an explicit
+    ``executor`` kind) the path set is fanned out over a worker pool; an
+    already-running :class:`~repro.analysis.parallel.ParallelAnalysisExecutor`
+    can be passed in to reuse its pool across queries (this is what
+    :class:`repro.Model` does).  Serial and parallel runs return bit-identical
+    bounds (see :func:`reduce_contributions`).
     """
     options = options or AnalysisOptions()
     report = report if report is not None else AnalysisReport()
-    analyzers = resolve_analyzers(options)
     start = time.perf_counter()
     # All report counters accumulate, so a report reused across queries stays
     # self-consistent (path_count covers the same runs as linear_paths etc.).
     report.path_count += len(execution.paths)
     report.truncated_paths += execution.truncated_paths
+
+    if executor is not None or options.parallel:
+        from .parallel import shared_executor
+
+        # Callers without their own pool (the deprecated shims, direct
+        # engine calls) share process-wide pools instead of paying a pool
+        # fork + teardown per query.
+        pool = executor if executor is not None else shared_executor(options)
+        bounds = pool.analyze(execution, targets, options, report)
+        report.seconds += time.perf_counter() - start
+        return bounds
+
+    # Serial loop: stream paths through the same accumulator the parallel
+    # merge uses, so memory stays O(targets) and the numerics stay identical.
+    analyzers = resolve_analyzers(options)
     totals = [(0.0, 0.0) for _ in targets]
     for path in execution.paths:
-        for analyzer in analyzers:
-            if analyzer.applicable(path, options):
-                contributions = analyzer.analyze(path, targets, options)
-                report.record_path(analyzer.name)
-                break
-        else:
-            names = ", ".join(options.analyzer_names)
-            raise RuntimeError(
-                f"no analyzer in ({names}) is applicable to a symbolic path; "
-                "include the universal 'box' analyzer as a fallback"
-            )
-        for index, (lower, upper) in enumerate(contributions):
-            # The interval-type summary used by approxFix only covers
-            # terminating continuations of a truncated path, so such paths
-            # contribute to upper bounds only.
-            path_lower = 0.0 if path.truncated else lower
-            old_lower, old_upper = totals[index]
-            totals[index] = (old_lower + path_lower, old_upper + upper)
+        _accumulate(totals, analyze_single_path(path, analyzers, targets, options), report)
     report.seconds += time.perf_counter() - start
     return [
         DenotationBounds(target=target, lower=lower, upper=upper)
@@ -231,7 +316,10 @@ def bound_denotation(
     _deprecated("bound_denotation", "Model.bounds")
     from .model import Model
 
-    return Model(term, options=options).bounds(targets, report=report)
+    # The transient model is closed so a parallel one-off query does not leak
+    # its worker pool; a real Model amortises the pool over many queries.
+    with Model(term, options=options) as model:
+        return model.bounds(targets, report=report)
 
 
 def bound_query(
@@ -244,7 +332,8 @@ def bound_query(
     _deprecated("bound_query", "Model.probability")
     from .model import Model
 
-    return Model(term, options=options).probability(target, report=report)
+    with Model(term, options=options) as model:
+        return model.probability(target, report=report)
 
 
 def bound_posterior_histogram(
@@ -259,4 +348,5 @@ def bound_posterior_histogram(
     _deprecated("bound_posterior_histogram", "Model.histogram")
     from .model import Model
 
-    return Model(term, options=options).histogram(low, high, bucket_count, report=report)
+    with Model(term, options=options) as model:
+        return model.histogram(low, high, bucket_count, report=report)

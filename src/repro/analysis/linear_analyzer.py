@@ -437,3 +437,17 @@ class LinearPathAnalyzer:
         options: AnalysisOptions,
     ) -> list[tuple[float, float]]:
         return analyze_path_linear(path, targets, options)
+
+    def analyze_batch(
+        self,
+        paths: Sequence[SymbolicPath],
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[list[tuple[float, float]]]:
+        """Per-path contributions for a chunk (identical to per-path calls).
+
+        Volume caching stays per-path: the cache key is the polytope's
+        H-representation, which only coincides across paths by accident, and
+        a shared cache would make results depend on chunk boundaries.
+        """
+        return [analyze_path_linear(path, targets, options) for path in paths]

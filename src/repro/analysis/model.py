@@ -15,7 +15,7 @@ scenario runs off one object::
 
     from repro import Model, Interval, AnalysisOptions
 
-    model = Model.parse("(let x (* 3 (sample)) (seq (observe-normal 1.1 0.25 x) x))")
+    model = Model.parse("(let x (* 3 (sample)) (let _ (observe normal 1.1 0.25 x) x))")
     query = model.probability(Interval(0.0, 1.0))       # runs symbolic execution
     histogram = model.histogram(0.0, 3.0, 12)           # served from the cache
     samples = model.sample(10_000, method="importance") # stochastic baseline
@@ -24,6 +24,7 @@ scenario runs off one object::
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -86,9 +87,15 @@ class CompiledProgram:
         targets: Sequence[Interval],
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
+        executor: Optional["ParallelAnalysisExecutor"] = None,
     ) -> list[DenotationBounds]:
-        """Denotation bounds for ``targets`` from the cached path set."""
-        return analyze_execution(self.execution, targets, options, report)
+        """Denotation bounds for ``targets`` from the cached path set.
+
+        ``executor`` (optional) is a running
+        :class:`~repro.analysis.parallel.ParallelAnalysisExecutor` whose pool
+        is reused instead of spinning one up per query.
+        """
+        return analyze_execution(self.execution, targets, options, report, executor=executor)
 
 
 class Model:
@@ -101,6 +108,12 @@ class Model:
     :class:`CompiledProgram` (changing analysis-only knobs such as
     ``score_splits`` or the analyzer selection never re-runs symbolic
     execution, changing ``max_fixpoint_depth`` / ``max_paths`` does).
+
+    Queries whose options request parallelism (``workers > 1`` or an explicit
+    ``executor``) run on a worker pool that is likewise created lazily and
+    reused across queries; :meth:`close` (or using the model as a context
+    manager) shuts the pools down.  Parallel queries return bounds
+    bit-identical to serial ones.
     """
 
     def __init__(self, term: Term, options: Optional[AnalysisOptions] = None) -> None:
@@ -111,6 +124,11 @@ class Model:
         self._compiled: dict[ExecutionLimits, CompiledProgram] = {}
         self._compile_count = 0
         self._cache_hits = 0
+        # Worker pools, keyed by the parallel knobs that define them.  Pools
+        # are created lazily on the first parallel query and reused across
+        # queries (mirroring the compiled-program cache for the symbolic
+        # phase); close() shuts them down.
+        self._executors: dict[tuple, "ParallelAnalysisExecutor"] = {}
 
     # ------------------------------------------------------------------
     # Construction and configuration
@@ -194,6 +212,57 @@ class Model:
         return options if options is not None else self._options
 
     # ------------------------------------------------------------------
+    # Parallel worker pools
+    # ------------------------------------------------------------------
+    def _executor_for(self, options: AnalysisOptions):
+        """The pooled executor serving ``options`` (``None`` for serial runs)."""
+        if not options.parallel:
+            return None
+        from .parallel import ParallelAnalysisExecutor
+
+        key = options.executor_key()
+        executor = self._executors.get(key)
+        if executor is None:
+            # No chunk_size on the pool itself: it is a per-call knob (each
+            # query's options govern partitioning), and baking the first
+            # query's value into a pool keyed only by (kind, workers) would
+            # leak it into later queries.
+            executor = ParallelAnalysisExecutor(
+                workers=options.workers, kind=options.effective_executor
+            )
+            self._executors[key] = executor
+            # Safety net for models dropped without close(): shut the pool
+            # down when the model is garbage-collected, so worker processes
+            # never outlive the object that owns them (close() remains the
+            # deterministic path and is idempotent).
+            weakref.finalize(self, executor.close)
+        return executor
+
+    def close(self) -> None:
+        """Shut down every worker pool this model has spun up (idempotent).
+
+        Queries remain valid afterwards — the next parallel query simply
+        creates a fresh pool.  ``Model`` is also a context manager::
+
+            with Model(term, AnalysisOptions(workers=4)) as model:
+                model.histogram(0.0, 3.0, 12)
+        """
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def __enter__(self) -> "Model":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def executor_count(self) -> int:
+        """How many worker pools this model currently holds."""
+        return len(self._executors)
+
+    # ------------------------------------------------------------------
     # Guaranteed-bounds queries (the GuBPI engine)
     # ------------------------------------------------------------------
     def bounds(
@@ -211,7 +280,7 @@ class Model:
                 report.seconds += compiled.compile_seconds
             else:
                 report.compile_cache_hits += 1
-        return compiled.analyze(targets, options, report)
+        return compiled.analyze(targets, options, report, executor=self._executor_for(options))
 
     def bound(
         self,

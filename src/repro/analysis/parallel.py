@@ -1,0 +1,364 @@
+"""Parallel bound-analysis: chunked fan-out of the per-path hot loop.
+
+The GuBPI engine reduces posterior-bound computation to analysing a finite
+set of symbolic interval paths and summing their contributions (Theorem 6.1).
+The per-path analyses are completely independent — the classic
+embarrassingly-parallel shape — yet the paper's workloads sit exactly in the
+regime where it matters: path explosion (Section 7.5) produces tens of
+thousands of paths, each of which runs a polytope volume computation or an
+exponential box grid.
+
+This module fans that loop out over a ``concurrent.futures`` pool:
+
+* :func:`partition_paths` cuts the path set into *deterministic, contiguous,
+  cost-balanced* chunks (using :meth:`SymbolicPath.analysis_cost_hint`), so
+  the same workload always produces the same partition;
+* :func:`analyze_chunk` is the picklable unit of work — it receives plain
+  paths plus analyzer *names* (re-resolved through the registry inside the
+  worker, see :func:`repro.analysis.registry.ensure_analyzers_registered`)
+  and returns raw :class:`~repro.analysis.engine.PathContribution` records;
+* :class:`ParallelAnalysisExecutor` owns the pool, dispatches chunks and
+  merges the results with :func:`repro.analysis.engine.reduce_contributions`,
+  which always folds contributions in canonical path order — the merged
+  bounds are therefore **bit-identical** to a serial run, independent of the
+  worker count, the chunk size and the order in which workers finish.
+
+Exceptions raised inside a worker (including
+:class:`~repro.symbolic.PathExplosionError` and analyzer failures) are
+re-raised in the parent by ``concurrent.futures``.
+
+Backend guidance: the ``"process"`` executor is the right default for
+CPU-bound bound analysis (the per-path work is pure Python and NumPy, so the
+GIL serialises threads); ``"thread"`` is useful when the paths are cheap to
+analyse but the payloads are large to pickle, or inside environments that
+forbid subprocesses; ``"serial"`` runs the identical chunked pipeline
+in-process (handy for debugging a parallel run).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..intervals import Interval
+from ..symbolic import SymbolicExecutionResult, SymbolicPath
+from .config import EXECUTOR_KINDS, AnalysisOptions, _require_positive
+from .engine import (
+    AnalysisReport,
+    DenotationBounds,
+    PathContribution,
+    analyze_single_path,
+    reduce_contributions,
+)
+from .registry import (
+    AnalyzerSpec,
+    analyzer_specs,
+    ensure_analyzers_registered,
+    resolve_analyzers,
+)
+
+__all__ = [
+    "ChunkPayload",
+    "ParallelAnalysisExecutor",
+    "analyze_chunk",
+    "close_shared_executors",
+    "partition_paths",
+    "shared_executor",
+]
+
+#: How many chunks to create per worker when no explicit chunk size is set.
+#: Oversubscription lets the pool rebalance when per-chunk cost estimates are
+#: off, at the price of slightly more dispatch overhead.
+_OVERSUBSCRIPTION = 4
+
+
+def partition_paths(
+    paths: Sequence[SymbolicPath],
+    workers: int,
+    chunk_size: Optional[int] = None,
+) -> list[range]:
+    """Cut ``paths`` into deterministic contiguous index ranges.
+
+    With an explicit ``chunk_size`` the cut is a plain fixed-size slicing.
+    Otherwise the partition targets ``workers × 4`` chunks of roughly equal
+    *estimated cost* (not equal length): box-grid analysis is exponential in
+    the path dimension, so a handful of deep paths can dominate a workload
+    and fixed-length chunks would leave most workers idle.  The partition
+    depends only on the path sequence and the arguments — never on timing —
+    so repeated runs fan out identically.
+    """
+    count = len(paths)
+    if count == 0:
+        return []
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        return [range(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+
+    target_chunks = min(count, workers * _OVERSUBSCRIPTION)
+    if target_chunks <= 1:
+        return [range(0, count)]
+    costs = [path.analysis_cost_hint() for path in paths]
+    total_cost = sum(costs)
+    target_cost = total_cost / target_chunks if total_cost > 0 else 0.0
+
+    chunks: list[range] = []
+    start = 0
+    accumulated = 0.0
+    for index, cost in enumerate(costs):
+        accumulated += cost
+        is_last = index == count - 1
+        if is_last or (accumulated >= target_cost and target_cost > 0.0):
+            chunks.append(range(start, index + 1))
+            start = index + 1
+            accumulated = 0.0
+    return chunks
+
+
+@dataclass(frozen=True)
+class ChunkPayload:
+    """Everything one worker needs to analyse one chunk of paths.
+
+    The payload is deliberately *value-only*: paths, targets and options are
+    plain picklable data, and analyzers travel as registry specs rather than
+    instances (resolved by name inside the worker).
+    """
+
+    index: int
+    paths: tuple[SymbolicPath, ...]
+    targets: tuple[Interval, ...]
+    options: AnalysisOptions
+    specs: tuple[AnalyzerSpec, ...]
+
+
+def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
+    """Analyse one chunk of paths (runs inside a worker).
+
+    Consecutive paths handled by the same analyzer are grouped and handed to
+    the analyzer's ``analyze_batch`` when it provides one, amortising
+    per-call overhead (e.g. the box analyser's vectorised grid sweep) over
+    the whole run; analyzers without batch support fall back to per-path
+    calls.  Both routes produce the same per-path contribution records.
+    """
+    ensure_analyzers_registered(payload.specs)
+    analyzers = resolve_analyzers(payload.options)
+    contributions: list[PathContribution] = []
+
+    group: list[SymbolicPath] = []
+    group_analyzer = None
+
+    def flush() -> None:
+        nonlocal group, group_analyzer
+        if not group:
+            return
+        batch = getattr(group_analyzer, "analyze_batch", None)
+        if batch is not None and len(group) > 1:
+            results = batch(group, payload.targets, payload.options)
+            if len(results) != len(group):
+                raise RuntimeError(
+                    f"analyzer {group_analyzer.name!r}.analyze_batch returned "
+                    f"{len(results)} results for {len(group)} paths; one result "
+                    "per path is required (a shortfall would silently drop "
+                    "path contributions and break soundness)"
+                )
+        else:
+            results = [
+                group_analyzer.analyze(path, payload.targets, payload.options) for path in group
+            ]
+        for path, result in zip(group, results):
+            contributions.append(
+                PathContribution(
+                    analyzer_name=group_analyzer.name,
+                    truncated=path.truncated,
+                    contributions=tuple(result),
+                )
+            )
+        group = []
+        group_analyzer = None
+
+    for path in payload.paths:
+        for analyzer in analyzers:
+            if analyzer.applicable(path, payload.options):
+                if analyzer is not group_analyzer:
+                    flush()
+                    group_analyzer = analyzer
+                group.append(path)
+                break
+        else:
+            flush()
+            # Delegate to the shared single-path helper for the canonical
+            # "no applicable analyzer" error.
+            contributions.append(
+                analyze_single_path(path, analyzers, payload.targets, payload.options)
+            )
+    flush()
+    return payload.index, contributions
+
+
+#: Process-wide executor cache for callers without their own pool lifecycle
+#: (the deprecated ``bound_*`` shims, direct ``analyze_execution`` calls).
+#: ``Model`` owns and closes its pools explicitly and does not use this.
+_SHARED_EXECUTORS: dict[tuple[str, int], "ParallelAnalysisExecutor"] = {}
+
+
+def shared_executor(options: AnalysisOptions) -> "ParallelAnalysisExecutor":
+    """A process-wide pool matching ``options``' executor kind and worker count.
+
+    Created lazily and reused for every subsequent query with the same
+    ``(kind, workers)`` — without this, each engine-level call with parallel
+    options would fork and tear down a fresh pool.  Shared pools live until
+    :func:`close_shared_executors` or interpreter exit (``concurrent.futures``
+    joins them atexit).
+    """
+    key = options.executor_key()
+    executor = _SHARED_EXECUTORS.get(key)
+    if executor is None or executor._closed:
+        executor = ParallelAnalysisExecutor(workers=options.workers, kind=options.effective_executor)
+        _SHARED_EXECUTORS[key] = executor
+    return executor
+
+
+def close_shared_executors() -> None:
+    """Shut down every process-wide shared pool (they re-create on demand)."""
+    for executor in _SHARED_EXECUTORS.values():
+        executor.close()
+    _SHARED_EXECUTORS.clear()
+
+
+class ParallelAnalysisExecutor:
+    """A reusable worker pool for chunked bound analysis.
+
+    The executor is cheap to construct — the underlying pool is created
+    lazily on the first parallel query and reused across queries, which is
+    how :class:`repro.Model` amortises pool start-up over a whole evaluation
+    scenario.  It is a context manager; :meth:`close` shuts the pool down.
+
+    ``kind`` is one of ``"process"`` (default; true CPU parallelism),
+    ``"thread"`` (no pickling, but GIL-bound) or ``"serial"`` (the identical
+    chunked pipeline without a pool, for debugging).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        kind: str = "process",
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if kind not in EXECUTOR_KINDS:
+            kinds = ", ".join(repr(k) for k in EXECUTOR_KINDS)
+            raise ValueError(f"executor kind must be one of {kinds}, got {kind!r}")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        _require_positive("workers", workers)
+        if chunk_size is not None:
+            _require_positive("chunk_size", chunk_size)
+        self.workers = workers
+        self.kind = kind
+        self.chunk_size = chunk_size
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._closed = False
+        self.chunks_dispatched = 0
+        self.paths_analyzed = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[concurrent.futures.Executor]:
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
+        if self.kind == "serial":
+            return None
+        if self._pool is None:
+            if self.kind == "thread":
+                self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelAnalysisExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("warm" if self._pool else "cold")
+        return (
+            f"ParallelAnalysisExecutor(kind={self.kind!r}, workers={self.workers}, "
+            f"chunk_size={self.chunk_size}, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        execution: SymbolicExecutionResult,
+        targets: Sequence[Interval],
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> list[DenotationBounds]:
+        """Denotation bounds for ``targets``, fanned out over the pool.
+
+        The per-chunk results are reassembled in chunk order and folded in
+        canonical path order, so the bounds are bit-identical to a serial
+        :func:`repro.analysis.engine.analyze_execution` run.  Worker
+        exceptions propagate to the caller.
+        """
+        options = options or AnalysisOptions()
+        target_tuple = tuple(targets)
+        paths = execution.paths
+        # chunk_size is a per-call knob: the caller's options win, the
+        # executor's own value is only a default.
+        chunk_size = options.chunk_size if options.chunk_size is not None else self.chunk_size
+        chunks = partition_paths(paths, self.workers, chunk_size)
+        # Custom analyzers must be resolvable by name inside process workers;
+        # fail fast in the parent when a name is simply unknown.
+        specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
+        if self.kind != "process":
+            resolve_analyzers(options)
+        payloads = [
+            ChunkPayload(
+                index=chunk_index,
+                paths=tuple(paths[chunk.start : chunk.stop]),
+                targets=target_tuple,
+                options=options,
+                specs=specs,
+            )
+            for chunk_index, chunk in enumerate(chunks)
+        ]
+        self.chunks_dispatched += len(payloads)
+        self.paths_analyzed += len(paths)
+
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
+        if len(payloads) <= 1:
+            # Empty or single-chunk work: running inline is bit-identical
+            # (same analyze_chunk) and avoids forking a pool for trivial
+            # path sets — e.g. one-path models under a process-wide
+            # REPRO_ANALYSIS_WORKERS default.
+            results = [analyze_chunk(payload) for payload in payloads]
+        else:
+            pool = self._ensure_pool()
+            if pool is None:
+                results = [analyze_chunk(payload) for payload in payloads]
+            else:
+                futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
+                results = [future.result() for future in futures]
+
+        results.sort(key=lambda item: item[0])
+        contributions: list[PathContribution] = []
+        for _, chunk_contributions in results:
+            contributions.extend(chunk_contributions)
+        return reduce_contributions(contributions, target_tuple, report)

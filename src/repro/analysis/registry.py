@@ -32,6 +32,8 @@ New strategies (e.g. adaptive splitting) plug in without touching the engine::
 
 from __future__ import annotations
 
+import importlib
+from dataclasses import dataclass
 from typing import Dict, Protocol, Sequence, Type, runtime_checkable
 
 from ..intervals import Interval
@@ -41,11 +43,14 @@ from .config import AnalysisOptions
 __all__ = [
     "PathAnalyzer",
     "UnknownAnalyzerError",
+    "AnalyzerSpec",
     "register_analyzer",
     "unregister_analyzer",
     "get_analyzer",
     "available_analyzers",
     "resolve_analyzers",
+    "analyzer_specs",
+    "ensure_analyzers_registered",
 ]
 
 
@@ -67,11 +72,52 @@ class PathAnalyzer(Protocol):
         targets: Sequence[Interval],
         options: AnalysisOptions,
     ) -> list[tuple[float, float]]:
-        """One ``(lower, upper)`` contribution per entry of ``targets``."""
+        """One ``(lower, upper)`` contribution per entry of ``targets``.
+
+        Implementations may additionally provide
+        ``analyze_batch(paths, targets, options)`` returning one contribution
+        list per path; the parallel chunk workers use it (when present) to
+        amortise per-call overhead over a whole chunk.
+        """
 
 
 class UnknownAnalyzerError(LookupError):
     """Raised when an analyzer name is not present in the registry."""
+
+
+@dataclass(frozen=True)
+class AnalyzerSpec:
+    """A picklable description of one registry entry.
+
+    Worker processes receive specs instead of analyzer instances: the spec
+    names the registered analyzer plus the import path of its class, and
+    :func:`ensure_analyzers_registered` re-materialises the registration
+    inside the worker.  This keeps the registry serialization-safe — analyzer
+    classes never travel through pickle, only their names do.
+    """
+
+    name: str
+    module: str
+    qualname: str
+
+    def load(self) -> Type[PathAnalyzer]:
+        """Import and return the analyzer class this spec points at."""
+        if "<locals>" in self.qualname:
+            raise UnknownAnalyzerError(
+                f"analyzer {self.name!r} is implemented by a local class "
+                f"({self.module}.{self.qualname}) and cannot be re-imported in a "
+                "worker process; define it at module level to use the process executor"
+            )
+        try:
+            target = importlib.import_module(self.module)
+            for part in self.qualname.split("."):
+                target = getattr(target, part)
+        except (ImportError, AttributeError) as exc:
+            raise UnknownAnalyzerError(
+                f"cannot import analyzer {self.name!r} from "
+                f"{self.module}.{self.qualname} in this process: {exc}"
+            ) from exc
+        return target
 
 
 _REGISTRY: Dict[str, Type[PathAnalyzer]] = {}
@@ -132,6 +178,39 @@ def available_analyzers() -> tuple[str, ...]:
 def resolve_analyzers(options: AnalysisOptions) -> tuple[PathAnalyzer, ...]:
     """The analyzer instances selected by ``options``, in preference order."""
     return tuple(get_analyzer(name) for name in options.analyzer_names)
+
+
+def analyzer_specs(names: Sequence[str]) -> tuple[AnalyzerSpec, ...]:
+    """Picklable specs for the named analyzers (for process-pool payloads)."""
+    specs = []
+    for name in names:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            known = ", ".join(sorted(_REGISTRY)) or "<none>"
+            raise UnknownAnalyzerError(
+                f"unknown path analyzer {name!r}; registered analyzers: {known}"
+            )
+        specs.append(AnalyzerSpec(name=name, module=cls.__module__, qualname=cls.__qualname__))
+    return tuple(specs)
+
+
+def ensure_analyzers_registered(specs: Sequence[AnalyzerSpec]) -> None:
+    """Re-materialise registry entries inside a worker process.
+
+    Built-in analyzers are registered on import, so they need no work here;
+    custom analyzers registered only in the parent process are imported by
+    their spec and registered under the same name.  A local registration
+    whose class *differs* from the spec (e.g. the parent overrode a built-in
+    name via ``replace=True`` and this worker was spawned with the default
+    registration) is replaced, so workers always run the parent's analyzer
+    selection.
+    """
+    for spec in specs:
+        registered = _REGISTRY.get(spec.name)
+        if registered is None:
+            register_analyzer(spec.name, spec.load())
+        elif registered.__module__ != spec.module or registered.__qualname__ != spec.qualname:
+            register_analyzer(spec.name, spec.load(), replace=True)
 
 
 # Built-in strategies.  Importing them here (rather than from the engine)

@@ -15,6 +15,14 @@ universally/existentially.  Those integrals are bounded by the analysers in
 :mod:`repro.analysis`; this module only provides the data structure plus exact
 *pointwise* evaluation, which the tests use to cross-check the bounds against
 Monte Carlo estimates.
+
+Paths are the unit of work of the parallel bound engine
+(:mod:`repro.analysis.parallel`): every field is a plain immutable value
+(symbolic expressions, distribution records, constraint tuples), so a
+``SymbolicPath`` pickles losslessly into process-pool payloads.  Keep it that
+way — never attach closures, environments or open resources to a path.
+:meth:`SymbolicPath.analysis_cost_hint` provides the deterministic cost
+estimate the engine uses to balance chunk boundaries.
 """
 
 from __future__ import annotations
@@ -151,6 +159,19 @@ class SymbolicPath:
         """Completeness Assumption 1 (Appendix C.3) for this path."""
         expressions = [self.result, *(c.expr for c in self.constraints), *self.scores]
         return all(uses_variables_at_most_once(expr) for expr in expressions)
+
+    def analysis_cost_hint(self) -> float:
+        """A rough, deterministic estimate of this path's analysis cost.
+
+        Used by :func:`repro.analysis.parallel.partition_paths` to balance
+        chunk boundaries: box-grid analysis is exponential in the number of
+        sample variables and linear in constraints and scores, so paths with
+        many draws dominate a workload.  Only the *relative* magnitude
+        matters; the estimate depends on nothing but the path structure, so
+        every run partitions identically.
+        """
+        structure = 1.0 + len(self.constraints) + 2.0 * len(self.scores)
+        return structure * (1.0 + float(self.variable_count) ** 2)
 
     # ------------------------------------------------------------------
     # Pointwise (concrete) evaluation — used for Monte Carlo cross-checks

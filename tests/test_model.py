@@ -163,9 +163,12 @@ class TestAnalyzerRegistry:
         try:
             model = Model(b.sample())
             report = AnalysisReport()
+            # The analyzer records calls through a closure, which only works
+            # in-process: pin the serial engine even when the environment
+            # defaults to a worker pool (REPRO_ANALYSIS_WORKERS).
             bounds = model.bound(
                 Interval(0.0, 0.5),
-                AnalysisOptions(analyzers=("recording",)),
+                AnalysisOptions(analyzers=("recording",), workers=1, executor="serial"),
                 report=report,
             )
             assert len(analyzed) == 1
