@@ -23,16 +23,16 @@ from repro.models import (
     neals_funnel_program,
 )
 
-from bench_utils import TINY, emit, scaled
+from bench_utils import TINY, emit, histogram_metrics, scaled
 
 _BOX_OPTIONS = AnalysisOptions(splits_per_dimension=scaled(80, 16), use_linear_semantics=False)
 
 
-def _summarise(name: str, histogram, extra: list[str] | None = None) -> None:
+def _summarise(name: str, histogram, extra: list[str] | None = None, **metrics) -> None:
     lines = histogram.summary_lines()
     if extra:
         lines.extend(extra)
-    emit(name, lines)
+    emit(name, lines, data={**histogram_metrics(histogram), **metrics})
 
 
 def _is_reference(model, rng, count=scaled(20_000, 3_000)):
@@ -45,7 +45,10 @@ def test_fig5a_coin_bias(bench_once, rng):
     histogram = bench_once(model.histogram, 0.0, 1.0, 10)
     samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
-    _summarise("fig5a_coin_bias", histogram, [f"IS consistent: {report.consistent}"])
+    _summarise(
+        "fig5a_coin_bias", histogram, [f"IS consistent: {report.consistent}"],
+        is_consistent=report.consistent,
+    )
     assert histogram.z_lower > 0
     if not TINY:
         assert report.consistent
@@ -56,7 +59,10 @@ def test_fig5b_max_of_normals(bench_once, rng):
     histogram = bench_once(model.histogram, -3.0, 3.0, 12)
     samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
-    _summarise("fig5b_max_of_normals", histogram, [f"IS consistent: {report.consistent}"])
+    _summarise(
+        "fig5b_max_of_normals", histogram, [f"IS consistent: {report.consistent}"],
+        is_consistent=report.consistent,
+    )
     if not TINY:
         assert report.consistent
     # The posterior of max(X, Y) is right-skewed: more guaranteed mass above 0 than below.
@@ -99,6 +105,9 @@ def test_fig5c_binary_gmm(bench_once, rng):
             f"mode-collapsed HMC consistent: {hmc_report.consistent} "
             f"({hmc_report.violations} bucket violations)",
         ],
+        is_consistent=is_report.consistent,
+        hmc_consistent=hmc_report.consistent,
+        hmc_violations=hmc_report.violations,
     )
     if not TINY:
         assert is_report.consistent
@@ -111,7 +120,10 @@ def test_fig5d_neals_funnel(bench_once, rng):
     histogram = bench_once(model.histogram, -9.0, 9.0, 12)
     samples = _is_reference(model, rng)
     report = histogram.validate_samples(samples, tolerance=0.02)
-    _summarise("fig5d_neals_funnel", histogram, [f"IS consistent: {report.consistent}"])
+    _summarise(
+        "fig5d_neals_funnel", histogram, [f"IS consistent: {report.consistent}"],
+        is_consistent=report.consistent,
+    )
     if not TINY:
         assert report.consistent
     covered_lower, covered_upper = histogram.covered_mass_bounds()

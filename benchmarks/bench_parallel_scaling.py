@@ -49,6 +49,7 @@ def test_parallel_scaling(bench_once):
     ]
 
     speedups = {}
+    worker_seconds = {}
     with model:
         for workers in worker_grid:
             options = serial_options.with_updates(workers=workers, executor="process")
@@ -57,6 +58,7 @@ def test_parallel_scaling(bench_once):
             start = time.perf_counter()
             parallel = model.histogram(0.0, 3.0, _BUCKETS, options)
             parallel_seconds = time.perf_counter() - start
+            worker_seconds[workers] = parallel_seconds
             speedups[workers] = serial_seconds / max(parallel_seconds, 1e-9)
             lines.append(
                 f"workers={workers} (process): {parallel_seconds:.3f}s "
@@ -80,4 +82,17 @@ def test_parallel_scaling(bench_once):
     else:
         lines.append("tiny or single-core run: speedup assertion skipped, equality still enforced")
 
-    emit("parallel_scaling", lines)
+    emit(
+        "parallel_scaling",
+        lines,
+        data={
+            "fixpoint_depth": _DEPTH,
+            "buckets": _BUCKETS,
+            "path_count": model.compile(serial_options).path_count,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": {str(w): s for w, s in worker_seconds.items()},
+            "speedups": {str(w): s for w, s in speedups.items()},
+            "z_lower": serial.z_lower,
+            "z_upper": serial.z_upper,
+        },
+    )

@@ -18,6 +18,7 @@ from .engine import (
     PathContribution,
     QueryBounds,
     analyze_execution,
+    analyze_path_stream,
     analyze_single_path,
     bound_denotation,
     bound_posterior_histogram,
@@ -62,6 +63,7 @@ __all__ = [
     "shared_executor",
     "close_shared_executors",
     "analyze_execution",
+    "analyze_path_stream",
     "analyze_single_path",
     "reduce_contributions",
     "normalised_query",

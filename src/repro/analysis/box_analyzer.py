@@ -28,10 +28,12 @@ from typing import Sequence
 import numpy as np
 
 from ..distributions import ContinuousDistribution, DiscreteDistribution, Distribution
-from ..intervals import Interval, get_primitive
+from ..intervals import Interval
 from ..symbolic.paths import Relation, SymbolicPath
-from ..symbolic.value import SConst, SPrim, SVar, SymExpr, evaluate_interval
+from ..symbolic.value import SymExpr, evaluate_interval
 from .config import AnalysisOptions
+from .vectorize import ScalarFallback as _ScalarFallback
+from .vectorize import checked_cells, vec_mul as _vec_mul, vec_product as _vec_product
 
 __all__ = ["BoxPathAnalyzer", "analyze_path_boxes", "split_domain"]
 
@@ -111,115 +113,19 @@ def _enumerate_cells(path: SymbolicPath, options: AnalysisOptions) -> list[_Cell
 # The per-cell loop below evaluates every constraint, score and the result
 # value once per grid cell — for a path with thousands of cells that is
 # thousands of Python interpreter round-trips per expression node.  The
-# vectorised sweep evaluates each expression node once over *all* cells as a
-# pair of (lo, hi) NumPy arrays instead.  Exact IEEE operations (add, sub,
-# neg, mul, min, max, abs, square) are lifted wholesale; any other primitive
-# falls back to its scalar interval lifting applied cell-wise, so the sweep
-# never changes which liftings define the bounds.  Any anomaly (NaN from
-# inf−inf corner cases, empty constants, atom placeholders) abandons the
-# sweep and re-runs the path through the scalar loop.
+# vectorised sweep (shared with the linear analyser in
+# :mod:`repro.analysis.vectorize`) evaluates each expression node once over
+# *all* cells as a pair of (lo, hi) NumPy arrays instead; any anomaly
+# abandons the sweep and re-runs the path through the scalar loop.
 # ----------------------------------------------------------------------
 
 
-class _ScalarFallback(Exception):
-    """Internal: abandon the vectorised sweep and use the per-cell loop."""
-
-
-def _vec_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Elementwise product under the measure-theoretic ``0 · inf = 0``.
-
-    Overflow to ``±inf`` matches CPython float semantics and is sound for
-    interval endpoints, so both warnings are suppressed.
-    """
-    with np.errstate(invalid="ignore", over="ignore"):
-        product = a * b
-    return np.where((a == 0.0) | (b == 0.0), 0.0, product)
-
-
-def _vec_mul(alo: np.ndarray, ahi: np.ndarray, blo: np.ndarray, bhi: np.ndarray):
-    products = (
-        _vec_product(alo, blo),
-        _vec_product(alo, bhi),
-        _vec_product(ahi, blo),
-        _vec_product(ahi, bhi),
-    )
-    lo = np.minimum(np.minimum(products[0], products[1]), np.minimum(products[2], products[3]))
-    hi = np.maximum(np.maximum(products[0], products[1]), np.maximum(products[2], products[3]))
-    return lo, hi
-
-
-def _evaluate_cells(expr: SymExpr, los: np.ndarray, his: np.ndarray):
-    """``(lo, hi)`` arrays of ``expr`` over all cells (rows of ``los``/``his``)."""
-    if isinstance(expr, SVar):
-        return los[:, expr.index], his[:, expr.index]
-    if isinstance(expr, SConst):
-        if expr.interval.is_empty:
-            raise _ScalarFallback
-        count = los.shape[0]
-        return np.full(count, expr.interval.lo), np.full(count, expr.interval.hi)
-    if isinstance(expr, SPrim):
-        args = [_evaluate_cells(arg, los, his) for arg in expr.args]
-        op = expr.op
-        if op == "add":
-            (alo, ahi), (blo, bhi) = args
-            return alo + blo, ahi + bhi
-        if op == "sub":
-            (alo, ahi), (blo, bhi) = args
-            return alo - bhi, ahi - blo
-        if op == "neg":
-            ((alo, ahi),) = args
-            return -ahi, -alo
-        if op == "mul":
-            (alo, ahi), (blo, bhi) = args
-            return _vec_mul(alo, ahi, blo, bhi)
-        if op == "min":
-            (alo, ahi), (blo, bhi) = args
-            return np.minimum(alo, blo), np.minimum(ahi, bhi)
-        if op == "max":
-            (alo, ahi), (blo, bhi) = args
-            return np.maximum(alo, blo), np.maximum(ahi, bhi)
-        if op == "abs":
-            ((alo, ahi),) = args
-            magnitude_lo = np.minimum(np.abs(alo), np.abs(ahi))
-            magnitude_hi = np.maximum(np.abs(alo), np.abs(ahi))
-            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
-            return np.where(spans_zero, 0.0, magnitude_lo), magnitude_hi
-        if op == "square":
-            ((alo, ahi),) = args
-            lo, hi = _vec_mul(alo, ahi, alo, ahi)
-            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
-            square_hi = np.maximum(_vec_product(alo, alo), _vec_product(ahi, ahi))
-            return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
-        # Every other primitive: apply its scalar interval lifting cell-wise.
-        primitive = get_primitive(op)
-        count = los.shape[0]
-        out_lo = np.empty(count)
-        out_hi = np.empty(count)
-        for cell in range(count):
-            try:
-                intervals = [Interval(float(alo[cell]), float(ahi[cell])) for alo, ahi in args]
-                value = primitive.apply_interval(*intervals)
-            except ValueError as error:
-                # A NaN/ordering corner case the scalar loop's early exits
-                # might avoid (it skips infeasible cells before evaluating
-                # scores/results); let the scalar path decide.
-                raise _ScalarFallback from error
-            if value.is_empty:
-                raise _ScalarFallback
-            out_lo[cell] = value.lo
-            out_hi[cell] = value.hi
-        return out_lo, out_hi
-    raise _ScalarFallback
-
-
 def _checked_cells(expr: SymExpr, los: np.ndarray, his: np.ndarray):
-    # Overflow to ±inf matches CPython float arithmetic and is sound for
-    # interval endpoints; NaN (inf − inf and friends) aborts the sweep.
-    with np.errstate(over="ignore", invalid="ignore"):
-        lo, hi = _evaluate_cells(expr, los, his)
-    if np.isnan(lo).any() or np.isnan(hi).any():
-        raise _ScalarFallback
-    return lo, hi
+    return checked_cells(
+        expr,
+        los.shape[0],
+        var_leaf=lambda leaf: (los[:, leaf.index], his[:, leaf.index]),
+    )
 
 
 def _constraint_masks(relation: str, glo: np.ndarray, ghi: np.ndarray):

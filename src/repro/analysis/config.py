@@ -22,6 +22,7 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 #:     REPRO_ANALYSIS_WORKERS=2 REPRO_ANALYSIS_EXECUTOR=thread pytest
 _WORKERS_ENV = "REPRO_ANALYSIS_WORKERS"
 _EXECUTOR_ENV = "REPRO_ANALYSIS_EXECUTOR"
+_STREAM_ENV = "REPRO_ANALYSIS_STREAM"
 
 
 def _require_positive(name: str, value: int) -> None:
@@ -42,6 +43,10 @@ def _default_workers() -> int:
 
 def _default_executor() -> Optional[str]:
     return os.environ.get(_EXECUTOR_ENV) or None
+
+
+def _default_stream() -> bool:
+    return os.environ.get(_STREAM_ENV, "").lower() not in ("", "0", "false", "no")
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,20 @@ class AnalysisOptions:
         vectorized_boxes: let the box analyser evaluate all grid cells of a
             path in one vectorised sweep instead of a per-cell Python loop
             (:func:`repro.analysis.box_analyzer.analyze_path_boxes`).
+        vectorized_scores: let the linear analyser evaluate all score-atom
+            range combinations of an integral in one vectorised sweep instead
+            of the per-combination Python loop
+            (:mod:`repro.analysis.linear_analyzer`).
+        stream: pipeline symbolic exploration into path analysis — paths are
+            produced by the iterative explorer and consumed chunk-by-chunk
+            while exploration is still enumerating, so the full path set is
+            never materialised (see :func:`repro.analysis.engine.analyze_path_stream`).
+            Streamed bounds are bit-identical to batch bounds.  Defaults to
+            ``$REPRO_ANALYSIS_STREAM`` when that variable is set.
+        prefetch: bounded-buffer depth of the streaming pipeline — at most
+            ``workers × prefetch`` chunks are in flight at once, which caps
+            the number of paths resident in the parent process at roughly
+            ``(workers × prefetch + 1) × chunk size``.
     """
 
     max_fixpoint_depth: int = 6
@@ -102,6 +121,9 @@ class AnalysisOptions:
     chunk_size: Optional[int] = None
     executor: Optional[str] = field(default_factory=_default_executor)
     vectorized_boxes: bool = True
+    vectorized_scores: bool = True
+    stream: bool = field(default_factory=_default_stream)
+    prefetch: int = 4
 
     def __post_init__(self) -> None:
         _require_positive("max_fixpoint_depth", self.max_fixpoint_depth)
@@ -111,6 +133,7 @@ class AnalysisOptions:
         _require_positive("score_splits", self.score_splits)
         _require_positive("max_score_combinations", self.max_score_combinations)
         _require_positive("workers", self.workers)
+        _require_positive("prefetch", self.prefetch)
         if self.chunk_size is not None:
             _require_positive("chunk_size", self.chunk_size)
         if self.executor is not None and self.executor not in EXECUTOR_KINDS:

@@ -45,6 +45,7 @@ __all__ = [
     "AnalysisReport",
     "PathContribution",
     "analyze_execution",
+    "analyze_path_stream",
     "analyze_single_path",
     "reduce_contributions",
     "normalised_query",
@@ -109,6 +110,11 @@ class AnalysisReport:
     seconds: float = 0.0
     analyzer_paths: dict[str, int] = field(default_factory=dict)
     compile_cache_hits: int = 0
+    #: Streaming pipeline telemetry: seconds from query start until the first
+    #: chunk of path contributions was available (None for batch queries),
+    #: and the high-water mark of paths resident in the parent process.
+    first_result_seconds: Optional[float] = None
+    peak_path_buffer: int = 0
 
     def record_path(self, analyzer_name: str) -> None:
         self.analyzer_paths[analyzer_name] = self.analyzer_paths.get(analyzer_name, 0) + 1
@@ -240,6 +246,59 @@ def analyze_execution(
     totals = [(0.0, 0.0) for _ in targets]
     for path in execution.paths:
         _accumulate(totals, analyze_single_path(path, analyzers, targets, options), report)
+    report.seconds += time.perf_counter() - start
+    return [
+        DenotationBounds(target=target, lower=lower, upper=upper)
+        for target, (lower, upper) in zip(targets, totals)
+    ]
+
+
+def analyze_path_stream(
+    paths,
+    targets: Sequence[Interval],
+    options: Optional[AnalysisOptions] = None,
+    report: Optional[AnalysisReport] = None,
+    executor: Optional["ParallelAnalysisExecutor"] = None,
+) -> list[DenotationBounds]:
+    """Bounds on ``⟦P⟧(U)`` from a *stream* of symbolic paths.
+
+    The streaming counterpart of :func:`analyze_execution`: ``paths`` is any
+    iterable of :class:`~repro.symbolic.SymbolicPath` — typically a live
+    :class:`~repro.symbolic.PathStream` — and is consumed incrementally, so
+    analysis overlaps with exploration and the full path set is never
+    materialised.  With parallel options the stream is dispatched in bounded
+    chunks over a worker pool
+    (:meth:`~repro.analysis.parallel.ParallelAnalysisExecutor.analyze_stream`);
+    serially it folds each path's contribution as it arrives, keeping memory
+    at O(targets).  Either way the fold runs in canonical path order, so the
+    bounds are bit-identical to a batch run over the materialised path set.
+
+    Exceptions raised by the generator (e.g. a mid-stream
+    :class:`~repro.symbolic.PathExplosionError`) propagate to the caller.
+    """
+    options = options or AnalysisOptions()
+    report = report if report is not None else AnalysisReport()
+    start = time.perf_counter()
+
+    if executor is not None or options.parallel:
+        from .parallel import shared_executor
+
+        pool = executor if executor is not None else shared_executor(options)
+        bounds = pool.analyze_stream(paths, targets, options, report)
+        report.seconds += time.perf_counter() - start
+        return bounds
+
+    # Serial streaming: fold every path into the accumulator the moment it
+    # is produced — O(targets) memory, peak path buffer of one.
+    analyzers = resolve_analyzers(options)
+    totals = [(0.0, 0.0) for _ in targets]
+    for path in paths:
+        report.path_count += 1
+        report.truncated_paths += int(path.truncated)
+        _accumulate(totals, analyze_single_path(path, analyzers, targets, options), report)
+        if report.first_result_seconds is None:
+            report.first_result_seconds = time.perf_counter() - start
+            report.peak_path_buffer = max(report.peak_path_buffer, 1)
     report.seconds += time.perf_counter() - start
     return [
         DenotationBounds(target=target, lower=lower, upper=upper)

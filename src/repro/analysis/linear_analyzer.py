@@ -44,6 +44,7 @@ from ..symbolic.linear import LinearForm, decompose_score, extract_linear
 from ..symbolic.paths import Relation, SymbolicPath
 from ..symbolic.value import evaluate_with_atoms
 from .config import AnalysisOptions
+from .vectorize import ScalarFallback, checked_cells, vec_mul
 
 __all__ = ["LinearPathAnalyzer", "linear_analysis_applicable", "analyze_path_linear"]
 
@@ -357,9 +358,23 @@ def _integrate(
         hull = Interval(atom_ranges[widest][0].lo, atom_ranges[widest][-1].hi)
         atom_ranges[widest] = _split_interval(hull, max(1, len(atom_ranges[widest]) // 2))
 
+    # Pre-compute the weight factor of every atom-range combination in one
+    # vectorised sweep over the whole product grid (the scalar per-combination
+    # loop below is the historical fallback and remains the reference
+    # semantics — the sweep reproduces its floats bit-for-bit).
+    factors = None
+    if options.vectorized_scores and atoms:
+        factors = _vectorized_factors(atom_ranges, templates, is_lower)
+
     dimension = polytope.dimension
     total = 0.0
-    for combination in itertools.product(*atom_ranges):
+    for combo_index, combination in enumerate(itertools.product(*atom_ranges)):
+        if factors is not None and factors[combo_index] == 0.0:
+            # A zero weight annihilates the chunk's contribution regardless of
+            # feasibility, so the constraint rows and the volume computation
+            # can both be skipped.  (The scalar loop below cannot hoist this
+            # check: computing the weight is what the sweep made cheap.)
+            continue
         rows: list[list[float]] = []
         rhs: list[float] = []
         feasible = True
@@ -382,14 +397,17 @@ def _integrate(
                     rhs.append(row[1])
         if not feasible:
             continue
-        weight = Interval.point(1.0)
-        for template in templates:
-            score_bounds = evaluate_with_atoms(template.template, list(combination))
-            score_bounds = score_bounds.meet(_NON_NEGATIVE)
-            if score_bounds.is_empty:
-                score_bounds = Interval.point(0.0)
-            weight = weight * score_bounds
-        factor = max(0.0, weight.lo if is_lower else weight.hi)
+        if factors is not None:
+            factor = float(factors[combo_index])
+        else:
+            weight = Interval.point(1.0)
+            for template in templates:
+                score_bounds = evaluate_with_atoms(template.template, list(combination))
+                score_bounds = score_bounds.meet(_NON_NEGATIVE)
+                if score_bounds.is_empty:
+                    score_bounds = Interval.point(0.0)
+                weight = weight * score_bounds
+            factor = max(0.0, weight.lo if is_lower else weight.hi)
         if factor == 0.0:
             continue
         if not is_lower and math.isfinite(factor) and factor < _NEGLIGIBLE_WEIGHT:
@@ -407,6 +425,58 @@ def _integrate(
         if math.isinf(total):
             return math.inf
     return total
+
+
+def _vectorized_factors(
+    atom_ranges: list[list[Interval]],
+    templates,
+    is_lower: bool,
+):
+    """Weight factor of every atom-range combination, in one meshgrid sweep.
+
+    Builds the full product grid of atom chunks (in :func:`itertools.product`
+    order: the last atom varies fastest) as ``(combinations × atoms)`` bound
+    arrays and evaluates every score template over it with the shared
+    vectorised interval evaluator.  The result is bit-identical to the scalar
+    per-combination loop — exact IEEE operations are lifted wholesale and
+    everything else falls back to the scalar interval lifting per cell — so
+    enabling ``vectorized_scores`` never moves a bound.  Returns ``None``
+    when the sweep cannot express a template (the caller then runs the
+    scalar loop).
+    """
+    if not templates:
+        return None
+    count = _combination_count(atom_ranges)
+    if count <= 1:
+        return None
+    lo_grid = np.meshgrid(
+        *[np.array([chunk.lo for chunk in cells]) for cells in atom_ranges], indexing="ij"
+    )
+    hi_grid = np.meshgrid(
+        *[np.array([chunk.hi for chunk in cells]) for cells in atom_ranges], indexing="ij"
+    )
+    combos_lo = np.stack([grid.reshape(-1) for grid in lo_grid], axis=1)
+    combos_hi = np.stack([grid.reshape(-1) for grid in hi_grid], axis=1)
+
+    def atom_leaf(leaf):
+        return combos_lo[:, leaf.index], combos_hi[:, leaf.index]
+
+    try:
+        weight_lo = np.ones(count)
+        weight_hi = np.ones(count)
+        for template in templates:
+            score_lo, score_hi = checked_cells(template.template, count, atom_leaf=atom_leaf)
+            # meet with [0, inf); an empty meet collapses to the point 0.
+            score_lo = np.maximum(score_lo, 0.0)
+            empty = score_hi < score_lo
+            score_lo = np.where(empty, 0.0, score_lo)
+            score_hi = np.where(empty, 0.0, score_hi)
+            weight_lo, weight_hi = vec_mul(weight_lo, weight_hi, score_lo, score_hi)
+        if np.isnan(weight_lo).any() or np.isnan(weight_hi).any():
+            raise ScalarFallback
+    except ScalarFallback:
+        return None
+    return np.maximum(0.0, weight_lo if is_lower else weight_hi)
 
 
 def _split_interval(interval: Interval, parts: int) -> list[Interval]:

@@ -30,7 +30,12 @@ from typing import Optional, Sequence
 
 from ..intervals import Interval
 from ..lang.ast import Term
-from ..symbolic import ExecutionLimits, SymbolicExecutionResult, symbolic_paths
+from ..symbolic import (
+    ExecutionLimits,
+    SymbolicExecutionResult,
+    stream_symbolic_paths,
+    symbolic_paths,
+)
 from .config import AnalysisOptions
 from .engine import (
     _REALS,
@@ -38,6 +43,7 @@ from .engine import (
     DenotationBounds,
     QueryBounds,
     analyze_execution,
+    analyze_path_stream,
     histogram_buckets,
     normalised_query,
 )
@@ -271,8 +277,23 @@ class Model:
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
     ) -> list[DenotationBounds]:
-        """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``."""
+        """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``.
+
+        With ``options.stream`` the symbolic exploration is *pipelined* into
+        the analysis: paths are analysed (and, in parallel mode, dispatched
+        to workers) while exploration is still enumerating, and the full path
+        set is never materialised — so streamed queries bypass the
+        compiled-program cache rather than populate it.  When a compiled
+        program for the options' execution limits is already cached the
+        cached batch path is used instead (it is strictly cheaper and
+        bit-identical).
+        """
         options = self._resolve(options)
+        if options.stream and options.execution_limits() not in self._compiled:
+            stream = stream_symbolic_paths(self._term, options.execution_limits())
+            return analyze_path_stream(
+                stream, targets, options, report, executor=self._executor_for(options)
+            )
         compilations_before = self._compile_count
         compiled = self.compile(options)
         if report is not None:

@@ -39,11 +39,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..intervals import Interval
-from ..symbolic import SymbolicExecutionResult, SymbolicPath
+from ..symbolic import SymbolicExecutionResult, SymbolicPath, intern_paths
 from .config import EXECUTOR_KINDS, AnalysisOptions, _require_positive
 from .engine import (
     AnalysisReport,
@@ -72,6 +73,13 @@ __all__ = [
 #: Oversubscription lets the pool rebalance when per-chunk cost estimates are
 #: off, at the price of slightly more dispatch overhead.
 _OVERSUBSCRIPTION = 4
+
+#: Default number of paths per streaming chunk when the caller sets no
+#: explicit ``chunk_size``.  Streaming cannot cost-balance (the total cost is
+#: unknown while the stream is live), so it uses fixed-size chunks: small
+#: enough that the first chunk dispatches early (time-to-first-bound), large
+#: enough to amortise pickling overhead.
+_STREAM_CHUNK_SIZE = 32
 
 
 def partition_paths(
@@ -263,6 +271,10 @@ class ParallelAnalysisExecutor:
         self._closed = False
         self.chunks_dispatched = 0
         self.paths_analyzed = 0
+        #: High-water mark of paths resident in the parent during the last
+        #: streamed query (fill buffer + chunks in flight).  Batch queries
+        #: leave it untouched; streamed queries reset it at entry.
+        self.peak_path_buffer = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -328,10 +340,18 @@ class ParallelAnalysisExecutor:
         specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
         if self.kind != "process":
             resolve_analyzers(options)
+        # Process payloads are pickled: interning makes structurally equal
+        # sub-expressions identical objects so pickle ships every duplicate
+        # subtree once (as a memo back-reference) per chunk.
+        memo: Optional[dict] = {} if self.kind == "process" else None
         payloads = [
             ChunkPayload(
                 index=chunk_index,
-                paths=tuple(paths[chunk.start : chunk.stop]),
+                paths=(
+                    intern_paths(paths[chunk.start : chunk.stop], memo)
+                    if memo is not None
+                    else tuple(paths[chunk.start : chunk.stop])
+                ),
                 targets=target_tuple,
                 options=options,
                 specs=specs,
@@ -361,4 +381,144 @@ class ParallelAnalysisExecutor:
         contributions: list[PathContribution] = []
         for _, chunk_contributions in results:
             contributions.extend(chunk_contributions)
+        return reduce_contributions(contributions, target_tuple, report)
+
+    # ------------------------------------------------------------------
+    # Streaming analysis
+    # ------------------------------------------------------------------
+    def analyze_stream(
+        self,
+        paths: Iterable[SymbolicPath],
+        targets: Sequence[Interval],
+        options: Optional[AnalysisOptions] = None,
+        report: Optional[AnalysisReport] = None,
+    ) -> list[DenotationBounds]:
+        """Denotation bounds from a *stream* of paths, pipelined over the pool.
+
+        ``paths`` is consumed incrementally (typically the generator of
+        :meth:`repro.symbolic.SymbolicExecutor.iter_paths`): paths are
+        buffered into fixed-size chunks and dispatched as soon as a chunk
+        fills, so workers analyse the first chunks while exploration is still
+        enumerating the rest.  The buffer is bounded — at most
+        ``workers × options.prefetch`` chunks are in flight; when the bound
+        is hit, chunk production blocks until a worker finishes.  Peak parent
+        memory is therefore O(chunk size × prefetch × workers) paths instead
+        of the whole path set.
+
+        Per-chunk results are reassembled in chunk order and folded in
+        canonical path order, so streamed bounds are **bit-identical** to a
+        batch :meth:`analyze` run and to the serial loop.  Exceptions from
+        the path generator (e.g. a mid-stream
+        :class:`~repro.symbolic.PathExplosionError`) and from workers
+        propagate to the caller.
+        """
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
+        options = options or AnalysisOptions()
+        target_tuple = tuple(targets)
+        chunk_size = options.chunk_size if options.chunk_size is not None else self.chunk_size
+        if chunk_size is None:
+            chunk_size = _STREAM_CHUNK_SIZE
+        max_inflight = self.workers * options.prefetch
+
+        specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
+        if self.kind != "process":
+            resolve_analyzers(options)
+
+        start = time.perf_counter()
+        self.peak_path_buffer = 0
+        pool = self._ensure_pool()
+        results: list[tuple[int, list[PathContribution]]] = []
+        inflight: dict[concurrent.futures.Future, int] = {}  # future -> path count
+        buffer: list[SymbolicPath] = []
+        #: Completion timestamps recorded by done-callbacks (which fire the
+        #: moment a worker finishes, possibly from the pool's result thread) —
+        #: collecting a result later would overstate time-to-first-bound when
+        #: the in-flight cap is never reached.
+        done_at: list[float] = []
+        first_result_seconds: Optional[float] = None
+        path_count = 0
+        chunk_index = 0
+
+        def note_buffer() -> None:
+            resident = len(buffer) + sum(inflight.values())
+            if resident > self.peak_path_buffer:
+                self.peak_path_buffer = resident
+
+        def note_done(_future: concurrent.futures.Future) -> None:
+            done_at.append(time.perf_counter())
+
+        def collect(future: concurrent.futures.Future) -> None:
+            inflight.pop(future)
+            results.append(future.result())  # re-raises worker exceptions
+
+        def dispatch() -> None:
+            nonlocal chunk_index, first_result_seconds
+            # A fresh memo per chunk: pickle's own memoisation is per-payload,
+            # so cross-chunk sharing would not shrink payloads further — it
+            # would only retain every unique expression of the whole stream
+            # in the parent for the query's lifetime.
+            payload = ChunkPayload(
+                index=chunk_index,
+                paths=intern_paths(buffer, {}) if self.kind == "process" else tuple(buffer),
+                targets=target_tuple,
+                options=options,
+                specs=specs,
+            )
+            chunk_index += 1
+            self.chunks_dispatched += 1
+            buffer.clear()
+            if pool is None:
+                # Serial kind: the identical chunked pipeline without a pool —
+                # the buffer stays bounded by one chunk.
+                self.peak_path_buffer = max(self.peak_path_buffer, len(payload.paths))
+                results.append(analyze_chunk(payload))
+                if first_result_seconds is None:
+                    first_result_seconds = time.perf_counter() - start
+            else:
+                future = pool.submit(analyze_chunk, payload)
+                inflight[future] = len(payload.paths)
+                future.add_done_callback(note_done)
+                note_buffer()
+                # Bounded buffer: block until a slot frees up.
+                while len(inflight) >= max_inflight:
+                    done, _ = concurrent.futures.wait(
+                        tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
+                    )
+                    for finished in done:
+                        collect(finished)
+
+        try:
+            for path in paths:
+                buffer.append(path)
+                path_count += 1
+                note_buffer()
+                if len(buffer) >= chunk_size:
+                    dispatch()
+            if buffer:
+                dispatch()
+            while inflight:
+                done, _ = concurrent.futures.wait(
+                    tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for finished in done:
+                    collect(finished)
+        finally:
+            # On a mid-stream error, drop references to outstanding futures;
+            # the pool itself stays usable for subsequent queries.
+            inflight.clear()
+
+        if done_at and first_result_seconds is None:
+            first_result_seconds = min(done_at) - start
+        self.paths_analyzed += path_count
+        results.sort(key=lambda item: item[0])
+        contributions: list[PathContribution] = []
+        for _, chunk_contributions in results:
+            contributions.extend(chunk_contributions)
+        if report is not None:
+            report.path_count += path_count
+            report.truncated_paths += sum(int(c.truncated) for c in contributions)
+            if first_result_seconds is not None:
+                report.first_result_seconds = first_result_seconds
+            report.peak_path_buffer = max(report.peak_path_buffer, self.peak_path_buffer)
         return reduce_contributions(contributions, target_tuple, report)

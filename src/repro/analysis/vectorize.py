@@ -1,0 +1,167 @@
+"""Vectorised interval evaluation of symbolic expressions over many cells.
+
+Both grid-style analysers sweep one expression over a large family of
+interval assignments: the box analyser evaluates constraints/scores/results
+over every cell of a sample-space grid, and the linear analyser evaluates
+score *templates* over every combination of score-atom range chunks.  Doing
+that with the scalar interval evaluator costs one Python tree walk (plus one
+:class:`~repro.intervals.Interval` allocation per node) per cell.
+
+This module lifts the evaluation to NumPy: every expression node is
+evaluated once over *all* cells as a pair of ``(lo, hi)`` float arrays.
+Exact IEEE operations (add, sub, neg, mul, min, max, abs, square) are lifted
+wholesale — elementwise double arithmetic produces bit-identical endpoints
+to the scalar interval ops, including the measure-theoretic ``0 · ∞ = 0``
+convention.  Any other primitive falls back to its scalar interval lifting
+applied cell-wise, so a vectorised sweep never changes *which* liftings
+define the bounds.  Anomalies (NaN from ``∞ − ∞`` corner cases, empty
+constants, unsupported leaves) raise :class:`ScalarFallback`, and the caller
+re-runs the scalar loop.
+
+Leaf resolution is pluggable: callers provide callbacks mapping
+:class:`~repro.symbolic.value.SVar` and/or
+:class:`~repro.symbolic.value.SAtom` leaves to their per-cell bound arrays,
+so the same evaluator serves sample-variable grids and atom-range grids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..intervals import Interval, get_primitive
+from ..symbolic.value import SAtom, SConst, SPrim, SVar, SymExpr
+
+__all__ = [
+    "ScalarFallback",
+    "checked_cells",
+    "evaluate_cells",
+    "vec_mul",
+    "vec_product",
+]
+
+#: A callback resolving a leaf node to ``(lo, hi)`` arrays over all cells.
+LeafLookup = Callable[[SymExpr], tuple[np.ndarray, np.ndarray]]
+
+
+class ScalarFallback(Exception):
+    """Abandon the vectorised sweep and let the caller use its scalar loop."""
+
+
+def vec_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise product under the measure-theoretic ``0 · inf = 0``.
+
+    Overflow to ``±inf`` matches CPython float semantics and is sound for
+    interval endpoints, so both warnings are suppressed.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        product = a * b
+    return np.where((a == 0.0) | (b == 0.0), 0.0, product)
+
+
+def vec_mul(alo: np.ndarray, ahi: np.ndarray, blo: np.ndarray, bhi: np.ndarray):
+    """Interval multiplication ``[alo, ahi] · [blo, bhi]``, elementwise."""
+    products = (
+        vec_product(alo, blo),
+        vec_product(alo, bhi),
+        vec_product(ahi, blo),
+        vec_product(ahi, bhi),
+    )
+    lo = np.minimum(np.minimum(products[0], products[1]), np.minimum(products[2], products[3]))
+    hi = np.maximum(np.maximum(products[0], products[1]), np.maximum(products[2], products[3]))
+    return lo, hi
+
+
+def evaluate_cells(
+    expr: SymExpr,
+    count: int,
+    var_leaf: Optional[LeafLookup] = None,
+    atom_leaf: Optional[LeafLookup] = None,
+):
+    """``(lo, hi)`` arrays of ``expr`` over ``count`` cells.
+
+    ``var_leaf`` / ``atom_leaf`` resolve sample-variable / atom-placeholder
+    leaves; an expression containing a leaf kind without a resolver raises
+    :class:`ScalarFallback` (the caller's scalar loop decides).
+    """
+    if isinstance(expr, SVar):
+        if var_leaf is None:
+            raise ScalarFallback
+        return var_leaf(expr)
+    if isinstance(expr, SAtom):
+        if atom_leaf is None:
+            raise ScalarFallback
+        return atom_leaf(expr)
+    if isinstance(expr, SConst):
+        if expr.interval.is_empty:
+            raise ScalarFallback
+        return np.full(count, expr.interval.lo), np.full(count, expr.interval.hi)
+    if isinstance(expr, SPrim):
+        args = [evaluate_cells(arg, count, var_leaf, atom_leaf) for arg in expr.args]
+        op = expr.op
+        if op == "add":
+            (alo, ahi), (blo, bhi) = args
+            return alo + blo, ahi + bhi
+        if op == "sub":
+            (alo, ahi), (blo, bhi) = args
+            return alo - bhi, ahi - blo
+        if op == "neg":
+            ((alo, ahi),) = args
+            return -ahi, -alo
+        if op == "mul":
+            (alo, ahi), (blo, bhi) = args
+            return vec_mul(alo, ahi, blo, bhi)
+        if op == "min":
+            (alo, ahi), (blo, bhi) = args
+            return np.minimum(alo, blo), np.minimum(ahi, bhi)
+        if op == "max":
+            (alo, ahi), (blo, bhi) = args
+            return np.maximum(alo, blo), np.maximum(ahi, bhi)
+        if op == "abs":
+            ((alo, ahi),) = args
+            magnitude_lo = np.minimum(np.abs(alo), np.abs(ahi))
+            magnitude_hi = np.maximum(np.abs(alo), np.abs(ahi))
+            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+            return np.where(spans_zero, 0.0, magnitude_lo), magnitude_hi
+        if op == "square":
+            ((alo, ahi),) = args
+            lo, hi = vec_mul(alo, ahi, alo, ahi)
+            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+            square_hi = np.maximum(vec_product(alo, alo), vec_product(ahi, ahi))
+            return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
+        # Every other primitive: apply its scalar interval lifting cell-wise.
+        primitive = get_primitive(op)
+        out_lo = np.empty(count)
+        out_hi = np.empty(count)
+        for cell in range(count):
+            try:
+                intervals = [Interval(float(alo[cell]), float(ahi[cell])) for alo, ahi in args]
+                value = primitive.apply_interval(*intervals)
+            except ValueError as error:
+                # A NaN/ordering corner case the scalar loop's early exits
+                # might avoid (it skips infeasible cells before evaluating
+                # scores/results); let the scalar path decide.
+                raise ScalarFallback from error
+            if value.is_empty:
+                raise ScalarFallback
+            out_lo[cell] = value.lo
+            out_hi[cell] = value.hi
+        return out_lo, out_hi
+    raise ScalarFallback
+
+
+def checked_cells(
+    expr: SymExpr,
+    count: int,
+    var_leaf: Optional[LeafLookup] = None,
+    atom_leaf: Optional[LeafLookup] = None,
+):
+    """Like :func:`evaluate_cells`, but a NaN anywhere aborts the sweep."""
+    # Overflow to ±inf matches CPython float arithmetic and is sound for
+    # interval endpoints; NaN (inf − inf and friends) aborts the sweep.
+    with np.errstate(over="ignore", invalid="ignore"):
+        lo, hi = evaluate_cells(expr, count, var_leaf, atom_leaf)
+    if np.isnan(lo).any() or np.isnan(hi).any():
+        raise ScalarFallback
+    return lo, hi

@@ -3,10 +3,14 @@
 from .execute import (
     ExecutionLimits,
     PathExplosionError,
+    PathStream,
+    StreamStats,
     SymbolicExecutionResult,
     SymbolicExecutor,
+    stream_symbolic_paths,
     symbolic_paths,
 )
+from .intern import intern_constraint, intern_expr, intern_path, intern_paths
 from .linear import LinearForm, ScoreDecomposition, decompose_score, extract_linear
 from .paths import Relation, SymConstraint, SymbolicPath
 from .value import (
@@ -42,7 +46,14 @@ __all__ = [
     "SymbolicPath",
     "ExecutionLimits",
     "PathExplosionError",
+    "PathStream",
+    "StreamStats",
     "SymbolicExecutor",
     "SymbolicExecutionResult",
+    "stream_symbolic_paths",
     "symbolic_paths",
+    "intern_constraint",
+    "intern_expr",
+    "intern_path",
+    "intern_paths",
 ]

@@ -14,13 +14,23 @@ application of a recursive function is replaced by its interval-type summary
 and its weight contribution becomes an interval score.  The result is a
 *finite* set of symbolic interval paths whose lower/upper denotations bracket
 the program denotation (Theorem 6.2).
+
+Exploration is *iterative*: an explicit worklist of machine states (a
+CEK-style abstract machine — control term or value, environment,
+continuation, per-path state) replaces the recursive ``_eval`` call tree.
+Paths therefore complete one at a time, in canonical depth-first order, and
+:meth:`SymbolicExecutor.iter_paths` exposes them as a generator so the
+analysis phase can start consuming paths while exploration is still
+enumerating (see :func:`repro.analysis.engine.analyze_path_stream`).
+:meth:`SymbolicExecutor.run` is a thin wrapper that materialises the stream
+into a :class:`SymbolicExecutionResult`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from ..distributions import Distribution, Uniform
 from ..intervals import Interval, get_primitive
@@ -52,8 +62,11 @@ from .value import SConst, SPrim, SVar, SymExpr, evaluate_interval
 __all__ = [
     "ExecutionLimits",
     "PathExplosionError",
+    "PathStream",
+    "StreamStats",
     "SymbolicExecutionResult",
     "SymbolicExecutor",
+    "stream_symbolic_paths",
     "symbolic_paths",
 ]
 
@@ -191,123 +204,216 @@ class SymbolicExecutionResult:
         return self.truncated_paths == 0
 
 
+@dataclass
+class StreamStats:
+    """Exploration statistics of one streamed symbolic execution.
+
+    The object is filled in *as the stream is consumed*: the counters are
+    running totals and ``exhausted`` flips to True only once the generator
+    has produced its last path.  A stream that raises mid-way (e.g. a
+    :class:`PathExplosionError`) never exhausts — ``exhausted`` stays False
+    and the counters cover the prefix produced so far.  After exhaustion the
+    counters agree exactly with the fields of the
+    :class:`SymbolicExecutionResult` a batch :meth:`SymbolicExecutor.run`
+    would have returned.
+    """
+
+    emitted_paths: int = 0
+    truncated_paths: int = 0
+    pruned_paths: int = 0
+    exhausted: bool = False
+
+
+@dataclass
+class PathStream:
+    """A lazily-explored path set: a generator of paths plus live statistics.
+
+    Iterating the stream drives the symbolic worklist; ``stats`` is updated
+    in lock-step.  The stream is single-use (it wraps a generator).
+    """
+
+    paths: Iterator[SymbolicPath]
+    stats: StreamStats
+    limits: ExecutionLimits
+
+    def __iter__(self) -> Iterator[SymbolicPath]:
+        return self.paths
+
+
+#: Worklist task modes: evaluate a term / deliver a value to a continuation.
+_EVAL = 0
+_DELIVER = 1
+
+#: Continuation-frame tags (first element of each frame tuple).
+_K_SCORE = "score"
+_K_PRIM = "prim"
+_K_IF = "if"
+_K_APP_FUNC = "appf"
+_K_APP_ARG = "appa"
+
+
 class SymbolicExecutor:
-    """Explores all symbolic paths of a program (Algorithm 1, lines 2–11)."""
+    """Explores all symbolic paths of a program (Algorithm 1, lines 2–11).
+
+    The exploration is an explicit-worklist abstract machine: every task is a
+    ``(mode, item, env, kont, state)`` tuple — either *evaluate term ``item``*
+    or *deliver value ``item`` to continuation ``kont``* — and branch points
+    (symbolic conditionals) push both successor tasks instead of recursing.
+    Because the worklist is a stack and the then-branch is pushed last,
+    completed paths appear in exactly the depth-first, then-before-else order
+    the historical recursive evaluator produced, which is the canonical path
+    order the bound engine's bit-reproducible merge relies on.
+    """
 
     def __init__(self, limits: ExecutionLimits | None = None) -> None:
         self.limits = limits or ExecutionLimits()
         self._pruned = 0
 
     # ------------------------------------------------------------------
-    def run(self, term: Term) -> SymbolicExecutionResult:
+    # Streaming exploration (the primary engine)
+    # ------------------------------------------------------------------
+    def iter_paths(self, term: Term, stats: Optional[StreamStats] = None) -> Iterator[SymbolicPath]:
+        """Generate the symbolic paths of ``term`` one at a time.
+
+        Paths are yielded in canonical depth-first order as soon as they
+        complete — the whole path set is never materialised.  Infeasible
+        paths (score certainly non-positive) are counted in ``stats`` but not
+        yielded.  When the number of completed paths exceeds
+        ``limits.max_paths`` a :class:`PathExplosionError` is raised
+        *mid-stream*, after the paths within budget have been yielded.
+        """
+        stats = stats if stats is not None else StreamStats()
         self._pruned = 0
-        outcomes = self._eval(term, _EMPTY_SENV, _PathState())
-        paths: list[SymbolicPath] = []
-        truncated = 0
-        for value, state in outcomes:
-            if state.infeasible:
-                self._pruned += 1
+        max_paths = self.limits.max_paths
+        completed = 0
+        stack: list[tuple] = [(_EVAL, term, _EMPTY_SENV, None, _PathState())]
+        while stack:
+            mode, item, env, kont, state = stack.pop()
+
+            if mode == _EVAL:
+                if isinstance(item, Var):
+                    stack.append((_DELIVER, env.lookup(item.name), None, kont, state))
+                elif isinstance(item, Const):
+                    stack.append((_DELIVER, SConst(Interval.point(item.value)), None, kont, state))
+                elif isinstance(item, IntervalConst):
+                    stack.append((_DELIVER, SConst(item.interval), None, kont, state))
+                elif isinstance(item, Lam):
+                    stack.append((_DELIVER, _SClosure(item.param, item.body, env), None, kont, state))
+                elif isinstance(item, Fix):
+                    stack.append(
+                        (_DELIVER, _SFixClosure(item.fname, item.param, item.body, env), None, kont, state)
+                    )
+                elif isinstance(item, Sample):
+                    dist = item.dist if item.dist is not None else _UNIFORM01
+                    stack.append((_DELIVER, state.fresh_variable(dist), None, kont, state))
+                elif isinstance(item, Score):
+                    stack.append((_EVAL, item.arg, env, (_K_SCORE, kont), state))
+                elif isinstance(item, Prim):
+                    if not item.args:
+                        stack.append((_DELIVER, self._make_prim(item.op, []), None, kont, state))
+                    else:
+                        frame = (_K_PRIM, item.op, (), tuple(item.args[1:]), env, kont)
+                        stack.append((_EVAL, item.args[0], env, frame, state))
+                elif isinstance(item, If):
+                    stack.append((_EVAL, item.cond, env, (_K_IF, item.then, item.orelse, env, kont), state))
+                elif isinstance(item, App):
+                    stack.append((_EVAL, item.func, env, (_K_APP_FUNC, item.arg, env, kont), state))
+                else:
+                    raise TypeError(f"cannot symbolically evaluate {item!r}")
                 continue
-            if not isinstance(value, SymExpr):
-                raise TypeError("program must return a ground (real-valued) result")
-            path = SymbolicPath(
-                result=value,
-                variable_count=state.variable_count,
-                distributions=tuple(state.distributions),
-                constraints=tuple(state.constraints),
-                scores=tuple(state.scores),
-                truncated=state.truncated,
-            )
-            paths.append(path)
-            truncated += int(state.truncated)
-        return SymbolicExecutionResult(paths=paths, truncated_paths=truncated, pruned_paths=self._pruned)
 
-    # ------------------------------------------------------------------
-    # Core evaluation
-    # ------------------------------------------------------------------
-    def _eval(self, term: Term, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
-        if isinstance(term, Var):
-            return [(env.lookup(term.name), state)]
-        if isinstance(term, Const):
-            return [(SConst(Interval.point(term.value)), state)]
-        if isinstance(term, IntervalConst):
-            return [(SConst(term.interval), state)]
-        if isinstance(term, Lam):
-            return [(_SClosure(term.param, term.body, env), state)]
-        if isinstance(term, Fix):
-            return [(_SFixClosure(term.fname, term.param, term.body, env), state)]
-        if isinstance(term, Sample):
-            dist = term.dist if term.dist is not None else _UNIFORM01
-            return [(state.fresh_variable(dist), state)]
-        if isinstance(term, Score):
-            outcomes = []
-            for value, next_state in self._eval(term.arg, env, state):
+            # mode == _DELIVER: hand ``item`` (a SymValue) to the continuation.
+            value = item
+            if kont is None:
+                completed += 1
+                if completed > max_paths:
+                    raise PathExplosionError(
+                        f"symbolic execution exceeded {max_paths} paths; "
+                        "reduce the fixpoint depth or simplify the program"
+                    )
+                if state.infeasible:
+                    self._pruned += 1
+                    stats.pruned_paths += 1
+                    continue
+                if not isinstance(value, SymExpr):
+                    raise TypeError("program must return a ground (real-valued) result")
+                stats.emitted_paths += 1
+                stats.truncated_paths += int(state.truncated)
+                yield SymbolicPath(
+                    result=value,
+                    variable_count=state.variable_count,
+                    distributions=tuple(state.distributions),
+                    constraints=tuple(state.constraints),
+                    scores=tuple(state.scores),
+                    truncated=state.truncated,
+                )
+                continue
+
+            tag = kont[0]
+            if tag == _K_SCORE:
                 expr = self._expect_expr(value)
-                outcomes.append((expr, self._record_score(expr, next_state)))
-            return outcomes
-        if isinstance(term, Prim):
-            return self._eval_prim(term, env, state)
-        if isinstance(term, If):
-            return self._eval_if(term, env, state)
-        if isinstance(term, App):
-            return self._eval_app(term, env, state)
-        raise TypeError(f"cannot symbolically evaluate {term!r}")
+                stack.append((_DELIVER, expr, None, kont[1], self._record_score(expr, state)))
+            elif tag == _K_PRIM:
+                _, op, done, remaining, frame_env, parent = kont
+                done = done + (self._expect_expr(value),)
+                if remaining:
+                    frame = (_K_PRIM, op, done, remaining[1:], frame_env, parent)
+                    stack.append((_EVAL, remaining[0], frame_env, frame, state))
+                else:
+                    stack.append((_DELIVER, self._make_prim(op, list(done)), None, parent, state))
+            elif tag == _K_IF:
+                _, then_term, else_term, frame_env, parent = kont
+                guard = self._expect_expr(value)
+                if isinstance(guard, SConst) and guard.interval.hi <= 0.0:
+                    stack.append((_EVAL, then_term, frame_env, parent, state))
+                elif isinstance(guard, SConst) and guard.interval.lo > 0.0:
+                    stack.append((_EVAL, else_term, frame_env, parent, state))
+                else:
+                    then_state = state.copy()
+                    then_state.constraints.append(SymConstraint(guard, Relation.LEQ))
+                    state.constraints.append(SymConstraint(guard, Relation.GT))
+                    # Else first, then first-popped: canonical then-before-else order.
+                    stack.append((_EVAL, else_term, frame_env, parent, state))
+                    stack.append((_EVAL, then_term, frame_env, parent, then_state))
+            elif tag == _K_APP_FUNC:
+                _, arg_term, frame_env, parent = kont
+                stack.append((_EVAL, arg_term, frame_env, (_K_APP_ARG, value, parent), state))
+            elif tag == _K_APP_ARG:
+                _, func, parent = kont
+                if isinstance(func, _SClosure):
+                    stack.append((_EVAL, func.body, func.env.bind(func.param, value), parent, state))
+                elif isinstance(func, _SSummaryClosure):
+                    summary, state = self._apply_summary(func.itype, state)
+                    stack.append((_DELIVER, summary, None, parent, state))
+                elif isinstance(func, _SFixClosure):
+                    if state.fix_depth >= self.limits.max_fixpoint_depth:
+                        summary, state = self._approx_fix(func, value, state)
+                        stack.append((_DELIVER, summary, None, parent, state))
+                    else:
+                        state.fix_depth += 1
+                        call_env = func.env.bind(func.fname, func).bind(func.param, value)
+                        stack.append((_EVAL, func.body, call_env, parent, state))
+                else:
+                    raise TypeError(f"application of a non-function symbolic value {func!r}")
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown continuation frame {tag!r}")
+        stats.exhausted = True
 
-    def _eval_prim(self, term: Prim, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
-        outcomes: list[tuple[list[SymExpr], _PathState]] = [([], state)]
-        for arg in term.args:
-            next_outcomes: list[tuple[list[SymExpr], _PathState]] = []
-            for values, current in outcomes:
-                for value, next_state in self._eval(arg, env, current):
-                    next_outcomes.append((values + [self._expect_expr(value)], next_state))
-            outcomes = next_outcomes
-            self._check_budget(len(outcomes))
-        results: list[tuple[SymValue, _PathState]] = []
-        for values, current in outcomes:
-            results.append((self._make_prim(term.op, values), current))
-        return results
+    def stream_run(self, term: Term) -> PathStream:
+        """Start a streamed exploration: a path generator plus live stats."""
+        stats = StreamStats()
+        return PathStream(paths=self.iter_paths(term, stats), stats=stats, limits=self.limits)
 
-    def _eval_if(self, term: If, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
-        results: list[tuple[SymValue, _PathState]] = []
-        for guard_value, guard_state in self._eval(term.cond, env, state):
-            guard = self._expect_expr(guard_value)
-            if isinstance(guard, SConst):
-                if guard.interval.hi <= 0.0:
-                    results.extend(self._eval(term.then, env, guard_state))
-                    continue
-                if guard.interval.lo > 0.0:
-                    results.extend(self._eval(term.orelse, env, guard_state))
-                    continue
-            then_state = guard_state.copy()
-            then_state.constraints.append(SymConstraint(guard, Relation.LEQ))
-            results.extend(self._eval(term.then, env, then_state))
-            else_state = guard_state
-            else_state.constraints.append(SymConstraint(guard, Relation.GT))
-            results.extend(self._eval(term.orelse, env, else_state))
-            self._check_budget(len(results))
-        return results
-
-    def _eval_app(self, term: App, env: _SEnv, state: _PathState) -> list[tuple[SymValue, _PathState]]:
-        results: list[tuple[SymValue, _PathState]] = []
-        for func_value, func_state in self._eval(term.func, env, state):
-            for arg_value, arg_state in self._eval(term.arg, env, func_state):
-                results.extend(self._apply(func_value, arg_value, arg_state))
-                self._check_budget(len(results))
-        return results
-
-    def _apply(self, func: SymValue, argument: SymValue, state: _PathState) -> list[tuple[SymValue, _PathState]]:
-        if isinstance(func, _SClosure):
-            return self._eval(func.body, func.env.bind(func.param, argument), state)
-        if isinstance(func, _SSummaryClosure):
-            return [self._apply_summary(func.itype, state)]
-        if isinstance(func, _SFixClosure):
-            if state.fix_depth >= self.limits.max_fixpoint_depth:
-                return [self._approx_fix(func, argument, state)]
-            new_state = state
-            new_state.fix_depth += 1
-            env = func.env.bind(func.fname, func).bind(func.param, argument)
-            return self._eval(func.body, env, new_state)
-        raise TypeError(f"application of a non-function symbolic value {func!r}")
+    # ------------------------------------------------------------------
+    def run(self, term: Term) -> SymbolicExecutionResult:
+        """Materialise the full path set (a thin wrapper over :meth:`iter_paths`)."""
+        stats = StreamStats()
+        paths = tuple(self.iter_paths(term, stats))
+        return SymbolicExecutionResult(
+            paths=paths,
+            truncated_paths=stats.truncated_paths,
+            pruned_paths=stats.pruned_paths,
+        )
 
     # ------------------------------------------------------------------
     # approxFix: summarise a fixpoint via the interval type system
@@ -417,13 +523,6 @@ class SymbolicExecutor:
             return value
         raise TypeError(f"expected a ground symbolic value, got {value!r}")
 
-    def _check_budget(self, count: int) -> None:
-        if count > self.limits.max_paths:
-            raise PathExplosionError(
-                f"symbolic execution exceeded {self.limits.max_paths} paths; "
-                "reduce the fixpoint depth or simplify the program"
-            )
-
 
 def _is_zero(expr: SymExpr) -> bool:
     return isinstance(expr, SConst) and expr.interval == Interval.point(0.0)
@@ -467,3 +566,14 @@ def _simplify_prim(op: str, args: list[SymExpr]) -> SymExpr:
 def symbolic_paths(term: Term, limits: ExecutionLimits | None = None) -> SymbolicExecutionResult:
     """Convenience wrapper: all symbolic interval paths of ``term``."""
     return SymbolicExecutor(limits).run(term)
+
+
+def stream_symbolic_paths(term: Term, limits: ExecutionLimits | None = None) -> PathStream:
+    """Convenience wrapper: a lazily-explored :class:`PathStream` of ``term``.
+
+    The returned stream yields exactly the paths :func:`symbolic_paths` would
+    materialise, in the same canonical order, but one at a time — the
+    streaming bound engine consumes it to overlap path analysis with
+    exploration.
+    """
+    return SymbolicExecutor(limits).stream_run(term)

@@ -1,0 +1,84 @@
+"""Structural interning of symbolic expressions and path payloads.
+
+Symbolic paths produced by branching exploration frequently contain *equal
+but distinct* sub-expressions: symmetric branches rebuild the same guard and
+score values independently, so a 50k-path workload carries the same
+``add(α₀, α₁)``-shaped trees thousands of times.  ``pickle`` deduplicates by
+object *identity*, not by value — every duplicate is re-serialised in full
+when a chunk of paths is shipped to a process worker.
+
+Interning rewrites a batch of paths so that structurally equal expressions
+become the *same object*: duplicate subtrees then pickle as one definition
+plus back-references, which shrinks process-pool chunk payloads and the time
+spent serialising them.  Interning never changes values — all symbolic
+expression nodes are immutable frozen dataclasses, so sharing is safe — and
+it is a no-op on payloads that are already maximally shared.
+
+The memo is keyed by the expressions themselves (structural equality/hash of
+the frozen dataclasses), so one memo can be reused across every chunk of a
+query to amortise the walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from .paths import SymConstraint, SymbolicPath
+from .value import SPrim, SymExpr
+
+__all__ = ["intern_expr", "intern_constraint", "intern_path", "intern_paths"]
+
+
+def intern_expr(expr: SymExpr, memo: Dict[object, object]) -> SymExpr:
+    """The canonical instance of ``expr`` (bottom-up, children first).
+
+    Recursion depth is bounded by the expression depth, which symbolic
+    execution keeps proportional to the (finite) fixpoint depth.
+    """
+    if isinstance(expr, SPrim):
+        args = tuple(intern_expr(arg, memo) for arg in expr.args)
+        if any(new is not old for new, old in zip(args, expr.args)):
+            expr = SPrim(expr.op, args)
+    return memo.setdefault(expr, expr)  # type: ignore[return-value]
+
+
+def intern_constraint(constraint: SymConstraint, memo: Dict[object, object]) -> SymConstraint:
+    """The canonical instance of a branching constraint."""
+    expr = intern_expr(constraint.expr, memo)
+    if expr is not constraint.expr:
+        constraint = SymConstraint(expr, constraint.relation)
+    return memo.setdefault(constraint, constraint)  # type: ignore[return-value]
+
+
+def intern_path(path: SymbolicPath, memo: Dict[object, object]) -> SymbolicPath:
+    """A path whose expressions are replaced by their canonical instances.
+
+    Distributions are left as-is: they are shared by construction (branch
+    states copy the *list*, not the records) and are not generally hashable.
+    """
+    result = intern_expr(path.result, memo)
+    constraints = tuple(intern_constraint(c, memo) for c in path.constraints)
+    scores = tuple(intern_expr(score, memo) for score in path.scores)
+    if (
+        result is path.result
+        and all(new is old for new, old in zip(constraints, path.constraints))
+        and all(new is old for new, old in zip(scores, path.scores))
+    ):
+        return path
+    return SymbolicPath(
+        result=result,
+        variable_count=path.variable_count,
+        distributions=path.distributions,
+        constraints=constraints,
+        scores=scores,
+        truncated=path.truncated,
+    )
+
+
+def intern_paths(
+    paths: Iterable[SymbolicPath], memo: Optional[Dict[object, object]] = None
+) -> tuple[SymbolicPath, ...]:
+    """Intern a batch of paths against one (optionally shared) memo."""
+    if memo is None:
+        memo = {}
+    return tuple(intern_path(path, memo) for path in paths)

@@ -26,6 +26,7 @@ import pytest
 
 from repro.analysis import AnalysisOptions, Model
 from repro.intervals import Interval
+from repro.models import binary_gmm_program, cav_example_7
 from repro.models.pedestrian import pedestrian_program
 
 from helpers import geometric_program
@@ -54,6 +55,33 @@ _SCENARIOS = {
         ),
         "targets": [Interval(-0.5, 0.5), Interval(0.5, 1.5), Interval(1.5, 2.5)],
         "histogram": (0.0, 4.0, 4),
+    },
+    # A continuous-model benchmark driver workload (Fig. 5c, box semantics)…
+    "binary_gmm_box24": {
+        "build": lambda: Model(
+            binary_gmm_program(),
+            AnalysisOptions(
+                splits_per_dimension=24, use_linear_semantics=False, workers=1, executor="serial"
+            ),
+        ),
+        "targets": [Interval(-1.0, 0.0), Interval(0.0, 1.0), Interval(-3.0, 3.0)],
+        "histogram": (-3.0, 3.0, 6),
+    },
+    # …and a recursive-model driver workload (Fig. 6a, the CAV'13 counter).
+    "cav_example7_depth6": {
+        "build": lambda: Model(
+            cav_example_7(),
+            AnalysisOptions(
+                max_fixpoint_depth=6,
+                score_splits=8,
+                splits_per_dimension=6,
+                max_boxes_per_path=4_000,
+                workers=1,
+                executor="serial",
+            ),
+        ),
+        "targets": [Interval(-0.5, 0.5), Interval(0.5, 1.5), Interval(1.5, 2.5)],
+        "histogram": (0.0, 6.0, 6),
     },
 }
 
