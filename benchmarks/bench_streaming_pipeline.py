@@ -133,6 +133,37 @@ def test_streaming_pipeline(bench_once):
     emit("streaming_pipeline", lines, data={"runs": records, "peak_rss_kb": peak_rss_kb})
 
 
+def test_streaming_arena_transport_bit_identical(bench_once):
+    """Streamed process dispatch over the arena transport matches batch bounds.
+
+    The streaming dispatcher publishes one short-lived shared-memory arena
+    segment per chunk instead of pickling the chunk's path graph; like every
+    other engine configuration, the resulting bounds must be **bit-identical**
+    to a serial batch run — this is part of the CI smoke gate.
+    """
+    name, build, depths, target = _SCENARIOS[0]
+    depth = depths[0]
+    batch, _, _ = _run_batch(build, depth, target)
+
+    def run_streamed():
+        options = AnalysisOptions(
+            max_fixpoint_depth=depth,
+            score_splits=_SCORE_SPLITS,
+            workers=2,
+            executor="process",
+            chunk_size=4,
+            stream=True,
+            payload_transport="arena",
+        )
+        with Model(build(), options) as model:
+            return model.bounds([target, Interval.reals()])
+
+    streamed = bench_once(run_streamed)
+    for batch_bound, stream_bound in zip(batch, streamed):
+        assert stream_bound.lower == batch_bound.lower, (name, depth)
+        assert stream_bound.upper == batch_bound.upper, (name, depth)
+
+
 def test_vectorized_integration(bench_once):
     """Vectorised score integration beats the scalar loop, at identical bounds.
 

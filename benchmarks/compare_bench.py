@@ -1,0 +1,195 @@
+"""Compare two ``BENCH_*.json`` artifact sets and flag wall-clock regressions.
+
+Every benchmark driver writes a machine-readable ``BENCH_<driver>.json``
+record under ``benchmarks/results`` (see :func:`bench_utils.emit`).  This
+script diffs two such artifact sets — typically the committed baseline
+against a fresh run — and exits non-zero when any timing metric regressed by
+more than the threshold::
+
+    python benchmarks/compare_bench.py benchmarks/results /tmp/fresh-results \
+        --threshold 0.25 --min-seconds 0.05
+
+Comparison rules:
+
+* **Timing metrics** are every numeric leaf of the ``metrics`` payload whose
+  key ends in ``seconds`` or is ``time_to_first_bound`` (nested dicts/lists
+  are walked; list elements are keyed by position, so drivers emitting
+  per-scenario ``runs`` arrays compare scenario-by-scenario).
+* A pair regresses when the candidate exceeds ``baseline × (1 + threshold)``
+  **and** by at least ``--min-seconds`` absolute — sub-noise timings never
+  fail a CI job.
+* Records whose ``tiny`` flags differ are **skipped** (a smoke run at
+  seconds-scale limits is not comparable to a full-fidelity record); the
+  summary reports them so a mode mismatch is visible rather than silent.
+* Drivers present on only one side are reported but are not failures
+  (benchmarks are added and retired across PRs).
+
+The output is a Markdown-ish table, suitable for ``$GITHUB_STEP_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+__all__ = ["Regression", "compare_records", "compare_dirs", "load_records", "main"]
+
+#: Default tolerated slowdown: candidate may be up to 25% slower.
+DEFAULT_THRESHOLD = 0.25
+
+#: Default absolute floor: a metric must regress by at least this many
+#: seconds to count (filters timer noise on fast drivers and tiny mode).
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def _is_timing_key(key: str) -> bool:
+    return key.endswith("seconds") or key == "time_to_first_bound"
+
+
+def timing_leaves(metrics, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """``(dotted.path, value)`` pairs of every timing metric in a payload."""
+    if isinstance(metrics, Mapping):
+        for key, value in metrics.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (Mapping, list)):
+                yield from timing_leaves(value, path)
+            elif _is_timing_key(str(key)) and isinstance(value, (int, float)):
+                yield path, float(value)
+    elif isinstance(metrics, list):
+        for index, value in enumerate(metrics):
+            yield from timing_leaves(value, f"{prefix}[{index}]")
+
+
+def load_records(directory: pathlib.Path) -> dict[str, dict]:
+    """Every ``BENCH_*.json`` in ``directory``, keyed by driver name."""
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable {path.name}: {error}", file=sys.stderr)
+            continue
+        records[record.get("driver", path.stem)] = record
+    return records
+
+
+@dataclass(frozen=True)
+class Regression:
+    driver: str
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        return self.candidate / self.baseline if self.baseline > 0 else float("inf")
+
+
+def compare_records(
+    driver: str,
+    baseline: dict,
+    candidate: dict,
+    threshold: float,
+    min_seconds: float,
+) -> tuple[list[Regression], list[tuple[str, float, float]]]:
+    """Regressions plus every compared ``(metric, baseline, candidate)`` pair."""
+    base_timings = dict(timing_leaves(baseline.get("metrics", {})))
+    cand_timings = dict(timing_leaves(candidate.get("metrics", {})))
+    regressions: list[Regression] = []
+    pairs: list[tuple[str, float, float]] = []
+    for metric, base_value in base_timings.items():
+        cand_value = cand_timings.get(metric)
+        if cand_value is None:
+            continue
+        pairs.append((metric, base_value, cand_value))
+        if cand_value > base_value * (1.0 + threshold) and cand_value - base_value >= min_seconds:
+            regressions.append(Regression(driver, metric, base_value, cand_value))
+    return regressions, pairs
+
+
+def compare_dirs(
+    baseline_dir: pathlib.Path,
+    candidate_dir: pathlib.Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[list[Regression], list[str]]:
+    """Compare two artifact directories; returns (regressions, report lines)."""
+    baseline = load_records(baseline_dir)
+    candidate = load_records(candidate_dir)
+    lines = [
+        f"## Benchmark comparison ({baseline_dir} → {candidate_dir})",
+        "",
+        f"threshold: +{threshold:.0%} and ≥ {min_seconds}s absolute",
+        "",
+        "| driver | status | compared timings | worst slowdown |",
+        "|---|---|---|---|",
+    ]
+    regressions: list[Regression] = []
+    for driver in sorted(set(baseline) | set(candidate)):
+        if driver not in candidate:
+            lines.append(f"| {driver} | baseline only | – | – |")
+            continue
+        if driver not in baseline:
+            lines.append(f"| {driver} | new (no baseline) | – | – |")
+            continue
+        if bool(baseline[driver].get("tiny")) != bool(candidate[driver].get("tiny")):
+            lines.append(f"| {driver} | skipped (tiny-mode mismatch) | – | – |")
+            continue
+        found, pairs = compare_records(
+            driver, baseline[driver], candidate[driver], threshold, min_seconds
+        )
+        regressions.extend(found)
+        worst = "–"
+        ratios = [(cand / base, metric) for metric, base, cand in pairs if base > 0]
+        if ratios:
+            ratio, metric = max(ratios)
+            worst = f"×{ratio:.2f} ({metric})"
+        status = "REGRESSED" if found else "ok"
+        lines.append(f"| {driver} | {status} | {len(pairs)} | {worst} |")
+    lines.append("")
+    if regressions:
+        lines.append(f"**{len(regressions)} regression(s):**")
+        for item in sorted(regressions, key=lambda r: -r.ratio):
+            lines.append(
+                f"- `{item.driver}` `{item.metric}`: "
+                f"{item.baseline:.3f}s → {item.candidate:.3f}s (×{item.ratio:.2f})"
+            )
+    else:
+        lines.append("No wall-clock regressions.")
+    return regressions, lines
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="baseline artifact directory")
+    parser.add_argument("candidate", type=pathlib.Path, help="candidate artifact directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated relative slowdown (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="minimum absolute regression (seconds) to flag",
+    )
+    args = parser.parse_args(argv)
+    for directory in (args.baseline, args.candidate):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+    regressions, lines = compare_dirs(
+        args.baseline, args.candidate, args.threshold, args.min_seconds
+    )
+    print("\n".join(lines))
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

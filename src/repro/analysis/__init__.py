@@ -11,7 +11,7 @@ compatibility.
 """
 
 from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, split_domain
-from .config import EXECUTOR_KINDS, AnalysisOptions
+from .config import EXECUTOR_KINDS, TRANSPORT_KINDS, AnalysisOptions
 from .engine import (
     AnalysisReport,
     DenotationBounds,
@@ -36,6 +36,12 @@ from .parallel import (
     partition_paths,
     shared_executor,
 )
+from .transport import (
+    ArenaChunkRef,
+    ArenaSegment,
+    create_arena_segment,
+    shared_memory_available,
+)
 from .registry import (
     AnalyzerSpec,
     PathAnalyzer,
@@ -54,6 +60,11 @@ __all__ = [
     "CompiledProgram",
     "AnalysisOptions",
     "EXECUTOR_KINDS",
+    "TRANSPORT_KINDS",
+    "ArenaChunkRef",
+    "ArenaSegment",
+    "create_arena_segment",
+    "shared_memory_available",
     "AnalysisReport",
     "DenotationBounds",
     "QueryBounds",

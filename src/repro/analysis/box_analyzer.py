@@ -120,11 +120,14 @@ def _enumerate_cells(path: SymbolicPath, options: AnalysisOptions) -> list[_Cell
 # ----------------------------------------------------------------------
 
 
-def _checked_cells(expr: SymExpr, los: np.ndarray, his: np.ndarray):
+def _checked_cells(
+    expr: SymExpr, los: np.ndarray, his: np.ndarray, transcendentals: bool = False
+):
     return checked_cells(
         expr,
         los.shape[0],
         var_leaf=lambda leaf: (los[:, leaf.index], his[:, leaf.index]),
+        transcendentals=transcendentals,
     )
 
 
@@ -182,10 +185,11 @@ def _analyze_path_boxes_vectorized(
         return [(0.0, 0.0) for _ in targets]
     los, his, mass = arrays
 
+    transcendentals = options.vectorized_transcendentals
     possible = mass > 0.0
     definite = possible.copy()
     for constraint in path.constraints:
-        glo, ghi = _checked_cells(constraint.expr, los, his)
+        glo, ghi = _checked_cells(constraint.expr, los, his, transcendentals)
         exists_mask, forall_mask = _constraint_masks(constraint.relation, glo, ghi)
         possible &= exists_mask
         definite &= forall_mask
@@ -195,7 +199,7 @@ def _analyze_path_boxes_vectorized(
     weight_lo = np.ones(los.shape[0])
     weight_hi = np.ones(los.shape[0])
     for score in path.scores:
-        slo, shi = _checked_cells(score, los, his)
+        slo, shi = _checked_cells(score, los, his, transcendentals)
         # meet with [0, inf); an all-negative score interval collapses to 0.
         slo = np.maximum(slo, 0.0)
         negative = shi < slo
@@ -207,7 +211,7 @@ def _analyze_path_boxes_vectorized(
     if np.isnan(weight_lo).any() or np.isnan(weight_hi).any():
         raise _ScalarFallback
 
-    value_lo, value_hi = _checked_cells(path.result, los, his)
+    value_lo, value_hi = _checked_cells(path.result, los, his, transcendentals)
     upper_mass = _vec_product(mass, weight_hi)
     lower_mass = _vec_product(mass, weight_lo)
 

@@ -8,13 +8,28 @@ from typing import Optional, Sequence
 
 from ..symbolic import ExecutionLimits
 
-__all__ = ["AnalysisOptions", "EXECUTOR_KINDS"]
+__all__ = ["AnalysisOptions", "EXECUTOR_KINDS", "TRANSPORT_KINDS"]
 
 #: The recognised execution backends of the bound engine.  ``"serial"`` runs
 #: the classic single-threaded loop, ``"thread"`` / ``"process"`` fan path
 #: chunks out over a ``concurrent.futures`` pool (see
 #: :mod:`repro.analysis.parallel`).
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: The recognised process-dispatch payload formats.  ``"pickle"`` ships every
+#: chunk as an interned pickled object graph; ``"arena"`` writes the path set
+#: once into a ``multiprocessing.shared_memory`` arena segment
+#: (:mod:`repro.symbolic.arena`) and ships only tiny chunk references — the
+#: segment is reused across queries on the cached worker pool.  Both
+#: transports produce bit-identical bounds; in-process backends (serial,
+#: thread) pass direct references and ignore the knob entirely.
+TRANSPORT_KINDS = ("pickle", "arena")
+
+#: Default memory budget (in bytes) of the streamed-query cache tee: a
+#: ``stream=True`` query materialises the paths it dispatches into the
+#: compiled-program cache as long as the (arena-encoded) footprint stays
+#: under this budget, so a repeated query is served from the cache.
+DEFAULT_STREAM_CACHE_BUDGET = 64 * 1024 * 1024
 
 #: Environment overrides for the parallel defaults.  They let a CI job (or an
 #: operator) run an unmodified workload in parallel mode::
@@ -23,6 +38,7 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 _WORKERS_ENV = "REPRO_ANALYSIS_WORKERS"
 _EXECUTOR_ENV = "REPRO_ANALYSIS_EXECUTOR"
 _STREAM_ENV = "REPRO_ANALYSIS_STREAM"
+_TRANSPORT_ENV = "REPRO_ANALYSIS_TRANSPORT"
 
 
 def _require_positive(name: str, value: int) -> None:
@@ -47,6 +63,10 @@ def _default_executor() -> Optional[str]:
 
 def _default_stream() -> bool:
     return os.environ.get(_STREAM_ENV, "").lower() not in ("", "0", "false", "no")
+
+
+def _default_transport() -> Optional[str]:
+    return os.environ.get(_TRANSPORT_ENV) or None
 
 
 @dataclass(frozen=True)
@@ -96,6 +116,13 @@ class AnalysisOptions:
             range combinations of an integral in one vectorised sweep instead
             of the per-combination Python loop
             (:mod:`repro.analysis.linear_analyzer`).
+        vectorized_transcendentals: evaluate the monotone transcendental
+            primitives (``exp``, ``log``) inside vectorised sweeps as
+            whole-array NumPy calls instead of the per-cell scalar interval
+            lifting.  **Off by default**: NumPy's transcendentals may differ
+            from libm's in the last ulp, and the golden regression pins
+            assume libm — enabling the knob keeps bounds sound but may move
+            them by one ulp.
         stream: pipeline symbolic exploration into path analysis — paths are
             produced by the iterative explorer and consumed chunk-by-chunk
             while exploration is still enumerating, so the full path set is
@@ -106,6 +133,24 @@ class AnalysisOptions:
             ``workers × prefetch`` chunks are in flight at once, which caps
             the number of paths resident in the parent process at roughly
             ``(workers × prefetch + 1) × chunk size``.
+        payload_transport: how chunk payloads reach process workers —
+            ``"pickle"`` (interned pickled object graphs, the default) or
+            ``"arena"`` (a flat shared-memory arena written once per path
+            set, with workers attaching and decoding chunk views; see
+            :mod:`repro.symbolic.arena`).  Bounds are bit-identical either
+            way.  Ignored by the serial and thread backends, which pass
+            direct references, and silently degraded to pickle when
+            ``multiprocessing.shared_memory`` is unavailable.  Defaults to
+            ``$REPRO_ANALYSIS_TRANSPORT`` when that variable is set.
+        stream_cache_budget: memory budget (bytes) of the streamed-query
+            cache tee.  A ``stream=True`` query on a cache miss materialises
+            the paths it dispatches (interned, so the footprint is the
+            arena-encoded size) and, if the whole stream fits the budget,
+            installs the result in the compiled-program cache — a repeated
+            query is then served from the cache at batch speed without the
+            first query having sacrificed time-to-first-bound.  ``None`` or
+            ``0`` disables the tee (streamed queries bypass the cache, the
+            pre-tee behaviour).
     """
 
     max_fixpoint_depth: int = 6
@@ -122,8 +167,11 @@ class AnalysisOptions:
     executor: Optional[str] = field(default_factory=_default_executor)
     vectorized_boxes: bool = True
     vectorized_scores: bool = True
+    vectorized_transcendentals: bool = False
     stream: bool = field(default_factory=_default_stream)
     prefetch: int = 4
+    payload_transport: Optional[str] = field(default_factory=_default_transport)
+    stream_cache_budget: Optional[int] = DEFAULT_STREAM_CACHE_BUDGET
 
     def __post_init__(self) -> None:
         _require_positive("max_fixpoint_depth", self.max_fixpoint_depth)
@@ -142,6 +190,19 @@ class AnalysisOptions:
                 f"executor must be one of {kinds} (or None for automatic), "
                 f"got {self.executor!r}"
             )
+        if self.payload_transport is not None and self.payload_transport not in TRANSPORT_KINDS:
+            kinds = ", ".join(repr(kind) for kind in TRANSPORT_KINDS)
+            raise ValueError(
+                f"payload_transport must be one of {kinds} (or None for the "
+                f"default), got {self.payload_transport!r}"
+            )
+        if self.stream_cache_budget is not None:
+            budget = self.stream_cache_budget
+            if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+                raise ValueError(
+                    f"stream_cache_budget must be a non-negative integer number "
+                    f"of bytes or None, got {budget!r}"
+                )
         if self.analyzers is not None:
             if isinstance(self.analyzers, str):
                 raise ValueError("analyzers must be a sequence of names, not a string")
@@ -175,6 +236,21 @@ class AnalysisOptions:
     def parallel(self) -> bool:
         """Whether queries with these options run on a worker pool."""
         return self.effective_executor != "serial"
+
+    @property
+    def effective_transport(self) -> str:
+        """The process-dispatch payload format selected by this configuration.
+
+        An explicit ``payload_transport`` wins; otherwise ``"pickle"``.  The
+        executor additionally degrades ``"arena"`` to pickle at dispatch time
+        when ``multiprocessing.shared_memory`` is unavailable on the host.
+        """
+        return self.payload_transport if self.payload_transport is not None else "pickle"
+
+    @property
+    def stream_cache_enabled(self) -> bool:
+        """Whether streamed queries tee their paths into the compile cache."""
+        return bool(self.stream_cache_budget)
 
     def execution_limits(self) -> ExecutionLimits:
         """The subset of options that parameterise symbolic execution.

@@ -364,7 +364,9 @@ def _integrate(
     # semantics — the sweep reproduces its floats bit-for-bit).
     factors = None
     if options.vectorized_scores and atoms:
-        factors = _vectorized_factors(atom_ranges, templates, is_lower)
+        factors = _vectorized_factors(
+            atom_ranges, templates, is_lower, options.vectorized_transcendentals
+        )
 
     dimension = polytope.dimension
     total = 0.0
@@ -431,6 +433,7 @@ def _vectorized_factors(
     atom_ranges: list[list[Interval]],
     templates,
     is_lower: bool,
+    transcendentals: bool = False,
 ):
     """Weight factor of every atom-range combination, in one meshgrid sweep.
 
@@ -465,7 +468,9 @@ def _vectorized_factors(
         weight_lo = np.ones(count)
         weight_hi = np.ones(count)
         for template in templates:
-            score_lo, score_hi = checked_cells(template.template, count, atom_leaf=atom_leaf)
+            score_lo, score_hi = checked_cells(
+                template.template, count, atom_leaf=atom_leaf, transcendentals=transcendentals
+            )
             # meet with [0, inf); an empty meet collapses to the point 0.
             score_lo = np.maximum(score_lo, 0.0)
             empty = score_hi < score_lo

@@ -32,6 +32,7 @@ from ..intervals import Interval
 from ..lang.ast import Term
 from ..symbolic import (
     ExecutionLimits,
+    PathInterner,
     SymbolicExecutionResult,
     stream_symbolic_paths,
     symbolic_paths,
@@ -282,18 +283,21 @@ class Model:
         With ``options.stream`` the symbolic exploration is *pipelined* into
         the analysis: paths are analysed (and, in parallel mode, dispatched
         to workers) while exploration is still enumerating, and the full path
-        set is never materialised — so streamed queries bypass the
-        compiled-program cache rather than populate it.  When a compiled
-        program for the options' execution limits is already cached the
-        cached batch path is used instead (it is strictly cheaper and
-        bit-identical).
+        set is never materialised in one go.  A **cache tee** additionally
+        materialises the paths *as they are dispatched*: if the whole stream
+        fits ``options.stream_cache_budget`` bytes (measured as the interned,
+        arena-encoded footprint), the result is installed in the
+        compiled-program cache — and, under the arena transport, the arena
+        segment is primed on the worker pool — so a repeated query is served
+        at batch-cached speed while the first query kept its
+        time-to-first-bound.  Overflowing the budget simply degrades to
+        uncached streaming.  When a compiled program for the options'
+        execution limits is already cached the cached batch path is used
+        instead (it is strictly cheaper and bit-identical).
         """
         options = self._resolve(options)
         if options.stream and options.execution_limits() not in self._compiled:
-            stream = stream_symbolic_paths(self._term, options.execution_limits())
-            return analyze_path_stream(
-                stream, targets, options, report, executor=self._executor_for(options)
-            )
+            return self._bounds_streamed(targets, options, report)
         compilations_before = self._compile_count
         compiled = self.compile(options)
         if report is not None:
@@ -302,6 +306,67 @@ class Model:
             else:
                 report.compile_cache_hits += 1
         return compiled.analyze(targets, options, report, executor=self._executor_for(options))
+
+    def _bounds_streamed(
+        self,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+        report: Optional[AnalysisReport],
+    ) -> list[DenotationBounds]:
+        """One streamed query, with the cache tee wrapped around the stream."""
+        limits = options.execution_limits()
+        stream = stream_symbolic_paths(self._term, limits)
+        executor = self._executor_for(options)
+        collector = PathInterner() if options.stream_cache_enabled else None
+        #: Seconds spent *producing* paths (exploration + the tee's intern
+        #: walk), excluding the analysis that runs between yields — the
+        #: honest analog of a batch compilation's compile_seconds.
+        explore_seconds = [0.0]
+
+        def teed():
+            budget = options.stream_cache_budget
+            collecting = collector is not None
+            resumed = time.perf_counter()
+            for path in stream:
+                if collecting:
+                    # One intern walk per path; the interned path is what
+                    # flows onward, so the collected set and the dispatched
+                    # chunks share the same objects.  Everything collected is
+                    # dropped the moment the arena-size estimate crosses the
+                    # budget.
+                    path = collector.add(path)
+                    if collector.approximate_arena_bytes() > budget:
+                        collector.clear()
+                        collecting = False
+                explore_seconds[0] += time.perf_counter() - resumed
+                yield path
+                resumed = time.perf_counter()
+
+        bounds = analyze_path_stream(teed(), targets, options, report, executor=executor)
+        if collector is not None and collector.paths and stream.stats.exhausted:
+            # The stream completed within budget: its paths ARE the compiled
+            # program.  Install it so the next query (streamed or batch) is a
+            # cache hit, and — under the arena transport — publish the arena
+            # segment now, making it the cached dispatch representation too.
+            execution = SymbolicExecutionResult(
+                paths=tuple(collector.paths),
+                truncated_paths=stream.stats.truncated_paths,
+                pruned_paths=stream.stats.pruned_paths,
+            )
+            self._compiled.setdefault(
+                limits,
+                CompiledProgram(
+                    term=self._term,
+                    limits=limits,
+                    execution=execution,
+                    compile_seconds=explore_seconds[0],
+                ),
+            )
+            if executor is not None and options.effective_transport == "arena":
+                # Already interned against the collector's memo — skip the
+                # encoder's own interning pass.
+                executor.prime_arena(self._compiled[limits].execution.paths, intern=False)
+        return bounds
 
     def bound(
         self,

@@ -13,10 +13,13 @@ This module fans that loop out over a ``concurrent.futures`` pool:
 * :func:`partition_paths` cuts the path set into *deterministic, contiguous,
   cost-balanced* chunks (using :meth:`SymbolicPath.analysis_cost_hint`), so
   the same workload always produces the same partition;
-* :func:`analyze_chunk` is the picklable unit of work — it receives plain
-  paths plus analyzer *names* (re-resolved through the registry inside the
-  worker, see :func:`repro.analysis.registry.ensure_analyzers_registered`)
-  and returns raw :class:`~repro.analysis.engine.PathContribution` records;
+* :func:`analyze_chunk` / :func:`analyze_arena_chunk` are the units of work
+  — the former receives plain pickled paths, the latter an
+  :class:`~repro.analysis.transport.ArenaChunkRef` into a shared-memory
+  arena segment (see :mod:`repro.analysis.transport`); both carry analyzer
+  *names* (re-resolved through the registry inside the worker, see
+  :func:`repro.analysis.registry.ensure_analyzers_registered`) and return
+  raw :class:`~repro.analysis.engine.PathContribution` records;
 * :class:`ParallelAnalysisExecutor` owns the pool, dispatches chunks and
   merges the results with :func:`repro.analysis.engine.reduce_contributions`,
   which always folds contributions in canonical path order — the merged
@@ -33,6 +36,13 @@ GIL serialises threads); ``"thread"`` is useful when the paths are cheap to
 analyse but the payloads are large to pickle, or inside environments that
 forbid subprocesses; ``"serial"`` runs the identical chunked pipeline
 in-process (handy for debugging a parallel run).
+
+Process payload transport is a knob (``payload_transport``): ``"pickle"``
+ships interned object graphs per chunk, ``"arena"`` publishes the path set
+once as a shared-memory arena segment (cached across queries, unlinked on
+:meth:`ParallelAnalysisExecutor.close`) and ships tiny index-range
+references.  In-process backends pass direct references and never intern.
+Bounds are bit-identical across every transport/backend combination.
 """
 
 from __future__ import annotations
@@ -42,6 +52,8 @@ import os
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
+
+from collections import OrderedDict
 
 from ..intervals import Interval
 from ..symbolic import SymbolicExecutionResult, SymbolicPath, intern_paths
@@ -59,10 +71,21 @@ from .registry import (
     ensure_analyzers_registered,
     resolve_analyzers,
 )
+from .transport import (
+    ArenaChunkRef,
+    ArenaSegment,
+    ContextSegment,
+    attach_arena,
+    attach_context,
+    create_arena_segment,
+    create_context_segment,
+    shared_memory_available,
+)
 
 __all__ = [
     "ChunkPayload",
     "ParallelAnalysisExecutor",
+    "analyze_arena_chunk",
     "analyze_chunk",
     "close_shared_executors",
     "partition_paths",
@@ -143,8 +166,13 @@ class ChunkPayload:
     specs: tuple[AnalyzerSpec, ...]
 
 
-def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
-    """Analyse one chunk of paths (runs inside a worker).
+def _analyze_paths(
+    paths: Sequence[SymbolicPath],
+    targets: tuple[Interval, ...],
+    options: AnalysisOptions,
+    specs: tuple[AnalyzerSpec, ...],
+) -> list[PathContribution]:
+    """The worker-side per-chunk loop, shared by every payload transport.
 
     Consecutive paths handled by the same analyzer are grouped and handed to
     the analyzer's ``analyze_batch`` when it provides one, amortising
@@ -152,8 +180,8 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
     the whole run; analyzers without batch support fall back to per-path
     calls.  Both routes produce the same per-path contribution records.
     """
-    ensure_analyzers_registered(payload.specs)
-    analyzers = resolve_analyzers(payload.options)
+    ensure_analyzers_registered(specs)
+    analyzers = resolve_analyzers(options)
     contributions: list[PathContribution] = []
 
     group: list[SymbolicPath] = []
@@ -165,7 +193,7 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
             return
         batch = getattr(group_analyzer, "analyze_batch", None)
         if batch is not None and len(group) > 1:
-            results = batch(group, payload.targets, payload.options)
+            results = batch(group, targets, options)
             if len(results) != len(group):
                 raise RuntimeError(
                     f"analyzer {group_analyzer.name!r}.analyze_batch returned "
@@ -174,9 +202,7 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
                     "path contributions and break soundness)"
                 )
         else:
-            results = [
-                group_analyzer.analyze(path, payload.targets, payload.options) for path in group
-            ]
+            results = [group_analyzer.analyze(path, targets, options) for path in group]
         for path, result in zip(group, results):
             contributions.append(
                 PathContribution(
@@ -188,9 +214,9 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
         group = []
         group_analyzer = None
 
-    for path in payload.paths:
+    for path in paths:
         for analyzer in analyzers:
-            if analyzer.applicable(path, payload.options):
+            if analyzer.applicable(path, options):
                 if analyzer is not group_analyzer:
                     flush()
                     group_analyzer = analyzer
@@ -200,11 +226,32 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
             flush()
             # Delegate to the shared single-path helper for the canonical
             # "no applicable analyzer" error.
-            contributions.append(
-                analyze_single_path(path, analyzers, payload.targets, payload.options)
-            )
+            contributions.append(analyze_single_path(path, analyzers, targets, options))
     flush()
-    return payload.index, contributions
+    return contributions
+
+
+def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
+    """Analyse one pickled chunk of paths (runs inside a worker)."""
+    return payload.index, _analyze_paths(
+        payload.paths, payload.targets, payload.options, payload.specs
+    )
+
+
+def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]]:
+    """Analyse one chunk referenced into a shared-memory arena segment.
+
+    The worker attaches the arena and context segments on first sight (both
+    attachments — and the arena's decoded-node memo — are cached across
+    chunks and queries, see :func:`repro.analysis.transport.attach_arena`),
+    decodes just the ``[start, stop)`` slice of the path table and runs the
+    same per-chunk loop as the pickle transport, so both transports compute
+    bit-identical contributions.
+    """
+    targets, options, specs = attach_context(ref.context)
+    arena = attach_arena(ref.segment)
+    paths = arena.decode_range(ref.start, ref.stop)
+    return ref.index, _analyze_paths(paths, targets, options, specs)
 
 
 #: Process-wide executor cache for callers without their own pool lifecycle
@@ -269,8 +316,23 @@ class ParallelAnalysisExecutor:
         self.chunk_size = chunk_size
         self._pool: Optional[concurrent.futures.Executor] = None
         self._closed = False
+        #: Published arena segments, keyed by ``id`` of the path tuple they
+        #: encode (each segment pins its tuple, so keys cannot alias).  The
+        #: cache is what lets repeated queries over the same compiled path
+        #: set dispatch with zero re-encoding and zero per-chunk path bytes.
+        self._arena_segments: "OrderedDict[int, ArenaSegment]" = OrderedDict()
+        #: Published query-context segments, keyed by the context value
+        #: (targets, options, specs — all hashable), so a repeated query
+        #: re-uses the published context just like it re-uses the arena.
+        self._context_segments: "OrderedDict[tuple, ContextSegment]" = OrderedDict()
+        #: Flipped when segment creation fails at runtime (e.g. exhausted
+        #: /dev/shm): later queries skip straight to pickled payloads
+        #: instead of re-encoding the whole arena image per query only to
+        #: fail publishing it again.
+        self._arena_degraded = False
         self.chunks_dispatched = 0
         self.paths_analyzed = 0
+        self.arena_segments_created = 0
         #: High-water mark of paths resident in the parent during the last
         #: streamed query (fill buffer + chunks in flight).  Batch queries
         #: leave it untouched; streamed queries reset it at entry.
@@ -292,11 +354,17 @@ class ParallelAnalysisExecutor:
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and unlink its arena segments (idempotent)."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        while self._arena_segments:
+            _, segment = self._arena_segments.popitem(last=False)
+            segment.unlink()
+        while self._context_segments:
+            _, context = self._context_segments.popitem(last=False)
+            context.unlink()
 
     def __enter__(self) -> "ParallelAnalysisExecutor":
         return self
@@ -308,8 +376,92 @@ class ParallelAnalysisExecutor:
         state = "closed" if self._closed else ("warm" if self._pool else "cold")
         return (
             f"ParallelAnalysisExecutor(kind={self.kind!r}, workers={self.workers}, "
-            f"chunk_size={self.chunk_size}, {state})"
+            f"chunk_size={self.chunk_size}, arenas={len(self._arena_segments)}, {state})"
         )
+
+    # ------------------------------------------------------------------
+    # Arena segment lifecycle
+    # ------------------------------------------------------------------
+    #: How many per-query arena segments the executor keeps published.  One
+    #: per cached compiled program is the common case; the small LRU bounds
+    #: shared-memory usage when a model sweeps execution limits.
+    _ARENA_CACHE_CAP = 4
+
+    def _arena_for(self, paths: tuple[SymbolicPath, ...]) -> Optional[ArenaSegment]:
+        """The published segment encoding ``paths`` (creating it on miss)."""
+        if self._arena_degraded:
+            return None
+        key = id(paths)
+        segment = self._arena_segments.get(key)
+        if segment is not None and segment.paths is paths:
+            self._arena_segments.move_to_end(key)
+            return segment
+        segment = create_arena_segment(paths)
+        if segment is None:
+            self._arena_degraded = True
+            return None
+        self._register_arena(key, segment)
+        return segment
+
+    def _register_arena(self, key: int, segment: ArenaSegment) -> None:
+        self._arena_segments[key] = segment
+        self.arena_segments_created += 1
+        while len(self._arena_segments) > self._ARENA_CACHE_CAP:
+            _, old = self._arena_segments.popitem(last=False)
+            old.unlink()
+
+    def prime_arena(self, paths: tuple[SymbolicPath, ...], intern: bool = True) -> bool:
+        """Publish (and cache) the arena segment for ``paths`` ahead of a query.
+
+        Used by the streamed-query cache tee: once a streamed query has
+        materialised its path set into the compile cache, priming makes the
+        arena segment itself the cached dispatch representation — the next
+        query over those paths attaches workers to the existing segment
+        without re-encoding.  Returns False when the arena transport is
+        unavailable (the query will fall back to pickled payloads).
+        """
+        if self.kind != "process" or self._closed or self._arena_degraded:
+            return False
+        key = id(paths)
+        existing = self._arena_segments.get(key)
+        if existing is not None and existing.paths is paths:
+            return True
+        segment = create_arena_segment(paths, intern=intern)
+        if segment is None:
+            self._arena_degraded = True
+            return False
+        self._register_arena(key, segment)
+        return True
+
+    def arena_segment_names(self) -> tuple[str, ...]:
+        """Names of the currently published per-query segments (telemetry)."""
+        return tuple(segment.name for segment in self._arena_segments.values())
+
+    #: How many query-context segments stay published (they are tiny — one
+    #: pickled (targets, options, specs) tuple each).
+    _CONTEXT_CACHE_CAP = 8
+
+    def _context_for(
+        self,
+        targets: tuple[Interval, ...],
+        options: AnalysisOptions,
+        specs: tuple[AnalyzerSpec, ...],
+    ) -> Optional[ContextSegment]:
+        """The published context segment for one query shape (cached)."""
+        key = (targets, options, specs)
+        context = self._context_segments.get(key)
+        if context is not None:
+            self._context_segments.move_to_end(key)
+            return context
+        context = create_context_segment(targets, options, specs)
+        if context is None:
+            self._arena_degraded = True
+            return None
+        self._context_segments[key] = context
+        while len(self._context_segments) > self._CONTEXT_CACHE_CAP:
+            _, old = self._context_segments.popitem(last=False)
+            old.unlink()
+        return context
 
     # ------------------------------------------------------------------
     # Analysis
@@ -328,6 +480,8 @@ class ParallelAnalysisExecutor:
         :func:`repro.analysis.engine.analyze_execution` run.  Worker
         exceptions propagate to the caller.
         """
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
         options = options or AnalysisOptions()
         target_tuple = tuple(targets)
         paths = execution.paths
@@ -340,10 +494,49 @@ class ParallelAnalysisExecutor:
         specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
         if self.kind != "process":
             resolve_analyzers(options)
-        # Process payloads are pickled: interning makes structurally equal
-        # sub-expressions identical objects so pickle ships every duplicate
-        # subtree once (as a memo back-reference) per chunk.
-        memo: Optional[dict] = {} if self.kind == "process" else None
+        self.chunks_dispatched += len(chunks)
+        self.paths_analyzed += len(paths)
+
+        # Empty or single-chunk work always runs inline: it is bit-identical
+        # (same per-chunk loop) and avoids forking a pool for trivial path
+        # sets — e.g. one-path models under a process-wide
+        # REPRO_ANALYSIS_WORKERS default.
+        pooled = len(chunks) > 1 and self.kind != "serial"
+        pool = self._ensure_pool() if pooled else None
+        pooled = pool is not None
+
+        if pooled and self.kind == "process" and options.effective_transport == "arena":
+            segment = self._arena_for(paths)
+            context = (
+                self._context_for(target_tuple, options, specs)
+                if segment is not None
+                else None
+            )
+            if segment is not None and context is not None:
+                # Zero-copy dispatch: the arena segment is written (or cache
+                # hit) once per path set and the query context once per query
+                # shape; each chunk ships as a tiny index range into the
+                # arena's path table.
+                refs = [
+                    ArenaChunkRef(
+                        index=chunk_index,
+                        segment=segment.name,
+                        nbytes=segment.nbytes,
+                        start=chunk.start,
+                        stop=chunk.stop,
+                        context=context.name,
+                    )
+                    for chunk_index, chunk in enumerate(chunks)
+                ]
+                futures = [pool.submit(analyze_arena_chunk, ref) for ref in refs]
+                results = [future.result() for future in futures]
+                return self._merge(results, target_tuple, report)
+
+        # Pickle transport (and every in-process route).  Interning only
+        # pays for itself when chunks are actually pickled to a process
+        # pool; serial/thread backends and inline runs pass direct
+        # references, so they skip the memo walk entirely.
+        memo: Optional[dict] = {} if pooled and self.kind == "process" else None
         payloads = [
             ChunkPayload(
                 index=chunk_index,
@@ -358,25 +551,19 @@ class ParallelAnalysisExecutor:
             )
             for chunk_index, chunk in enumerate(chunks)
         ]
-        self.chunks_dispatched += len(payloads)
-        self.paths_analyzed += len(paths)
-
-        if self._closed:
-            raise RuntimeError("ParallelAnalysisExecutor is closed")
-        if len(payloads) <= 1:
-            # Empty or single-chunk work: running inline is bit-identical
-            # (same analyze_chunk) and avoids forking a pool for trivial
-            # path sets — e.g. one-path models under a process-wide
-            # REPRO_ANALYSIS_WORKERS default.
+        if not pooled:
             results = [analyze_chunk(payload) for payload in payloads]
         else:
-            pool = self._ensure_pool()
-            if pool is None:
-                results = [analyze_chunk(payload) for payload in payloads]
-            else:
-                futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
-                results = [future.result() for future in futures]
+            futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
+            results = [future.result() for future in futures]
+        return self._merge(results, target_tuple, report)
 
+    def _merge(
+        self,
+        results: list[tuple[int, list[PathContribution]]],
+        target_tuple: tuple[Interval, ...],
+        report: Optional[AnalysisReport],
+    ) -> list[DenotationBounds]:
         results.sort(key=lambda item: item[0])
         contributions: list[PathContribution] = []
         for _, chunk_contributions in results:
@@ -428,6 +615,19 @@ class ParallelAnalysisExecutor:
         start = time.perf_counter()
         self.peak_path_buffer = 0
         pool = self._ensure_pool()
+        # Streamed arena dispatch publishes one short-lived segment per chunk
+        # (the full path set is unknown while the stream is live); a segment
+        # is unlinked the moment its chunk's result is collected, and the
+        # ``finally`` below sweeps whatever is outstanding when the stream
+        # dies mid-way (e.g. a PathExplosionError).
+        use_arena = (
+            pool is not None
+            and self.kind == "process"
+            and options.effective_transport == "arena"
+            and shared_memory_available()
+            and not self._arena_degraded
+        )
+        stream_segments: dict[concurrent.futures.Future, ArenaSegment] = {}
         results: list[tuple[int, list[PathContribution]]] = []
         inflight: dict[concurrent.futures.Future, int] = {}  # future -> path count
         buffer: list[SymbolicPath] = []
@@ -450,43 +650,84 @@ class ParallelAnalysisExecutor:
 
         def collect(future: concurrent.futures.Future) -> None:
             inflight.pop(future)
-            results.append(future.result())  # re-raises worker exceptions
+            segment = stream_segments.pop(future, None)
+            try:
+                results.append(future.result())  # re-raises worker exceptions
+            finally:
+                if segment is not None:
+                    segment.unlink()
 
         def dispatch() -> None:
-            nonlocal chunk_index, first_result_seconds
-            # A fresh memo per chunk: pickle's own memoisation is per-payload,
-            # so cross-chunk sharing would not shrink payloads further — it
-            # would only retain every unique expression of the whole stream
-            # in the parent for the query's lifetime.
-            payload = ChunkPayload(
-                index=chunk_index,
-                paths=intern_paths(buffer, {}) if self.kind == "process" else tuple(buffer),
-                targets=target_tuple,
-                options=options,
-                specs=specs,
-            )
+            nonlocal chunk_index, first_result_seconds, use_arena
+            chunk_paths = tuple(buffer)
+            index = chunk_index
             chunk_index += 1
             self.chunks_dispatched += 1
             buffer.clear()
             if pool is None:
                 # Serial kind: the identical chunked pipeline without a pool —
-                # the buffer stays bounded by one chunk.
-                self.peak_path_buffer = max(self.peak_path_buffer, len(payload.paths))
+                # the buffer stays bounded by one chunk, and nothing is
+                # pickled, so the paths travel as direct references.
+                payload = ChunkPayload(
+                    index=index, paths=chunk_paths, targets=target_tuple,
+                    options=options, specs=specs,
+                )
+                self.peak_path_buffer = max(self.peak_path_buffer, len(chunk_paths))
                 results.append(analyze_chunk(payload))
                 if first_result_seconds is None:
                     first_result_seconds = time.perf_counter() - start
+                return
+
+            segment: Optional[ArenaSegment] = None
+            context: Optional[ContextSegment] = None
+            if use_arena:
+                context = self._context_for(target_tuple, options, specs)
+                segment = create_arena_segment(chunk_paths) if context is not None else None
+                if segment is None:
+                    use_arena = False  # degrade once, stay degraded
+                    self._arena_degraded = True
+            if segment is not None:
+                future = pool.submit(
+                    analyze_arena_chunk,
+                    ArenaChunkRef(
+                        index=index,
+                        segment=segment.name,
+                        nbytes=segment.nbytes,
+                        start=0,
+                        stop=len(chunk_paths),
+                        context=context.name,
+                    ),
+                )
+                stream_segments[future] = segment
             else:
+                # Pickled chunk: intern against a fresh memo per chunk —
+                # pickle's own memoisation is per-payload, so cross-chunk
+                # sharing would not shrink payloads further, it would only
+                # retain every unique expression of the whole stream in the
+                # parent for the query's lifetime.  The thread backend passes
+                # direct references and skips the memo walk.
+                payload = ChunkPayload(
+                    index=index,
+                    paths=(
+                        intern_paths(chunk_paths, {})
+                        if self.kind == "process"
+                        else chunk_paths
+                    ),
+                    targets=target_tuple,
+                    options=options,
+                    specs=specs,
+                )
                 future = pool.submit(analyze_chunk, payload)
-                inflight[future] = len(payload.paths)
-                future.add_done_callback(note_done)
-                note_buffer()
-                # Bounded buffer: block until a slot frees up.
-                while len(inflight) >= max_inflight:
-                    done, _ = concurrent.futures.wait(
-                        tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
-                    )
-                    for finished in done:
-                        collect(finished)
+            inflight[future] = len(chunk_paths)
+            future.add_done_callback(note_done)
+            note_buffer()
+            # Bounded buffer: block until a slot frees up.
+            while len(inflight) >= max_inflight:
+                done, _ = concurrent.futures.wait(
+                    tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for finished in done:
+                    collect(finished)
 
         try:
             for path in paths:
@@ -504,9 +745,15 @@ class ParallelAnalysisExecutor:
                 for finished in done:
                     collect(finished)
         finally:
-            # On a mid-stream error, drop references to outstanding futures;
-            # the pool itself stays usable for subsequent queries.
+            # On a mid-stream error, drop references to outstanding futures
+            # and unlink their arena segments (attached workers keep their
+            # mappings until they evict them; the kernel reclaims the memory
+            # with the last detach).  The pool itself stays usable for
+            # subsequent queries.
             inflight.clear()
+            while stream_segments:
+                _, leftover = stream_segments.popitem()
+                leftover.unlink()
 
         if done_at and first_result_seconds is None:
             first_result_seconds = min(done_at) - start

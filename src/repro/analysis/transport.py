@@ -1,0 +1,284 @@
+"""Shared-memory payload transport for the process bound engine.
+
+The parallel engine's ``"arena"`` transport moves symbolic-path chunks to
+process workers without pickling expression trees: the parent packs a path
+set once into a flat arena image (:mod:`repro.symbolic.arena`), writes it
+into one ``multiprocessing.shared_memory`` segment, and every chunk then
+travels as an :class:`ArenaChunkRef` — segment name plus an index range —
+a few hundred bytes regardless of chunk size.  Workers attach the segment
+on first sight, cache the attachment (and the decoded-node memo that comes
+with it) across chunks and queries, and decode only the paths of the chunk
+at hand.
+
+This module owns both sides of that lifecycle:
+
+* **parent** — :func:`create_arena_segment` encodes and publishes a
+  segment; :class:`ArenaSegment` pins the path tuple it encodes (so the
+  id-keyed executor cache can never alias) and unlinks idempotently.
+  Unlinking while workers are still attached is safe on POSIX: the segment
+  persists until the last attachment closes.
+* **worker** — :func:`attach_arena` maintains a small LRU of attached
+  arenas per worker process.  Attachments are unregistered from the
+  ``multiprocessing`` resource tracker (attaching registers them again on
+  CPython ≤ 3.12, which would otherwise produce spurious leak warnings —
+  the *parent* remains the tracked owner of every segment).
+
+When ``multiprocessing.shared_memory`` is unavailable (or segment creation
+fails at runtime, e.g. an exhausted ``/dev/shm``), the engine degrades to
+the pickle transport with a one-time warning — the knob never changes
+results, only how bytes move.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..intervals import Interval
+from ..symbolic import SymbolicPath
+from ..symbolic.arena import PathArena, encode_paths
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "ArenaChunkRef",
+    "ArenaSegment",
+    "ContextSegment",
+    "attach_arena",
+    "attach_context",
+    "create_arena_segment",
+    "create_context_segment",
+    "release_worker_arenas",
+    "shared_memory_available",
+]
+
+#: How many arena attachments one worker process keeps mapped.  Streaming
+#: dispatch creates one short-lived segment per chunk, so the cache must
+#: both retain the long-lived per-query arenas and churn through stream
+#: chunks without accumulating mappings of already-unlinked segments.
+_WORKER_ATTACH_CAP = 4
+
+_unavailable_warned = False
+
+
+def shared_memory_available() -> bool:
+    """Whether the host supports ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+def _warn_unavailable(reason: str) -> None:
+    global _unavailable_warned
+    if not _unavailable_warned:
+        _unavailable_warned = True
+        warnings.warn(
+            f"arena payload transport unavailable ({reason}); "
+            "falling back to pickled chunk payloads",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass(frozen=True)
+class ArenaChunkRef:
+    """One worker's unit of work under the arena transport.
+
+    A ref pickles to ~150 bytes regardless of chunk size: the paths live in
+    the arena segment and the query context (targets, options, analyzer
+    specs — identical for every chunk of a query) lives in its own tiny
+    shared context segment, so neither is re-serialised per chunk.
+    """
+
+    index: int
+    segment: str
+    nbytes: int
+    start: int
+    stop: int
+    context: str  # name of the query's ContextSegment
+
+
+class _SegmentHandle:
+    """Parent-side handle of one published segment: name, size, teardown."""
+
+    def __init__(self, shm, nbytes: int) -> None:
+        self._shm = shm
+        self.name: str = shm.name
+        self.nbytes = nbytes
+        self.closed = False
+
+    def unlink(self) -> None:
+        """Close and unlink the segment (idempotent).
+
+        Workers still attached keep their mappings until they evict them;
+        the kernel reclaims the memory once the last mapping closes.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - parent holds no views
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class ArenaSegment(_SegmentHandle):
+    """A published arena segment, pinning the path tuple it encodes."""
+
+    def __init__(self, shm, nbytes: int, paths: Tuple[SymbolicPath, ...]) -> None:
+        super().__init__(shm, nbytes)
+        #: Strong reference to the encoded path tuple: the executor caches
+        #: segments keyed by ``id(paths)``, and pinning the tuple here is
+        #: what makes that key stable for the segment's lifetime.
+        self.paths = paths
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "live"
+        return f"ArenaSegment({self.name!r}, {self.nbytes}B, {len(self.paths)} paths, {state})"
+
+
+def _publish(image: bytes):
+    """Write a byte image into a fresh shared-memory segment (or ``None``)."""
+    if _shared_memory is None:
+        _warn_unavailable("multiprocessing.shared_memory is not importable")
+        return None
+    try:
+        shm = _shared_memory.SharedMemory(create=True, size=max(len(image), 1))
+    except OSError as error:
+        _warn_unavailable(f"segment creation failed: {error}")
+        return None
+    shm.buf[: len(image)] = image
+    return shm
+
+
+def create_arena_segment(
+    paths: Sequence[SymbolicPath], intern: bool = True
+) -> Optional[ArenaSegment]:
+    """Encode ``paths`` and publish the image as a shared-memory segment.
+
+    Returns ``None`` (after a one-time warning) when shared memory is
+    unavailable or segment creation fails — callers fall back to pickled
+    payloads, which are slower but always possible.
+    """
+    if _shared_memory is None:
+        _warn_unavailable("multiprocessing.shared_memory is not importable")
+        return None
+    image = encode_paths(paths, intern=intern)
+    shm = _publish(image)
+    if shm is None:
+        return None
+    return ArenaSegment(shm, len(image), tuple(paths))
+
+
+class ContextSegment(_SegmentHandle):
+    """Parent-side handle of one published query-context segment.
+
+    The context — ``(targets, options, analyzer specs)`` — is identical for
+    every chunk of a query, so it is pickled **once**, published as a tiny
+    segment, and referenced by name from every :class:`ArenaChunkRef`.
+    Executors cache context segments keyed by the context value itself, so a
+    repeated query re-uses the published context just like it re-uses the
+    arena.
+    """
+
+
+def create_context_segment(
+    targets: Tuple[Interval, ...], options, specs: tuple
+) -> Optional[ContextSegment]:
+    """Publish one query's ``(targets, options, specs)`` as a shared segment."""
+    image = pickle.dumps((targets, options, specs), protocol=pickle.HIGHEST_PROTOCOL)
+    shm = _publish(image)
+    if shm is None:
+        return None
+    return ContextSegment(shm, len(image))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process LRU of attached arenas: segment name -> (arena, shm handle).
+_WORKER_ARENAS: "OrderedDict[str, tuple[PathArena, object]]" = OrderedDict()
+
+
+def _attach_untracked(name: str):
+    """Attach to a segment without claiming tracker ownership of it.
+
+    The *parent* (creator) is the tracked owner of every segment.  On
+    CPython ≥ 3.13 ``track=False`` expresses that directly; on ≤ 3.12 the
+    attach re-registers the name, which is harmless under the ``fork`` start
+    method (pool workers share the parent's tracker process, whose name set
+    collapses the duplicate — the parent's ``unlink`` still unregisters it
+    exactly once).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python ≤ 3.12 has no track kwarg
+        return _shared_memory.SharedMemory(name=name)
+
+
+def attach_arena(name: str) -> PathArena:
+    """The (cached) :class:`PathArena` view of segment ``name``.
+
+    Runs inside worker processes.  Raises ``FileNotFoundError`` when the
+    segment no longer exists — which only happens for chunks whose parent
+    query already failed, so the error is never surfaced to a caller.
+    """
+    if _shared_memory is None:  # pragma: no cover - workers mirror the parent
+        raise RuntimeError("arena transport requires multiprocessing.shared_memory")
+    entry = _WORKER_ARENAS.get(name)
+    if entry is not None:
+        _WORKER_ARENAS.move_to_end(name)
+        return entry[0]
+    shm = _attach_untracked(name)
+    arena = PathArena.from_buffer(shm.buf, keep_alive=shm)
+    _WORKER_ARENAS[name] = (arena, shm)
+    while len(_WORKER_ARENAS) > _WORKER_ATTACH_CAP:
+        _, (old_arena, old_shm) = _WORKER_ARENAS.popitem(last=False)
+        # Views must be dropped before the mapping can close.
+        old_arena.release()
+        old_shm.close()
+    return arena
+
+
+#: Per-process cache of unpickled query contexts, keyed by segment name.
+_WORKER_CONTEXTS: "OrderedDict[str, tuple]" = OrderedDict()
+_WORKER_CONTEXT_CAP = 8
+
+
+def attach_context(name: str) -> tuple:
+    """The (cached) unpickled query context of segment ``name``.
+
+    Contexts are copied out of the segment (they are tiny), so the mapping
+    is closed immediately — only the decoded tuple is cached.
+    """
+    context = _WORKER_CONTEXTS.get(name)
+    if context is not None:
+        _WORKER_CONTEXTS.move_to_end(name)
+        return context
+    shm = _attach_untracked(name)
+    try:
+        context = pickle.loads(bytes(shm.buf))
+    finally:
+        shm.close()
+    _WORKER_CONTEXTS[name] = context
+    while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_CAP:
+        _WORKER_CONTEXTS.popitem(last=False)
+    return context
+
+
+def release_worker_arenas() -> None:
+    """Close every cached attachment of this process (tests / teardown)."""
+    while _WORKER_ARENAS:
+        _, (arena, shm) = _WORKER_ARENAS.popitem(last=False)
+        arena.release()
+        shm.close()
+    _WORKER_CONTEXTS.clear()

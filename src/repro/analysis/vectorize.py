@@ -78,12 +78,22 @@ def evaluate_cells(
     count: int,
     var_leaf: Optional[LeafLookup] = None,
     atom_leaf: Optional[LeafLookup] = None,
+    transcendentals: bool = False,
 ):
     """``(lo, hi)`` arrays of ``expr`` over ``count`` cells.
 
     ``var_leaf`` / ``atom_leaf`` resolve sample-variable / atom-placeholder
     leaves; an expression containing a leaf kind without a resolver raises
     :class:`ScalarFallback` (the caller's scalar loop decides).
+
+    ``transcendentals`` additionally lifts the monotone transcendental
+    primitives (``exp``, ``log``) to whole-array NumPy calls instead of the
+    per-cell scalar interval lifting.  NumPy's implementations may differ
+    from libm's in the last ulp, so this is **opt-in**
+    (``AnalysisOptions.vectorized_transcendentals``, off by default) — with
+    the knob off, a sweep reproduces the scalar loop's floats bit-for-bit;
+    with it on, bounds may move by one ulp while remaining sound (both
+    liftings evaluate the true monotone envelope at the cell endpoints).
     """
     if isinstance(expr, SVar):
         if var_leaf is None:
@@ -98,7 +108,10 @@ def evaluate_cells(
             raise ScalarFallback
         return np.full(count, expr.interval.lo), np.full(count, expr.interval.hi)
     if isinstance(expr, SPrim):
-        args = [evaluate_cells(arg, count, var_leaf, atom_leaf) for arg in expr.args]
+        args = [
+            evaluate_cells(arg, count, var_leaf, atom_leaf, transcendentals)
+            for arg in expr.args
+        ]
         op = expr.op
         if op == "add":
             (alo, ahi), (blo, bhi) = args
@@ -130,6 +143,25 @@ def evaluate_cells(
             spans_zero = (alo <= 0.0) & (ahi >= 0.0)
             square_hi = np.maximum(vec_product(alo, alo), vec_product(ahi, ahi))
             return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
+        if transcendentals and op == "exp":
+            # exp is increasing: the envelope is [exp(lo), exp(hi)].  NumPy
+            # matches the scalar lifting's edge cases (exp(-inf) = 0,
+            # exp(inf) = inf, overflow saturates to inf) up to libm's last
+            # ulp, which is exactly why the knob is opt-in.
+            ((alo, ahi),) = args
+            with np.errstate(over="ignore"):
+                return np.exp(alo), np.exp(ahi)
+        if transcendentals and op == "log":
+            # log is increasing; non-positive endpoints map to -inf, the
+            # conservative convention of the scalar lifting.
+            ((alo, ahi),) = args
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out_lo = np.log(alo)
+                out_hi = np.log(ahi)
+            return (
+                np.where(alo <= 0.0, -np.inf, out_lo),
+                np.where(ahi <= 0.0, -np.inf, out_hi),
+            )
         # Every other primitive: apply its scalar interval lifting cell-wise.
         primitive = get_primitive(op)
         out_lo = np.empty(count)
@@ -156,12 +188,13 @@ def checked_cells(
     count: int,
     var_leaf: Optional[LeafLookup] = None,
     atom_leaf: Optional[LeafLookup] = None,
+    transcendentals: bool = False,
 ):
     """Like :func:`evaluate_cells`, but a NaN anywhere aborts the sweep."""
     # Overflow to ±inf matches CPython float arithmetic and is sound for
     # interval endpoints; NaN (inf − inf and friends) aborts the sweep.
     with np.errstate(over="ignore", invalid="ignore"):
-        lo, hi = evaluate_cells(expr, count, var_leaf, atom_leaf)
+        lo, hi = evaluate_cells(expr, count, var_leaf, atom_leaf, transcendentals)
     if np.isnan(lo).any() or np.isnan(hi).any():
         raise ScalarFallback
     return lo, hi

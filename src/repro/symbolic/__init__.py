@@ -10,7 +10,8 @@ from .execute import (
     stream_symbolic_paths,
     symbolic_paths,
 )
-from .intern import intern_constraint, intern_expr, intern_path, intern_paths
+from .arena import ArenaFormatError, PathArena, encode_paths, estimate_arena_bytes
+from .intern import PathInterner, intern_constraint, intern_expr, intern_path, intern_paths
 from .linear import LinearForm, ScoreDecomposition, decompose_score, extract_linear
 from .paths import Relation, SymConstraint, SymbolicPath
 from .value import (
@@ -56,4 +57,9 @@ __all__ = [
     "intern_expr",
     "intern_path",
     "intern_paths",
+    "ArenaFormatError",
+    "PathArena",
+    "PathInterner",
+    "encode_paths",
+    "estimate_arena_bytes",
 ]

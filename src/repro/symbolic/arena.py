@@ -1,0 +1,435 @@
+"""Columnar, zero-copy arena encoding of symbolic path sets.
+
+Process workers of the parallel bound engine historically received every
+chunk as a *pickled object graph*: structural interning
+(:mod:`repro.symbolic.intern`) shrinks the payload ~3×, yet each query
+re-serialises the same 50k-path workload chunk by chunk — pickling the same
+expression trees again for every query on the cached worker pool.
+
+This module replaces that object graph with a *flat arena*: the whole path
+set is packed once into contiguous NumPy buffers —
+
+* a **node table** for the expression DAG (kind / payload columns plus a
+  flattened child-index table): structurally shared sub-expressions are
+  stored once and referenced by node id, so the arena is never larger than
+  an interned pickle and has no per-object pickling overhead;
+* **per-path tables** (result node, flags, CSR-style offset spans for
+  constraints, scores and sample-variable distributions);
+* a tiny pickled **header** holding the buffer directory, the primitive-op
+  name table and the (heavily shared, deduplicated) distribution records.
+
+The byte image is position-independent: written once into a
+``multiprocessing.shared_memory`` segment it can be attached by any worker
+and decoded *lazily* — :meth:`PathArena.decode_range` materialises only the
+paths of one chunk, memoising decoded nodes per attachment so consecutive
+chunks of the same segment share their common sub-expressions for free.
+
+Encoding and decoding are exact: every float travels as an IEEE-754 double
+in a ``float64`` column, so a decode round-trip reproduces paths that
+compare equal to the originals and the bound engine's results stay
+**bit-identical** across transports.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution
+from .intern import intern_paths
+from .paths import Relation, SymConstraint, SymbolicPath
+from .value import SAtom, SConst, SPrim, SVar, SymExpr
+from ..intervals import Interval
+
+__all__ = ["ArenaFormatError", "PathArena", "encode_paths", "estimate_arena_bytes"]
+
+#: Bump when the buffer layout changes; decoders refuse other versions.
+_ARENA_VERSION = 1
+
+#: Expression node kinds (values of the ``node_kind`` column).
+_KIND_VAR = 0
+_KIND_CONST = 1
+_KIND_ATOM = 2
+_KIND_PRIM = 3
+
+#: ``struct`` format of the fixed-size prelude: magic, version, header length.
+_PRELUDE = struct.Struct("<4sIQ")
+_MAGIC = b"RPA1"
+
+#: The buffer directory: ``(name, dtype)`` in serialisation order.  Offsets
+#: are computed from the lengths recorded in the header, so the layout stays
+#: self-describing.
+_BUFFERS = (
+    ("node_kind", np.uint8),
+    ("node_ia", np.int32),  # SVar/SAtom index, SPrim op id
+    ("node_ib", np.int32),  # SPrim child-span start
+    ("node_ic", np.int32),  # SPrim child count
+    ("const_lo", np.float64),
+    ("const_hi", np.float64),
+    ("children", np.int32),
+    ("path_result", np.int32),
+    ("path_flags", np.uint8),
+    ("dist_offsets", np.int64),  # len == path_count + 1
+    ("dist_ids", np.int32),
+    ("constraint_offsets", np.int64),  # len == path_count + 1
+    ("constraint_exprs", np.int32),
+    ("constraint_rels", np.uint8),
+    ("score_offsets", np.int64),  # len == path_count + 1
+    ("score_exprs", np.int32),
+)
+
+#: Rough per-record byte costs used by :func:`estimate_arena_bytes` — the
+#: fixed-width columns above plus slack for the header pickle.  Only the
+#: *relative* magnitude matters (the stream-cache budget check), so the
+#: estimate deliberately rounds up.
+_NODE_BYTES = 32
+_CHILD_BYTES = 4
+_PATH_BYTES = 64
+_DIST_BYTES = 96
+
+
+class ArenaFormatError(ValueError):
+    """The byte image is not a valid (or compatible) path arena."""
+
+
+def estimate_arena_bytes(node_count: int, path_count: int, child_count: int = 0) -> int:
+    """An upper-ish estimate of the encoded size of a path set.
+
+    Used by the streamed-query cache tee to enforce its memory budget
+    *before* materialising anything: the caller tracks unique interned nodes
+    and paths incrementally (see
+    :class:`repro.symbolic.intern.PathInterner`) and abandons the tee when
+    this estimate exceeds ``stream_cache_budget``.
+    """
+    return (
+        node_count * _NODE_BYTES
+        + child_count * _CHILD_BYTES
+        + path_count * _PATH_BYTES
+        + 4096
+    )
+
+
+class _ArenaWriter:
+    """Accumulates the columnar tables while walking a path set."""
+
+    def __init__(self) -> None:
+        self.node_kind: list[int] = []
+        self.node_ia: list[int] = []
+        self.node_ib: list[int] = []
+        self.node_ic: list[int] = []
+        self.const_lo: list[float] = []
+        self.const_hi: list[float] = []
+        self.children: list[int] = []
+        self.ops: list[str] = []
+        self._op_ids: Dict[str, int] = {}
+        self.dists: list[Distribution] = []
+        self._dist_ids: Dict[Distribution, int] = {}
+        #: id(interned node) -> node id.  Interning makes structurally equal
+        #: expressions the same object, so identity hashing suffices and the
+        #: arena inherits the full DAG sharing of the interned path set.
+        self._node_ids: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def op_id(self, op: str) -> int:
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            op_id = self._op_ids[op] = len(self.ops)
+            self.ops.append(op)
+        return op_id
+
+    def dist_id(self, dist: Distribution) -> int:
+        dist_id = self._dist_ids.get(dist)
+        if dist_id is None:
+            dist_id = self._dist_ids[dist] = len(self.dists)
+            self.dists.append(dist)
+        return dist_id
+
+    def _emit(self, kind: int, ia: int, ib: int, ic: int, lo: float, hi: float) -> int:
+        node_id = len(self.node_kind)
+        self.node_kind.append(kind)
+        self.node_ia.append(ia)
+        self.node_ib.append(ib)
+        self.node_ic.append(ic)
+        self.const_lo.append(lo)
+        self.const_hi.append(hi)
+        return node_id
+
+    def add_expr(self, expr: SymExpr) -> int:
+        """The node id of ``expr``, emitting its subtree on first sight.
+
+        Children are emitted before their parent (an explicit post-order
+        stack, so recursion depth never limits expression depth); node ids
+        therefore increase topologically, which is what lets the decoder
+        rebuild nodes in one forward pass when it wants to.
+        """
+        top = self._node_ids.get(id(expr))
+        if top is not None:
+            return top
+        stack: list[tuple[SymExpr, bool]] = [(expr, False)]
+        while stack:
+            node, expanded = stack.pop()
+            node_id = self._node_ids.get(id(node))
+            if node_id is not None:
+                continue
+            if isinstance(node, SPrim) and not expanded:
+                stack.append((node, True))
+                for arg in reversed(node.args):
+                    stack.append((arg, False))
+                continue
+            if isinstance(node, SVar):
+                node_id = self._emit(_KIND_VAR, node.index, 0, 0, 0.0, 0.0)
+            elif isinstance(node, SConst):
+                node_id = self._emit(
+                    _KIND_CONST, 0, 0, 0, node.interval.lo, node.interval.hi
+                )
+            elif isinstance(node, SAtom):
+                node_id = self._emit(_KIND_ATOM, node.index, 0, 0, 0.0, 0.0)
+            elif isinstance(node, SPrim):
+                child_ids = [self._node_ids[id(arg)] for arg in node.args]
+                start = len(self.children)
+                self.children.extend(child_ids)
+                node_id = self._emit(
+                    _KIND_PRIM, self.op_id(node.op), start, len(child_ids), 0.0, 0.0
+                )
+            else:
+                raise TypeError(f"cannot encode symbolic expression {node!r}")
+            self._node_ids[id(node)] = node_id
+        return self._node_ids[id(expr)]
+
+
+def encode_paths(paths: Sequence[SymbolicPath], intern: bool = True) -> bytes:
+    """Pack ``paths`` into a flat arena byte image.
+
+    ``intern`` (the default) structurally interns the paths first so that
+    equal-but-distinct subtrees collapse into shared arena nodes; pass
+    ``False`` when the paths are already interned against one memo (e.g. by
+    the streamed-query cache tee).
+    """
+    if intern:
+        paths = intern_paths(paths)
+    writer = _ArenaWriter()
+    path_result: list[int] = []
+    path_flags: list[int] = []
+    dist_offsets: list[int] = [0]
+    dist_ids: list[int] = []
+    constraint_offsets: list[int] = [0]
+    constraint_exprs: list[int] = []
+    constraint_rels: list[int] = []
+    score_offsets: list[int] = [0]
+    score_exprs: list[int] = []
+
+    relation_ids = {relation: index for index, relation in enumerate(Relation.ALL)}
+    for path in paths:
+        path_result.append(writer.add_expr(path.result))
+        path_flags.append(1 if path.truncated else 0)
+        dist_ids.extend(writer.dist_id(dist) for dist in path.distributions)
+        dist_offsets.append(len(dist_ids))
+        for constraint in path.constraints:
+            constraint_exprs.append(writer.add_expr(constraint.expr))
+            constraint_rels.append(relation_ids[constraint.relation])
+        constraint_offsets.append(len(constraint_exprs))
+        score_exprs.extend(writer.add_expr(score) for score in path.scores)
+        score_offsets.append(len(score_exprs))
+
+    arrays = {
+        "node_kind": writer.node_kind,
+        "node_ia": writer.node_ia,
+        "node_ib": writer.node_ib,
+        "node_ic": writer.node_ic,
+        "const_lo": writer.const_lo,
+        "const_hi": writer.const_hi,
+        "children": writer.children,
+        "path_result": path_result,
+        "path_flags": path_flags,
+        "dist_offsets": dist_offsets,
+        "dist_ids": dist_ids,
+        "constraint_offsets": constraint_offsets,
+        "constraint_exprs": constraint_exprs,
+        "constraint_rels": constraint_rels,
+        "score_offsets": score_offsets,
+        "score_exprs": score_exprs,
+    }
+    buffers = [
+        np.asarray(arrays[name], dtype=dtype) for name, dtype in _BUFFERS
+    ]
+    header = pickle.dumps(
+        {
+            "version": _ARENA_VERSION,
+            "path_count": len(paths),
+            "lengths": [len(buffer) for buffer in buffers],
+            "ops": tuple(writer.ops),
+            # Unique distribution records: heavily shared by construction
+            # (branch states copy the *list*), so this pickles a handful of
+            # parameter tuples, not a per-path graph.
+            "dists": tuple(writer.dists),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    parts = [_PRELUDE.pack(_MAGIC, _ARENA_VERSION, len(header)), header]
+    offset = _PRELUDE.size + len(header)
+    for buffer in buffers:
+        pad = (-offset) % 8
+        parts.append(b"\0" * pad)
+        data = buffer.tobytes()
+        parts.append(data)
+        offset += pad + len(data)
+    return b"".join(parts)
+
+
+@dataclass
+class PathArena:
+    """A decoded *view* of an arena byte image (zero-copy over the buffers).
+
+    Construct with :meth:`from_buffer` over any buffer — typically the
+    ``buf`` of an attached ``multiprocessing.shared_memory`` segment.  The
+    NumPy columns are views into that buffer; nothing is copied until a
+    path is actually decoded.  ``keep_alive`` pins the object owning the
+    buffer (the ``SharedMemory`` handle) for the arena's lifetime;
+    :meth:`release` drops every view so the segment can be closed safely.
+    """
+
+    path_count: int
+    _columns: Dict[str, np.ndarray]
+    _ops: tuple[str, ...]
+    _dists: tuple[Distribution, ...]
+    _keep_alive: object = None
+
+    # Decoded-node memo: node id -> SymExpr, shared across decode calls so
+    # chunks decoded from the same attachment share their sub-expressions.
+    def __post_init__(self) -> None:
+        self._nodes: Dict[int, SymExpr] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_buffer(cls, buffer, keep_alive: object = None) -> "PathArena":
+        """Attach to an arena byte image without copying its buffers."""
+        view = memoryview(buffer).cast("B")
+        if len(view) < _PRELUDE.size:
+            raise ArenaFormatError("buffer too small for a path arena")
+        magic, version, header_len = _PRELUDE.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise ArenaFormatError("bad arena magic; not a path-arena image")
+        if version != _ARENA_VERSION:
+            raise ArenaFormatError(
+                f"unsupported arena version {version} (expected {_ARENA_VERSION})"
+            )
+        header_end = _PRELUDE.size + header_len
+        header = pickle.loads(bytes(view[_PRELUDE.size : header_end]))
+        lengths = header["lengths"]
+        if len(lengths) != len(_BUFFERS):
+            raise ArenaFormatError("arena buffer directory length mismatch")
+        columns: Dict[str, np.ndarray] = {}
+        offset = header_end
+        for (name, dtype), length in zip(_BUFFERS, lengths):
+            offset += (-offset) % 8
+            nbytes = int(length) * np.dtype(dtype).itemsize
+            if offset + nbytes > len(view):
+                raise ArenaFormatError("truncated arena buffer")
+            columns[name] = np.frombuffer(view, dtype=dtype, count=length, offset=offset)
+            offset += nbytes
+        return cls(
+            path_count=int(header["path_count"]),
+            _columns=columns,
+            _ops=tuple(header["ops"]),
+            _dists=tuple(header["dists"]),
+            _keep_alive=keep_alive,
+        )
+
+    def release(self) -> None:
+        """Drop every buffer view (required before closing a shm segment)."""
+        self._columns = {}
+        self._nodes = {}
+        self._keep_alive = None
+
+    # ------------------------------------------------------------------
+    def _decode_expr(self, node_id: int) -> SymExpr:
+        memo = self._nodes
+        done = memo.get(node_id)
+        if done is not None:
+            return done
+        kind = self._columns["node_kind"]
+        ia = self._columns["node_ia"]
+        ib = self._columns["node_ib"]
+        ic = self._columns["node_ic"]
+        lo = self._columns["const_lo"]
+        hi = self._columns["const_hi"]
+        children = self._columns["children"]
+        # Explicit post-order stack: children materialise before parents, so
+        # expression depth never hits the interpreter recursion limit.
+        stack: list[tuple[int, bool]] = [(node_id, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in memo:
+                continue
+            node_kind = int(kind[current])
+            if node_kind == _KIND_PRIM and not expanded:
+                stack.append((current, True))
+                start = int(ib[current])
+                for child in children[start : start + int(ic[current])]:
+                    stack.append((int(child), False))
+                continue
+            if node_kind == _KIND_VAR:
+                memo[current] = SVar(int(ia[current]))
+            elif node_kind == _KIND_CONST:
+                memo[current] = SConst(Interval(float(lo[current]), float(hi[current])))
+            elif node_kind == _KIND_ATOM:
+                memo[current] = SAtom(int(ia[current]))
+            elif node_kind == _KIND_PRIM:
+                start = int(ib[current])
+                args = tuple(
+                    memo[int(child)]
+                    for child in children[start : start + int(ic[current])]
+                )
+                memo[current] = SPrim(self._ops[int(ia[current])], args)
+            else:
+                raise ArenaFormatError(f"unknown arena node kind {node_kind}")
+        return memo[node_id]
+
+    def decode_path(self, index: int) -> SymbolicPath:
+        """Materialise one path from the arena tables."""
+        if not 0 <= index < self.path_count:
+            raise IndexError(f"path index {index} out of range [0, {self.path_count})")
+        cols = self._columns
+        dist_start = int(cols["dist_offsets"][index])
+        dist_stop = int(cols["dist_offsets"][index + 1])
+        distributions = tuple(
+            self._dists[int(dist_id)] for dist_id in cols["dist_ids"][dist_start:dist_stop]
+        )
+        con_start = int(cols["constraint_offsets"][index])
+        con_stop = int(cols["constraint_offsets"][index + 1])
+        constraints = tuple(
+            SymConstraint(
+                self._decode_expr(int(expr_id)), Relation.ALL[int(relation_id)]
+            )
+            for expr_id, relation_id in zip(
+                cols["constraint_exprs"][con_start:con_stop],
+                cols["constraint_rels"][con_start:con_stop],
+            )
+        )
+        score_start = int(cols["score_offsets"][index])
+        score_stop = int(cols["score_offsets"][index + 1])
+        scores = tuple(
+            self._decode_expr(int(expr_id))
+            for expr_id in cols["score_exprs"][score_start:score_stop]
+        )
+        return SymbolicPath(
+            result=self._decode_expr(int(cols["path_result"][index])),
+            variable_count=len(distributions),
+            distributions=distributions,
+            constraints=constraints,
+            scores=scores,
+            truncated=bool(cols["path_flags"][index]),
+        )
+
+    def decode_range(self, start: int, stop: Optional[int] = None) -> tuple[SymbolicPath, ...]:
+        """Materialise the paths ``[start, stop)`` (a dispatch chunk)."""
+        if stop is None:
+            stop = self.path_count
+        return tuple(self.decode_path(index) for index in range(start, stop))
+
+    def decode_all(self) -> tuple[SymbolicPath, ...]:
+        return self.decode_range(0, self.path_count)

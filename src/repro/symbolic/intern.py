@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Optional, Sequence
 from .paths import SymConstraint, SymbolicPath
 from .value import SPrim, SymExpr
 
-__all__ = ["intern_expr", "intern_constraint", "intern_path", "intern_paths"]
+__all__ = ["PathInterner", "intern_expr", "intern_constraint", "intern_path", "intern_paths"]
 
 
 def intern_expr(expr: SymExpr, memo: Dict[object, object]) -> SymExpr:
@@ -82,3 +82,47 @@ def intern_paths(
     if memo is None:
         memo = {}
     return tuple(intern_path(path, memo) for path in paths)
+
+
+class PathInterner:
+    """An incremental path collector interning against one shared memo.
+
+    This is the accumulator behind the streamed-query cache tee
+    (:meth:`repro.Model.bounds` with ``stream=True``): paths are added one at
+    a time *as they are dispatched*, interned against a single memo so the
+    collected set carries full structural sharing, and
+    :meth:`approximate_arena_bytes` tracks how large the set would be in the
+    flat arena encoding (:mod:`repro.symbolic.arena`) — which is both the
+    cached representation's real footprint and the number the tee's memory
+    budget is enforced against.
+    """
+
+    def __init__(self) -> None:
+        self.memo: Dict[object, object] = {}
+        self.paths: list[SymbolicPath] = []
+
+    def add(self, path: SymbolicPath) -> SymbolicPath:
+        """Intern ``path``, append it to the collection and return it."""
+        interned = intern_path(path, self.memo)
+        self.paths.append(interned)
+        return interned
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def approximate_arena_bytes(self) -> int:
+        """Estimated arena-encoded size of the collected paths so far.
+
+        The memo holds one entry per unique expression node (plus one per
+        unique constraint), which is exactly the arena's node-table length;
+        children are estimated at two per node.
+        """
+        from .arena import estimate_arena_bytes
+
+        unique_nodes = len(self.memo)
+        return estimate_arena_bytes(unique_nodes, len(self.paths), 2 * unique_nodes)
+
+    def clear(self) -> None:
+        """Drop everything collected (the tee's budget-overflow action)."""
+        self.memo.clear()
+        self.paths.clear()

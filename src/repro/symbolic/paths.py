@@ -155,10 +155,19 @@ class SymbolicPath:
             forms.append((form, constraint.relation))
         return forms
 
+    def expressions(self) -> tuple[SymExpr, ...]:
+        """Every symbolic expression of the path, in canonical order.
+
+        The order (result, constraint expressions, scores) matches the field
+        order the arena encoder (:mod:`repro.symbolic.arena`) serialises, so
+        structural walks over a path visit nodes in the same sequence the
+        columnar encoding stores them.
+        """
+        return (self.result, *(c.expr for c in self.constraints), *self.scores)
+
     def satisfies_single_use_assumption(self) -> bool:
         """Completeness Assumption 1 (Appendix C.3) for this path."""
-        expressions = [self.result, *(c.expr for c in self.constraints), *self.scores]
-        return all(uses_variables_at_most_once(expr) for expr in expressions)
+        return all(uses_variables_at_most_once(expr) for expr in self.expressions())
 
     def analysis_cost_hint(self) -> float:
         """A rough, deterministic estimate of this path's analysis cost.

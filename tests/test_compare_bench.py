@@ -1,0 +1,115 @@
+"""The benchmark-comparison script (``benchmarks/compare_bench.py``).
+
+The script diffs two ``BENCH_*.json`` artifact sets and exits non-zero on
+wall-clock regressions beyond a threshold; CI runs it against the committed
+``benchmarks/results`` baseline.  Pinned here: timing-leaf extraction over
+nested payloads, the regression rule (relative threshold AND absolute
+floor), tiny-mode mismatch skipping, one-sided drivers, and the CLI exit
+codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+# Must be importable by name while executing: the script's @dataclass
+# resolves its (PEP 563) string annotations through sys.modules.
+sys.modules.setdefault("compare_bench", compare_bench)
+_spec.loader.exec_module(compare_bench)
+
+
+def _write_record(directory: pathlib.Path, driver: str, metrics: dict, tiny: bool = False):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{driver}.json").write_text(
+        json.dumps({"driver": driver, "tiny": tiny, "metrics": metrics})
+    )
+
+
+class TestTimingLeaves:
+    def test_nested_extraction(self):
+        metrics = {
+            "batch_seconds": 1.5,
+            "bounds": {"lower": 0.1},  # not a timing
+            "runs": [
+                {"stream_seconds": 0.5, "time_to_first_bound": 0.01, "depth": 4},
+                {"stream_seconds": 0.7},
+            ],
+        }
+        leaves = dict(compare_bench.timing_leaves(metrics))
+        assert leaves == {
+            "batch_seconds": 1.5,
+            "runs[0].stream_seconds": 0.5,
+            "runs[0].time_to_first_bound": 0.01,
+            "runs[1].stream_seconds": 0.7,
+        }
+
+    def test_non_numeric_timing_ignored(self):
+        assert dict(compare_bench.timing_leaves({"batch_seconds": "n/a"})) == {}
+
+
+class TestComparison:
+    def test_no_regression(self, tmp_path):
+        _write_record(tmp_path / "base", "driver", {"batch_seconds": 1.0})
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 1.1})
+        regressions, lines = compare_bench.compare_dirs(
+            tmp_path / "base", tmp_path / "cand", threshold=0.25
+        )
+        assert regressions == []
+        assert any("No wall-clock regressions" in line for line in lines)
+
+    def test_regression_flagged(self, tmp_path):
+        _write_record(tmp_path / "base", "driver", {"batch_seconds": 1.0})
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 2.0})
+        regressions, lines = compare_bench.compare_dirs(
+            tmp_path / "base", tmp_path / "cand", threshold=0.25
+        )
+        assert len(regressions) == 1
+        assert regressions[0].metric == "batch_seconds"
+        assert regressions[0].ratio == pytest.approx(2.0)
+        assert any("REGRESSED" in line for line in lines)
+
+    def test_absolute_floor_filters_noise(self, tmp_path):
+        # 10x slower but only 9 ms absolute: below the floor, not a failure.
+        _write_record(tmp_path / "base", "driver", {"batch_seconds": 0.001})
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 0.010})
+        regressions, _ = compare_bench.compare_dirs(
+            tmp_path / "base", tmp_path / "cand", threshold=0.25, min_seconds=0.05
+        )
+        assert regressions == []
+
+    def test_tiny_mode_mismatch_skipped(self, tmp_path):
+        _write_record(tmp_path / "base", "driver", {"batch_seconds": 1.0}, tiny=False)
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 99.0}, tiny=True)
+        regressions, lines = compare_bench.compare_dirs(tmp_path / "base", tmp_path / "cand")
+        assert regressions == []
+        assert any("tiny-mode mismatch" in line for line in lines)
+
+    def test_one_sided_drivers_reported_not_failed(self, tmp_path):
+        _write_record(tmp_path / "base", "removed", {"batch_seconds": 1.0})
+        _write_record(tmp_path / "cand", "added", {"batch_seconds": 1.0})
+        regressions, lines = compare_bench.compare_dirs(tmp_path / "base", tmp_path / "cand")
+        assert regressions == []
+        assert any("baseline only" in line for line in lines)
+        assert any("new (no baseline)" in line for line in lines)
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        _write_record(tmp_path / "base", "driver", {"batch_seconds": 1.0})
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 1.05})
+        assert compare_bench.main([str(tmp_path / "base"), str(tmp_path / "cand")]) == 0
+        _write_record(tmp_path / "cand", "driver", {"batch_seconds": 5.0})
+        assert compare_bench.main([str(tmp_path / "base"), str(tmp_path / "cand")]) == 1
+        capsys.readouterr()
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert compare_bench.main([str(tmp_path / "nope"), str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
