@@ -1,0 +1,148 @@
+"""Columnar analyzer fast path vs materialised arena decode (PathTable core).
+
+The process bound engine's arena transport ships chunks as index ranges into
+a shared-memory :class:`~repro.symbolic.arena.PathTable`.  Before the
+columnar core, every worker *decoded* its slice back into Python
+``SymbolicPath`` objects and analysed those; with ``columnar=True`` (the
+default) the box and linear analyzers sweep the table's node/CSR arrays
+directly through per-attachment compiled programs — no objects, no tree
+walks, and repeated queries reuse every compiled program and extracted
+linear form.
+
+This driver measures, on the ISSUE's reference workload (pedestrian walk at
+fixpoint depth 6, 2-worker process pool, arena transport):
+
+* **query wall-clock** — first query and repeat queries, materialised
+  (``columnar=False``) vs columnar, for the box-grid workload
+  (``analyzers=("box",)``, where the sweep dominates) and the default
+  linear+box analyzer stack;
+* **peak RSS** — parent + worker high-water marks per mode (the columnar
+  route materialises no per-chunk path objects);
+* **bit-equality** — materialised and columnar bounds are asserted
+  identical in every configuration (this is the CI gate in smoke mode).
+
+The acceptance gate (full fidelity only): the columnar fast path is
+**≥ 1.3× faster** than materialised arena decode on the box-grid workload.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from repro.analysis import AnalysisOptions, Model, shared_memory_available
+from repro.intervals import Interval
+from repro.models import pedestrian_program
+
+from bench_utils import TINY, emit, scaled
+
+_DEPTH = scaled(6, 3)  # the ISSUE's reference workload: pedestrian depth 6
+_CHUNK_SIZE = 8
+_REPEATS = 3
+_TARGETS = (Interval(0.0, 1.0), Interval.reals())
+
+#: The measured analyzer stacks: the box grid sweep (the columnar path's
+#: home turf — exponential cell grids straight from the arrays) and the
+#: default linear+box stack (polytope volumes dominate, the columnar win is
+#: the per-attachment form/decomposition reuse).
+_WORKLOADS = (
+    ("box_grid", ("box",)),
+    ("linear_default", None),
+)
+
+
+def _peak_rss_kb() -> int:
+    """High-water RSS (KiB) of this process plus every finished worker."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(self_kb + children_kb)
+
+
+def _run_mode(analyzers, columnar: bool):
+    options = AnalysisOptions(
+        max_fixpoint_depth=_DEPTH,
+        score_splits=scaled(8, 4),
+        workers=2,
+        executor="process",
+        payload_transport="arena",
+        chunk_size=_CHUNK_SIZE,
+        columnar=columnar,
+        analyzers=analyzers,
+    )
+    with Model(pedestrian_program(), options) as model:
+        start = time.perf_counter()
+        bounds = model.bounds(list(_TARGETS))
+        first_seconds = time.perf_counter() - start
+        repeats = []
+        for _ in range(_REPEATS):
+            start = time.perf_counter()
+            repeat_bounds = model.bounds(list(_TARGETS))
+            repeats.append(time.perf_counter() - start)
+        for a, b in zip(bounds, repeat_bounds):
+            assert a.lower == b.lower and a.upper == b.upper
+    return bounds, first_seconds, min(repeats), _peak_rss_kb()
+
+
+def test_columnar_core(bench_once):
+    assert shared_memory_available(), "multiprocessing.shared_memory missing on this host"
+    records: dict = {"depth": _DEPTH, "chunk_size": _CHUNK_SIZE, "workloads": {}}
+    lines: list[str] = []
+
+    def run_all():
+        for label, analyzers in _WORKLOADS:
+            # Columnar first: RUSAGE_CHILDREN high-water marks are monotone
+            # across pools, so the mode expected to use *less* memory must be
+            # sampled before the other inflates the watermark.
+            columnar_bounds, col_first, col_repeat, col_rss = _run_mode(analyzers, True)
+            materialised_bounds, mat_first, mat_repeat, mat_rss = _run_mode(analyzers, False)
+            for mine, reference in zip(columnar_bounds, materialised_bounds):
+                assert mine.lower == reference.lower, label
+                assert mine.upper == reference.upper, label
+            records["workloads"][label] = {
+                "materialized_first_seconds": mat_first,
+                "materialized_repeat_seconds": mat_repeat,
+                "columnar_first_seconds": col_first,
+                "columnar_repeat_seconds": col_repeat,
+                "first_speedup": mat_first / col_first if col_first > 0 else float("inf"),
+                "repeat_speedup": mat_repeat / col_repeat if col_repeat > 0 else float("inf"),
+                "peak_rss_kb_columnar": col_rss,
+                "peak_rss_kb_after_materialized": mat_rss,
+            }
+
+    bench_once(run_all)
+
+    for label, _ in _WORKLOADS:
+        metrics = records["workloads"][label]
+        lines.append(
+            f"{label}: materialised {metrics['materialized_first_seconds']:.2f}s / "
+            f"repeat {metrics['materialized_repeat_seconds']:.2f}s | columnar "
+            f"{metrics['columnar_first_seconds']:.2f}s / repeat "
+            f"{metrics['columnar_repeat_seconds']:.2f}s | speedup "
+            f"×{metrics['first_speedup']:.2f} first, ×{metrics['repeat_speedup']:.2f} repeat"
+        )
+        lines.append(
+            f"{label}: peak RSS columnar {metrics['peak_rss_kb_columnar']} KiB "
+            f"(after materialised run: {metrics['peak_rss_kb_after_materialized']} KiB); "
+            "bounds bit-identical"
+        )
+    lines.insert(
+        0,
+        f"pedestrian depth={_DEPTH}, 2-worker process pool, arena transport, "
+        f"chunk_size={_CHUNK_SIZE}",
+    )
+    emit("columnar_core", lines, data=records)
+
+    if not TINY:
+        # The acceptance gate: the columnar sweep beats materialised arena
+        # decode by ≥ 1.3× on the box-grid workload.  Repeat queries are the
+        # stable metric (the compiled programs and cell grids are warm, so
+        # the delta is exactly the materialisation layer); the first query
+        # must at least not regress.
+        box = records["workloads"]["box_grid"]
+        assert box["repeat_speedup"] >= 1.3, (
+            f"columnar repeat-query speedup ×{box['repeat_speedup']:.2f} < 1.3"
+        )
+        assert box["first_speedup"] >= 1.0, (
+            f"columnar first query slower than materialised "
+            f"(×{box['first_speedup']:.2f})"
+        )

@@ -10,8 +10,8 @@ built in.  The free functions ``bound_denotation`` / ``bound_query`` /
 compatibility.
 """
 
-from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, split_domain
-from .config import EXECUTOR_KINDS, TRANSPORT_KINDS, AnalysisOptions
+from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, analyze_table_boxes, split_domain
+from .config import DEFAULT_TRANSPORT, EXECUTOR_KINDS, TRANSPORT_KINDS, AnalysisOptions
 from .engine import (
     AnalysisReport,
     DenotationBounds,
@@ -28,7 +28,12 @@ from .engine import (
     reduce_contributions,
 )
 from .histogram import BucketBound, HistogramBounds, ValidationReport
-from .linear_analyzer import LinearPathAnalyzer, analyze_path_linear, linear_analysis_applicable
+from .linear_analyzer import (
+    LinearPathAnalyzer,
+    analyze_path_linear,
+    analyze_table_linear,
+    linear_analysis_applicable,
+)
 from .model import CompiledProgram, Model
 from .parallel import (
     ParallelAnalysisExecutor,
@@ -59,6 +64,7 @@ __all__ = [
     "Model",
     "CompiledProgram",
     "AnalysisOptions",
+    "DEFAULT_TRANSPORT",
     "EXECUTOR_KINDS",
     "TRANSPORT_KINDS",
     "ArenaChunkRef",
@@ -99,6 +105,8 @@ __all__ = [
     "LinearPathAnalyzer",
     "analyze_path_boxes",
     "analyze_path_linear",
+    "analyze_table_boxes",
+    "analyze_table_linear",
     "linear_analysis_applicable",
     "split_domain",
 ]

@@ -22,6 +22,7 @@ every cell carries equal prior mass.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,9 +34,15 @@ from ..symbolic.paths import Relation, SymbolicPath
 from ..symbolic.value import SymExpr, evaluate_interval
 from .config import AnalysisOptions
 from .vectorize import ScalarFallback as _ScalarFallback
-from .vectorize import checked_cells, vec_mul as _vec_mul, vec_product as _vec_product
+from .vectorize import (
+    TableProgramEvaluator,
+    checked_cells,
+    compile_table_roots,
+    vec_mul as _vec_mul,
+    vec_product as _vec_product,
+)
 
-__all__ = ["BoxPathAnalyzer", "analyze_path_boxes", "split_domain"]
+__all__ = ["BoxPathAnalyzer", "analyze_path_boxes", "analyze_table_boxes", "split_domain"]
 
 _NON_NEGATIVE = Interval(0.0, math.inf)
 
@@ -142,16 +149,18 @@ def _constraint_masks(relation: str, glo: np.ndarray, ghi: np.ndarray):
     return ghi >= 0.0, glo >= 0.0
 
 
-def _cell_arrays(path: SymbolicPath, options: AnalysisOptions):
+def _cell_arrays(distributions: Sequence[Distribution], options: AnalysisOptions):
     """The cell grid as arrays: bounds ``(n, d)`` and masses ``(n,)``.
 
     Mirrors :func:`_enumerate_cells` (same per-variable splits, same
     zero-mass point-cell filter, same lexicographic cell order) but builds
     the product grid with ``meshgrid`` instead of a Python cross product.
+    Takes the distribution sequence directly so the materialised and
+    columnar routes build identical grids.
     """
-    parts = _grid_parts(path.variable_count, options)
+    parts = _grid_parts(len(distributions), options)
     lows, highs, masses = [], [], []
-    for dist in path.distributions:
+    for dist in distributions:
         cells = []
         for cell in split_domain(dist, parts):
             cell_mass = dist.measure(cell)
@@ -174,23 +183,30 @@ def _cell_arrays(path: SymbolicPath, options: AnalysisOptions):
     return los, his, mass
 
 
-def _analyze_path_boxes_vectorized(
-    path: SymbolicPath,
+def _boxes_sweep(
+    arrays,
+    constraints,
+    scores,
+    result,
     targets: Sequence[Interval],
-    options: AnalysisOptions,
+    eval_expr,
 ) -> list[tuple[float, float]]:
-    """The vectorised sweep; raises :class:`_ScalarFallback` when unsupported."""
-    arrays = _cell_arrays(path, options)
-    if arrays is None:
-        return [(0.0, 0.0) for _ in targets]
-    los, his, mass = arrays
+    """The grid sweep shared by the materialised and columnar routes.
 
-    transcendentals = options.vectorized_transcendentals
+    ``constraints`` is a sequence of ``(expression handle, relation)``,
+    ``scores``/``result`` are expression handles, and ``eval_expr`` resolves
+    a handle to per-cell ``(lo, hi)`` arrays — a :class:`SymExpr` evaluated
+    by :func:`~repro.analysis.vectorize.checked_cells` on the materialised
+    route, a node id evaluated by
+    :func:`~repro.analysis.vectorize.checked_cells_table` on the columnar
+    route.  Sharing this fold is what makes the two routes bit-identical.
+    """
+    los, his, mass = arrays
     possible = mass > 0.0
     definite = possible.copy()
-    for constraint in path.constraints:
-        glo, ghi = _checked_cells(constraint.expr, los, his, transcendentals)
-        exists_mask, forall_mask = _constraint_masks(constraint.relation, glo, ghi)
+    for handle, relation in constraints:
+        glo, ghi = eval_expr(handle)
+        exists_mask, forall_mask = _constraint_masks(relation, glo, ghi)
         possible &= exists_mask
         definite &= forall_mask
     if not possible.any():
@@ -198,8 +214,8 @@ def _analyze_path_boxes_vectorized(
 
     weight_lo = np.ones(los.shape[0])
     weight_hi = np.ones(los.shape[0])
-    for score in path.scores:
-        slo, shi = _checked_cells(score, los, his, transcendentals)
+    for score in scores:
+        slo, shi = eval_expr(score)
         # meet with [0, inf); an all-negative score interval collapses to 0.
         slo = np.maximum(slo, 0.0)
         negative = shi < slo
@@ -211,7 +227,7 @@ def _analyze_path_boxes_vectorized(
     if np.isnan(weight_lo).any() or np.isnan(weight_hi).any():
         raise _ScalarFallback
 
-    value_lo, value_hi = _checked_cells(path.result, los, his, transcendentals)
+    value_lo, value_hi = eval_expr(result)
     upper_mass = _vec_product(mass, weight_hi)
     lower_mass = _vec_product(mass, weight_lo)
 
@@ -223,6 +239,165 @@ def _analyze_path_boxes_vectorized(
         lower = float(np.sum(lower_mass, where=contained, initial=0.0))
         results.append((lower, upper))
     return results
+
+
+def _analyze_path_boxes_vectorized(
+    path: SymbolicPath,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> list[tuple[float, float]]:
+    """The vectorised sweep; raises :class:`_ScalarFallback` when unsupported."""
+    arrays = _cell_arrays(path.distributions, options)
+    if arrays is None:
+        return [(0.0, 0.0) for _ in targets]
+    los, his, _ = arrays
+    transcendentals = options.vectorized_transcendentals
+    return _boxes_sweep(
+        arrays,
+        [(constraint.expr, constraint.relation) for constraint in path.constraints],
+        path.scores,
+        path.result,
+        targets,
+        lambda expr: _checked_cells(expr, los, his, transcendentals),
+    )
+
+
+#: ``table.scratch`` key of the box analyzer's per-path compiled programs.
+_TABLE_SCRATCH_KEY = "box-analyzer"
+
+#: ``table.scratch`` key of the per-distribution-signature cell-grid cache.
+_GRID_SCRATCH_KEY = "box-analyzer-grids"
+
+#: How many cell grids one table attachment keeps.  Grids depend only on the
+#: distribution signature and the split knobs, and path sets reuse a handful
+#: of signatures (e.g. ``(U(0,1),) * depth`` per pedestrian recursion depth),
+#: so a small LRU serves whole workloads while bounding memory.
+_GRID_CACHE_CAP = 16
+
+#: Cache-miss sentinel (``None`` is a legitimate cached value).
+_GRID_MISS = object()
+
+
+def _table_cell_arrays(table, index: int, distributions, options: AnalysisOptions):
+    """The (cached) cell grid of path ``index``.
+
+    The grid depends only on the path's distribution signature (stable dist
+    ids — a cache home only the columnar table provides) and the split
+    options; within one attachment every path of the same shape — and every
+    repeated query — reuses one grid.  The sweep never mutates grid arrays,
+    so sharing is safe and bit-neutral.
+    """
+    cache = table.scratch.get(_GRID_SCRATCH_KEY)
+    if cache is None:
+        cache = table.scratch.setdefault(_GRID_SCRATCH_KEY, OrderedDict())
+    key = (
+        tuple(int(dist_id) for dist_id in table.path_dist_ids(index)),
+        options.splits_per_dimension,
+        options.max_boxes_per_path,
+    )
+    # The thread backend shares one table (and this cache) across pool
+    # threads: read the entry atomically and tolerate losing the LRU
+    # bookkeeping races — a concurrent eviction at worst recomputes a grid,
+    # never corrupts one (grids are immutable once built).
+    entry = cache.get(key, _GRID_MISS)
+    if entry is not _GRID_MISS:
+        try:
+            cache.move_to_end(key)
+        except KeyError:  # evicted between get() and move_to_end()
+            pass
+        return entry
+    arrays = _cell_arrays(distributions, options)
+    cache[key] = arrays
+    while len(cache) > _GRID_CACHE_CAP:
+        try:
+            cache.popitem(last=False)
+        except KeyError:  # another thread already evicted
+            break
+    return arrays
+
+
+def _box_program(table, index: int):
+    """The compiled sweep program of path ``index`` (memoised per table).
+
+    Compiled once per table attachment and reused by every chunk and every
+    query over it: ``(instructions, constraint (position, relation) pairs,
+    score positions, result position, distributions)``.  ``None`` marks a
+    path the sweep cannot express — callers decode and run the materialised
+    route.
+    """
+    cache = table.scratch.get(_TABLE_SCRATCH_KEY)
+    if cache is None:
+        cache = table.scratch.setdefault(_TABLE_SCRATCH_KEY, {})
+    if index in cache:
+        return cache[index]
+    expr_ids, rel_ids = table.constraint_ids(index)
+    score_ids = table.score_ids(index)
+    # Constraint roots first, then scores, then the result: the compiled
+    # program is laid out so lazy evaluation short-circuits in exactly the
+    # order the sweep consumes the roots.
+    roots = [int(expr_id) for expr_id in expr_ids]
+    roots.extend(int(score_id) for score_id in score_ids)
+    roots.append(table.result_id(index))
+    try:
+        instrs, positions = compile_table_roots(table, roots)
+    except _ScalarFallback:
+        cache[index] = None
+        return None
+    constraint_count = len(expr_ids)
+    entry = (
+        instrs,
+        tuple(
+            (position, Relation.ALL[int(rel_id)])
+            for position, rel_id in zip(positions[:constraint_count], rel_ids)
+        ),
+        positions[constraint_count:-1],
+        positions[-1],
+        table.path_distributions(index),
+    )
+    cache[index] = entry
+    return entry
+
+
+def analyze_table_boxes(
+    table,
+    index: int,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> list[tuple[float, float]]:
+    """Bounds for path ``index`` straight from the table's node/CSR arrays.
+
+    The columnar fast path: the path's expressions are compiled once per
+    table attachment into a flat program (:func:`_box_program`); each query
+    then builds the cell grid from the (shared) distribution records and
+    executes the program lazily over it — no
+    :class:`~repro.symbolic.SymbolicPath` is materialised and no expression
+    tree is walked.  Paths the sweep cannot express (zero-variable paths,
+    anomalies mid-sweep) decode and run the materialised
+    :func:`analyze_path_boxes`, so results are bit-identical to the
+    materialised route in every case.
+    """
+    program = _box_program(table, index) if options.vectorized_boxes else None
+    if program is None or len(program[4]) == 0:
+        return analyze_path_boxes(table.decode_path(index), targets, options)
+    instrs, constraints, score_positions, result_position, distributions = program
+    try:
+        arrays = _table_cell_arrays(table, index, distributions, options)
+        if arrays is None:
+            return [(0.0, 0.0) for _ in targets]
+        los, his, _ = arrays
+        evaluator = TableProgramEvaluator(
+            instrs,
+            los.shape[0],
+            var_leaf=lambda var_index: (los[:, var_index], his[:, var_index]),
+            transcendentals=options.vectorized_transcendentals,
+        )
+        return _boxes_sweep(
+            arrays, constraints, score_positions, result_position, targets, evaluator.eval_to
+        )
+    except _ScalarFallback:
+        # Same escape hatch as the materialised route: decode this one path
+        # and let analyze_path_boxes run its (vectorised, then scalar) loop.
+        return analyze_path_boxes(table.decode_path(index), targets, options)
 
 
 def analyze_path_boxes(
@@ -330,3 +505,22 @@ class BoxPathAnalyzer:
         identical to per-path calls.
         """
         return [analyze_path_boxes(path, targets, options) for path in paths]
+
+    # -- columnar fast path --------------------------------------------
+    def applicable_table(self, table, index: int, options: AnalysisOptions) -> bool:
+        """Box splitting is universal, from the table as from objects."""
+        return True
+
+    def analyze_table(
+        self,
+        table,
+        indices,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[list[tuple[float, float]]]:
+        """Per-path contributions straight from a ``PathTable`` slice.
+
+        One result list per index, bit-identical to decoding each path and
+        calling :meth:`analyze` (see :func:`analyze_table_boxes`).
+        """
+        return [analyze_table_boxes(table, index, targets, options) for index in indices]

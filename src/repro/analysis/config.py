@@ -8,7 +8,7 @@ from typing import Optional, Sequence
 
 from ..symbolic import ExecutionLimits
 
-__all__ = ["AnalysisOptions", "EXECUTOR_KINDS", "TRANSPORT_KINDS"]
+__all__ = ["AnalysisOptions", "DEFAULT_TRANSPORT", "EXECUTOR_KINDS", "TRANSPORT_KINDS"]
 
 #: The recognised execution backends of the bound engine.  ``"serial"`` runs
 #: the classic single-threaded loop, ``"thread"`` / ``"process"`` fan path
@@ -16,14 +16,18 @@ __all__ = ["AnalysisOptions", "EXECUTOR_KINDS", "TRANSPORT_KINDS"]
 #: :mod:`repro.analysis.parallel`).
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
-#: The recognised process-dispatch payload formats.  ``"pickle"`` ships every
-#: chunk as an interned pickled object graph; ``"arena"`` writes the path set
-#: once into a ``multiprocessing.shared_memory`` arena segment
-#: (:mod:`repro.symbolic.arena`) and ships only tiny chunk references — the
-#: segment is reused across queries on the cached worker pool.  Both
-#: transports produce bit-identical bounds; in-process backends (serial,
-#: thread) pass direct references and ignore the knob entirely.
+#: The recognised process-dispatch payload formats.  ``"arena"`` (the
+#: default) writes the path set once into a ``multiprocessing.shared_memory``
+#: path-table segment (:mod:`repro.symbolic.arena`) and ships only tiny chunk
+#: references — the segment is reused across queries on the cached worker
+#: pool, and degrades to pickle automatically when shared memory is
+#: unavailable.  ``"pickle"`` ships every chunk as an interned pickled object
+#: graph.  Both transports produce bit-identical bounds; in-process backends
+#: (serial, thread) pass direct references and ignore the knob entirely.
 TRANSPORT_KINDS = ("pickle", "arena")
+
+#: The payload transport selected when ``payload_transport`` is unset.
+DEFAULT_TRANSPORT = "arena"
 
 #: Default memory budget (in bytes) of the streamed-query cache tee: a
 #: ``stream=True`` query materialises the paths it dispatches into the
@@ -39,6 +43,7 @@ _WORKERS_ENV = "REPRO_ANALYSIS_WORKERS"
 _EXECUTOR_ENV = "REPRO_ANALYSIS_EXECUTOR"
 _STREAM_ENV = "REPRO_ANALYSIS_STREAM"
 _TRANSPORT_ENV = "REPRO_ANALYSIS_TRANSPORT"
+_COLUMNAR_ENV = "REPRO_ANALYSIS_COLUMNAR"
 
 
 def _require_positive(name: str, value: int) -> None:
@@ -67,6 +72,10 @@ def _default_stream() -> bool:
 
 def _default_transport() -> Optional[str]:
     return os.environ.get(_TRANSPORT_ENV) or None
+
+
+def _default_columnar() -> bool:
+    return os.environ.get(_COLUMNAR_ENV, "").lower() not in ("0", "false", "no")
 
 
 @dataclass(frozen=True)
@@ -134,14 +143,24 @@ class AnalysisOptions:
             the number of paths resident in the parent process at roughly
             ``(workers × prefetch + 1) × chunk size``.
         payload_transport: how chunk payloads reach process workers —
-            ``"pickle"`` (interned pickled object graphs, the default) or
-            ``"arena"`` (a flat shared-memory arena written once per path
-            set, with workers attaching and decoding chunk views; see
-            :mod:`repro.symbolic.arena`).  Bounds are bit-identical either
-            way.  Ignored by the serial and thread backends, which pass
-            direct references, and silently degraded to pickle when
-            ``multiprocessing.shared_memory`` is unavailable.  Defaults to
+            ``"arena"`` (the default: a flat shared-memory path table
+            written once per path set, with workers attaching and analysing
+            chunk views; see :mod:`repro.symbolic.arena`) or ``"pickle"``
+            (interned pickled object graphs).  Bounds are bit-identical
+            either way.  Ignored by the serial and thread backends, which
+            pass direct references, and silently degraded to pickle when
+            ``multiprocessing.shared_memory`` is unavailable (so the arena
+            default is safe on every host).  Defaults to
             ``$REPRO_ANALYSIS_TRANSPORT`` when that variable is set.
+        columnar: let analyzers with a columnar fast path
+            (``analyze_table``, see :mod:`repro.analysis.registry`) sweep
+            chunk slices straight from the shared ``PathTable`` arrays
+            instead of materialising ``SymbolicPath`` objects.  Applies to
+            process workers under the arena transport **and** to the
+            in-process (serial/thread) backends, which share one table per
+            compiled path set.  On by default; bounds are bit-identical
+            with the knob on or off.  ``$REPRO_ANALYSIS_COLUMNAR=0``
+            disables it process-wide.
         stream_cache_budget: memory budget (bytes) of the streamed-query
             cache tee.  A ``stream=True`` query on a cache miss materialises
             the paths it dispatches (interned, so the footprint is the
@@ -171,6 +190,7 @@ class AnalysisOptions:
     stream: bool = field(default_factory=_default_stream)
     prefetch: int = 4
     payload_transport: Optional[str] = field(default_factory=_default_transport)
+    columnar: bool = field(default_factory=_default_columnar)
     stream_cache_budget: Optional[int] = DEFAULT_STREAM_CACHE_BUDGET
 
     def __post_init__(self) -> None:
@@ -190,6 +210,8 @@ class AnalysisOptions:
                 f"executor must be one of {kinds} (or None for automatic), "
                 f"got {self.executor!r}"
             )
+        if not isinstance(self.columnar, bool):
+            raise ValueError(f"columnar must be a boolean, got {self.columnar!r}")
         if self.payload_transport is not None and self.payload_transport not in TRANSPORT_KINDS:
             kinds = ", ".join(repr(kind) for kind in TRANSPORT_KINDS)
             raise ValueError(
@@ -241,11 +263,12 @@ class AnalysisOptions:
     def effective_transport(self) -> str:
         """The process-dispatch payload format selected by this configuration.
 
-        An explicit ``payload_transport`` wins; otherwise ``"pickle"``.  The
-        executor additionally degrades ``"arena"`` to pickle at dispatch time
-        when ``multiprocessing.shared_memory`` is unavailable on the host.
+        An explicit ``payload_transport`` wins; otherwise ``"arena"`` (the
+        default since the columnar path core landed).  The executor
+        additionally degrades ``"arena"`` to pickle at dispatch time when
+        ``multiprocessing.shared_memory`` is unavailable on the host.
         """
-        return self.payload_transport if self.payload_transport is not None else "pickle"
+        return self.payload_transport if self.payload_transport is not None else DEFAULT_TRANSPORT
 
     @property
     def stream_cache_enabled(self) -> bool:

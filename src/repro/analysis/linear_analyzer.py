@@ -46,7 +46,13 @@ from ..symbolic.value import evaluate_with_atoms
 from .config import AnalysisOptions
 from .vectorize import ScalarFallback, checked_cells, vec_mul
 
-__all__ = ["LinearPathAnalyzer", "linear_analysis_applicable", "analyze_path_linear"]
+__all__ = [
+    "LinearPathAnalyzer",
+    "linear_analysis_applicable",
+    "analyze_path_linear",
+    "analyze_table_linear",
+    "linear_table_applicable",
+]
 
 _NON_NEGATIVE = Interval(0.0, math.inf)
 
@@ -162,8 +168,8 @@ class _Reduction:
 
 
 def _reduce_variables(
-    path: SymbolicPath,
-    constraint_forms: list[tuple[LinearForm, str]],
+    distributions: Sequence,
+    constraint_forms: Sequence[tuple[LinearForm, str]],
     protected: set[int],
 ) -> _Reduction:
     """Factor out variables that occur only in single-variable constraints."""
@@ -180,8 +186,8 @@ def _reduce_variables(
     factor_lower = 1.0
     factor_upper = 1.0
     kept: list[int] = []
-    for index in range(path.variable_count):
-        dist = path.distributions[index]
+    for index in range(len(distributions)):
+        dist = distributions[index]
         if index in multi_vars or (index not in single_constraints and index in protected):
             kept.append(index)
             continue
@@ -199,10 +205,10 @@ def _reduce_variables(
         factor_upper *= dist.measure(allowed_upper.meet(dist.support()))
 
     index_map = {old: new for new, old in enumerate(kept)}
-    supports = [path.distributions[old].support() for old in kept]
+    supports = [distributions[old].support() for old in kept]
     density = 1.0
     for old in kept:
-        dist = path.distributions[old]
+        dist = distributions[old]
         assert isinstance(dist, Uniform)
         density *= 1.0 / (dist.high - dist.low)
     return _Reduction(
@@ -256,11 +262,31 @@ def analyze_path_linear(
     # Decompose all scores over a shared atom list.
     atoms: list[LinearForm] = []
     templates = [decompose_score(score, atoms) for score in path.scores]
+    return _analyze_linear_forms(
+        result_form, constraint_forms, atoms, templates, path.distributions, targets, options
+    )
 
+
+def _analyze_linear_forms(
+    result_form: LinearForm,
+    constraint_forms: Sequence[tuple[LinearForm, str]],
+    atoms: Sequence[LinearForm],
+    templates,
+    distributions: Sequence,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+) -> list[tuple[float, float]]:
+    """The linear semantics at the forms level (paths already decomposed).
+
+    Both routes feed this core — :func:`analyze_path_linear` extracts the
+    forms from a materialised path, :func:`analyze_table_linear` from the
+    columnar table (with per-table memoisation) — so their bounds are
+    bit-identical by construction.  The inputs are treated as read-only.
+    """
     protected = set(result_form.variables())
     for atom in atoms:
         protected.update(atom.variables())
-    reduction = _reduce_variables(path, constraint_forms, protected)
+    reduction = _reduce_variables(distributions, constraint_forms, protected)
     dimension = len(reduction.kept)
     if reduction.factor_upper <= 0.0:
         return [(0.0, 0.0) for _ in targets]
@@ -484,6 +510,137 @@ def _vectorized_factors(
     return np.maximum(0.0, weight_lo if is_lower else weight_hi)
 
 
+# ----------------------------------------------------------------------
+# Columnar fast path
+# ----------------------------------------------------------------------
+
+#: Key of the linear analyzer's memo space inside ``PathTable.scratch``.
+_TABLE_SCRATCH_KEY = "linear-analyzer"
+
+
+def _table_cache(table) -> dict:
+    """This analyzer's per-table memo: forms, score decompositions, dist checks.
+
+    Living in ``table.scratch``, the memo survives across chunks and queries
+    of one table attachment — a worker that analysed chunk 3 of a query has
+    already extracted the linear forms chunk 7 (and the next query) needs.
+    """
+    cache = table.scratch.get(_TABLE_SCRATCH_KEY)
+    if cache is None:
+        cache = table.scratch.setdefault(_TABLE_SCRATCH_KEY, {
+            "forms": {},  # node id -> Optional[LinearForm]
+            "scores": {},  # tuple of score node ids -> (atoms, templates)
+            "dists": {},  # dist id -> bounded-uniform?
+            "applicable": {},  # path index -> bool (the predicate is options-free)
+            "path_dists": {},  # path index -> tuple[Distribution, ...]
+        })
+    return cache
+
+
+def _path_distributions(table, index: int, cache: dict):
+    distributions = cache["path_dists"].get(index)
+    if distributions is None:
+        distributions = cache["path_dists"][index] = table.path_distributions(index)
+    return distributions
+
+
+def _table_form(table, node_id: int, forms: dict) -> Optional[LinearForm]:
+    """``extract_linear`` of a table node, memoised per node id."""
+    if node_id in forms:
+        return forms[node_id]
+    form = extract_linear(table.decode_expr(node_id))
+    forms[node_id] = form
+    return form
+
+
+def linear_table_applicable(table, index: int, options: AnalysisOptions) -> bool:
+    """Table-level :func:`linear_analysis_applicable` (same predicate).
+
+    Memoised per path index — the predicate depends only on the path
+    structure, so routing repeated queries over one attachment is a dict
+    hit.
+    """
+    cache = _table_cache(table)
+    known = cache["applicable"].get(index)
+    if known is not None:
+        return known
+
+    def compute() -> bool:
+        dist_ok = cache["dists"]
+        for raw_id in table.path_dist_ids(index):
+            dist_id = int(raw_id)
+            ok = dist_ok.get(dist_id)
+            if ok is None:
+                dist = table.distributions[dist_id]
+                ok = isinstance(dist, Uniform) and dist.support().is_bounded
+                dist_ok[dist_id] = ok
+            if not ok:
+                return False
+        forms = cache["forms"]
+        if _table_form(table, table.result_id(index), forms) is None:
+            return False
+        expr_ids, _ = table.constraint_ids(index)
+        return all(
+            _table_form(table, int(expr_id), forms) is not None for expr_id in expr_ids
+        )
+
+    result = compute()
+    cache["applicable"][index] = result
+    return result
+
+
+def analyze_table_linear(
+    table,
+    index: int,
+    targets: Sequence[Interval],
+    options: AnalysisOptions,
+    cache: Optional[dict] = None,
+) -> list[tuple[float, float]]:
+    """Bounds for path ``index`` from the table, without materialising it.
+
+    Linear forms (per node id) and score decompositions (per score-id
+    tuple) come from the per-table memo, so across the chunks and repeated
+    queries of one attachment each unique expression is extracted and
+    decomposed exactly once.  The polytope integration itself runs the same
+    forms-level core as the materialised route — bounds are bit-identical.
+    """
+    cache = cache if cache is not None else _table_cache(table)
+    prepared = cache.setdefault("prepared", {}).get(index)
+    if prepared is None:
+        forms = cache["forms"]
+        result_form = _table_form(table, table.result_id(index), forms)
+        assert result_form is not None, "analyze_table_linear requires a linear result"
+        expr_ids, rel_ids = table.constraint_ids(index)
+        constraint_forms: list[tuple[LinearForm, str]] = []
+        for expr_id, rel_id in zip(expr_ids, rel_ids):
+            form = _table_form(table, int(expr_id), forms)
+            if form is None:
+                raise ValueError("path has a non-linear constraint")
+            constraint_forms.append((form, Relation.ALL[int(rel_id)]))
+
+        score_key = tuple(int(score_id) for score_id in table.score_ids(index))
+        entry = cache["scores"].get(score_key)
+        if entry is None:
+            atoms: list[LinearForm] = []
+            templates = tuple(
+                decompose_score(table.decode_expr(score_id), atoms) for score_id in score_key
+            )
+            entry = cache["scores"][score_key] = (tuple(atoms), templates)
+        atoms, templates = entry
+        prepared = cache["prepared"][index] = (
+            result_form,
+            tuple(constraint_forms),
+            atoms,
+            templates,
+            _path_distributions(table, index, cache),
+        )
+
+    result_form, constraint_forms, atoms, templates, distributions = prepared
+    return _analyze_linear_forms(
+        result_form, constraint_forms, atoms, templates, distributions, targets, options
+    )
+
+
 def _split_interval(interval: Interval, parts: int) -> list[Interval]:
     if interval.is_point or parts <= 1 or not interval.is_bounded:
         return [interval]
@@ -526,3 +683,25 @@ class LinearPathAnalyzer:
         a shared cache would make results depend on chunk boundaries.
         """
         return [analyze_path_linear(path, targets, options) for path in paths]
+
+    # -- columnar fast path --------------------------------------------
+    def applicable_table(self, table, index: int, options: AnalysisOptions) -> bool:
+        return linear_table_applicable(table, index, options)
+
+    def analyze_table(
+        self,
+        table,
+        indices,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+    ) -> list[list[tuple[float, float]]]:
+        """Per-path contributions straight from a ``PathTable`` slice.
+
+        The score-combination sweep (and the whole polytope integration)
+        runs on forms pulled from the per-table memo — bit-identical to the
+        materialised route (see :func:`analyze_table_linear`).
+        """
+        cache = _table_cache(table)
+        return [
+            analyze_table_linear(table, index, targets, options, cache) for index in indices
+        ]

@@ -345,14 +345,19 @@ class Model:
         bounds = analyze_path_stream(teed(), targets, options, report, executor=executor)
         if collector is not None and collector.paths and stream.stats.exhausted:
             # The stream completed within budget: its paths ARE the compiled
-            # program.  Install it so the next query (streamed or batch) is a
-            # cache hit, and — under the arena transport — publish the arena
-            # segment now, making it the cached dispatch representation too.
+            # program.  The collector is a PathTableBuilder in disguise, so
+            # the columnar tables are already accumulated — hand the builder
+            # to the execution result (its table() finalises without another
+            # walk), install the program so the next query (streamed or
+            # batch) is a cache hit, and — under the arena transport —
+            # publish the table bytes now, making the shared-memory segment
+            # the cached dispatch representation too.
             execution = SymbolicExecutionResult(
                 paths=tuple(collector.paths),
                 truncated_paths=stream.stats.truncated_paths,
                 pruned_paths=stream.stats.pruned_paths,
             )
+            execution.attach_table_source(collector.builder)
             self._compiled.setdefault(
                 limits,
                 CompiledProgram(
@@ -362,10 +367,19 @@ class Model:
                     compile_seconds=explore_seconds[0],
                 ),
             )
-            if executor is not None and options.effective_transport == "arena":
-                # Already interned against the collector's memo — skip the
-                # encoder's own interning pass.
-                executor.prime_arena(self._compiled[limits].execution.paths, intern=False)
+            if (
+                executor is not None
+                and executor.kind == "process"
+                and options.effective_transport == "arena"
+            ):
+                # Process dispatch only — serialising the table for an
+                # in-process pool would be pure waste.  Already interned
+                # against the collector's memo, so publish the finalised
+                # table bytes (or, for a concurrently-installed program,
+                # encode without the redundant interning pass).
+                cached = self._compiled[limits].execution
+                image = cached.table().to_bytes() if cached is execution else None
+                executor.prime_arena(cached.paths, intern=False, image=image)
         return bounds
 
     def bound(

@@ -37,12 +37,22 @@ analyse but the payloads are large to pickle, or inside environments that
 forbid subprocesses; ``"serial"`` runs the identical chunked pipeline
 in-process (handy for debugging a parallel run).
 
-Process payload transport is a knob (``payload_transport``): ``"pickle"``
-ships interned object graphs per chunk, ``"arena"`` publishes the path set
-once as a shared-memory arena segment (cached across queries, unlinked on
+Process payload transport is a knob (``payload_transport``): ``"arena"``
+(the default) publishes the path set once as a shared-memory path-table
+segment (cached across queries, unlinked on
 :meth:`ParallelAnalysisExecutor.close`) and ships tiny index-range
-references.  In-process backends pass direct references and never intern.
-Bounds are bit-identical across every transport/backend combination.
+references; ``"pickle"`` ships interned object graphs per chunk.  In-process
+backends pass direct references and never intern.
+
+The **columnar fast path** (``options.columnar``, on by default) analyses
+chunks straight from the shared :class:`~repro.symbolic.arena.PathTable`:
+arena workers run :func:`_analyze_table_range` over their attached segment,
+and the in-process (serial/thread) backends run the identical loop over the
+compiled program's own table — analyzers that implement ``analyze_table``
+(box, linear) sweep the node/CSR arrays without materialising
+``SymbolicPath`` objects, while analyzers without the hook transparently
+receive decoded paths.  Bounds are bit-identical across every
+transport/backend/columnar combination.
 """
 
 from __future__ import annotations
@@ -79,6 +89,8 @@ from .transport import (
     attach_context,
     create_arena_segment,
     create_context_segment,
+    publish_arena_image,
+    register_worker_reset,
     shared_memory_available,
 )
 
@@ -172,7 +184,39 @@ def _analyze_paths(
     options: AnalysisOptions,
     specs: tuple[AnalyzerSpec, ...],
 ) -> list[PathContribution]:
-    """The worker-side per-chunk loop, shared by every payload transport.
+    """The worker-side per-chunk loop over materialised paths.
+
+    Resolves the analyzer selection and delegates to
+    :func:`_analyze_paths_resolved` (the pickled-payload transports arrive
+    here; the arena transport resolves once per query shape instead, see
+    :func:`analyze_arena_chunk`).
+    """
+    ensure_analyzers_registered(specs)
+    return _analyze_paths_resolved(paths, targets, options, resolve_analyzers(options))
+
+
+def _batch_results(analyzer, batch, paths, targets, options):
+    """Run ``analyze_batch`` (validated) or the per-path loop for a group."""
+    if batch is not None and len(paths) > 1:
+        results = batch(paths, targets, options)
+        if len(results) != len(paths):
+            raise RuntimeError(
+                f"analyzer {analyzer.name!r}.analyze_batch returned "
+                f"{len(results)} results for {len(paths)} paths; one result "
+                "per path is required (a shortfall would silently drop "
+                "path contributions and break soundness)"
+            )
+        return results
+    return [analyzer.analyze(path, targets, options) for path in paths]
+
+
+def _analyze_paths_resolved(
+    paths: Sequence[SymbolicPath],
+    targets: tuple[Interval, ...],
+    options: AnalysisOptions,
+    analyzers,
+) -> list[PathContribution]:
+    """The materialised per-chunk loop, shared by every payload transport.
 
     Consecutive paths handled by the same analyzer are grouped and handed to
     the analyzer's ``analyze_batch`` when it provides one, amortising
@@ -180,8 +224,6 @@ def _analyze_paths(
     the whole run; analyzers without batch support fall back to per-path
     calls.  Both routes produce the same per-path contribution records.
     """
-    ensure_analyzers_registered(specs)
-    analyzers = resolve_analyzers(options)
     contributions: list[PathContribution] = []
 
     group: list[SymbolicPath] = []
@@ -191,18 +233,13 @@ def _analyze_paths(
         nonlocal group, group_analyzer
         if not group:
             return
-        batch = getattr(group_analyzer, "analyze_batch", None)
-        if batch is not None and len(group) > 1:
-            results = batch(group, targets, options)
-            if len(results) != len(group):
-                raise RuntimeError(
-                    f"analyzer {group_analyzer.name!r}.analyze_batch returned "
-                    f"{len(results)} results for {len(group)} paths; one result "
-                    "per path is required (a shortfall would silently drop "
-                    "path contributions and break soundness)"
-                )
-        else:
-            results = [group_analyzer.analyze(path, targets, options) for path in group]
+        results = _batch_results(
+            group_analyzer,
+            getattr(group_analyzer, "analyze_batch", None),
+            group,
+            targets,
+            options,
+        )
         for path, result in zip(group, results):
             contributions.append(
                 PathContribution(
@@ -238,20 +275,161 @@ def analyze_chunk(payload: ChunkPayload) -> tuple[int, list[PathContribution]]:
     )
 
 
-def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]]:
-    """Analyse one chunk referenced into a shared-memory arena segment.
+def _analyze_table_range(
+    table,
+    start: int,
+    stop: int,
+    targets: tuple[Interval, ...],
+    options: AnalysisOptions,
+    analyzers,
+    paths: Optional[Sequence[SymbolicPath]] = None,
+) -> list[PathContribution]:
+    """The columnar per-chunk loop over a ``PathTable`` slice.
 
-    The worker attaches the arena and context segments on first sight (both
-    attachments — and the arena's decoded-node memo — are cached across
-    chunks and queries, see :func:`repro.analysis.transport.attach_arena`),
-    decodes just the ``[start, stop)`` slice of the path table and runs the
-    same per-chunk loop as the pickle transport, so both transports compute
-    bit-identical contributions.
+    Every path index is routed to the first applicable analyzer — via its
+    ``applicable_table`` hook when it has one, otherwise by asking
+    ``applicable`` on the materialised path.  ``paths`` (optional) is the
+    already-materialised path sequence the table was built from — in-process
+    backends pass ``execution.paths`` so analyzers without the columnar
+    hooks receive the original objects for free; workers over a
+    shared-memory attachment leave it ``None`` and decode on demand
+    (memoised per call).  Consecutive same-analyzer indices form a group:
+
+    * analyzers with ``analyze_table`` receive the index group directly and
+      sweep the table's node/CSR arrays — **no** ``SymbolicPath`` objects
+      are materialised for them;
+    * analyzers without the hook transparently receive the decoded paths
+      through the same batch/per-path calls as the materialised loop.
+
+    Contribution records (analyzer name, truncated flag, per-target bounds)
+    are identical to :func:`_analyze_paths_resolved` over the decoded
+    slice — the columnar route never moves a bound.
     """
-    targets, options, specs = attach_context(ref.context)
-    arena = attach_arena(ref.segment)
-    paths = arena.decode_range(ref.start, ref.stop)
-    return ref.index, _analyze_paths(paths, targets, options, specs)
+    contributions: list[PathContribution] = []
+    decoded: dict[int, SymbolicPath] = {}
+
+    def path_at(index: int) -> SymbolicPath:
+        if paths is not None:
+            return paths[index]
+        path = decoded.get(index)
+        if path is None:
+            path = decoded[index] = table.decode_path(index)
+        return path
+
+    def pick(index: int):
+        for analyzer in analyzers:
+            table_pred = getattr(analyzer, "applicable_table", None)
+            if table_pred is not None:
+                if table_pred(table, index, options):
+                    return analyzer
+            elif analyzer.applicable(path_at(index), options):
+                return analyzer
+        return None
+
+    group: list[int] = []
+    group_analyzer = None
+
+    def flush() -> None:
+        nonlocal group, group_analyzer
+        if not group:
+            return
+        analyzer = group_analyzer
+        table_batch = getattr(analyzer, "analyze_table", None)
+        if table_batch is not None:
+            results = table_batch(table, tuple(group), targets, options)
+            if len(results) != len(group):
+                raise RuntimeError(
+                    f"analyzer {analyzer.name!r}.analyze_table returned "
+                    f"{len(results)} results for {len(group)} paths; one result "
+                    "per path is required (a shortfall would silently drop "
+                    "path contributions and break soundness)"
+                )
+        else:
+            paths = [path_at(index) for index in group]
+            results = _batch_results(
+                analyzer, getattr(analyzer, "analyze_batch", None), paths, targets, options
+            )
+        for index, result in zip(group, results):
+            contributions.append(
+                PathContribution(
+                    analyzer_name=analyzer.name,
+                    truncated=table.is_truncated(index),
+                    contributions=tuple(result),
+                )
+            )
+        group = []
+        group_analyzer = None
+
+    for index in range(start, stop):
+        analyzer = pick(index)
+        if analyzer is None:
+            flush()
+            # Delegate to the shared single-path helper for the canonical
+            # "no applicable analyzer" error.
+            contributions.append(analyze_single_path(path_at(index), analyzers, targets, options))
+            continue
+        if analyzer is not group_analyzer:
+            flush()
+            group_analyzer = analyzer
+        group.append(index)
+    flush()
+    return contributions
+
+
+#: Worker-side cache of *resolved* query contexts, keyed by the context
+#: segment name (which uniquely identifies one query shape): the decoded
+#: targets/options plus the analyzer instances, with
+#: ``ensure_analyzers_registered`` already applied.  Without it every chunk
+#: of a query re-decoded the context and re-resolved the registry — pure
+#: per-chunk overhead for multi-chunk queries.  Context segments are
+#: published once per query shape and shared by every arena segment of the
+#: query (batch *and* streamed per-chunk segments), so the context name
+#: alone is the right key — keying by arena segment too would miss on every
+#: streamed chunk.
+_RESOLVED_CONTEXTS: "OrderedDict[str, tuple]" = OrderedDict()
+_RESOLVED_CONTEXT_CAP = 16
+
+# The transport teardown helper is the documented full reset of per-worker
+# state; the resolved-context cache participates.
+register_worker_reset(_RESOLVED_CONTEXTS.clear)
+
+
+def _resolved_context(context: str) -> tuple:
+    """``(targets, options, analyzers)`` for one query shape (cached)."""
+    entry = _RESOLVED_CONTEXTS.get(context)
+    if entry is not None:
+        _RESOLVED_CONTEXTS.move_to_end(context)
+        return entry
+    targets, options, specs = attach_context(context)
+    ensure_analyzers_registered(specs)
+    entry = (targets, options, resolve_analyzers(options))
+    _RESOLVED_CONTEXTS[context] = entry
+    while len(_RESOLVED_CONTEXTS) > _RESOLVED_CONTEXT_CAP:
+        _RESOLVED_CONTEXTS.popitem(last=False)
+    return entry
+
+
+def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]]:
+    """Analyse one chunk referenced into a shared-memory path-table segment.
+
+    The worker attaches the table segment on first sight (the attachment —
+    with its decoded-node memo and analyzer scratch space — is cached across
+    chunks and queries, see :func:`repro.analysis.transport.attach_arena`)
+    and resolves the query context once per query shape instead of once per
+    chunk.  With ``options.columnar`` (the default) the
+    ``[start, stop)`` slice runs the columnar loop
+    (:func:`_analyze_table_range`); otherwise the slice is decoded and runs
+    the materialised loop.  Both compute bit-identical contributions, and
+    both match the pickle transport.
+    """
+    targets, options, analyzers = _resolved_context(ref.context)
+    table = attach_arena(ref.segment)
+    if options.columnar:
+        return ref.index, _analyze_table_range(
+            table, ref.start, ref.stop, targets, options, analyzers
+        )
+    paths = table.decode_range(ref.start, ref.stop)
+    return ref.index, _analyze_paths_resolved(paths, targets, options, analyzers)
 
 
 #: Process-wide executor cache for callers without their own pool lifecycle
@@ -387,16 +565,30 @@ class ParallelAnalysisExecutor:
     #: shared-memory usage when a model sweeps execution limits.
     _ARENA_CACHE_CAP = 4
 
-    def _arena_for(self, paths: tuple[SymbolicPath, ...]) -> Optional[ArenaSegment]:
-        """The published segment encoding ``paths`` (creating it on miss)."""
+    def _arena_for(self, execution: SymbolicExecutionResult) -> Optional[ArenaSegment]:
+        """The published segment encoding ``execution.paths`` (created on miss).
+
+        When the execution already carries a finalised columnar table (the
+        batch collector or a previous in-process columnar query built it),
+        its bytes are published directly; otherwise the paths are encoded
+        through :func:`create_arena_segment`.  Either way the segment is
+        just a backing store for the same table bytes.
+        """
         if self._arena_degraded:
             return None
+        paths = execution.paths
         key = id(paths)
         segment = self._arena_segments.get(key)
         if segment is not None and segment.paths is paths:
             self._arena_segments.move_to_end(key)
             return segment
-        segment = create_arena_segment(paths)
+        if shared_memory_available() and hasattr(execution, "table"):
+            # The compiled program's columnar table (built by the run()
+            # collector, or finalised here on first use) serialises straight
+            # to the wire image — no re-interning, no encode walk.
+            segment = publish_arena_image(execution.table().to_bytes(), paths)
+        else:
+            segment = create_arena_segment(paths)
         if segment is None:
             self._arena_degraded = True
             return None
@@ -410,15 +602,23 @@ class ParallelAnalysisExecutor:
             _, old = self._arena_segments.popitem(last=False)
             old.unlink()
 
-    def prime_arena(self, paths: tuple[SymbolicPath, ...], intern: bool = True) -> bool:
+    def prime_arena(
+        self,
+        paths: tuple[SymbolicPath, ...],
+        intern: bool = True,
+        image: Optional[bytes] = None,
+    ) -> bool:
         """Publish (and cache) the arena segment for ``paths`` ahead of a query.
 
         Used by the streamed-query cache tee: once a streamed query has
         materialised its path set into the compile cache, priming makes the
         arena segment itself the cached dispatch representation — the next
         query over those paths attaches workers to the existing segment
-        without re-encoding.  Returns False when the arena transport is
-        unavailable (the query will fall back to pickled payloads).
+        without re-encoding.  ``image`` (optional) is the already-encoded
+        table bytes — the tee's builder serialises its columns directly, so
+        priming never re-walks the paths.  Returns False when the arena
+        transport is unavailable (the query will fall back to pickled
+        payloads).
         """
         if self.kind != "process" or self._closed or self._arena_degraded:
             return False
@@ -426,7 +626,10 @@ class ParallelAnalysisExecutor:
         existing = self._arena_segments.get(key)
         if existing is not None and existing.paths is paths:
             return True
-        segment = create_arena_segment(paths, intern=intern)
+        if image is not None and shared_memory_available():
+            segment = publish_arena_image(image, paths)
+        else:
+            segment = create_arena_segment(paths, intern=intern)
         if segment is None:
             self._arena_degraded = True
             return False
@@ -506,7 +709,7 @@ class ParallelAnalysisExecutor:
         pooled = pool is not None
 
         if pooled and self.kind == "process" and options.effective_transport == "arena":
-            segment = self._arena_for(paths)
+            segment = self._arena_for(execution)
             context = (
                 self._context_for(target_tuple, options, specs)
                 if segment is not None
@@ -532,8 +735,31 @@ class ParallelAnalysisExecutor:
                 results = [future.result() for future in futures]
                 return self._merge(results, target_tuple, report)
 
-        # Pickle transport (and every in-process route).  Interning only
-        # pays for itself when chunks are actually pickled to a process
+        # In-process columnar fast path: serial/thread backends (and inline
+        # single-chunk runs on any backend) analyse the compiled program's
+        # shared PathTable — the identical columnar sweep the process
+        # workers run over their shared-memory attachment, including its
+        # per-table memo reuse across chunks and queries.  Nothing is
+        # interned, pickled or published.
+        if options.columnar and (pool is None or self.kind == "thread"):
+            table = execution.table()
+            analyzers = resolve_analyzers(options)
+
+            def run_table_chunk(chunk_index: int, chunk: range):
+                return chunk_index, _analyze_table_range(
+                    table, chunk.start, chunk.stop, target_tuple, options, analyzers,
+                    paths=paths,
+                )
+
+            if pool is None:
+                results = [run_table_chunk(i, chunk) for i, chunk in enumerate(chunks)]
+            else:
+                futures = [pool.submit(run_table_chunk, i, chunk) for i, chunk in enumerate(chunks)]
+                results = [future.result() for future in futures]
+            return self._merge(results, target_tuple, report)
+
+        # Pickle transport (and the remaining in-process routes).  Interning
+        # only pays for itself when chunks are actually pickled to a process
         # pool; serial/thread backends and inline runs pass direct
         # references, so they skip the memo walk entirely.
         memo: Optional[dict] = {} if pooled and self.kind == "process" else None

@@ -74,10 +74,23 @@ class PathAnalyzer(Protocol):
     ) -> list[tuple[float, float]]:
         """One ``(lower, upper)`` contribution per entry of ``targets``.
 
-        Implementations may additionally provide
-        ``analyze_batch(paths, targets, options)`` returning one contribution
-        list per path; the parallel chunk workers use it (when present) to
-        amortise per-call overhead over a whole chunk.
+        Implementations may additionally provide:
+
+        * ``analyze_batch(paths, targets, options)`` returning one
+          contribution list per path — the chunk workers use it (when
+          present) to amortise per-call overhead over a whole chunk;
+        * the **columnar fast path**:
+          ``analyze_table(table, indices, targets, options)`` returning one
+          contribution list per index of a
+          :class:`~repro.symbolic.arena.PathTable` slice, optionally paired
+          with ``applicable_table(table, index, options)`` (the table-level
+          applicability predicate).  Analyzers that opt in are fed table
+          slices directly — no ``SymbolicPath`` is materialised; analyzers
+          without the hook transparently receive decoded paths.  An
+          ``analyze_table`` implementation **must** return bounds
+          bit-identical to decoding each path and calling ``analyze``; when
+          ``applicable_table`` is absent the engine decodes the path to
+          evaluate ``applicable``.
         """
 
 

@@ -39,7 +39,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..intervals import Interval
 from ..symbolic import SymbolicPath
-from ..symbolic.arena import PathArena, encode_paths
+from ..symbolic.arena import PathTable, encode_paths
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
@@ -54,6 +54,8 @@ __all__ = [
     "attach_context",
     "create_arena_segment",
     "create_context_segment",
+    "publish_arena_image",
+    "register_worker_reset",
     "release_worker_arenas",
     "shared_memory_available",
 ]
@@ -171,7 +173,22 @@ def create_arena_segment(
     if _shared_memory is None:
         _warn_unavailable("multiprocessing.shared_memory is not importable")
         return None
-    image = encode_paths(paths, intern=intern)
+    return publish_arena_image(encode_paths(paths, intern=intern), paths)
+
+
+def publish_arena_image(
+    image: bytes, paths: Sequence[SymbolicPath]
+) -> Optional[ArenaSegment]:
+    """Publish an already-encoded path-table image as a shared segment.
+
+    The image half of :func:`create_arena_segment`: callers that hold the
+    columnar form already — a finalised
+    :class:`~repro.symbolic.arena.PathTableBuilder` (the streamed-query
+    cache tee) or a compiled program's cached
+    :meth:`~repro.symbolic.SymbolicExecutionResult.table` — publish its
+    bytes directly, skipping the encode walk entirely.  The segment is just
+    another backing store for the same bytes.
+    """
     shm = _publish(image)
     if shm is None:
         return None
@@ -205,8 +222,8 @@ def create_context_segment(
 # Worker side
 # ---------------------------------------------------------------------------
 
-#: Per-process LRU of attached arenas: segment name -> (arena, shm handle).
-_WORKER_ARENAS: "OrderedDict[str, tuple[PathArena, object]]" = OrderedDict()
+#: Per-process LRU of attached arenas: segment name -> (table, shm handle).
+_WORKER_ARENAS: "OrderedDict[str, tuple[PathTable, object]]" = OrderedDict()
 
 
 def _attach_untracked(name: str):
@@ -225,12 +242,14 @@ def _attach_untracked(name: str):
         return _shared_memory.SharedMemory(name=name)
 
 
-def attach_arena(name: str) -> PathArena:
-    """The (cached) :class:`PathArena` view of segment ``name``.
+def attach_arena(name: str) -> PathTable:
+    """The (cached) :class:`PathTable` view of segment ``name``.
 
-    Runs inside worker processes.  Raises ``FileNotFoundError`` when the
-    segment no longer exists — which only happens for chunks whose parent
-    query already failed, so the error is never surfaced to a caller.
+    Runs inside worker processes.  The cached table carries its decoded-node
+    memo *and* its analyzer scratch space, so both survive across every
+    chunk and query of one attachment.  Raises ``FileNotFoundError`` when
+    the segment no longer exists — which only happens for chunks whose
+    parent query already failed, so the error is never surfaced to a caller.
     """
     if _shared_memory is None:  # pragma: no cover - workers mirror the parent
         raise RuntimeError("arena transport requires multiprocessing.shared_memory")
@@ -239,7 +258,7 @@ def attach_arena(name: str) -> PathArena:
         _WORKER_ARENAS.move_to_end(name)
         return entry[0]
     shm = _attach_untracked(name)
-    arena = PathArena.from_buffer(shm.buf, keep_alive=shm)
+    arena = PathTable.from_buffer(shm.buf, keep_alive=shm)
     _WORKER_ARENAS[name] = (arena, shm)
     while len(_WORKER_ARENAS) > _WORKER_ATTACH_CAP:
         _, (old_arena, old_shm) = _WORKER_ARENAS.popitem(last=False)
@@ -275,10 +294,29 @@ def attach_context(name: str) -> tuple:
     return context
 
 
+#: Extra per-process caches to drop on :func:`release_worker_arenas` —
+#: modules that key worker state on segment names (e.g. the resolved-context
+#: cache in :mod:`repro.analysis.parallel`) register their reset here, so
+#: the teardown helper stays the single full-reset entry point without a
+#: circular import.
+_WORKER_RESET_CALLBACKS: list = []
+
+
+def register_worker_reset(callback) -> None:
+    """Register a callable to run on :func:`release_worker_arenas`."""
+    _WORKER_RESET_CALLBACKS.append(callback)
+
+
 def release_worker_arenas() -> None:
-    """Close every cached attachment of this process (tests / teardown)."""
+    """Reset every per-process worker cache (tests / teardown).
+
+    Closes all cached segment attachments, drops decoded query contexts and
+    runs every registered reset callback.
+    """
     while _WORKER_ARENAS:
         _, (arena, shm) = _WORKER_ARENAS.popitem(last=False)
         arena.release()
         shm.close()
     _WORKER_CONTEXTS.clear()
+    for callback in _WORKER_RESET_CALLBACKS:
+        callback()

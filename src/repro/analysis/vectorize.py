@@ -22,20 +22,36 @@ Leaf resolution is pluggable: callers provide callbacks mapping
 :class:`~repro.symbolic.value.SVar` and/or
 :class:`~repro.symbolic.value.SAtom` leaves to their per-cell bound arrays,
 so the same evaluator serves sample-variable grids and atom-range grids.
+
+Two routes share one lifting kernel (:func:`apply_primitive_cells`):
+:func:`evaluate_cells` recurses over a materialised expression tree, while
+the columnar analyzer fast path **compiles** a path's expressions straight
+from the node columns of a :class:`~repro.symbolic.arena.PathTable` into a
+flat instruction program (:func:`compile_table_roots`, cached per table
+attachment) and executes it lazily per cell grid
+(:class:`TableProgramEvaluator`) — shared sub-DAGs run once per sweep and
+repeated queries skip the walk entirely.  Both routes produce bit-identical
+arrays on equal expressions.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 import numpy as np
 
+from ..distributions.continuous import _SQRT_2PI
 from ..intervals import Interval, get_primitive
+from ..symbolic.arena import KIND_ATOM, KIND_CONST, KIND_PRIM, KIND_VAR
 from ..symbolic.value import SAtom, SConst, SPrim, SVar, SymExpr
 
 __all__ = [
     "ScalarFallback",
+    "TableProgramEvaluator",
+    "apply_primitive_cells",
     "checked_cells",
+    "compile_table_roots",
     "evaluate_cells",
     "vec_mul",
     "vec_product",
@@ -112,75 +128,203 @@ def evaluate_cells(
             evaluate_cells(arg, count, var_leaf, atom_leaf, transcendentals)
             for arg in expr.args
         ]
-        op = expr.op
-        if op == "add":
-            (alo, ahi), (blo, bhi) = args
-            return alo + blo, ahi + bhi
-        if op == "sub":
-            (alo, ahi), (blo, bhi) = args
-            return alo - bhi, ahi - blo
-        if op == "neg":
-            ((alo, ahi),) = args
-            return -ahi, -alo
-        if op == "mul":
-            (alo, ahi), (blo, bhi) = args
-            return vec_mul(alo, ahi, blo, bhi)
-        if op == "min":
-            (alo, ahi), (blo, bhi) = args
-            return np.minimum(alo, blo), np.minimum(ahi, bhi)
-        if op == "max":
-            (alo, ahi), (blo, bhi) = args
-            return np.maximum(alo, blo), np.maximum(ahi, bhi)
-        if op == "abs":
-            ((alo, ahi),) = args
-            magnitude_lo = np.minimum(np.abs(alo), np.abs(ahi))
-            magnitude_hi = np.maximum(np.abs(alo), np.abs(ahi))
-            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
-            return np.where(spans_zero, 0.0, magnitude_lo), magnitude_hi
-        if op == "square":
-            ((alo, ahi),) = args
-            lo, hi = vec_mul(alo, ahi, alo, ahi)
-            spans_zero = (alo <= 0.0) & (ahi >= 0.0)
-            square_hi = np.maximum(vec_product(alo, alo), vec_product(ahi, ahi))
-            return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
-        if transcendentals and op == "exp":
-            # exp is increasing: the envelope is [exp(lo), exp(hi)].  NumPy
-            # matches the scalar lifting's edge cases (exp(-inf) = 0,
-            # exp(inf) = inf, overflow saturates to inf) up to libm's last
-            # ulp, which is exactly why the knob is opt-in.
-            ((alo, ahi),) = args
-            with np.errstate(over="ignore"):
-                return np.exp(alo), np.exp(ahi)
-        if transcendentals and op == "log":
-            # log is increasing; non-positive endpoints map to -inf, the
-            # conservative convention of the scalar lifting.
-            ((alo, ahi),) = args
-            with np.errstate(divide="ignore", invalid="ignore"):
-                out_lo = np.log(alo)
-                out_hi = np.log(ahi)
-            return (
-                np.where(alo <= 0.0, -np.inf, out_lo),
-                np.where(ahi <= 0.0, -np.inf, out_hi),
-            )
-        # Every other primitive: apply its scalar interval lifting cell-wise.
-        primitive = get_primitive(op)
-        out_lo = np.empty(count)
-        out_hi = np.empty(count)
-        for cell in range(count):
-            try:
-                intervals = [Interval(float(alo[cell]), float(ahi[cell])) for alo, ahi in args]
-                value = primitive.apply_interval(*intervals)
-            except ValueError as error:
-                # A NaN/ordering corner case the scalar loop's early exits
-                # might avoid (it skips infeasible cells before evaluating
-                # scores/results); let the scalar path decide.
-                raise ScalarFallback from error
-            if value.is_empty:
-                raise ScalarFallback
-            out_lo[cell] = value.lo
-            out_hi[cell] = value.hi
-        return out_lo, out_hi
+        return apply_primitive_cells(expr.op, args, count, transcendentals)
     raise ScalarFallback
+
+
+def apply_primitive_cells(
+    op: str,
+    args: list[tuple[np.ndarray, np.ndarray]],
+    count: int,
+    transcendentals: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(lo, hi)`` arrays of primitive ``op`` applied to per-cell arg bounds.
+
+    The single interval-lifting kernel shared by the object-walking
+    (:func:`evaluate_cells`) and table-walking (:func:`evaluate_cells_table`)
+    evaluators — one implementation is what makes the two routes
+    bit-identical by construction.
+    """
+    if op == "add":
+        (alo, ahi), (blo, bhi) = args
+        return alo + blo, ahi + bhi
+    if op == "sub":
+        (alo, ahi), (blo, bhi) = args
+        return alo - bhi, ahi - blo
+    if op == "neg":
+        ((alo, ahi),) = args
+        return -ahi, -alo
+    if op == "mul":
+        (alo, ahi), (blo, bhi) = args
+        return vec_mul(alo, ahi, blo, bhi)
+    if op == "min":
+        (alo, ahi), (blo, bhi) = args
+        return np.minimum(alo, blo), np.minimum(ahi, bhi)
+    if op == "max":
+        (alo, ahi), (blo, bhi) = args
+        return np.maximum(alo, blo), np.maximum(ahi, bhi)
+    if op == "abs":
+        ((alo, ahi),) = args
+        magnitude_lo = np.minimum(np.abs(alo), np.abs(ahi))
+        magnitude_hi = np.maximum(np.abs(alo), np.abs(ahi))
+        spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+        return np.where(spans_zero, 0.0, magnitude_lo), magnitude_hi
+    if op == "square":
+        ((alo, ahi),) = args
+        lo, hi = vec_mul(alo, ahi, alo, ahi)
+        spans_zero = (alo <= 0.0) & (ahi >= 0.0)
+        square_hi = np.maximum(vec_product(alo, alo), vec_product(ahi, ahi))
+        return np.where(spans_zero, 0.0, lo), np.where(spans_zero, square_hi, hi)
+    if transcendentals and op == "exp":
+        # exp is increasing: the envelope is [exp(lo), exp(hi)].  NumPy
+        # matches the scalar lifting's edge cases (exp(-inf) = 0,
+        # exp(inf) = inf, overflow saturates to inf) up to libm's last
+        # ulp, which is exactly why the knob is opt-in.
+        ((alo, ahi),) = args
+        with np.errstate(over="ignore"):
+            return np.exp(alo), np.exp(ahi)
+    if transcendentals and op == "log":
+        # log is increasing; non-positive endpoints map to -inf, the
+        # conservative convention of the scalar lifting.
+        ((alo, ahi),) = args
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out_lo = np.log(alo)
+            out_hi = np.log(ahi)
+        return (
+            np.where(alo <= 0.0, -np.inf, out_lo),
+            np.where(ahi <= 0.0, -np.inf, out_hi),
+        )
+    kernel = _ARRAY_LIFTINGS.get(op)
+    if kernel is not None:
+        return kernel(args, count)
+    # Every other primitive: apply its scalar interval lifting cell-wise.
+    primitive = get_primitive(op)
+    out_lo = np.empty(count)
+    out_hi = np.empty(count)
+    for cell in range(count):
+        try:
+            intervals = [Interval(float(alo[cell]), float(ahi[cell])) for alo, ahi in args]
+            value = primitive.apply_interval(*intervals)
+        except ValueError as error:
+            # A NaN/ordering corner case the scalar loop's early exits
+            # might avoid (it skips infeasible cells before evaluating
+            # scores/results); let the scalar path decide.
+            raise ScalarFallback from error
+        if value.is_empty:
+            raise ScalarFallback
+        out_lo[cell] = value.lo
+        out_hi[cell] = value.hi
+    return out_lo, out_hi
+
+
+# ---------------------------------------------------------------------------
+# Flattened per-cell liftings of the heavy density primitives
+#
+# The generic fallback above builds three Interval objects per cell and
+# dispatches through the primitive registry — for a 50k-cell score sweep
+# that is hundreds of thousands of allocations.  The kernels below replicate
+# the scalar lifting's float operations *exactly* (same expressions, same
+# libm calls, same edge-case order, Interval-construction validation
+# included), just without the object churn — so the engine's bounds stay
+# bit-identical while the per-cell cost drops by an order of magnitude.
+# ---------------------------------------------------------------------------
+
+
+def _normal_pdf_cells(args, count: int):
+    """All cells of ``normal_pdf``: array plumbing, scalar ``math.exp``.
+
+    The reference semantics is
+    :meth:`repro.distributions.continuous.Normal.pdf_interval_params` as the
+    generic loop applies it per cell; this kernel replicates its float
+    operations exactly (pinned by ``tests/test_columnar.py``).  The interval
+    plumbing (endpoint validation mirroring ``Interval.__post_init__``, the
+    ``values - mean`` distance, its absolute value, the ``std`` meet) runs
+    as exact IEEE array operations; only the density evaluations — whose
+    ``math.exp`` must match libm bit-for-bit — run per cell.  Cells with an
+    invalid endpoint combination abandon the sweep
+    (:class:`ScalarFallback`), like the generic loop's per-cell
+    ``Interval`` construction.
+    """
+    (mlo, mhi), (slo, shi), (vlo, vhi) = args
+    for lo, hi in args:
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ScalarFallback
+        inverted = (lo > hi) & ~((lo == math.inf) & (hi == -math.inf))
+        if inverted.any():
+            raise ScalarFallback
+    out_lo = np.zeros(count)
+    out_hi = np.zeros(count)
+    with np.errstate(invalid="ignore"):
+        # Any empty argument (the (inf, -inf) representation): the point 0.
+        empty = (vlo > vhi) | (mlo > mhi) | (slo > shi)
+        sig_lo_arr = np.maximum(slo, 1e-300)
+        std_empty = (sig_lo_arr > shi) & ~empty  # meet with [1e-300, inf) empty
+        out_hi[std_empty] = math.inf
+        active_mask = ~(empty | std_empty)
+        # distance = (values - mean).abs() — the scalar route only reaches
+        # this for cells that passed the emptiness checks, so a NaN distance
+        # (inf − inf) aborts the sweep only on *active* cells.
+        d_lo = vlo - mhi
+        d_hi = vhi - mlo
+        if ((np.isnan(d_lo) | np.isnan(d_hi)) & active_mask).any():
+            raise ScalarFallback
+        spans_zero = (d_lo <= 0.0) & (d_hi >= 0.0)
+        abs_lo = np.abs(d_lo)
+        abs_hi = np.abs(d_hi)
+        d_min_arr = np.where(spans_zero, 0.0, np.minimum(abs_lo, abs_hi))
+        d_max_arr = np.maximum(abs_lo, abs_hi)
+
+    active = np.flatnonzero(active_mask).tolist()
+    if not active:
+        return out_lo, out_hi
+    d_min_l = d_min_arr.tolist()
+    d_max_l = d_max_arr.tolist()
+    sig_lo_l = sig_lo_arr.tolist()
+    sig_hi_l = shi.tolist()
+    exp = math.exp
+    isfinite = math.isfinite
+    norm = _SQRT_2PI
+    for index in active:
+        d_min = d_min_l[index]
+        sig_lo = sig_lo_l[index]
+        sig_hi = sig_hi_l[index]
+        # Upper bound: smallest distance, best sigma.
+        if isfinite(d_min):
+            first = exp(-0.5 * (d_min / sig_lo) ** 2) / (sig_lo * norm)
+            second = exp(-0.5 * (d_min / sig_hi) ** 2) / (sig_hi * norm)
+        else:
+            first = second = 0.0
+        upper = first if first >= second else second
+        if d_min > 0 and sig_lo <= d_min <= sig_hi:
+            best = exp(-0.5 * (d_min / d_min) ** 2) / (d_min * norm)
+            if best > upper:
+                upper = best
+        if d_min == 0.0:
+            peak = 1.0 / (sig_lo * norm)
+            if peak > upper:
+                upper = peak
+        # Lower bound: largest distance, worst sigma.
+        d_max = d_max_l[index]
+        if isfinite(d_max):
+            first = exp(-0.5 * (d_max / sig_lo) ** 2) / (sig_lo * norm)
+            second = exp(-0.5 * (d_max / sig_hi) ** 2) / (sig_hi * norm)
+            lower = first if first <= second else second
+        else:
+            lower = 0.0
+        if lower < 0.0:
+            lower = 0.0
+        if lower > upper:  # mirror the scalar route's Interval validation
+            raise ScalarFallback
+        out_lo[index] = lower
+        out_hi[index] = upper
+    return out_lo, out_hi
+
+
+#: op name -> flattened array lifting (must be bit-identical to the scalar
+#: interval lifting of the same primitive).
+_ARRAY_LIFTINGS = {
+    "normal_pdf": _normal_pdf_cells,
+}
 
 
 def checked_cells(
@@ -198,3 +342,161 @@ def checked_cells(
     if np.isnan(lo).any() or np.isnan(hi).any():
         raise ScalarFallback
     return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# Table-native evaluation (the columnar analyzer fast path)
+# ---------------------------------------------------------------------------
+
+#: A callback resolving a *leaf index* (SVar/SAtom ``index``) to per-cell
+#: ``(lo, hi)`` arrays.  The table walk never materialises leaf objects, so
+#: the table-side lookups are keyed by the raw index instead of a node.
+IndexLeafLookup = Callable[[int], tuple[np.ndarray, np.ndarray]]
+
+#: Instruction tags of a compiled table program.
+_I_VAR = 0
+_I_CONST = 1
+_I_ATOM = 2
+_I_PRIM = 3
+
+#: ``table.scratch`` key of the cached ``tolist()`` walk columns (Python
+#: lists index an order of magnitude faster than NumPy scalars, and the walk
+#: is pure indexing).
+_WALK_COLUMNS_KEY = "vectorize-walk-columns"
+
+
+def _walk_columns(table):
+    cols = table.scratch.get(_WALK_COLUMNS_KEY)
+    if cols is None:
+        cols = table.scratch.setdefault(
+            _WALK_COLUMNS_KEY,
+            (
+                table.column("node_kind").tolist(),
+                table.column("node_ia").tolist(),
+                table.column("node_ib").tolist(),
+                table.column("node_ic").tolist(),
+                table.column("const_lo").tolist(),
+                table.column("const_hi").tolist(),
+                table.column("children").tolist(),
+            ),
+        )
+    return cols
+
+
+def compile_table_roots(table, root_ids) -> tuple[list[tuple], tuple[int, ...]]:
+    """Compile table expression roots into a flat evaluation program.
+
+    Returns ``(instrs, positions)``: a topologically-ordered instruction
+    list — ``(_I_VAR, index)``, ``(_I_CONST, lo, hi)``, ``(_I_ATOM, index)``
+    or ``(_I_PRIM, op, arg_positions)`` — plus the instruction position of
+    every requested root (in request order).  Shared sub-DAGs across the
+    roots compile to a single instruction, and roots listed earlier never
+    depend on instructions emitted for later roots — evaluating the program
+    lazily therefore short-circuits exactly like evaluating the roots one by
+    one.
+
+    Compilation walks the node columns once; callers cache the program (in
+    ``table.scratch``) so repeated sweeps — every chunk and every query of
+    one attachment — skip the walk entirely.  Raises :class:`ScalarFallback`
+    on nodes a sweep cannot express (empty interval constants, unknown
+    kinds), mirroring :func:`evaluate_cells`.
+    """
+    kind, ia, ib, ic, const_lo, const_hi, children = _walk_columns(table)
+    slots: dict[int, int] = {}
+    instrs: list[tuple] = []
+    for root in root_ids:
+        if root in slots:
+            continue
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in slots:
+                continue
+            node_kind = kind[current]
+            if node_kind == KIND_PRIM and not expanded:
+                stack.append((current, True))
+                start = ib[current]
+                for child in children[start : start + ic[current]]:
+                    stack.append((child, False))
+                continue
+            if node_kind == KIND_VAR:
+                instrs.append((_I_VAR, ia[current]))
+            elif node_kind == KIND_CONST:
+                lo = const_lo[current]
+                hi = const_hi[current]
+                if lo > hi:  # the empty interval (mirrors Interval.is_empty)
+                    raise ScalarFallback
+                instrs.append((_I_CONST, lo, hi))
+            elif node_kind == KIND_ATOM:
+                instrs.append((_I_ATOM, ia[current]))
+            elif node_kind == KIND_PRIM:
+                start = ib[current]
+                args = tuple(slots[child] for child in children[start : start + ic[current]])
+                instrs.append((_I_PRIM, table.ops[ia[current]], args))
+            else:
+                raise ScalarFallback
+            slots[current] = len(instrs) - 1
+    return instrs, tuple(slots[root] for root in root_ids)
+
+
+class TableProgramEvaluator:
+    """Lazy evaluation of a compiled table program over one cell grid.
+
+    :meth:`eval_to` runs the instruction prefix up to a root position and
+    returns (and NaN-checks, like :func:`checked_cells`) its ``(lo, hi)``
+    arrays.  Laziness matters: callers request roots in program order, so a
+    sweep that dies early (e.g. no cell satisfies the constraints) never
+    executes the instructions of later roots — exactly the short-circuit
+    behaviour of evaluating materialised expressions one by one.  Each
+    instruction runs at most once per grid, so sub-DAGs shared across a
+    path's expressions are evaluated once per sweep.
+    """
+
+    __slots__ = ("instrs", "count", "var_leaf", "atom_leaf", "transcendentals", "values")
+
+    def __init__(
+        self,
+        instrs: list[tuple],
+        count: int,
+        var_leaf: Optional[IndexLeafLookup] = None,
+        atom_leaf: Optional[IndexLeafLookup] = None,
+        transcendentals: bool = False,
+    ) -> None:
+        self.instrs = instrs
+        self.count = count
+        self.var_leaf = var_leaf
+        self.atom_leaf = atom_leaf
+        self.transcendentals = transcendentals
+        self.values: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def eval_to(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        values = self.values
+        if position >= len(values):
+            instrs = self.instrs
+            count = self.count
+            transcendentals = self.transcendentals
+            # Overflow to ±inf matches CPython float arithmetic and is sound
+            # for interval endpoints; NaN is checked at every root below.
+            with np.errstate(over="ignore", invalid="ignore"):
+                while len(values) <= position:
+                    instr = instrs[len(values)]
+                    tag = instr[0]
+                    if tag == _I_PRIM:
+                        args = [values[slot] for slot in instr[2]]
+                        values.append(
+                            apply_primitive_cells(instr[1], args, count, transcendentals)
+                        )
+                    elif tag == _I_VAR:
+                        if self.var_leaf is None:
+                            raise ScalarFallback
+                        values.append(self.var_leaf(instr[1]))
+                    elif tag == _I_CONST:
+                        values.append((np.full(count, instr[1]), np.full(count, instr[2])))
+                    else:
+                        if self.atom_leaf is None:
+                            raise ScalarFallback
+                        values.append(self.atom_leaf(instr[1]))
+        lo, hi = values[position]
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ScalarFallback
+        return lo, hi

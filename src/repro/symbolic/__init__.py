@@ -10,7 +10,14 @@ from .execute import (
     stream_symbolic_paths,
     symbolic_paths,
 )
-from .arena import ArenaFormatError, PathArena, encode_paths, estimate_arena_bytes
+from .arena import (
+    ArenaFormatError,
+    PathArena,
+    PathTable,
+    PathTableBuilder,
+    encode_paths,
+    estimate_arena_bytes,
+)
 from .intern import PathInterner, intern_constraint, intern_expr, intern_path, intern_paths
 from .linear import LinearForm, ScoreDecomposition, decompose_score, extract_linear
 from .paths import Relation, SymConstraint, SymbolicPath
@@ -59,6 +66,8 @@ __all__ = [
     "intern_paths",
     "ArenaFormatError",
     "PathArena",
+    "PathTable",
+    "PathTableBuilder",
     "PathInterner",
     "encode_paths",
     "estimate_arena_bytes",

@@ -203,6 +203,41 @@ class SymbolicExecutionResult:
         """True when no fixpoint had to be over-approximated."""
         return self.truncated_paths == 0
 
+    # ------------------------------------------------------------------
+    # Columnar view
+    # ------------------------------------------------------------------
+    def attach_table_source(self, builder) -> None:
+        """Adopt a collector's :class:`~repro.symbolic.arena.PathTableBuilder`.
+
+        The batch materialiser and the streamed-query cache tee both collect
+        through a builder; handing it over lets :meth:`table` finalise the
+        already-accumulated columns instead of re-walking the paths.
+        """
+        object.__setattr__(self, "_table_source", builder)
+
+    def table(self):
+        """The columnar :class:`~repro.symbolic.arena.PathTable` of this path set.
+
+        Built lazily on first use and cached on the (immutable) result, so
+        every consumer of one compiled program — the in-process columnar
+        analyzers, the shared-memory dispatch transport — shares a single
+        table.  When the result was produced by a builder-backed collector
+        the cached columns are finalised directly; otherwise the paths are
+        interned and packed on first call.
+        """
+        table = getattr(self, "_table", None)
+        if table is None:
+            source = getattr(self, "_table_source", None)
+            if source is not None and len(source) == len(self.paths):
+                table = source.build()
+                object.__setattr__(self, "_table_source", None)
+            else:
+                from .arena import PathTable
+
+                table = PathTable.from_paths(self.paths)
+            object.__setattr__(self, "_table", table)
+        return table
+
 
 @dataclass
 class StreamStats:
@@ -406,14 +441,27 @@ class SymbolicExecutor:
 
     # ------------------------------------------------------------------
     def run(self, term: Term) -> SymbolicExecutionResult:
-        """Materialise the full path set (a thin wrapper over :meth:`iter_paths`)."""
+        """Materialise the full path set by collecting the stream columnar-first.
+
+        The batch collector is a :class:`~repro.symbolic.arena.PathTableBuilder`:
+        every completed path is structurally interned and appended to the
+        columnar tables as it is produced, so the result's paths carry full
+        DAG sharing and :meth:`SymbolicExecutionResult.table` finalises
+        without another walk.
+        """
+        from .arena import PathTableBuilder
+
         stats = StreamStats()
-        paths = tuple(self.iter_paths(term, stats))
-        return SymbolicExecutionResult(
-            paths=paths,
+        builder = PathTableBuilder()
+        for path in self.iter_paths(term, stats):
+            builder.append(path)
+        result = SymbolicExecutionResult(
+            paths=tuple(builder.paths),
             truncated_paths=stats.truncated_paths,
             pruned_paths=stats.pruned_paths,
         )
+        result.attach_table_source(builder)
+        return result
 
     # ------------------------------------------------------------------
     # approxFix: summarise a fixpoint via the interval type system

@@ -21,7 +21,7 @@ query to amortise the walk.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from .paths import SymConstraint, SymbolicPath
 from .value import SPrim, SymExpr
@@ -88,41 +88,61 @@ class PathInterner:
     """An incremental path collector interning against one shared memo.
 
     This is the accumulator behind the streamed-query cache tee
-    (:meth:`repro.Model.bounds` with ``stream=True``): paths are added one at
-    a time *as they are dispatched*, interned against a single memo so the
-    collected set carries full structural sharing, and
-    :meth:`approximate_arena_bytes` tracks how large the set would be in the
-    flat arena encoding (:mod:`repro.symbolic.arena`) — which is both the
-    cached representation's real footprint and the number the tee's memory
-    budget is enforced against.
+    (:meth:`repro.Model.bounds` with ``stream=True``).  Since the columnar
+    path-set core landed it is a thin veneer over
+    :class:`repro.symbolic.arena.PathTableBuilder`: paths are added one at a
+    time *as they are dispatched*, interned against a single memo so the
+    collected set carries full structural sharing, **and** the columnar
+    tables grow in the same pass — so when the tee completes, the collected
+    set is already a :class:`~repro.symbolic.arena.PathTable`
+    (:meth:`build_table`) and the dispatch image is a plain array
+    serialisation (:meth:`table_bytes`), with no further tree walks.
+    :meth:`approximate_arena_bytes` tracks how large the set is in the flat
+    encoding — which is both the cached representation's real footprint and
+    the number the tee's memory budget is enforced against.
     """
 
     def __init__(self) -> None:
-        self.memo: Dict[object, object] = {}
-        self.paths: list[SymbolicPath] = []
+        from .arena import PathTableBuilder
+
+        self._builder = PathTableBuilder()
+
+    @property
+    def builder(self):
+        """The underlying :class:`~repro.symbolic.arena.PathTableBuilder`.
+
+        Consumers that want the columnar form hand this to
+        :meth:`repro.symbolic.SymbolicExecutionResult.attach_table_source`.
+        """
+        return self._builder
+
+    @property
+    def memo(self) -> Dict[object, object]:
+        return self._builder.memo
+
+    @property
+    def paths(self) -> list[SymbolicPath]:
+        return self._builder.paths
 
     def add(self, path: SymbolicPath) -> SymbolicPath:
         """Intern ``path``, append it to the collection and return it."""
-        interned = intern_path(path, self.memo)
-        self.paths.append(interned)
-        return interned
+        return self._builder.append(path)
 
     def __len__(self) -> int:
-        return len(self.paths)
+        return len(self._builder)
 
     def approximate_arena_bytes(self) -> int:
-        """Estimated arena-encoded size of the collected paths so far.
+        """Estimated encoded size of the collected paths so far (monotone)."""
+        return self._builder.nbytes_estimate
 
-        The memo holds one entry per unique expression node (plus one per
-        unique constraint), which is exactly the arena's node-table length;
-        children are estimated at two per node.
-        """
-        from .arena import estimate_arena_bytes
+    def build_table(self):
+        """Finalise the collection into an in-memory ``PathTable``."""
+        return self._builder.build()
 
-        unique_nodes = len(self.memo)
-        return estimate_arena_bytes(unique_nodes, len(self.paths), 2 * unique_nodes)
+    def table_bytes(self) -> bytes:
+        """The collection's flat byte image (for shared-memory publication)."""
+        return self._builder.to_bytes()
 
     def clear(self) -> None:
         """Drop everything collected (the tee's budget-overflow action)."""
-        self.memo.clear()
-        self.paths.clear()
+        self._builder.clear()

@@ -355,10 +355,17 @@ class TestSegmentLifecycle:
         model, serial = geometric_baseline
         calls = []
 
-        def failing_create(paths, intern=True):
+        def failing_publish(image, paths):
             calls.append(len(paths))
             return None  # e.g. exhausted /dev/shm
 
+        def failing_create(paths, intern=True):
+            calls.append(len(paths))
+            return None
+
+        # Batch dispatch publishes the compiled table's bytes; both the
+        # image and the encode entry points must degrade identically.
+        monkeypatch.setattr(parallel_module, "publish_arena_image", failing_publish)
         monkeypatch.setattr(parallel_module, "create_arena_segment", failing_create)
         options = model.options.with_updates(
             workers=2, executor="process", chunk_size=2, payload_transport="arena"
@@ -511,15 +518,15 @@ class TestStreamCacheTee:
 
 
 class TestTransportKnobs:
-    def test_default_transport_is_pickle(self, monkeypatch):
+    def test_default_transport_is_arena(self, monkeypatch):
         monkeypatch.delenv("REPRO_ANALYSIS_TRANSPORT", raising=False)
-        assert AnalysisOptions().effective_transport == "pickle"
+        assert AnalysisOptions().effective_transport == "arena"
 
     def test_env_default(self, monkeypatch):
-        monkeypatch.setenv("REPRO_ANALYSIS_TRANSPORT", "arena")
-        assert AnalysisOptions().effective_transport == "arena"
-        monkeypatch.setenv("REPRO_ANALYSIS_TRANSPORT", "")
+        monkeypatch.setenv("REPRO_ANALYSIS_TRANSPORT", "pickle")
         assert AnalysisOptions().effective_transport == "pickle"
+        monkeypatch.setenv("REPRO_ANALYSIS_TRANSPORT", "")
+        assert AnalysisOptions().effective_transport == "arena"
 
     def test_unknown_transport_rejected(self):
         with pytest.raises(ValueError, match="payload_transport"):

@@ -316,10 +316,18 @@ class TestInterning:
     def test_interned_payloads_pickle_smaller(self):
         import pickle
 
-        execution = symbolic_paths(pedestrian_model(), ExecutionLimits(max_fixpoint_depth=7))
-        plain = pickle.dumps(execution.paths)
-        interned = pickle.dumps(intern_paths(execution.paths))
+        limits = ExecutionLimits(max_fixpoint_depth=7)
+        # Streamed paths are yielded raw (un-interned); interning dedupes them.
+        raw = tuple(stream_symbolic_paths(pedestrian_model(), limits))
+        plain = pickle.dumps(raw)
+        interned = pickle.dumps(intern_paths(raw))
         assert len(interned) < len(plain)
+        # Batch execution collects through the PathTableBuilder, so its paths
+        # are already maximally shared — re-interning cannot shrink them.
+        execution = symbolic_paths(pedestrian_model(), limits)
+        batch = pickle.dumps(execution.paths)
+        assert len(pickle.dumps(intern_paths(execution.paths))) == len(batch)
+        assert len(batch) < len(plain)
 
     def test_streaming_executor_exposes_peak_buffer_counter(self):
         execution = symbolic_paths(geometric_program(0.5), ExecutionLimits(max_fixpoint_depth=6))
