@@ -1,0 +1,215 @@
+"""Bounds-as-a-service throughput: cold vs cache-hit queries, TTFB over wire.
+
+The asyncio bounds front end (:mod:`repro.service.server`) serves whole
+posterior-bound queries over a shared LRU compiled-program cache keyed by
+canonical program hash.  This driver spins up an in-process server
+(:func:`serve_in_background`) plus a :class:`ServiceClient` and measures,
+for an exponentially branchy SPCF program:
+
+* **cold query latency** — first request for the program: parse + symbolic
+  execution + analysis, a program-cache miss,
+* **cache-hit throughput** — repeated requests for a *respelled* but
+  semantically identical program: the canonical program hash maps them to
+  the same cached entry, and the whole-query result cache answers without
+  re-running the analyzers — queries/sec rather than seconds/query,
+* **time-to-first-bound over the wire** — a streamed cold query on a fresh
+  program: wall-clock until the first anytime partial frame reaches the
+  client, asserted strictly below the total round-trip at full fidelity,
+* **distributed execution** — the same query through
+  ``executor="socket"`` (the TCP work queue spawning real worker
+  processes), asserted bit-identical.
+
+Every scenario asserts **bit-equality** against a local in-process serial
+``Model`` run — the service contract is "the same floats, over TCP".  In
+``REPRO_BENCH_TINY`` smoke mode the equality checks are the whole point;
+the timing assertions are reserved for full fidelity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import AnalysisOptions, Model
+from repro.intervals import Interval
+from repro.service import ServiceClient, serve_in_background
+
+from bench_utils import TINY, emit, scaled
+
+#: Levels of sample-and-branch nesting: each level splits every symbolic
+#: path in two, so ``depth`` levels give ``2**depth`` paths (and
+#: ``depth``-dimensional polytopes per path — the analyzer cost).
+_DEPTH = scaled(6, 4)
+_HIT_QUERIES = scaled(25, 5)
+_TARGETS = (Interval(0.0, 2.0), Interval(2.0, 6.0))
+_SCORE_SPLITS = scaled(8, 4)
+
+
+def _branchy_source(depth: int, pivot: float = 0.5) -> str:
+    """SPCF source with ``2**depth`` symbolic paths and linear source size.
+
+    ``pivot`` is the branch threshold constant; distinct pivots give
+    genuinely distinct programs (distinct canonical hashes), which the
+    cold/streamed/socket scenarios use to guarantee program-cache misses.
+    """
+    body = "(+ " + " (+ ".join(f"b{i}" for i in range(depth - 1))
+    body += f" b{depth - 1}" + ")" * (depth - 1)
+    for level in reversed(range(depth)):
+        body = (
+            f"(let x{level} (sample uniform 0 1) "
+            f"(let b{level} (if (- x{level} {pivot!r}) x{level} (- 1.0 x{level})) "
+            f"{body}))"
+        )
+    return body
+
+
+def _local_bounds(source: str) -> list:
+    options = AnalysisOptions(
+        score_splits=_SCORE_SPLITS, workers=1, executor="serial"
+    )
+    return Model.parse(source, options).bounds(list(_TARGETS))
+
+
+def _assert_bit_identical(reply_bounds, local) -> None:
+    assert len(reply_bounds) == len(local)
+    for wire, ours in zip(reply_bounds, local):
+        assert wire.lower == ours.lower, (wire, ours)
+        assert wire.upper == ours.upper, (wire, ours)
+
+
+def test_service_throughput(bench_once):
+    source = _branchy_source(_DEPTH)
+    # Same canonical program, different source text: whitespace respelling
+    # parses to the identical AST, so these queries must be cache hits.
+    respelled = "  " + source.replace(" (let", "  (let")
+    streamed_source = _branchy_source(_DEPTH, pivot=0.375)
+    socket_source = _branchy_source(_DEPTH, pivot=0.625)
+    options = {"score_splits": _SCORE_SPLITS, "workers": 1, "executor": "serial"}
+    local = _local_bounds(source)
+    local_streamed = _local_bounds(streamed_source)
+    local_socket = _local_bounds(socket_source)
+
+    lines = []
+    record = {}
+
+    def run_all():
+        with serve_in_background("127.0.0.1:0") as server:
+            with ServiceClient(server.endpoint) as client:
+                # --- cold query: program-cache miss, full pipeline -------
+                start = time.perf_counter()
+                cold = client.bounds(source, _TARGETS, options=options)
+                cold_seconds = time.perf_counter() - start
+                assert not cold.cache_hit
+                _assert_bit_identical(cold.bounds, local)
+
+                # --- cache hits: respelled source, same canonical hash ---
+                # Same program hash + targets + options → served from the
+                # whole-query result cache, no analyzer re-run.
+                start = time.perf_counter()
+                for _ in range(_HIT_QUERIES):
+                    hit = client.bounds(respelled, _TARGETS, options=options)
+                    assert hit.cache_hit
+                    assert hit.result_cache == "hit"
+                    assert hit.program_hash == cold.program_hash
+                    _assert_bit_identical(hit.bounds, local)
+                hit_total = time.perf_counter() - start
+                hit_avg_seconds = hit_total / _HIT_QUERIES
+
+                # --- streamed cold query: anytime partials over the wire -
+                arrivals = []
+                stream_start = time.perf_counter()
+                streamed = client.bounds(
+                    streamed_source,
+                    _TARGETS,
+                    options=options,
+                    stream=True,
+                    on_partial=lambda bounds, done: arrivals.append(
+                        time.perf_counter() - stream_start
+                    ),
+                )
+                stream_seconds = time.perf_counter() - stream_start
+                assert not streamed.cache_hit
+                _assert_bit_identical(streamed.bounds, local_streamed)
+                assert arrivals, "streamed cold query emitted no partial"
+                time_to_first_bound = arrivals[0]
+
+                # --- distributed execution through the socket queue ------
+                socket_options = dict(
+                    options, executor="socket", workers=2, socket_spawn_workers=2
+                )
+                start = time.perf_counter()
+                distributed = client.bounds(
+                    socket_source, _TARGETS, options=socket_options
+                )
+                socket_seconds = time.perf_counter() - start
+                _assert_bit_identical(distributed.bounds, local_socket)
+
+                all_stats = client.stats()
+                stats = all_stats.get("cache", {})
+                result_stats = all_stats.get("results", {})
+
+        lines.append(
+            f"program: 2**{_DEPTH} = {cold.paths} paths, "
+            f"{len(_TARGETS)} targets, score_splits={_SCORE_SPLITS}"
+        )
+        lines.append(
+            f"cold query        {cold_seconds:8.3f}s   "
+            f"({1.0 / cold_seconds:8.2f} q/s)  cache=miss"
+        )
+        lines.append(
+            f"cache-hit query   {hit_avg_seconds:8.3f}s   "
+            f"({1.0 / hit_avg_seconds:8.2f} q/s)  cache=hit x{_HIT_QUERIES}"
+        )
+        lines.append(
+            f"streamed cold     {stream_seconds:8.3f}s   "
+            f"first bound at {time_to_first_bound:.3f}s "
+            f"({len(streamed.partials)} partial frame(s))"
+        )
+        lines.append(f"socket executor   {socket_seconds:8.3f}s   (2 workers over TCP)")
+        lines.append(
+            "program cache: "
+            f"hits={stats.get('hits')} misses={stats.get('misses')} "
+            f"entries={stats.get('entries')}  |  result cache: "
+            f"hits={result_stats.get('hits')} misses={result_stats.get('misses')}"
+        )
+        lines.append("bounds: bit-identical to local serial execution in all modes")
+
+        record.update(
+            {
+                "depth": _DEPTH,
+                "paths": cold.paths,
+                "hit_queries": _HIT_QUERIES,
+                "cold_seconds": cold_seconds,
+                "hit_avg_seconds": hit_avg_seconds,
+                "queries_per_second_cold": 1.0 / cold_seconds,
+                "queries_per_second_hit": 1.0 / hit_avg_seconds,
+                "stream_total_seconds": stream_seconds,
+                "time_to_first_bound": time_to_first_bound,
+                "socket_seconds": socket_seconds,
+                "partial_frames": len(streamed.partials),
+                "cache": {
+                    "hits": stats.get("hits"),
+                    "misses": stats.get("misses"),
+                    "entries": stats.get("entries"),
+                },
+                "result_cache": {
+                    "hits": result_stats.get("hits"),
+                    "misses": result_stats.get("misses"),
+                },
+                "bounds": [
+                    {"lower": bound.lower, "upper": bound.upper} for bound in local
+                ],
+            }
+        )
+
+        if not TINY:
+            # The service claims, pinned at full fidelity: a repeated
+            # query is served from the result cache at a fraction of the
+            # cold latency, and streaming beats waiting for the total.
+            assert hit_avg_seconds < cold_seconds / 10, (hit_avg_seconds, cold_seconds)
+            assert time_to_first_bound < stream_seconds, (
+                time_to_first_bound,
+                stream_seconds,
+            )
+
+    bench_once(run_all)
+    emit("service_throughput", lines, record)

@@ -1,0 +1,109 @@
+"""Bounds as a service: a multi-tenant server, streamed queries, shared cache.
+
+This demo runs the whole service stack inside one process:
+
+1. start the asyncio bounds server on a loopback port
+   (:func:`repro.service.serve_in_background` — in production you would run
+   ``python -m repro.service.server --bind 0.0.0.0:7753`` instead),
+2. submit a posterior-bound query for an SPCF program as **source text**
+   over TCP and get back the exact floats a local ``Model`` would compute,
+3. stream a query and watch **anytime partial bounds** arrive before path
+   exploration finishes,
+4. let several "tenants" (threads with their own clients) query the same
+   program concurrently and show the shared compiled-program cache serving
+   all but the first from one symbolic execution, and
+5. run one query through the distributed ``executor="socket"`` work queue —
+   real worker processes fed over TCP — at bit-identical bounds.
+
+Run with::
+
+    python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import AnalysisOptions, Interval, Model
+from repro.service import ServiceClient, serve_in_background
+
+#: A branchy SPCF model: two uniform samples, a comparison branch, and a
+#: soft observation on each side.  ``(if c a b)`` takes ``a`` when c <= 0.
+PROGRAM = """
+(let x (sample uniform 0 1)
+  (let y (sample uniform 0 1)
+    (if (- x y)
+        (let z (score (+ 0.5 x)) (+ x y))
+        (let z (score (- 1.5 x)) (* x y)))))
+"""
+
+TARGETS = [Interval(0.0, 0.5), Interval(0.5, 1.0)]
+
+
+def main() -> None:
+    with serve_in_background("127.0.0.1:0") as server:
+        print(f"bounds server listening on {server.endpoint}")
+
+        with ServiceClient(server.endpoint) as client:
+            # --- one cold query over the wire ---------------------------
+            reply = client.bounds(PROGRAM, TARGETS)
+            print(f"\ncold query ({reply.cache}, {reply.paths} paths):")
+            for target, bound in zip(TARGETS, reply.bounds):
+                print(f"  Pr[result in {target}]  ∝  [{bound.lower:.6f}, {bound.upper:.6f}]")
+
+            # The service contract: the same floats a local Model computes.
+            local = Model.parse(PROGRAM, AnalysisOptions(workers=1, executor="serial"))
+            for bound, ours in zip(reply.bounds, local.bounds(TARGETS)):
+                assert bound.lower == ours.lower and bound.upper == ours.upper
+            print("  (bit-identical to a local in-process run)")
+
+            # --- a streamed query: anytime partial bounds ---------------
+            # A non-default fixpoint depth gives a distinct canonical hash,
+            # so this is a cold (cache-miss) query — the only kind that
+            # streams: a cache hit answers from the compiled program at
+            # once, with nothing to report early.
+            print("\nstreamed query:")
+            reply = client.bounds(
+                PROGRAM,
+                TARGETS,
+                options={"max_fixpoint_depth": 8},
+                stream=True,
+                on_partial=lambda bounds, done: print(
+                    f"  partial after {done} path(s): "
+                    f"lower >= {bounds[0].lower:.6f} for {TARGETS[0]}"
+                ),
+            )
+            print(f"  final: [{reply.bounds[0].lower:.6f}, {reply.bounds[0].upper:.6f}]")
+
+        # --- several tenants share one compiled-program cache -----------
+        def tenant(name: str) -> None:
+            with ServiceClient(server.endpoint) as mine:
+                answer = mine.bounds(PROGRAM, TARGETS)
+                print(f"  tenant {name}: cache={answer.cache}")
+
+        print("\nfour concurrent tenants, one cache:")
+        threads = [threading.Thread(target=tenant, args=(f"t{i}",)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        with ServiceClient(server.endpoint) as client:
+            cache = client.stats()["cache"]
+            print(
+                f"  server cache: {cache['entries']} compiled program(s), "
+                f"{cache['hits']} hits, {cache['misses']} misses"
+            )
+
+            # --- distributed execution over the TCP work queue ----------
+            print("\nsocket executor (2 worker processes over TCP):")
+            reply = client.bounds(
+                PROGRAM,
+                TARGETS,
+                options={"executor": "socket", "workers": 2, "socket_spawn_workers": 2},
+            )
+            print(f"  [{reply.bounds[0].lower:.6f}, {reply.bounds[0].upper:.6f}] — same floats, remote workers")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,13 +8,36 @@ from typing import Optional, Sequence
 
 from ..symbolic import ExecutionLimits
 
-__all__ = ["AnalysisOptions", "DEFAULT_TRANSPORT", "EXECUTOR_KINDS", "TRANSPORT_KINDS"]
+__all__ = [
+    "AnalysisOptions",
+    "DEFAULT_JOB_RETRIES",
+    "DEFAULT_JOB_TIMEOUT",
+    "DEFAULT_SOCKET_ENDPOINT",
+    "DEFAULT_TRANSPORT",
+    "EXECUTOR_KINDS",
+    "TRANSPORT_KINDS",
+    "parse_endpoint",
+]
 
 #: The recognised execution backends of the bound engine.  ``"serial"`` runs
 #: the classic single-threaded loop, ``"thread"`` / ``"process"`` fan path
 #: chunks out over a ``concurrent.futures`` pool (see
-#: :mod:`repro.analysis.parallel`).
-EXECUTOR_KINDS = ("serial", "thread", "process")
+#: :mod:`repro.analysis.parallel`), and ``"socket"`` fans chunks out over a
+#: TCP work queue to remote worker processes (``python -m
+#: repro.service.worker``; see :mod:`repro.service.queue`).
+EXECUTOR_KINDS = ("serial", "thread", "process", "socket")
+
+#: Where the ``"socket"`` executor binds its work-queue server when
+#: ``socket_endpoint`` is unset: loopback with an ephemeral port (the bound
+#: address is discoverable via ``ParallelAnalysisExecutor.queue_address``).
+DEFAULT_SOCKET_ENDPOINT = "127.0.0.1:0"
+
+#: Default per-job timeout (seconds) of the socket work queue.
+DEFAULT_JOB_TIMEOUT = 300.0
+
+#: Default number of times a failed/timed-out/lost socket job is re-queued
+#: before the query errors out.
+DEFAULT_JOB_RETRIES = 2
 
 #: The recognised process-dispatch payload formats.  ``"arena"`` (the
 #: default) writes the path set once into a ``multiprocessing.shared_memory``
@@ -44,6 +67,7 @@ _EXECUTOR_ENV = "REPRO_ANALYSIS_EXECUTOR"
 _STREAM_ENV = "REPRO_ANALYSIS_STREAM"
 _TRANSPORT_ENV = "REPRO_ANALYSIS_TRANSPORT"
 _COLUMNAR_ENV = "REPRO_ANALYSIS_COLUMNAR"
+_SOCKET_ENDPOINT_ENV = "REPRO_ANALYSIS_SOCKET_ENDPOINT"
 
 
 def _require_positive(name: str, value: int) -> None:
@@ -76,6 +100,24 @@ def _default_transport() -> Optional[str]:
 
 def _default_columnar() -> bool:
     return os.environ.get(_COLUMNAR_ENV, "").lower() not in ("0", "false", "no")
+
+
+def _default_socket_endpoint() -> Optional[str]:
+    return os.environ.get(_SOCKET_ENDPOINT_ENV) or None
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Split a ``host:port`` endpoint string (the socket executor's knob)."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint must look like 'host:port', got {endpoint!r}")
+    try:
+        port_number = int(port)
+    except ValueError as exc:
+        raise ValueError(f"endpoint port must be an integer, got {port!r}") from exc
+    if not 0 <= port_number <= 65535:
+        raise ValueError(f"endpoint port out of range: {port_number}")
+    return host, port_number
 
 
 @dataclass(frozen=True)
@@ -161,6 +203,29 @@ class AnalysisOptions:
             compiled path set.  On by default; bounds are bit-identical
             with the knob on or off.  ``$REPRO_ANALYSIS_COLUMNAR=0``
             disables it process-wide.
+        socket_endpoint: ``host:port`` the ``"socket"`` executor binds its
+            work-queue server on.  ``None`` (the default) binds loopback with
+            an ephemeral port — right for the common case where the executor
+            spawns its own local workers; give an explicit reachable address
+            when remote workers (``python -m repro.service.worker``) are
+            meant to connect from other hosts.  Defaults to
+            ``$REPRO_ANALYSIS_SOCKET_ENDPOINT`` when that variable is set.
+        socket_spawn_workers: how many *local* worker processes the
+            ``"socket"`` executor launches against its own queue.  ``None``
+            (the default) spawns ``workers`` of them, so
+            ``AnalysisOptions(executor="socket", workers=4)`` is
+            self-contained; ``0`` spawns none (external workers must connect
+            before any query makes progress).
+        job_timeout: per-job wall-clock limit (seconds) of the socket work
+            queue.  A job that exceeds it is requeued to another worker (the
+            stuck worker's connection is dropped); ``None`` disables the
+            timeout.
+        job_retries: how many times a failed, timed-out or lost socket job
+            is re-dispatched before the query fails.  Bounded retry is what
+            turns a dead or wedged worker into a throughput loss instead of
+            a query loss — while still guaranteeing that a job which can
+            never succeed (e.g. a deterministic analyzer error) surfaces
+            after ``job_retries + 1`` attempts.
         stream_cache_budget: memory budget (bytes) of the streamed-query
             cache tee.  A ``stream=True`` query on a cache miss materialises
             the paths it dispatches (interned, so the footprint is the
@@ -191,6 +256,10 @@ class AnalysisOptions:
     prefetch: int = 4
     payload_transport: Optional[str] = field(default_factory=_default_transport)
     columnar: bool = field(default_factory=_default_columnar)
+    socket_endpoint: Optional[str] = field(default_factory=_default_socket_endpoint)
+    socket_spawn_workers: Optional[int] = None
+    job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT
+    job_retries: int = DEFAULT_JOB_RETRIES
     stream_cache_budget: Optional[int] = DEFAULT_STREAM_CACHE_BUDGET
 
     def __post_init__(self) -> None:
@@ -217,6 +286,24 @@ class AnalysisOptions:
             raise ValueError(
                 f"payload_transport must be one of {kinds} (or None for the "
                 f"default), got {self.payload_transport!r}"
+            )
+        if self.socket_endpoint is not None:
+            parse_endpoint(self.socket_endpoint)  # raises ValueError when malformed
+        if self.socket_spawn_workers is not None:
+            spawn = self.socket_spawn_workers
+            if not isinstance(spawn, int) or isinstance(spawn, bool) or spawn < 0:
+                raise ValueError(
+                    f"socket_spawn_workers must be a non-negative integer or None, got {spawn!r}"
+                )
+        if self.job_timeout is not None:
+            timeout = self.job_timeout
+            if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
+                raise ValueError(
+                    f"job_timeout must be a positive number of seconds or None, got {timeout!r}"
+                )
+        if not isinstance(self.job_retries, int) or isinstance(self.job_retries, bool) or self.job_retries < 0:
+            raise ValueError(
+                f"job_retries must be a non-negative integer, got {self.job_retries!r}"
             )
         if self.stream_cache_budget is not None:
             budget = self.stream_cache_budget
@@ -287,14 +374,19 @@ class AnalysisOptions:
             max_paths=self.max_paths,
         )
 
-    def executor_key(self) -> tuple[str, int]:
+    def executor_key(self) -> tuple:
         """The subset of options that identify a reusable worker pool.
 
         ``chunk_size`` is deliberately absent: it only affects how one call
         partitions its paths, not the pool itself, so sweeping chunk sizes
-        reuses a single pool.
+        reuses a single pool.  For the ``"socket"`` backend the key includes
+        the queue endpoint and spawn count — different endpoints are
+        different clusters and must not share one queue server.
         """
-        return (self.effective_executor, self.workers)
+        kind = self.effective_executor
+        if kind == "socket":
+            return (kind, self.workers, self.socket_endpoint, self.socket_spawn_workers)
+        return (kind, self.workers)
 
     def with_updates(self, **changes) -> "AnalysisOptions":
         """A copy of the options with some fields replaced."""

@@ -259,6 +259,7 @@ def analyze_path_stream(
     options: Optional[AnalysisOptions] = None,
     report: Optional[AnalysisReport] = None,
     executor: Optional["ParallelAnalysisExecutor"] = None,
+    progress=None,
 ) -> list[DenotationBounds]:
     """Bounds on ``⟦P⟧(U)`` from a *stream* of symbolic paths.
 
@@ -275,6 +276,15 @@ def analyze_path_stream(
 
     Exceptions raised by the generator (e.g. a mid-stream
     :class:`~repro.symbolic.PathExplosionError`) propagate to the caller.
+
+    ``progress`` (optional) is the anytime hook of the service tier: a
+    callable ``progress(partial_bounds, paths_done)`` invoked **once**, as
+    soon as the first path contributions are folded, with the running
+    partial accumulation.  Partial lower bounds are sound lower bounds (path
+    contributions are non-negative and only accumulate); partial upper
+    bounds are *not* yet sound — they cover only the paths analysed so far —
+    which is why the hook surfaces them as an explicitly partial preview,
+    never as the query result.
     """
     options = options or AnalysisOptions()
     report = report if report is not None else AnalysisReport()
@@ -284,7 +294,7 @@ def analyze_path_stream(
         from .parallel import shared_executor
 
         pool = executor if executor is not None else shared_executor(options)
-        bounds = pool.analyze_stream(paths, targets, options, report)
+        bounds = pool.analyze_stream(paths, targets, options, report, progress=progress)
         report.seconds += time.perf_counter() - start
         return bounds
 
@@ -299,6 +309,14 @@ def analyze_path_stream(
         if report.first_result_seconds is None:
             report.first_result_seconds = time.perf_counter() - start
             report.peak_path_buffer = max(report.peak_path_buffer, 1)
+            if progress is not None:
+                progress(
+                    [
+                        DenotationBounds(target=target, lower=lower, upper=upper)
+                        for target, (lower, upper) in zip(targets, totals)
+                    ],
+                    report.path_count,
+                )
     report.seconds += time.perf_counter() - start
     return [
         DenotationBounds(target=target, lower=lower, upper=upper)

@@ -28,12 +28,15 @@ import weakref
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import hashlib
+
 from ..intervals import Interval
 from ..lang.ast import Term
 from ..symbolic import (
     ExecutionLimits,
     PathInterner,
     SymbolicExecutionResult,
+    fingerprint_term,
     stream_symbolic_paths,
     symbolic_paths,
 )
@@ -50,7 +53,26 @@ from .engine import (
 )
 from .histogram import BucketBound, HistogramBounds
 
-__all__ = ["CompiledProgram", "Model"]
+__all__ = ["CompiledProgram", "Model", "program_hash"]
+
+
+def program_hash(term: Term, limits: Optional[ExecutionLimits] = None) -> str:
+    """The canonical hash identifying one compiled program.
+
+    Folds the structural term fingerprint
+    (:func:`repro.symbolic.fingerprint_term`) together with the
+    :class:`~repro.symbolic.ExecutionLimits` that parameterise symbolic
+    execution — the same pair the :class:`Model` compile cache is keyed on,
+    lifted to a value that is stable **across processes**: the service tier
+    uses it to share compiled programs (and their path tables) between
+    tenants, so two clients submitting the same program text at the same
+    limits hit one cache entry instead of running symbolic execution twice.
+    """
+    limits = limits or ExecutionLimits()
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(fingerprint_term(term).encode())
+    digest.update(f"|{limits.max_fixpoint_depth}|{limits.max_paths}".encode())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -88,6 +110,19 @@ class CompiledProgram:
     def exact(self) -> bool:
         """True when no fixpoint had to be over-approximated."""
         return self.execution.exact
+
+    @property
+    def program_hash(self) -> str:
+        """Canonical cross-process identity of this compilation (cached).
+
+        See :func:`program_hash`; computed lazily because the facade only
+        needs it when a program enters the service tier's shared cache.
+        """
+        cached = getattr(self, "_program_hash", None)
+        if cached is None:
+            cached = program_hash(self.term, self.limits)
+            object.__setattr__(self, "_program_hash", cached)
+        return cached
 
     def analyze(
         self,
@@ -131,6 +166,13 @@ class Model:
         self._compiled: dict[ExecutionLimits, CompiledProgram] = {}
         self._compile_count = 0
         self._cache_hits = 0
+        self._fingerprint: Optional[str] = None
+        # Service-tier observability: how many streamed queries primed the
+        # compile cache through the tee, and how many times a shared
+        # program-hash cache (repro.service) served / missed this model.
+        self._stream_tee_primes = 0
+        self._program_cache_hits = 0
+        self._program_cache_misses = 0
         # Worker pools, keyed by the parallel knobs that define them.  Pools
         # are created lazily on the first parallel query and reused across
         # queries (mirroring the compiled-program cache for the symbolic
@@ -206,13 +248,42 @@ class Model:
         """How many queries were served without re-running symbolic execution."""
         return self._cache_hits
 
+    def fingerprint(self) -> str:
+        """The structural fingerprint of this model's term (cached).
+
+        The program half of :func:`program_hash` — what the service tier
+        keys its multi-tenant program cache on.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_term(self._term)
+        return self._fingerprint
+
+    def note_program_cache(self, hit: bool) -> None:
+        """Record one shared program-hash cache lookup that resolved to this model.
+
+        Called by the service tier's :class:`repro.service.server.ProgramCache`
+        so cache behaviour is observable through :meth:`cache_info` next to
+        the compile-cache counters.
+        """
+        if hit:
+            self._program_cache_hits += 1
+        else:
+            self._program_cache_misses += 1
+
     def cache_info(self) -> dict[str, int]:
         """Cache statistics: ``entries`` counts the (possibly shared) cache,
-        ``compilations``/``hits`` count this instance's own queries."""
+        ``compilations``/``hits`` count this instance's own queries,
+        ``stream_tee_primes`` counts streamed queries that installed their
+        path set into the compile cache, and the ``program_cache_*`` pair
+        counts lookups of the service tier's shared program-hash cache that
+        resolved to this model."""
         return {
             "entries": len(self._compiled),
             "compilations": self._compile_count,
             "hits": self._cache_hits,
+            "stream_tee_primes": self._stream_tee_primes,
+            "program_cache_hits": self._program_cache_hits,
+            "program_cache_misses": self._program_cache_misses,
         }
 
     def _resolve(self, options: Optional[AnalysisOptions]) -> AnalysisOptions:
@@ -235,7 +306,10 @@ class Model:
             # query's value into a pool keyed only by (kind, workers) would
             # leak it into later queries.
             executor = ParallelAnalysisExecutor(
-                workers=options.workers, kind=options.effective_executor
+                workers=options.workers,
+                kind=options.effective_executor,
+                socket_endpoint=options.socket_endpoint,
+                socket_spawn_workers=options.socket_spawn_workers,
             )
             self._executors[key] = executor
             # Safety net for models dropped without close(): shut the pool
@@ -277,6 +351,7 @@ class Model:
         targets: Sequence[Interval],
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
+        progress=None,
     ) -> list[DenotationBounds]:
         """Guaranteed bounds on ``⟦P⟧(U)`` for every target ``U`` in ``targets``.
 
@@ -294,10 +369,18 @@ class Model:
         uncached streaming.  When a compiled program for the options'
         execution limits is already cached the cached batch path is used
         instead (it is strictly cheaper and bit-identical).
+
+        ``progress`` (optional, streamed cache-miss queries only) is invoked
+        once with ``(partial_bounds, paths_done)`` as soon as the first path
+        contributions land — the anytime first-bound hook the bounds service
+        streams over the wire (see
+        :func:`repro.analysis.engine.analyze_path_stream`).  Batch and
+        cache-hit queries never call it: their full result is the first
+        result.
         """
         options = self._resolve(options)
         if options.stream and options.execution_limits() not in self._compiled:
-            return self._bounds_streamed(targets, options, report)
+            return self._bounds_streamed(targets, options, report, progress)
         compilations_before = self._compile_count
         compiled = self.compile(options)
         if report is not None:
@@ -312,6 +395,7 @@ class Model:
         targets: Sequence[Interval],
         options: AnalysisOptions,
         report: Optional[AnalysisReport],
+        progress=None,
     ) -> list[DenotationBounds]:
         """One streamed query, with the cache tee wrapped around the stream."""
         limits = options.execution_limits()
@@ -342,7 +426,9 @@ class Model:
                 yield path
                 resumed = time.perf_counter()
 
-        bounds = analyze_path_stream(teed(), targets, options, report, executor=executor)
+        bounds = analyze_path_stream(
+            teed(), targets, options, report, executor=executor, progress=progress
+        )
         if collector is not None and collector.paths and stream.stats.exhausted:
             # The stream completed within budget: its paths ARE the compiled
             # program.  The collector is a PathTableBuilder in disguise, so
@@ -358,6 +444,8 @@ class Model:
                 pruned_paths=stream.stats.pruned_paths,
             )
             execution.attach_table_source(collector.builder)
+            if limits not in self._compiled:
+                self._stream_tee_primes += 1
             self._compiled.setdefault(
                 limits,
                 CompiledProgram(

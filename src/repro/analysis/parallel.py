@@ -57,17 +57,25 @@ transport/backend/columnar combination.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
+import pickle
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from collections import OrderedDict
 
 from ..intervals import Interval
 from ..symbolic import SymbolicExecutionResult, SymbolicPath, intern_paths
-from .config import EXECUTOR_KINDS, AnalysisOptions, _require_positive
+from ..symbolic.arena import encode_paths
+from .config import (
+    DEFAULT_SOCKET_ENDPOINT,
+    EXECUTOR_KINDS,
+    AnalysisOptions,
+    _require_positive,
+)
 from .engine import (
     AnalysisReport,
     DenotationBounds,
@@ -99,6 +107,7 @@ __all__ = [
     "ParallelAnalysisExecutor",
     "analyze_arena_chunk",
     "analyze_chunk",
+    "analyze_table_slice",
     "close_shared_executors",
     "partition_paths",
     "shared_executor",
@@ -409,6 +418,29 @@ def _resolved_context(context: str) -> tuple:
     return entry
 
 
+def analyze_table_slice(
+    table,
+    start: int,
+    stop: int,
+    targets: tuple[Interval, ...],
+    options: AnalysisOptions,
+    analyzers,
+    paths: Optional[Sequence[SymbolicPath]] = None,
+) -> list[PathContribution]:
+    """Analyse one ``[start, stop)`` slice of a ``PathTable`` (resolved form).
+
+    The transport-independent chunk body: the columnar sweep under
+    ``options.columnar``, the materialised loop otherwise — the same two
+    routes every backend runs, so any consumer holding a table and resolved
+    analyzers (process workers, the socket tier's remote workers, in-process
+    backends) produces the exact same contribution records.
+    """
+    if options.columnar:
+        return _analyze_table_range(table, start, stop, targets, options, analyzers, paths=paths)
+    decoded = paths[start:stop] if paths is not None else table.decode_range(start, stop)
+    return _analyze_paths_resolved(decoded, targets, options, analyzers)
+
+
 def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]]:
     """Analyse one chunk referenced into a shared-memory path-table segment.
 
@@ -424,12 +456,9 @@ def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]
     """
     targets, options, analyzers = _resolved_context(ref.context)
     table = attach_arena(ref.segment)
-    if options.columnar:
-        return ref.index, _analyze_table_range(
-            table, ref.start, ref.stop, targets, options, analyzers
-        )
-    paths = table.decode_range(ref.start, ref.stop)
-    return ref.index, _analyze_paths_resolved(paths, targets, options, analyzers)
+    return ref.index, analyze_table_slice(
+        table, ref.start, ref.stop, targets, options, analyzers
+    )
 
 
 #: Process-wide executor cache for callers without their own pool lifecycle
@@ -450,7 +479,12 @@ def shared_executor(options: AnalysisOptions) -> "ParallelAnalysisExecutor":
     key = options.executor_key()
     executor = _SHARED_EXECUTORS.get(key)
     if executor is None or executor._closed:
-        executor = ParallelAnalysisExecutor(workers=options.workers, kind=options.effective_executor)
+        executor = ParallelAnalysisExecutor(
+            workers=options.workers,
+            kind=options.effective_executor,
+            socket_endpoint=options.socket_endpoint,
+            socket_spawn_workers=options.socket_spawn_workers,
+        )
         _SHARED_EXECUTORS[key] = executor
     return executor
 
@@ -462,6 +496,14 @@ def close_shared_executors() -> None:
     _SHARED_EXECUTORS.clear()
 
 
+# Deterministic teardown at interpreter exit: shared pools, their published
+# shared-memory segments and any socket work-queue servers (with the local
+# worker processes they spawned) are released even when no caller ever
+# invoked close_shared_executors() — without this, an aborted script run
+# could leave /dev/shm segments and orphaned worker processes behind.
+atexit.register(close_shared_executors)
+
+
 class ParallelAnalysisExecutor:
     """A reusable worker pool for chunked bound analysis.
 
@@ -471,8 +513,11 @@ class ParallelAnalysisExecutor:
     scenario.  It is a context manager; :meth:`close` shuts the pool down.
 
     ``kind`` is one of ``"process"`` (default; true CPU parallelism),
-    ``"thread"`` (no pickling, but GIL-bound) or ``"serial"`` (the identical
-    chunked pipeline without a pool, for debugging).
+    ``"thread"`` (no pickling, but GIL-bound), ``"serial"`` (the identical
+    chunked pipeline without a pool, for debugging) or ``"socket"`` (a TCP
+    work queue dispatching chunks to ``python -m repro.service.worker``
+    processes — local ones it spawns itself and/or remote ones that connect
+    to ``socket_endpoint``; see :mod:`repro.service.queue`).
     """
 
     def __init__(
@@ -480,6 +525,8 @@ class ParallelAnalysisExecutor:
         workers: Optional[int] = None,
         kind: str = "process",
         chunk_size: Optional[int] = None,
+        socket_endpoint: Optional[str] = None,
+        socket_spawn_workers: Optional[int] = None,
     ) -> None:
         if kind not in EXECUTOR_KINDS:
             kinds = ", ".join(repr(k) for k in EXECUTOR_KINDS)
@@ -492,6 +539,14 @@ class ParallelAnalysisExecutor:
         self.workers = workers
         self.kind = kind
         self.chunk_size = chunk_size
+        self.socket_endpoint = socket_endpoint
+        self.socket_spawn_workers = socket_spawn_workers
+        #: The lazily-started work-queue server of the ``"socket"`` backend
+        #: (see :meth:`_ensure_queue`), plus LRU key caches mirroring the
+        #: arena/context segment caches of the shared-memory transport.
+        self._queue = None
+        self._socket_tables: "OrderedDict[int, tuple[tuple, str]]" = OrderedDict()
+        self._socket_contexts: "OrderedDict[tuple, str]" = OrderedDict()
         self._pool: Optional[concurrent.futures.Executor] = None
         self._closed = False
         #: Published arena segments, keyed by ``id`` of the path tuple they
@@ -522,7 +577,7 @@ class ParallelAnalysisExecutor:
     def _ensure_pool(self) -> Optional[concurrent.futures.Executor]:
         if self._closed:
             raise RuntimeError("ParallelAnalysisExecutor is closed")
-        if self.kind == "serial":
+        if self.kind in ("serial", "socket"):
             return None
         if self._pool is None:
             if self.kind == "thread":
@@ -531,12 +586,47 @@ class ParallelAnalysisExecutor:
                 self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _ensure_queue(self):
+        """The lazily-started work-queue server of the ``"socket"`` backend.
+
+        Binds ``socket_endpoint`` (default: loopback, ephemeral port) on
+        first use and spawns ``socket_spawn_workers`` local worker
+        processes (default: ``workers`` of them; ``0`` relies entirely on
+        external workers connecting to :attr:`queue_address`).
+        """
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
+        if self._queue is None:
+            # Imported lazily: repro.service imports this module for the
+            # shared chunk loop, so a module-level import would be circular.
+            from ..service.queue import WorkQueueServer
+
+            self._queue = WorkQueueServer(
+                endpoint=self.socket_endpoint or DEFAULT_SOCKET_ENDPOINT,
+            )
+            spawn = self.socket_spawn_workers
+            if spawn is None:
+                spawn = self.workers
+            if spawn:
+                self._queue.spawn_local_workers(spawn)
+        return self._queue
+
+    @property
+    def queue_address(self) -> Optional[str]:
+        """The bound ``host:port`` of the socket backend's queue (or None)."""
+        return self._queue.endpoint if self._queue is not None else None
+
     def close(self) -> None:
         """Shut the worker pool down and unlink its arena segments (idempotent)."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._queue is not None:
+            self._queue.close()
+            self._queue = None
+        self._socket_tables.clear()
+        self._socket_contexts.clear()
         while self._arena_segments:
             _, segment = self._arena_segments.popitem(last=False)
             segment.unlink()
@@ -667,6 +757,99 @@ class ParallelAnalysisExecutor:
         return context
 
     # ------------------------------------------------------------------
+    # Socket-backend resource registration
+    # ------------------------------------------------------------------
+    #: How many path-table resources stay registered with the work queue
+    #: (mirrors the arena segment cache: one per cached compiled program).
+    _SOCKET_TABLE_CAP = 4
+    #: How many query-context resources stay registered (tiny pickles).
+    _SOCKET_CONTEXT_CAP = 8
+
+    def _socket_table_key(self, execution: SymbolicExecutionResult, queue) -> str:
+        """Register ``execution``'s path-table image with the queue (cached).
+
+        The content hash of the table bytes is the resource key, so the
+        image is encoded once per compiled path set, shipped at most once
+        per worker connection, and naturally deduplicated when two
+        executions encode equal tables.
+        """
+        from ..service.protocol import hash_bytes
+
+        paths = execution.paths
+        ident = id(paths)
+        entry = self._socket_tables.get(ident)
+        if entry is not None and entry[0] is paths:
+            self._socket_tables.move_to_end(ident)
+            return entry[1]
+        image = execution.table().to_bytes()
+        key = hash_bytes(image)
+        queue.add_resource(key, image, "table")
+        self._socket_tables[ident] = (paths, key)
+        while len(self._socket_tables) > self._SOCKET_TABLE_CAP:
+            _, (_, old_key) = self._socket_tables.popitem(last=False)
+            queue.discard_resource(old_key)
+        return key
+
+    def _socket_context_key(
+        self,
+        queue,
+        targets: tuple[Interval, ...],
+        options: AnalysisOptions,
+        specs: tuple[AnalyzerSpec, ...],
+    ) -> str:
+        """Register one query shape's pickled context with the queue (cached)."""
+        from ..service.protocol import hash_bytes
+
+        cache_key = (targets, options, specs)
+        key = self._socket_contexts.get(cache_key)
+        if key is not None:
+            self._socket_contexts.move_to_end(cache_key)
+            return key
+        payload = pickle.dumps(cache_key, protocol=pickle.HIGHEST_PROTOCOL)
+        key = hash_bytes(payload)
+        queue.add_resource(key, payload, "context")
+        self._socket_contexts[cache_key] = key
+        while len(self._socket_contexts) > self._SOCKET_CONTEXT_CAP:
+            _, old_key = self._socket_contexts.popitem(last=False)
+            queue.discard_resource(old_key)
+        return key
+
+    def _analyze_socket(
+        self,
+        execution: SymbolicExecutionResult,
+        target_tuple: tuple[Interval, ...],
+        options: AnalysisOptions,
+        specs: tuple[AnalyzerSpec, ...],
+        chunks: list[range],
+        report: Optional[AnalysisReport],
+    ) -> list[DenotationBounds]:
+        """Batch dispatch over the TCP work queue.
+
+        The distributed analogue of the arena branch in :meth:`analyze`:
+        the table image and the query context are content-addressed
+        resources registered once, every chunk travels as a tiny index
+        range, and the futures merge through the same canonical-order
+        reduction — socket bounds are bit-identical to serial bounds.
+        """
+        queue = self._ensure_queue()
+        table_key = self._socket_table_key(execution, queue)
+        context_key = self._socket_context_key(queue, target_tuple, options, specs)
+        futures = [
+            queue.submit_chunk(
+                index=chunk_index,
+                table=table_key,
+                start=chunk.start,
+                stop=chunk.stop,
+                context=context_key,
+                timeout=options.job_timeout,
+                retries=options.job_retries,
+            )
+            for chunk_index, chunk in enumerate(chunks)
+        ]
+        results = [future.result() for future in futures]
+        return self._merge(results, target_tuple, report)
+
+    # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
     def analyze(
@@ -692,18 +875,24 @@ class ParallelAnalysisExecutor:
         # executor's own value is only a default.
         chunk_size = options.chunk_size if options.chunk_size is not None else self.chunk_size
         chunks = partition_paths(paths, self.workers, chunk_size)
-        # Custom analyzers must be resolvable by name inside process workers;
-        # fail fast in the parent when a name is simply unknown.
-        specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
-        if self.kind != "process":
+        # Custom analyzers must be resolvable by name inside remote workers
+        # (process pool or socket queue); fail fast in the parent when a
+        # name is simply unknown.
+        remote = self.kind in ("process", "socket")
+        specs = analyzer_specs(options.analyzer_names) if remote else ()
+        if not remote:
             resolve_analyzers(options)
         self.chunks_dispatched += len(chunks)
         self.paths_analyzed += len(paths)
 
         # Empty or single-chunk work always runs inline: it is bit-identical
-        # (same per-chunk loop) and avoids forking a pool for trivial path
-        # sets — e.g. one-path models under a process-wide
-        # REPRO_ANALYSIS_WORKERS default.
+        # (same per-chunk loop) and avoids forking a pool (or binding a work
+        # queue) for trivial path sets — e.g. one-path models under a
+        # process-wide REPRO_ANALYSIS_WORKERS default.
+        if self.kind == "socket" and len(chunks) > 1:
+            return self._analyze_socket(
+                execution, target_tuple, options, specs, chunks, report
+            )
         pooled = len(chunks) > 1 and self.kind != "serial"
         pool = self._ensure_pool() if pooled else None
         pooled = pool is not None
@@ -805,6 +994,7 @@ class ParallelAnalysisExecutor:
         targets: Sequence[Interval],
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
+        progress: Optional[Callable[[list[DenotationBounds], int], None]] = None,
     ) -> list[DenotationBounds]:
         """Denotation bounds from a *stream* of paths, pipelined over the pool.
 
@@ -824,6 +1014,18 @@ class ParallelAnalysisExecutor:
         the path generator (e.g. a mid-stream
         :class:`~repro.symbolic.PathExplosionError`) and from workers
         propagate to the caller.
+
+        ``progress`` (optional) is the anytime first-bound hook: it is
+        invoked **once**, with ``(partial_bounds, paths_done)``, the moment
+        the first chunk's contributions are collected.  Partial lower
+        bounds are sound (contributions are non-negative); partial upper
+        bounds cover only the paths analysed so far.
+
+        Under the ``"socket"`` backend each chunk is encoded as its own
+        small path-table image, registered with the work queue under its
+        content hash, dispatched as an index-range job, and discarded the
+        moment its result lands — the TCP analogue of the per-chunk arena
+        segments below.
         """
         if self._closed:
             raise RuntimeError("ParallelAnalysisExecutor is closed")
@@ -834,13 +1036,18 @@ class ParallelAnalysisExecutor:
             chunk_size = _STREAM_CHUNK_SIZE
         max_inflight = self.workers * options.prefetch
 
-        specs = analyzer_specs(options.analyzer_names) if self.kind == "process" else ()
-        if self.kind != "process":
+        remote = self.kind in ("process", "socket")
+        specs = analyzer_specs(options.analyzer_names) if remote else ()
+        if not remote:
             resolve_analyzers(options)
 
         start = time.perf_counter()
         self.peak_path_buffer = 0
         pool = self._ensure_pool()
+        queue = self._ensure_queue() if self.kind == "socket" else None
+        queue_context: Optional[str] = None
+        if queue is not None:
+            queue_context = self._socket_context_key(queue, target_tuple, options, specs)
         # Streamed arena dispatch publishes one short-lived segment per chunk
         # (the full path set is unknown while the stream is live); a segment
         # is unlinked the moment its chunk's result is collected, and the
@@ -854,9 +1061,13 @@ class ParallelAnalysisExecutor:
             and not self._arena_degraded
         )
         stream_segments: dict[concurrent.futures.Future, ArenaSegment] = {}
+        #: Socket streaming: per-chunk table resources retired on collection
+        #: (the work-queue analogue of the per-chunk arena segments).
+        stream_resources: dict[concurrent.futures.Future, str] = {}
         results: list[tuple[int, list[PathContribution]]] = []
         inflight: dict[concurrent.futures.Future, int] = {}  # future -> path count
         buffer: list[SymbolicPath] = []
+        progress_pending = progress is not None
         #: Completion timestamps recorded by done-callbacks (which fire the
         #: moment a worker finishes, possibly from the pool's result thread) —
         #: collecting a result later would overstate time-to-first-bound when
@@ -874,14 +1085,30 @@ class ParallelAnalysisExecutor:
         def note_done(_future: concurrent.futures.Future) -> None:
             done_at.append(time.perf_counter())
 
+        def fire_progress() -> None:
+            """Invoke the anytime first-bound hook once, on the first result."""
+            nonlocal progress_pending
+            if not progress_pending or not results:
+                return
+            progress_pending = False
+            ordered = sorted(results, key=lambda item: item[0])
+            partial: list[PathContribution] = []
+            for _, chunk_contributions in ordered:
+                partial.extend(chunk_contributions)
+            progress(reduce_contributions(partial, target_tuple, None), len(partial))
+
         def collect(future: concurrent.futures.Future) -> None:
             inflight.pop(future)
             segment = stream_segments.pop(future, None)
+            resource = stream_resources.pop(future, None)
             try:
                 results.append(future.result())  # re-raises worker exceptions
             finally:
                 if segment is not None:
                     segment.unlink()
+                if resource is not None:
+                    queue.discard_resource(resource)
+            fire_progress()
 
         def dispatch() -> None:
             nonlocal chunk_index, first_result_seconds, use_arena
@@ -890,7 +1117,7 @@ class ParallelAnalysisExecutor:
             chunk_index += 1
             self.chunks_dispatched += 1
             buffer.clear()
-            if pool is None:
+            if pool is None and queue is None:
                 # Serial kind: the identical chunked pipeline without a pool —
                 # the buffer stays bounded by one chunk, and nothing is
                 # pickled, so the paths travel as direct references.
@@ -902,6 +1129,34 @@ class ParallelAnalysisExecutor:
                 results.append(analyze_chunk(payload))
                 if first_result_seconds is None:
                     first_result_seconds = time.perf_counter() - start
+                fire_progress()
+                return
+
+            if queue is not None:
+                from ..service.protocol import hash_bytes
+
+                image = encode_paths(chunk_paths)
+                key = hash_bytes(image)
+                queue.add_resource(key, image, "table")
+                future = queue.submit_chunk(
+                    index=index,
+                    table=key,
+                    start=0,
+                    stop=len(chunk_paths),
+                    context=queue_context,
+                    timeout=options.job_timeout,
+                    retries=options.job_retries,
+                )
+                stream_resources[future] = key
+                inflight[future] = len(chunk_paths)
+                future.add_done_callback(note_done)
+                note_buffer()
+                while len(inflight) >= max_inflight:
+                    done, _ = concurrent.futures.wait(
+                        tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
+                    )
+                    for finished in done:
+                        collect(finished)
                 return
 
             segment: Optional[ArenaSegment] = None
@@ -980,6 +1235,9 @@ class ParallelAnalysisExecutor:
             while stream_segments:
                 _, leftover = stream_segments.popitem()
                 leftover.unlink()
+            while stream_resources:
+                _, leftover_key = stream_resources.popitem()
+                queue.discard_resource(leftover_key)
 
         if done_at and first_result_seconds is None:
             first_result_seconds = min(done_at) - start

@@ -31,8 +31,10 @@ results, only how bytes move.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import warnings
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
@@ -104,6 +106,23 @@ class ArenaChunkRef:
     context: str  # name of the query's ContextSegment
 
 
+#: Every live parent-side segment handle, swept at interpreter exit.  Shared
+#: memory is a named kernel resource: a segment whose owner exits without
+#: unlinking persists in /dev/shm until reboot.  Executors unlink their
+#: segments deterministically via close(); the weak set is the safety net
+#: for handles that were still published when the process dies (weak so the
+#: registry never extends a handle's lifetime).
+_LIVE_SEGMENTS: "weakref.WeakSet[_SegmentHandle]" = weakref.WeakSet()
+
+
+def _unlink_live_segments() -> None:
+    for handle in list(_LIVE_SEGMENTS):
+        handle.unlink()
+
+
+atexit.register(_unlink_live_segments)
+
+
 class _SegmentHandle:
     """Parent-side handle of one published segment: name, size, teardown."""
 
@@ -112,6 +131,7 @@ class _SegmentHandle:
         self.name: str = shm.name
         self.nbytes = nbytes
         self.closed = False
+        _LIVE_SEGMENTS.add(self)
 
     def unlink(self) -> None:
         """Close and unlink the segment (idempotent).

@@ -1,0 +1,61 @@
+"""Bounds as a service: the distributed tier of the GuBPI engine.
+
+This package turns the in-process bound engine into a small service stack,
+without moving a single bound:
+
+* :mod:`repro.service.protocol` — the shared wire format: length-prefixed
+  frames carrying a JSON header plus an opaque binary blob, and the exact
+  float encoding that keeps bounds bit-identical across the wire.
+* :mod:`repro.service.queue` — :class:`WorkQueueServer`, the TCP work queue
+  behind ``AnalysisOptions(executor="socket")``: chunk jobs referencing
+  content-addressed path-table images, dispatched to connected workers with
+  per-job timeout, bounded retry and requeue-on-worker-death.
+* :mod:`repro.service.worker` — the worker process
+  (``python -m repro.service.worker --connect host:port``) that attaches to
+  a queue and runs the identical columnar chunk loop the process pool runs.
+* :mod:`repro.service.server` — the asyncio bounds front end
+  (``python -m repro.service.server``) serving whole posterior-bound
+  queries for multiple tenants over one shared, LRU-bounded
+  compiled-program cache keyed by canonical program hash.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking client
+  library (``client.bounds(program, targets)``) with streamed anytime
+  partial bounds.
+
+Trust model: frames carry pickled analysis payloads between queue and
+workers, so the work-queue port must only be reachable by trusted hosts —
+the same boundary as ``multiprocessing`` itself.  The bounds front end
+speaks pure JSON.
+"""
+
+from .client import BoundsReply, ServiceClient, ServiceError
+from .protocol import ConnectionClosed, ProtocolError
+from .queue import JobError, JobRetriesExhausted, QueueClosed, WorkQueueServer
+
+#: Server-side exports resolve lazily: importing them eagerly would load
+#: ``repro.service.server`` during ``python -m repro.service.server``
+#: startup (runpy warns about the double import), and queue workers never
+#: need the asyncio front end at all.
+_SERVER_EXPORTS = ("BoundsServer", "ProgramCache", "serve_in_background")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BoundsReply",
+    "BoundsServer",
+    "ConnectionClosed",
+    "JobError",
+    "JobRetriesExhausted",
+    "ProgramCache",
+    "ProtocolError",
+    "QueueClosed",
+    "ServiceClient",
+    "ServiceError",
+    "WorkQueueServer",
+    "serve_in_background",
+]

@@ -1,0 +1,220 @@
+"""The blocking client library of the bounds service.
+
+:class:`ServiceClient` talks to a :class:`repro.service.server.BoundsServer`
+over one persistent connection:
+
+.. code-block:: python
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1:7753") as client:
+        reply = client.bounds(
+            "sample uniform(0, 1)",
+            targets=[(0.0, 0.5)],
+            stream=True,
+            on_partial=lambda bounds, done: print("first bound:", bounds),
+        )
+        print(reply.bounds, reply.cache)
+
+Replies carry bounds decoded to the exact floats the server computed
+(see :mod:`repro.service.protocol` for why the wire is lossless), the
+canonical program hash, and — for streamed queries — every anytime
+partial bound the server emitted before the final result.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..analysis.config import parse_endpoint
+from ..analysis.engine import DenotationBounds
+from ..intervals import Interval
+from .protocol import (
+    ProtocolError,
+    bounds_from_wire,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["BoundsReply", "ServiceClient"]
+
+TargetLike = Union[Interval, Sequence[float]]
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with an error frame."""
+
+
+@dataclass
+class BoundsReply:
+    """One completed bounds query as seen by the client."""
+
+    bounds: list[DenotationBounds]
+    program_hash: str
+    cache: str  # "hit" | "miss" — the compiled-program cache
+    paths: int
+    seconds: float
+    first_result_seconds: Optional[float]
+    #: "hit" when the whole query (program + targets + options) was served
+    #: from the server's memoised result cache without re-running analyzers.
+    result_cache: str = "miss"
+    #: Every anytime partial emitted before the result:
+    #: ``(partial_bounds, paths_done)`` in arrival order.
+    partials: list[tuple[list[DenotationBounds], int]] = field(default_factory=list)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache == "hit"
+
+
+def _as_targets(targets: Iterable[TargetLike]) -> list[list[float]]:
+    wire = []
+    for target in targets:
+        if isinstance(target, Interval):
+            wire.append([target.lo, target.hi])
+        else:
+            lo, hi = target
+            wire.append([float(lo), float(hi)])
+    return wire
+
+
+class ServiceClient:
+    """A thread-safe blocking client for the bounds service.
+
+    One TCP connection is opened lazily and reused across calls; requests
+    are serialised by an internal lock (the protocol is strictly
+    request/response per connection).  ``timeout`` bounds each wait for a
+    reply frame — generous by default, since a cold query runs full
+    symbolic execution server-side.
+    """
+
+    def __init__(self, endpoint: str, timeout: float = 300.0) -> None:
+        self.address = parse_endpoint(endpoint)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address, timeout=self.timeout)
+        return self._sock
+
+    def _reset(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._reset()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, request: dict, on_frame) -> dict:
+        """Send one request and feed reply frames to ``on_frame`` until done.
+
+        ``on_frame(header)`` returns the final header to deliver, or None
+        to keep reading (partial frames).  Any transport failure resets the
+        connection so the next call reconnects cleanly.
+        """
+        with self._lock:
+            sock = self._connection()
+            try:
+                send_frame(sock, request)
+                while True:
+                    header, _blob = recv_frame(sock)
+                    if header.get("type") == "error":
+                        raise ServiceError(
+                            f"{header.get('exc_type')}: {header.get('error')}"
+                        )
+                    final = on_frame(header)
+                    if final is not None:
+                        return final
+            except (ConnectionError, OSError, ProtocolError):
+                self._reset()
+                raise
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """True when the server answers (raises on connection failure)."""
+        reply = self._roundtrip(
+            {"type": "ping"},
+            lambda header: header if header.get("type") == "pong" else None,
+        )
+        return reply.get("type") == "pong"
+
+    def stats(self) -> dict:
+        """The server's program-cache statistics snapshot."""
+        return self._roundtrip(
+            {"type": "stats"},
+            lambda header: header if header.get("type") == "stats" else None,
+        )
+
+    def bounds(
+        self,
+        program: str,
+        targets: Iterable[TargetLike],
+        options: Optional[dict] = None,
+        stream: bool = False,
+        on_partial: Optional[Callable[[list[DenotationBounds], int], None]] = None,
+    ) -> BoundsReply:
+        """Guaranteed denotation bounds for ``program`` over ``targets``.
+
+        ``program`` is SPCF source text; ``targets`` are intervals (either
+        :class:`~repro.intervals.Interval` or ``(lo, hi)`` pairs);
+        ``options`` is a dict of :class:`~repro.analysis.AnalysisOptions`
+        fields applied server-side.  With ``stream=True`` the server runs a
+        streamed query and pushes anytime partial bounds; each is decoded
+        and handed to ``on_partial(bounds, paths_done)`` as it arrives (and
+        collected on the reply's ``partials``), so callers see a first
+        sound lower bound long before path exploration completes.
+        """
+        request = {
+            "type": "bounds",
+            "program": program,
+            "targets": _as_targets(targets),
+            "stream": bool(stream),
+        }
+        if options:
+            request["options"] = options
+        partials: list[tuple[list[DenotationBounds], int]] = []
+
+        def on_frame(header: dict) -> Optional[dict]:
+            kind = header.get("type")
+            if kind == "partial":
+                decoded = bounds_from_wire(header.get("bounds") or [])
+                paths_done = int(header.get("paths_done", 0))
+                partials.append((decoded, paths_done))
+                if on_partial is not None:
+                    on_partial(decoded, paths_done)
+                return None
+            if kind == "result":
+                return header
+            raise ProtocolError(f"unexpected frame type {kind!r}")
+
+        header = self._roundtrip(request, on_frame)
+        return BoundsReply(
+            bounds=bounds_from_wire(header.get("bounds") or []),
+            program_hash=str(header.get("program_hash")),
+            cache=str(header.get("cache")),
+            paths=int(header.get("paths", 0)),
+            seconds=float(header.get("seconds", 0.0)),
+            first_result_seconds=header.get("first_result_seconds"),
+            result_cache=str(header.get("result_cache", "miss")),
+            partials=partials,
+        )

@@ -1,0 +1,177 @@
+"""The service tier's wire format: length-prefixed JSON + binary frames.
+
+Every connection in the service stack — work queue ↔ worker, bounds client
+↔ bounds server — speaks the same framing:
+
+.. code-block:: text
+
+    +----------------+----------------+----------------+--------------+
+    | header_len u32 | blob_len   u64 |  header (JSON) |  blob bytes  |
+    +----------------+----------------+----------------+--------------+
+          network byte order (``!IQ``)   UTF-8            opaque
+
+The **header** is a small JSON object (message type, job ids, bounds);
+the **blob** carries bulk binary payloads — path-table images
+(:meth:`repro.symbolic.arena.PathTable.to_bytes`), pickled query contexts
+and pickled contribution lists — without base64 inflation or JSON escaping.
+Messages that need no bulk payload leave the blob empty.
+
+Float fidelity: bounds cross the wire inside the JSON header.  Python's
+``json`` module serialises floats with ``repr``, which round-trips every
+finite double exactly, and (with ``allow_nan``, the default) spells the
+IEEE specials as ``Infinity``/``-Infinity``/``NaN`` — which its parser
+reads back.  Both ends of every connection are this codebase, so the
+non-standard spellings are safe, and **bounds decoded from a frame are
+bit-identical to the floats that were encoded** — the wire never moves a
+bound.
+
+Blob payloads between queue and workers are pickled Python objects: the
+work-queue port must only be exposed to trusted hosts (the same trust
+boundary as ``multiprocessing`` pools).  The bounds front end
+(:mod:`repro.service.server`) never unpickles client input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Iterable, Optional, Sequence
+
+from ..analysis.engine import DenotationBounds
+from ..intervals import Interval
+
+__all__ = [
+    "ConnectionClosed",
+    "ProtocolError",
+    "bounds_from_wire",
+    "bounds_to_wire",
+    "hash_bytes",
+    "recv_exact",
+    "recv_frame",
+    "send_frame",
+    "targets_from_wire",
+    "targets_to_wire",
+]
+
+#: Frame prefix: header length (u32) + blob length (u64), network order.
+_FRAME = struct.Struct("!IQ")
+
+#: Upper bound on one frame's JSON header — a corrupted or non-protocol
+#: peer (e.g. an HTTP client poking the port) fails fast instead of making
+#: the receiver allocate gigabytes.
+_MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+#: Upper bound on one frame's blob (path tables of the largest supported
+#: workloads are tens of MB; 4 GiB leaves vast headroom while still
+#: rejecting garbage lengths).
+_MAX_BLOB_BYTES = 4 * 1024 * 1024 * 1024
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
+    """Send one frame: JSON ``header`` plus an optional binary ``blob``."""
+    payload = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode()
+    sock.sendall(_FRAME.pack(len(payload), len(blob)) + payload)
+    if blob:
+        sock.sendall(blob)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`."""
+    if count == 0:
+        return b""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {count} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one frame, returning ``(header, blob)``.
+
+    Raises :class:`ConnectionClosed` on EOF (including EOF exactly between
+    frames — the normal way a peer hangs up) and :class:`ProtocolError` on
+    malformed prefixes or headers.
+    """
+    prefix = recv_exact(sock, _FRAME.size)
+    header_len, blob_len = _FRAME.unpack(prefix)
+    if header_len > _MAX_HEADER_BYTES or blob_len > _MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"frame sizes out of range (header {header_len}B, blob {blob_len}B)"
+        )
+    try:
+        header = json.loads(recv_exact(sock, header_len).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a JSON object, got {type(header).__name__}")
+    blob = recv_exact(sock, blob_len)
+    return header, blob
+
+
+def hash_bytes(payload: bytes) -> str:
+    """Content address of a binary payload (blake2b-128 hex).
+
+    Used as the resource key of path-table images and pickled query
+    contexts in the work queue: equal bytes always produce equal keys, so
+    repeated queries over one compiled path set ship the table once per
+    worker, not once per query.
+    """
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Bounds <-> JSON
+# ---------------------------------------------------------------------------
+
+def bounds_to_wire(bounds: Iterable[DenotationBounds]) -> list[dict]:
+    """Encode denotation bounds as JSON-able records (floats via ``repr``)."""
+    return [
+        {
+            "target": [entry.target.lo, entry.target.hi],
+            "lower": entry.lower,
+            "upper": entry.upper,
+        }
+        for entry in bounds
+    ]
+
+
+def bounds_from_wire(payload: Sequence[dict]) -> list[DenotationBounds]:
+    """Decode :func:`bounds_to_wire` records back into ``DenotationBounds``."""
+    decoded = []
+    for record in payload:
+        lo, hi = record["target"]
+        decoded.append(
+            DenotationBounds(
+                target=Interval(float(lo), float(hi)),
+                lower=float(record["lower"]),
+                upper=float(record["upper"]),
+            )
+        )
+    return decoded
+
+
+def targets_to_wire(targets: Iterable[Interval]) -> list[list[float]]:
+    """Encode query targets as ``[lo, hi]`` pairs."""
+    return [[target.lo, target.hi] for target in targets]
+
+
+def targets_from_wire(payload: Sequence[Sequence[float]]) -> tuple[Interval, ...]:
+    """Decode ``[lo, hi]`` pairs into :class:`Interval` targets."""
+    return tuple(Interval(float(lo), float(hi)) for lo, hi in payload)

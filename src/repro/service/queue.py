@@ -1,0 +1,501 @@
+"""The TCP work queue behind ``AnalysisOptions(executor="socket")``.
+
+:class:`WorkQueueServer` is the parent-side half of the distributed bound
+engine: it owns a listening socket, a deque of pending jobs and a registry
+of content-addressed **resources** (path-table images and pickled query
+contexts).  Worker processes (:mod:`repro.service.worker`) connect over
+TCP; each connection gets a dedicated dispatcher thread that pulls jobs
+off the queue, ships whatever resources the worker does not hold yet, and
+waits for the result.
+
+The design mirrors the shared-memory arena transport one layer out:
+
+* a **chunk job** is the TCP analogue of an
+  :class:`~repro.analysis.transport.ArenaChunkRef` — a table key plus an
+  ``[start, stop)`` index range plus a context key, a few hundred bytes
+  regardless of chunk size;
+* **resources** are sent at most once per worker connection and cached
+  worker-side in a small LRU.  The dispatcher mirrors each worker's LRU
+  (same capacity, same touch order), so it knows exactly which keys the
+  worker still holds and never round-trips to find out.
+
+Failure handling is what distinguishes a work queue from a socket-shaped
+pool:
+
+* **per-job timeout** — a job that produces no result within its deadline
+  is requeued *to the front* of the queue and the wedged worker's
+  connection is dropped (the worker reconnects when it comes back);
+* **worker death** — a connection that dies with a job in flight requeues
+  that job the same way;
+* **bounded retry** — every requeue counts as a spent attempt; a job that
+  fails ``retries + 1`` times surfaces :class:`JobRetriesExhausted` (or
+  :class:`JobError` with the worker traceback, when the worker reported a
+  real exception) on its future, so a job that can never succeed fails the
+  query instead of cycling forever.
+
+Results arrive on :class:`concurrent.futures.Future` objects, so callers
+(:class:`repro.analysis.parallel.ParallelAnalysisExecutor`) collect them
+with the exact machinery they use for process pools — which is how socket
+bounds stay **bit-identical** to serial bounds: same chunk loop in the
+worker, same canonical-order reduction in the parent.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import pathlib
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.config import (
+    DEFAULT_JOB_RETRIES,
+    DEFAULT_JOB_TIMEOUT,
+    parse_endpoint,
+)
+from .protocol import ConnectionClosed, ProtocolError, recv_frame, send_frame
+
+__all__ = [
+    "JobError",
+    "JobRetriesExhausted",
+    "QueueClosed",
+    "WorkQueueServer",
+]
+
+
+class QueueClosed(RuntimeError):
+    """The queue was shut down while the job was still pending."""
+
+
+class JobError(RuntimeError):
+    """A worker reported an exception for this job on every attempt.
+
+    The message carries the worker-side exception type and traceback of the
+    final attempt, so analyzer bugs surface with their real stack even
+    though they happened in another process on (possibly) another host.
+    """
+
+
+class JobRetriesExhausted(RuntimeError):
+    """The job timed out or lost its worker on every allowed attempt."""
+
+
+@dataclass
+class _Job:
+    """One unit of queued work and its delivery state."""
+
+    job_id: int
+    spec: dict  # wire header fields (sans type/job_id), e.g. table/start/stop
+    resources: tuple[str, ...]
+    timeout: Optional[float]
+    retries: int
+    future: concurrent.futures.Future = field(default_factory=concurrent.futures.Future)
+    attempts: int = 0  # dispatches so far
+    last_error: Optional[str] = None
+
+    def fail(self, error: Exception) -> None:
+        if not self.future.done():
+            self.future.set_exception(error)
+
+
+class WorkQueueServer:
+    """A TCP work-queue server feeding chunk jobs to remote workers.
+
+    ``endpoint`` is a ``host:port`` string; port ``0`` binds an ephemeral
+    port (the effective address is :attr:`address` / :attr:`endpoint`).
+    The server starts listening immediately on construction; jobs submitted
+    before any worker connects simply wait in the queue.
+    """
+
+    def __init__(
+        self,
+        endpoint: str = "127.0.0.1:0",
+        job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT,
+        job_retries: int = DEFAULT_JOB_RETRIES,
+    ) -> None:
+        host, port = parse_endpoint(endpoint)
+        self.job_timeout = job_timeout
+        self.job_retries = job_retries
+        self._listener = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._jobs_available = threading.Condition(self._lock)
+        self._pending: deque[_Job] = deque()
+        self._resources: dict[str, tuple[str, bytes]] = {}  # key -> (kind, payload)
+        self._closed = False
+        self._job_ids = itertools.count()
+        self._connections: set[socket.socket] = set()
+        self._threads: list[threading.Thread] = []
+        self._spawned: list[subprocess.Popen] = []
+        # Telemetry (under self._lock).
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_requeued = 0
+        self.resources_sent = 0
+        self._running = 0
+        self._workers = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-queue-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """The bound ``host:port`` (with the real port when ``:0`` was asked)."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def add_resource(self, key: str, payload: bytes, kind: str) -> None:
+        """Register a content-addressed payload workers may need (idempotent).
+
+        ``kind`` is ``"table"`` (a path-table byte image) or ``"context"``
+        (a pickled ``(targets, options, specs)`` tuple).  Registering an
+        already-known key is a no-op — content addressing guarantees equal
+        keys mean equal bytes.
+        """
+        with self._lock:
+            self._resources.setdefault(key, (kind, payload))
+
+    def discard_resource(self, key: str) -> None:
+        """Drop a registered payload (streamed chunks retire theirs eagerly)."""
+        with self._lock:
+            self._resources.pop(key, None)
+
+    def submit_chunk(
+        self,
+        index: int,
+        table: str,
+        start: int,
+        stop: int,
+        context: str,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> concurrent.futures.Future:
+        """Queue one chunk job: analyse ``table[start:stop]`` under ``context``.
+
+        Returns a future resolving to ``(index, [PathContribution, ...])`` —
+        the exact shape process-pool chunk futures resolve to.
+        """
+        spec = {"kind": "chunk", "index": index, "table": table, "start": start,
+                "stop": stop, "context": context}
+        return self._submit(spec, resources=(table, context), timeout=timeout, retries=retries)
+
+    def submit_sleep(
+        self,
+        seconds: float,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> concurrent.futures.Future:
+        """Queue a job that just sleeps in the worker (timeout/retry testing)."""
+        return self._submit(
+            {"kind": "sleep", "seconds": seconds}, resources=(), timeout=timeout, retries=retries
+        )
+
+    def _submit(
+        self,
+        spec: dict,
+        resources: tuple[str, ...],
+        timeout: Optional[float],
+        retries: Optional[int],
+    ) -> concurrent.futures.Future:
+        job = _Job(
+            job_id=next(self._job_ids),
+            spec=spec,
+            resources=resources,
+            timeout=self.job_timeout if timeout is None else timeout,
+            retries=self.job_retries if retries is None else retries,
+        )
+        with self._jobs_available:
+            if self._closed:
+                raise QueueClosed("work queue is closed")
+            for key in resources:
+                if key not in self._resources:
+                    raise KeyError(f"unknown resource {key!r}; add_resource it first")
+            self.jobs_submitted += 1
+            self._pending.append(job)
+            self._jobs_available.notify()
+        return job.future
+
+    def spawn_local_workers(self, count: int, cache_cap: Optional[int] = None) -> None:
+        """Launch ``count`` worker processes connected to this queue.
+
+        Workers run ``python -m repro.service.worker`` with the current
+        interpreter and environment (so ``PYTHONPATH`` arrangements carry
+        over) and are terminated by :meth:`close`.
+        """
+        argv = [sys.executable, "-m", "repro.service.worker", "--connect", self.endpoint]
+        if cache_cap is not None:
+            argv += ["--cache-cap", str(cache_cap)]
+        # The parent may have ``repro`` importable through sys.path edits
+        # that the environment does not reflect (pytest's ``pythonpath``
+        # ini option, editable installs): pin the package root onto the
+        # child's PYTHONPATH so ``-m repro.service.worker`` resolves.
+        package_root = str(pathlib.Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        if package_root not in (existing or "").split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root if not existing else package_root + os.pathsep + existing
+            )
+        for _ in range(count):
+            self._spawned.append(subprocess.Popen(argv, env=env))
+
+    def worker_count(self) -> int:
+        """How many workers are currently connected."""
+        with self._lock:
+            return self._workers
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until ``count`` workers are connected (or ``timeout`` passes)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.worker_count() >= count:
+                return True
+            time.sleep(0.01)
+        return self.worker_count() >= count
+
+    def stats(self) -> dict:
+        """A snapshot of queue health (pending/running/completed/failed...)."""
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "running": self._running,
+                "workers": self._workers,
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "requeued": self.jobs_requeued,
+                "resources": len(self._resources),
+                "resources_sent": self.resources_sent,
+            }
+
+    def close(self) -> None:
+        """Stop accepting work, fail pending jobs, reap workers (idempotent)."""
+        with self._jobs_available:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending)
+            self._pending.clear()
+            self._jobs_available.notify_all()
+            connections = list(self._connections)
+        for job in pending:
+            job.fail(QueueClosed("work queue closed with the job still pending"))
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        for conn in connections:
+            try:
+                send_frame(conn, {"type": "shutdown"})
+            except OSError:
+                pass
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        for proc in self._spawned:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._spawned:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                proc.kill()
+                proc.wait()
+        self._spawned.clear()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "WorkQueueServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"WorkQueueServer({self.endpoint!r}, {state}, workers={self.worker_count()})"
+
+    # ------------------------------------------------------------------
+    # Dispatch internals
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._connections.add(conn)
+                thread = threading.Thread(
+                    target=self._serve_worker, args=(conn,),
+                    name="repro-queue-dispatch", daemon=True,
+                )
+                self._threads.append(thread)
+            thread.start()
+
+    def _next_job(self) -> Optional[_Job]:
+        """Block until a job is available; ``None`` means the queue closed."""
+        with self._jobs_available:
+            while not self._pending and not self._closed:
+                self._jobs_available.wait(timeout=0.5)
+            if self._closed:
+                return None
+            self._running += 1
+            return self._pending.popleft()
+
+    def _requeue(self, job: _Job, reason: str) -> None:
+        """Put a failed dispatch back at the queue's front, or fail the job.
+
+        ``job.attempts`` already counts the dispatch that just failed; the
+        job is allowed ``retries + 1`` dispatches in total.  Must be called
+        with ``self._jobs_available`` held; the caller's ``_running`` slot
+        is released here.
+        """
+        self._running -= 1
+        if self._closed:
+            self.jobs_failed += 1
+            job.fail(QueueClosed("work queue closed with the job in flight"))
+            return
+        if job.attempts >= job.retries + 1:
+            self.jobs_failed += 1
+            if job.last_error is not None:
+                job.fail(JobError(
+                    f"job {job.job_id} failed on all {job.attempts} attempts; "
+                    f"last worker error:\n{job.last_error}"
+                ))
+            else:
+                job.fail(JobRetriesExhausted(
+                    f"job {job.job_id} exhausted {job.attempts} attempts ({reason})"
+                ))
+            return
+        self.jobs_requeued += 1
+        # Front of the queue: a requeued job is the oldest outstanding work
+        # and blocking the overall query, so it must not wait behind the
+        # backlog a second time.
+        self._pending.appendleft(job)
+        self._jobs_available.notify()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        """Dispatcher loop of one worker connection (runs in its own thread)."""
+        sent: "OrderedDict[str, bool]" = OrderedDict()
+        registered = False
+        try:
+            conn.settimeout(30.0)
+            hello, _ = recv_frame(conn)
+            if hello.get("type") != "hello":
+                raise ProtocolError(f"expected hello frame, got {hello.get('type')!r}")
+            cache_cap = max(1, int(hello.get("cache_cap", 8)))
+            with self._lock:
+                self._workers += 1
+                registered = True
+            while True:
+                job = self._next_job()
+                if job is None:
+                    return
+                job.attempts += 1
+                if job.future.done():  # failed (e.g. queue close race) while queued
+                    with self._jobs_available:
+                        self._running -= 1
+                    continue
+                try:
+                    self._send_job(conn, job, sent, cache_cap)
+                    conn.settimeout(job.timeout)
+                    outcome = self._await_result(conn, job)
+                except (ConnectionClosed, ProtocolError, OSError) as error:
+                    # Timeout, worker death or protocol corruption: requeue
+                    # the in-flight job and drop this connection — a wedged
+                    # worker's late result must not race the retry (the
+                    # worker reconnects on its own when it recovers).
+                    reason = (
+                        f"no result within {job.timeout}s"
+                        if isinstance(error, socket.timeout)
+                        else f"worker connection lost ({error})"
+                    )
+                    with self._jobs_available:
+                        self._requeue(job, reason)
+                    return
+                with self._jobs_available:
+                    if outcome == "ok":
+                        self._running -= 1
+                        self.jobs_completed += 1
+                    else:
+                        # The worker reported a job exception but is itself
+                        # healthy: requeue (bounded) and keep the connection.
+                        self._requeue(job, "worker reported an error")
+        except (ConnectionClosed, ProtocolError, OSError):
+            return  # handshake failed or idle worker hung up
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+                if registered:
+                    self._workers -= 1
+            conn.close()
+
+    def _send_job(
+        self,
+        conn: socket.socket,
+        job: _Job,
+        sent: "OrderedDict[str, bool]",
+        cache_cap: int,
+    ) -> None:
+        """Ship missing resources, then the job frame.
+
+        ``sent`` mirrors the worker's resource LRU: same capacity, same
+        touch order (insert on receive, touch on use, evict oldest on
+        overflow).  The mirror is what lets the dispatcher know — without a
+        round trip — which keys the worker still holds.
+        """
+        for key in job.resources:
+            if key in sent:
+                sent.move_to_end(key)
+                continue
+            with self._lock:
+                resource = self._resources.get(key)
+            if resource is None:
+                raise ProtocolError(f"resource {key!r} was discarded while a job needed it")
+            kind, payload = resource
+            send_frame(conn, {"type": "resource", "key": key, "kind": kind}, payload)
+            with self._lock:
+                self.resources_sent += 1
+            sent[key] = True
+            while len(sent) > cache_cap:
+                sent.popitem(last=False)
+        send_frame(conn, {"type": "job", "job_id": job.job_id, **job.spec})
+
+    def _await_result(self, conn: socket.socket, job: _Job) -> str:
+        """Wait for this job's result or error frame (socket timeout armed).
+
+        Returns ``"ok"`` (future resolved) or ``"error"`` (the worker
+        reported an exception; ``job.last_error`` records it).  Timeouts and
+        connection loss surface as the socket exceptions the caller handles.
+        """
+        while True:
+            header, blob = recv_frame(conn)
+            kind = header.get("type")
+            if kind == "result" and header.get("job_id") == job.job_id:
+                job.future.set_result(pickle.loads(blob) if blob else None)
+                return "ok"
+            if kind == "error" and header.get("job_id") == job.job_id:
+                job.last_error = f"{header.get('exc_type')}: {header.get('error')}"
+                return "error"
+            # Anything else is out of protocol for a worker with one job in
+            # flight; frames for other job ids cannot legitimately appear.
+            raise ProtocolError(f"unexpected frame {kind!r} while awaiting job {job.job_id}")

@@ -1,0 +1,534 @@
+"""The multi-tenant asyncio bounds front end: ``python -m repro.service.server``.
+
+The server wraps :class:`repro.Model` behind a TCP endpoint speaking the
+frame protocol of :mod:`repro.service.protocol` with pure-JSON headers (no
+pickles cross this boundary).  One request computes guaranteed posterior
+bounds for an SPCF program:
+
+.. code-block:: json
+
+    {"type": "bounds",
+     "program": "<SPCF source text>",
+     "targets": [[0.0, 1.0], [1.0, 2.0]],
+     "options": {"max_fixpoint_depth": 4, "stream": true},
+     "stream": true}
+
+and the reply is a ``result`` frame carrying the bounds (floats encoded
+via ``repr``, so they are **bit-identical** to a local serial run), the
+canonical program hash, and whether the compiled program came out of the
+shared cache.  With ``"stream": true`` the server additionally emits
+``partial`` frames as soon as the engine's first path contributions land —
+the anytime bound, surfaced over the wire before exploration finishes.
+
+Multi-tenancy happens in :class:`ProgramCache`: compiled programs (whole
+``Model`` instances, with their compile caches and worker pools) are
+shared across connections, keyed by the **canonical program hash** — a
+structural fingerprint of the parsed term plus the execution limits
+(:func:`repro.analysis.model.program_hash`), so textually different
+spellings of the same program still share one compiled path set.  The
+cache is LRU-bounded; evicted models are closed.  Two tenants submitting
+the same program concurrently serialise on a per-program lock — the second
+query is served from the model's compile cache instead of re-exploring.
+On top of it sits a whole-query **result cache** (program hash + targets +
+options → final result frame): a repeated identical query skips the
+analyzers entirely and is answered in microseconds, which is what makes
+cache-hit latency ≪ cold latency for a long-lived service.
+
+Blocking engine work runs on a thread pool; the asyncio side stays
+responsive, and partial-bound callbacks marshal onto the event loop via
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import struct
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..analysis.config import AnalysisOptions, parse_endpoint
+from ..analysis.engine import AnalysisReport
+from ..analysis.model import Model, program_hash
+from ..lang import ParseError, parse
+from .protocol import (
+    ProtocolError,
+    bounds_to_wire,
+    targets_from_wire,
+)
+
+__all__ = ["BoundsServer", "ProgramCache", "serve_in_background", "main"]
+
+_FRAME = struct.Struct("!IQ")
+
+#: AnalysisOptions fields clients may set per request.  Derived from the
+#: dataclass itself so new engine knobs become available without touching
+#: the service tier.
+_OPTION_FIELDS = frozenset(field.name for field in dataclasses.fields(AnalysisOptions))
+
+
+class ProgramCache:
+    """A shared, LRU-bounded cache of compiled programs keyed by program hash.
+
+    Entries are whole :class:`repro.Model` instances — each carries its own
+    compiled-program cache (per execution limits) and worker pools, so a
+    cache hit skips parsing, symbolic execution *and* pool warm-up.  Every
+    entry has a :class:`threading.Lock`: concurrent queries for the same
+    program serialise (the model's caches are not thread-safe), while
+    distinct programs run fully in parallel on the server's thread pool.
+    """
+
+    def __init__(self, limit: int = 8) -> None:
+        if limit < 1:
+            raise ValueError(f"cache limit must be positive, got {limit}")
+        self.limit = limit
+        self._mutex = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[Model, threading.Lock]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, source: str, options: AnalysisOptions):
+        """``(model, lock, key, hit)`` for a program source text.
+
+        The key is the canonical program hash of the *parsed term* under
+        ``options``' execution limits — whitespace, comments and other
+        spelling differences never cause a second compile.
+        """
+        term = parse(source)
+        key = program_hash(term, options.execution_limits())
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                model, lock = entry
+                model.note_program_cache(hit=True)
+                return model, lock, key, True
+            self.misses += 1
+            model = Model(term)
+            model.note_program_cache(hit=False)
+            lock = threading.Lock()
+            self._entries[key] = (model, lock)
+            evicted = []
+            while len(self._entries) > self.limit:
+                _, old = self._entries.popitem(last=False)
+                evicted.append(old)
+        for old_model, old_lock in evicted:
+            with old_lock:  # let an in-flight query on the evictee finish
+                old_model.close()
+        return model, lock, key, False
+
+    def stats(self) -> dict:
+        with self._mutex:
+            models = {
+                key: model.cache_info() for key, (model, _) in self._entries.items()
+            }
+            return {
+                "entries": len(self._entries),
+                "limit": self.limit,
+                "hits": self.hits,
+                "misses": self.misses,
+                "models": models,
+            }
+
+    def close(self) -> None:
+        with self._mutex:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for model, lock in entries:
+            with lock:
+                model.close()
+
+
+class BoundsServer:
+    """The asyncio server: accept loop, per-connection frame dispatch."""
+
+    def __init__(
+        self,
+        endpoint: str = "127.0.0.1:0",
+        cache_limit: int = 8,
+        query_threads: int = 4,
+        result_cache_limit: int = 256,
+    ) -> None:
+        self._host, self._port = parse_endpoint(endpoint)
+        self.cache = ProgramCache(limit=cache_limit)
+        self._pool = ThreadPoolExecutor(
+            max_workers=query_threads, thread_name_prefix="repro-bounds"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.address: Optional[tuple[str, int]] = None
+        self.queries_served = 0
+        # Whole-query result cache: the engine caches *compiled programs*,
+        # but a repeated identical query (same canonical program, targets
+        # and options) still re-runs the analyzers — in a long-lived
+        # service that repeat is the common case, so the final result
+        # frame is memoised too.  Keyed per (program hash, targets,
+        # canonical options); the floats are position-independent data, so
+        # entries stay valid even after the compiled program is evicted.
+        self._results_limit = max(0, int(result_cache_limit))
+        self._results: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._results_mutex = threading.Lock()
+        self.result_hits = 0
+        self.result_misses = 0
+
+    @property
+    def endpoint(self) -> str:
+        if self.address is None:
+            raise RuntimeError("server is not started")
+        host, port = self.address
+        return f"{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # asyncio lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=True)
+        self.cache.close()
+
+    # ------------------------------------------------------------------
+    # Frame IO (asyncio streams)
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+        import json
+
+        prefix = await reader.readexactly(_FRAME.size)
+        header_len, blob_len = _FRAME.unpack(prefix)
+        if header_len > 16 * 1024 * 1024 or blob_len > 64 * 1024 * 1024:
+            raise ProtocolError("frame sizes out of range")
+        header = json.loads((await reader.readexactly(header_len)).decode())
+        blob = await reader.readexactly(blob_len) if blob_len else b""
+        if not isinstance(header, dict):
+            raise ProtocolError("frame header must be a JSON object")
+        return header, blob
+
+    @staticmethod
+    async def _write_frame(
+        writer: asyncio.StreamWriter, header: dict, blob: bytes = b""
+    ) -> None:
+        import json
+
+        payload = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode()
+        writer.write(_FRAME.pack(len(payload), len(blob)) + payload + blob)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, _blob = await self._read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client hung up
+                kind = header.get("type")
+                try:
+                    if kind == "bounds":
+                        await self._handle_bounds(writer, header)
+                    elif kind == "stats":
+                        await self._write_frame(
+                            writer,
+                            {"type": "stats", "cache": self.cache.stats(),
+                             "results": self._result_stats(),
+                             "queries": self.queries_served},
+                        )
+                    elif kind == "ping":
+                        await self._write_frame(writer, {"type": "pong"})
+                    else:
+                        raise ProtocolError(f"unknown request type {kind!r}")
+                except (ProtocolError, ParseError, ValueError, KeyError, TypeError) as error:
+                    await self._write_frame(
+                        writer,
+                        {"type": "error", "exc_type": type(error).__name__,
+                         "error": str(error)},
+                    )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _result_key(program_key: str, header: dict) -> tuple:
+        import json
+
+        return (
+            program_key,
+            json.dumps(header.get("targets"), sort_keys=True),
+            json.dumps(header.get("options") or {}, sort_keys=True),
+        )
+
+    def _result_lookup(self, result_key: tuple) -> Optional[dict]:
+        if not self._results_limit:
+            return None
+        with self._results_mutex:
+            cached = self._results.get(result_key)
+            if cached is None:
+                self.result_misses += 1
+                return None
+            self._results.move_to_end(result_key)
+            self.result_hits += 1
+            return dict(cached)
+
+    def _result_store(self, result_key: tuple, result: dict) -> None:
+        if not self._results_limit:
+            return
+        with self._results_mutex:
+            self._results[result_key] = result
+            self._results.move_to_end(result_key)
+            while len(self._results) > self._results_limit:
+                self._results.popitem(last=False)
+
+    def _result_stats(self) -> dict:
+        with self._results_mutex:
+            return {
+                "entries": len(self._results),
+                "limit": self._results_limit,
+                "hits": self.result_hits,
+                "misses": self.result_misses,
+            }
+
+    def _request_options(self, header: dict) -> AnalysisOptions:
+        raw = header.get("options") or {}
+        if not isinstance(raw, dict):
+            raise ProtocolError("options must be a JSON object")
+        unknown = set(raw) - _OPTION_FIELDS
+        if unknown:
+            raise ProtocolError(f"unknown analysis options: {sorted(unknown)}")
+        # JSON has no tuples; analyzers arrive as a list.
+        if isinstance(raw.get("analyzers"), list):
+            raw = dict(raw, analyzers=tuple(raw["analyzers"]))
+        return AnalysisOptions(**raw)
+
+    async def _handle_bounds(self, writer: asyncio.StreamWriter, header: dict) -> None:
+        source = header.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise ProtocolError("bounds request needs a non-empty 'program' string")
+        targets = targets_from_wire(header.get("targets") or ())
+        if not targets:
+            raise ProtocolError("bounds request needs at least one target interval")
+        options = self._request_options(header)
+        want_stream = bool(header.get("stream"))
+        if want_stream and not options.stream:
+            options = options.with_updates(stream=True)
+
+        loop = asyncio.get_running_loop()
+        partials: asyncio.Queue = asyncio.Queue()
+
+        def on_progress(partial_bounds, paths_done: int) -> None:
+            loop.call_soon_threadsafe(
+                partials.put_nowait, (bounds_to_wire(partial_bounds), paths_done)
+            )
+
+        model, lock, key, cache_hit = self.cache.lookup(source, options)
+
+        result_key = self._result_key(key, header)
+        cached = self._result_lookup(result_key)
+        if cached is not None:
+            # Served straight from the result cache: same exact floats,
+            # no analyzer run, no partial frames (there is nothing to
+            # anticipate).  ``seconds`` reports *this* serve, not the
+            # original compute.
+            self.queries_served += 1
+            await self._write_frame(
+                writer,
+                dict(
+                    cached,
+                    cache="hit" if cache_hit else "miss",
+                    result_cache="hit",
+                    seconds=0.0,
+                    first_result_seconds=None,
+                ),
+            )
+            return
+
+        def run_query():
+            report = AnalysisReport()
+            with lock:
+                bounds = model.bounds(
+                    targets,
+                    options=options,
+                    report=report,
+                    progress=on_progress if want_stream else None,
+                )
+            return bounds, report
+
+        query = loop.run_in_executor(self._pool, run_query)
+        waiter = asyncio.ensure_future(partials.get())
+        try:
+            while True:
+                done, _pending = await asyncio.wait(
+                    {query, waiter}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if waiter in done:
+                    partial_bounds, paths_done = waiter.result()
+                    await self._write_frame(
+                        writer,
+                        {"type": "partial", "bounds": partial_bounds,
+                         "paths_done": paths_done},
+                    )
+                    waiter = asyncio.ensure_future(partials.get())
+                if query in done:
+                    break
+        finally:
+            waiter.cancel()
+        bounds, report = await query  # re-raises engine errors
+        # A partial that raced the final result is still worth delivering
+        # (clients treat partials as strictly-before-result).
+        while not partials.empty():
+            partial_bounds, paths_done = partials.get_nowait()
+            await self._write_frame(
+                writer,
+                {"type": "partial", "bounds": partial_bounds, "paths_done": paths_done},
+            )
+        self.queries_served += 1
+        result = {
+            "type": "result",
+            "bounds": bounds_to_wire(bounds),
+            "program_hash": key,
+            "cache": "hit" if cache_hit else "miss",
+            "paths": report.path_count,
+            "seconds": report.seconds,
+            "first_result_seconds": report.first_result_seconds,
+            "result_cache": "miss",
+        }
+        self._result_store(result_key, result)
+        await self._write_frame(writer, result)
+
+
+class _BackgroundServer:
+    """A bounds server running on a dedicated event-loop thread."""
+
+    def __init__(self, server: BoundsServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def endpoint(self) -> str:
+        return self.server.endpoint
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "_BackgroundServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_background(
+    endpoint: str = "127.0.0.1:0",
+    cache_limit: int = 8,
+    query_threads: int = 4,
+    result_cache_limit: int = 256,
+) -> _BackgroundServer:
+    """Start a :class:`BoundsServer` on a daemon thread and return a handle.
+
+    The embedding entry point (tests, notebooks, the demo script): the
+    caller gets ``handle.endpoint`` to hand to :class:`ServiceClient` and
+    ``handle.stop()`` for teardown.
+    """
+    server = BoundsServer(
+        endpoint,
+        cache_limit=cache_limit,
+        query_threads=query_threads,
+        result_cache_limit=result_cache_limit,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                await server.start()
+            except BaseException as error:  # pragma: no cover - bind failures
+                failure.append(error)
+            finally:
+                started.set()
+
+        loop.run_until_complete(boot())
+        if not failure:
+            loop.run_forever()
+
+    thread = threading.Thread(target=run, name="repro-bounds-server", daemon=True)
+    thread.start()
+    started.wait(timeout=10)
+    if failure:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        raise failure[0]
+    return _BackgroundServer(server, loop, thread)
+
+
+def main(argv: Optional[list[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.server",
+        description="Guaranteed-posterior-bounds service over TCP.",
+    )
+    parser.add_argument("--bind", default="127.0.0.1:7753", metavar="HOST:PORT")
+    parser.add_argument("--cache-limit", type=int, default=8,
+                        help="how many compiled programs to keep cached")
+    parser.add_argument("--query-threads", type=int, default=4,
+                        help="concurrent blocking engine queries")
+    parser.add_argument("--result-cache-limit", type=int, default=256,
+                        help="memoised whole-query results (0 disables)")
+    args = parser.parse_args(argv)
+    server = BoundsServer(
+        args.bind,
+        cache_limit=args.cache_limit,
+        query_threads=args.query_threads,
+        result_cache_limit=args.result_cache_limit,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"bounds service listening on {server.endpoint}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    main()

@@ -1,0 +1,223 @@
+"""The remote bound-analysis worker: ``python -m repro.service.worker``.
+
+A worker connects to a :class:`~repro.service.queue.WorkQueueServer`,
+announces its resource-cache capacity, and then serves jobs one at a time:
+
+* ``resource`` frames populate a small LRU of decoded payloads — path
+  tables reconstructed zero-copy with
+  :meth:`~repro.symbolic.arena.PathTable.from_buffer` over the received
+  bytes, and query contexts unpickled into
+  ``(targets, options, resolved analyzers)`` with the analyzer registry
+  primed (:func:`~repro.analysis.registry.ensure_analyzers_registered`) —
+  exactly the per-process caches a shared-memory pool worker keeps, one
+  network hop out;
+* ``chunk`` jobs run :func:`repro.analysis.parallel.analyze_table_slice`
+  over the referenced ``[start, stop)`` table range — the **identical**
+  columnar loop the in-process backends run, which is what keeps socket
+  bounds bit-identical to serial bounds;
+* ``sleep`` jobs idle for a requested duration (the queue's
+  deterministic timeout/retry test vehicle);
+* ``shutdown`` frames end the process.
+
+The LRU's eviction discipline (insert on receive, touch on use, evict
+oldest past capacity) is mirrored by the dispatcher on the other end of
+the connection, so the server always knows which resources this worker
+still holds and never sends a table twice while it is cached.
+
+Workers are crash-isolated by design: job failures are reported as
+``error`` frames (with the worker traceback) and the worker keeps
+serving; a lost connection triggers bounded reconnection, so a server
+restart or a dropped wedged connection self-heals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import time
+import traceback
+from collections import OrderedDict
+from typing import Optional
+
+from ..symbolic.arena import PathTable
+from .protocol import ConnectionClosed, ProtocolError, recv_frame, send_frame
+
+__all__ = ["BoundWorker", "main"]
+
+#: Default number of decoded resources (tables + contexts) one worker keeps.
+DEFAULT_CACHE_CAP = 8
+
+
+class BoundWorker:
+    """One worker process's connection-and-serve loop.
+
+    ``reconnect_attempts`` bounds how many consecutive failed connection
+    attempts the worker tolerates before giving up (each waits
+    ``reconnect_delay`` seconds); a successful connection resets the count,
+    so a worker dropped by a job timeout keeps coming back for the lifetime
+    of the queue.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        cache_cap: int = DEFAULT_CACHE_CAP,
+        reconnect_attempts: int = 50,
+        reconnect_delay: float = 0.1,
+    ) -> None:
+        from ..analysis.config import parse_endpoint
+
+        self.address = parse_endpoint(endpoint)
+        self.cache_cap = max(1, cache_cap)
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        #: key -> decoded resource: ("table", PathTable) or
+        #: ("context", (targets, options, analyzers)).
+        self._cache: "OrderedDict[str, tuple[str, object]]" = OrderedDict()
+        self.jobs_done = 0
+
+    # ------------------------------------------------------------------
+    # Resource cache (mirrored by the server-side dispatcher)
+    # ------------------------------------------------------------------
+    def _store(self, key: str, kind: str, blob: bytes) -> None:
+        if kind == "table":
+            # bytes are immutable and owned by this frame: the table's array
+            # views alias them directly, no copy.
+            value: object = PathTable.from_buffer(memoryview(blob), keep_alive=blob)
+        elif kind == "context":
+            from ..analysis.registry import ensure_analyzers_registered, resolve_analyzers
+
+            targets, options, specs = pickle.loads(blob)
+            ensure_analyzers_registered(specs)
+            value = (targets, options, resolve_analyzers(options))
+        else:
+            raise ProtocolError(f"unknown resource kind {kind!r}")
+        self._cache[key] = (kind, value)
+        while len(self._cache) > self.cache_cap:
+            _, (old_kind, old_value) = self._cache.popitem(last=False)
+            if old_kind == "table":
+                old_value.release()  # type: ignore[union-attr]
+
+    def _fetch(self, key: str, kind: str):
+        entry = self._cache.get(key)
+        if entry is None or entry[0] != kind:
+            # The server believed this worker still held the resource (LRU
+            # mirror drift can only come from a worker restart mid-frame);
+            # reporting an error makes the queue retry, and the retry's
+            # fresh dispatch re-sends the payload.
+            raise KeyError(f"resource {key!r} ({kind}) not cached")
+        self._cache.move_to_end(key)
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def _run_job(self, header: dict) -> bytes:
+        """Execute one job frame, returning the pickled result payload."""
+        kind = header.get("kind")
+        if kind == "chunk":
+            from ..analysis.parallel import analyze_table_slice
+
+            table = self._fetch(header["table"], "table")
+            targets, options, analyzers = self._fetch(header["context"], "context")
+            contributions = analyze_table_slice(
+                table, int(header["start"]), int(header["stop"]),
+                targets, options, analyzers,
+            )
+            result = (int(header["index"]), contributions)
+            self.jobs_done += 1
+            return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        if kind == "sleep":
+            time.sleep(float(header["seconds"]))
+            self.jobs_done += 1
+            return pickle.dumps(None)
+        raise ProtocolError(f"unknown job kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    def _serve_connection(self, sock: socket.socket) -> bool:
+        """Serve one connection; returns True when the server said shutdown."""
+        send_frame(sock, {"type": "hello", "cache_cap": self.cache_cap, "pid": os.getpid()})
+        while True:
+            header, blob = recv_frame(sock)
+            kind = header.get("type")
+            if kind == "resource":
+                self._store(header["key"], header["kind"], blob)
+            elif kind == "job":
+                try:
+                    payload = self._run_job(header)
+                except Exception as error:  # noqa: BLE001 - reported to the queue
+                    send_frame(sock, {
+                        "type": "error",
+                        "job_id": header.get("job_id"),
+                        "exc_type": type(error).__name__,
+                        "error": f"{error}\n{traceback.format_exc()}",
+                    })
+                else:
+                    send_frame(
+                        sock, {"type": "result", "job_id": header.get("job_id")}, payload
+                    )
+            elif kind == "shutdown":
+                return True
+            else:
+                raise ProtocolError(f"unknown frame type {kind!r}")
+
+    def run(self) -> None:
+        """Connect (and reconnect) to the queue until it shuts us down."""
+        failures = 0
+        while True:
+            try:
+                sock = socket.create_connection(self.address, timeout=10.0)
+            except OSError:
+                failures += 1
+                if failures > self.reconnect_attempts:
+                    return
+                time.sleep(self.reconnect_delay)
+                continue
+            failures = 0
+            # Connections are long-lived: no per-recv timeout (a worker may
+            # legitimately idle for minutes between queries).
+            sock.settimeout(None)
+            try:
+                if self._serve_connection(sock):
+                    return
+            except (ConnectionClosed, ConnectionError, ProtocolError, OSError):
+                # Server gone, or it dropped us (job timeout): the resource
+                # cache survives, but its server-side mirror does not — a
+                # fresh connection starts with an empty mirror, so the
+                # server simply re-sends what it needs to.
+                pass
+            finally:
+                sock.close()
+
+
+def main(argv: Optional[list[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.worker",
+        description="Bound-analysis worker for a repro work-queue server.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="endpoint of the WorkQueueServer to serve",
+    )
+    parser.add_argument(
+        "--cache-cap", type=int, default=DEFAULT_CACHE_CAP,
+        help="how many decoded resources (path tables, contexts) to cache",
+    )
+    parser.add_argument(
+        "--reconnect-attempts", type=int, default=50,
+        help="consecutive failed connection attempts before giving up",
+    )
+    args = parser.parse_args(argv)
+    BoundWorker(
+        args.connect,
+        cache_cap=args.cache_cap,
+        reconnect_attempts=args.reconnect_attempts,
+    ).run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    main()

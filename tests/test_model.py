@@ -53,7 +53,14 @@ class TestCompiledProgramCache:
         assert counted_execution["count"] == 1
         assert model.compile_count == 1
         assert model.cache_hits == 2
-        assert model.cache_info() == {"entries": 1, "compilations": 1, "hits": 2}
+        assert model.cache_info() == {
+            "entries": 1,
+            "compilations": 1,
+            "hits": 2,
+            "stream_tee_primes": 0,
+            "program_cache_hits": 0,
+            "program_cache_misses": 0,
+        }
 
     def test_analysis_only_options_share_the_cache(self, counted_execution):
         model = Model(simple_observe_model())
