@@ -1,0 +1,255 @@
+"""Adaptive gap-directed refinement vs uniform split sweeps: time-to-width.
+
+The classic engine spends its split budget *uniformly*: doubling
+``splits_per_dimension`` doubles the grid of every path, whether that path's
+gap contribution is dominant or already negligible.  The
+:class:`~repro.analysis.refine.RefinementScheduler` spends the same budget
+*adaptively* — re-splitting only the worst-gap paths, level by level.  This
+driver races the two strategies on the pedestrian walk and records the full
+time-to-width curve of each:
+
+* **uniform legs** — one plain sweep per refinement level ``L`` (split
+  budgets scaled by ``2**L`` via :func:`~repro.analysis.refine.level_options`,
+  exactly the budgets a refinement level uses), recording wall-clock, bound
+  width and per-path contributions per leg;
+* **refined curve** — one seed sweep at the base budgets, then gap-directed
+  rounds until the heap drains (every path saturated against the absolute
+  budget ceilings) or the round cap binds, recording cumulative wall-clock
+  and width after every round.
+
+Interpreting the widths needs one structural fact: at a finite fixpoint
+depth roughly half the paths are *truncated* — probability mass still
+walking, which sound bounds must count wholly against the gap (truncated
+lower contributions are zero).  Each strategy's width therefore splits into
+its **truncation mass** (the summed truncated-path uppers — a frontier both
+strategies push down by splitting, but never below the true still-walking
+mass) and its **live excess** (the summed ``upper − lower`` slack of the
+non-truncated paths — pure grid-resolution error that enough splitting
+drives to zero).  The full-fidelity gates compare the strategies at equal
+wall-clock (uniform gets every leg that fits within the refined run's total
+time) on both components:
+
+* live excess: refined ≤ **0.5×** the best uniform leg's — the headline
+  "half the removable width at equal wall-clock";
+* truncation mass: refined ≤ the best uniform leg's (the frontier is never
+  worse); and
+* raw width: refined strictly below every uniform leg's.
+
+Always asserted, in tiny mode too: the seed is bit-identical to the uniform
+level-0 leg, every round narrows monotonically, and the final refined
+bounds are contained in the seed's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import (
+    AnalysisOptions,
+    RefinementScheduler,
+    level_options,
+    reduce_contributions,
+)
+from repro.analysis.model import CompiledProgram
+from repro.analysis.parallel import analyze_table_slice
+from repro.analysis.registry import resolve_analyzers
+from repro.intervals import Interval
+from repro.models import pedestrian_program
+from repro.symbolic import ExecutionLimits
+
+from bench_utils import TINY, emit, scaled
+
+_DEPTH = scaled(6, 4)
+#: Deliberately coarse base budgets: the seed must leave room for the
+#: refinement levels (and the uniform legs) to buy width with wall-clock.
+_BASE = AnalysisOptions(
+    splits_per_dimension=2,
+    max_boxes_per_path=scaled(512, 64),
+    score_splits=scaled(4, 2),
+    workers=1,
+    executor="serial",
+)
+#: Uniform sweep levels: split budgets ×1, ×2, … ×2**max.  The deepest leg
+#: costs about as much as the whole refined run, so "equal wall-clock"
+#: below compares like against like.
+_UNIFORM_LEVELS = scaled((0, 1, 2, 3, 4), (0, 1))
+_ROUND_CAP = scaled(32, 3)
+
+_TARGETS = (Interval(0.0, 1.0), Interval.reals())
+
+
+def _width(bounds) -> float:
+    """Headline width: the ``[0, 1]`` return-probability target."""
+    return bounds[0].upper - bounds[0].lower
+
+
+def _contained(narrow, wide) -> bool:
+    return all(
+        inner.lower >= outer.lower and inner.upper <= outer.upper
+        for inner, outer in zip(narrow, wide)
+    )
+
+
+def _decompose(contributions) -> tuple[float, float]:
+    """``(truncation_mass, live_excess)`` of one strategy's headline width.
+
+    The width is exactly their sum: truncated paths contribute their whole
+    upper (lower is zeroed by the reduction), live paths their grid slack.
+    """
+    truncation_mass = live_excess = 0.0
+    for contribution in contributions:
+        lower, upper = contribution.contributions[0]
+        if contribution.truncated:
+            truncation_mass += upper
+        else:
+            live_excess += upper - lower
+    return truncation_mass, live_excess
+
+
+def _uniform_leg(execution, level):
+    """One timed uniform sweep at ``level`` budgets, with its contributions."""
+    options = level_options(_BASE, level)
+    paths = execution.paths
+    start = time.perf_counter()
+    contributions = analyze_table_slice(
+        execution.table(), 0, len(paths),
+        _TARGETS, options, resolve_analyzers(options), paths=paths,
+    )
+    bounds = reduce_contributions(contributions, _TARGETS, None)
+    seconds = time.perf_counter() - start
+    truncation_mass, live_excess = _decompose(contributions)
+    return {
+        "scale": 1 << level,
+        "seconds": seconds,
+        "width": _width(bounds),
+        "lower": bounds[0].lower,
+        "upper": bounds[0].upper,
+        "truncation_mass": truncation_mass,
+        "live_excess": live_excess,
+        "bounds": bounds,
+    }
+
+
+def test_adaptive_refinement(bench_once):
+    program = CompiledProgram.compile(
+        pedestrian_program(), ExecutionLimits(max_fixpoint_depth=_DEPTH)
+    )
+    execution = program.execution
+    truncated_paths = execution.truncated_paths
+    lines = [
+        f"pedestrian depth={_DEPTH}: {program.path_count} paths "
+        f"({truncated_paths} truncated)"
+    ]
+    state = {}
+
+    def run_race():
+        uniform = [_uniform_leg(execution, level) for level in _UNIFORM_LEVELS]
+
+        scheduler = RefinementScheduler(execution, _TARGETS, _BASE)
+        start = time.perf_counter()
+        seed = scheduler.seed()
+        curve = [
+            {"round": 0, "seconds": time.perf_counter() - start, "width": _width(seed)}
+        ]
+        previous = seed
+        drained = False
+        while scheduler.rounds_run < _ROUND_CAP:
+            bounds = scheduler.refine_round()
+            if bounds is None:
+                drained = True
+                break
+            # The anytime contract: every round's bounds nest in the last.
+            assert _contained(bounds, previous), f"round {scheduler.rounds_run} widened"
+            previous = bounds
+            curve.append(
+                {
+                    "round": scheduler.rounds_run,
+                    "seconds": time.perf_counter() - start,
+                    "width": _width(bounds),
+                }
+            )
+        state.update(
+            uniform=uniform, seed=seed, curve=curve, drained=drained,
+            final=previous, scheduler=scheduler,
+        )
+
+    bench_once(run_race)
+    uniform, curve = state["uniform"], state["curve"]
+    final, scheduler = state["final"], state["scheduler"]
+
+    # The seed *is* the uniform level-0 sweep — bit for bit.
+    for seed_bound, base_bound in zip(state["seed"], uniform[0]["bounds"]):
+        assert seed_bound.lower == base_bound.lower
+        assert seed_bound.upper == base_bound.upper
+    assert _contained(final, state["seed"])
+
+    refined_seconds = curve[-1]["seconds"]
+    refined_width = _width(final)
+    refined_truncation, refined_live = _decompose(scheduler.contributions)
+
+    for leg in uniform:
+        lines.append(
+            f"uniform ×{leg['scale']:<2}: {leg['seconds']:7.2f}s  width {leg['width']:.5f}"
+            f"  (truncation {leg['truncation_mass']:.5f} + live {leg['live_excess']:.5f})"
+        )
+    lines.append(
+        f"refined    : {refined_seconds:7.2f}s  width {refined_width:.5f}"
+        f"  (truncation {refined_truncation:.5f} + live {refined_live:.5f}, "
+        f"{scheduler.rounds_run} rounds, {scheduler.paths_refined} path sweeps, "
+        f"{'drained' if state['drained'] else 'round cap'})"
+    )
+
+    data = {
+        "depth": _DEPTH,
+        "path_count": program.path_count,
+        "truncated_paths": truncated_paths,
+        "uniform": [
+            {
+                key: leg[key]
+                for key in (
+                    "scale", "seconds", "width", "lower", "upper",
+                    "truncation_mass", "live_excess",
+                )
+            }
+            for leg in uniform
+        ],
+        "refined": {
+            "curve": curve,
+            "total_seconds": refined_seconds,
+            "width": refined_width,
+            "truncation_mass": refined_truncation,
+            "live_excess": refined_live,
+            "rounds": scheduler.rounds_run,
+            "paths_refined": scheduler.paths_refined,
+            "drained": state["drained"],
+            "lower": final[0].lower,
+            "upper": final[0].upper,
+        },
+    }
+
+    ratio = None
+    if not TINY:
+        # Equal wall-clock: uniform may use any leg that fits within the
+        # refined run's total budget (every leg does, by construction).
+        eligible = [leg for leg in uniform if leg["seconds"] <= refined_seconds] or uniform
+        best = min(eligible, key=lambda leg: leg["width"])
+        ratio = refined_live / best["live_excess"] if best["live_excess"] > 0 else 0.0
+        lines.append(
+            f"live excess at equal wall-clock: refined {refined_live:.5f} vs "
+            f"uniform ×{best['scale']} {best['live_excess']:.5f} (ratio {ratio:.2f})"
+        )
+        data["live_excess_ratio_vs_best_uniform"] = ratio
+
+    # Emit before the quantitative gates so a failed gate still leaves the
+    # machine-readable record for inspection.
+    emit("adaptive_refinement", lines, data=data)
+
+    if not TINY:
+        # Raw width: refined strictly dominates every equal-or-less-time leg.
+        assert refined_width < best["width"], (refined_width, best)
+        # Truncation frontier: never worse than the best uniform leg's.
+        assert refined_truncation <= best["truncation_mass"] + 1e-12
+        # The headline: refinement halves (at least) the live resolution
+        # excess at equal wall-clock.
+        assert best["live_excess"] > 0
+        assert ratio <= 0.5, f"refined live-excess ratio {ratio:.2f} exceeds 0.5"

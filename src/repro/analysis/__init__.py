@@ -11,7 +11,13 @@ compatibility.
 """
 
 from .box_analyzer import BoxPathAnalyzer, analyze_path_boxes, analyze_table_boxes, split_domain
-from .config import DEFAULT_TRANSPORT, EXECUTOR_KINDS, TRANSPORT_KINDS, AnalysisOptions
+from .config import (
+    DEFAULT_TRANSPORT,
+    EXECUTOR_KINDS,
+    REFINE_KINDS,
+    TRANSPORT_KINDS,
+    AnalysisOptions,
+)
 from .engine import (
     AnalysisReport,
     DenotationBounds,
@@ -35,6 +41,7 @@ from .linear_analyzer import (
     linear_analysis_applicable,
 )
 from .model import CompiledProgram, Model
+from .refine import RefinementScheduler, level_options, refine_execution
 from .parallel import (
     ParallelAnalysisExecutor,
     close_shared_executors,
@@ -66,7 +73,11 @@ __all__ = [
     "AnalysisOptions",
     "DEFAULT_TRANSPORT",
     "EXECUTOR_KINDS",
+    "REFINE_KINDS",
     "TRANSPORT_KINDS",
+    "RefinementScheduler",
+    "refine_execution",
+    "level_options",
     "ArenaChunkRef",
     "ArenaSegment",
     "create_arena_segment",

@@ -12,9 +12,11 @@ __all__ = [
     "AnalysisOptions",
     "DEFAULT_JOB_RETRIES",
     "DEFAULT_JOB_TIMEOUT",
+    "DEFAULT_REFINE_MAX_ROUNDS",
     "DEFAULT_SOCKET_ENDPOINT",
     "DEFAULT_TRANSPORT",
     "EXECUTOR_KINDS",
+    "REFINE_KINDS",
     "TRANSPORT_KINDS",
     "parse_endpoint",
 ]
@@ -52,6 +54,18 @@ TRANSPORT_KINDS = ("pickle", "arena")
 #: The payload transport selected when ``payload_transport`` is unset.
 DEFAULT_TRANSPORT = "arena"
 
+#: The recognised anytime-refinement modes.  ``"off"`` (the default) runs
+#: the classic one-shot uniform sweep; ``"gap"`` seeds from that sweep and
+#: then iteratively re-splits the paths contributing most to the
+#: lower/upper bound gap (see :mod:`repro.analysis.refine`).
+REFINE_KINDS = ("off", "gap")
+
+#: Default round cap of gap-directed refinement when no explicit budget is
+#: given.  A *round* re-analyses a fixed-size batch of worst-gap paths at a
+#: doubled split budget; a fixed default keeps refined bounds deterministic
+#: (bit-identical across backends and transports) out of the box.
+DEFAULT_REFINE_MAX_ROUNDS = 4
+
 #: Default memory budget (in bytes) of the streamed-query cache tee: a
 #: ``stream=True`` query materialises the paths it dispatches into the
 #: compiled-program cache as long as the (arena-encoded) footprint stays
@@ -68,6 +82,7 @@ _STREAM_ENV = "REPRO_ANALYSIS_STREAM"
 _TRANSPORT_ENV = "REPRO_ANALYSIS_TRANSPORT"
 _COLUMNAR_ENV = "REPRO_ANALYSIS_COLUMNAR"
 _SOCKET_ENDPOINT_ENV = "REPRO_ANALYSIS_SOCKET_ENDPOINT"
+_REFINE_ENV = "REPRO_ANALYSIS_REFINE"
 
 
 def _require_positive(name: str, value: int) -> None:
@@ -104,6 +119,10 @@ def _default_columnar() -> bool:
 
 def _default_socket_endpoint() -> Optional[str]:
     return os.environ.get(_SOCKET_ENDPOINT_ENV) or None
+
+
+def _default_refine() -> str:
+    return os.environ.get(_REFINE_ENV) or "off"
 
 
 def parse_endpoint(endpoint: str) -> tuple[str, int]:
@@ -226,6 +245,31 @@ class AnalysisOptions:
             a query loss — while still guaranteeing that a job which can
             never succeed (e.g. a deterministic analyzer error) surfaces
             after ``job_retries + 1`` attempts.
+        refine: anytime-refinement mode — ``"off"`` (the default: one
+            uniform sweep at the configured split budgets) or ``"gap"``
+            (gap-directed anytime refinement: seed from the uniform sweep,
+            then iteratively re-analyse the paths contributing most to the
+            lower/upper bound gap at doubled split budgets, see
+            :mod:`repro.analysis.refine`).  Every refined bound is contained
+            in the seed bound, and each round narrows monotonically; with
+            ``"off"`` bounds are bit-identical to the classic engine.
+            Defaults to ``$REPRO_ANALYSIS_REFINE`` when that variable is set.
+        refine_time_budget: wall-clock budget (seconds) for the refinement
+            rounds, checked between rounds — the anytime contract: the seed
+            bound is always produced, then the scheduler narrows until the
+            budget runs out.  ``None`` (the default) disables the time check
+            (``refine_max_rounds`` still bounds the work); note that a time
+            budget makes the *round count* — and therefore the exact refined
+            floats — timing-dependent.
+        refine_width_target: stop refining as soon as every target's bound
+            width is at most this value.  ``0.0`` (the default) never stops
+            early on width.
+        refine_max_rounds: cap on the number of refinement rounds.  The
+            default (:data:`DEFAULT_REFINE_MAX_ROUNDS`) keeps refined bounds
+            deterministic — for a fixed round count they are bit-identical
+            across backends, transports and the columnar knob.  ``None``
+            removes the cap (rounds run until the gap heap drains, the width
+            target is met or the time budget expires).
         stream_cache_budget: memory budget (bytes) of the streamed-query
             cache tee.  A ``stream=True`` query on a cache miss materialises
             the paths it dispatches (interned, so the footprint is the
@@ -261,6 +305,10 @@ class AnalysisOptions:
     job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT
     job_retries: int = DEFAULT_JOB_RETRIES
     stream_cache_budget: Optional[int] = DEFAULT_STREAM_CACHE_BUDGET
+    refine: str = field(default_factory=_default_refine)
+    refine_time_budget: Optional[float] = None
+    refine_width_target: float = 0.0
+    refine_max_rounds: Optional[int] = DEFAULT_REFINE_MAX_ROUNDS
 
     def __post_init__(self) -> None:
         _require_positive("max_fixpoint_depth", self.max_fixpoint_depth)
@@ -312,6 +360,23 @@ class AnalysisOptions:
                     f"stream_cache_budget must be a non-negative integer number "
                     f"of bytes or None, got {budget!r}"
                 )
+        if self.refine not in REFINE_KINDS:
+            kinds = ", ".join(repr(kind) for kind in REFINE_KINDS)
+            raise ValueError(f"refine must be one of {kinds}, got {self.refine!r}")
+        if self.refine_time_budget is not None:
+            budget = self.refine_time_budget
+            if not isinstance(budget, (int, float)) or isinstance(budget, bool) or budget <= 0:
+                raise ValueError(
+                    f"refine_time_budget must be a positive number of seconds "
+                    f"or None, got {budget!r}"
+                )
+        width = self.refine_width_target
+        if not isinstance(width, (int, float)) or isinstance(width, bool) or width < 0:
+            raise ValueError(
+                f"refine_width_target must be a non-negative number, got {width!r}"
+            )
+        if self.refine_max_rounds is not None:
+            _require_positive("refine_max_rounds", self.refine_max_rounds)
         if self.analyzers is not None:
             if isinstance(self.analyzers, str):
                 raise ValueError("analyzers must be a sequence of names, not a string")
@@ -356,6 +421,11 @@ class AnalysisOptions:
         ``multiprocessing.shared_memory`` is unavailable on the host.
         """
         return self.payload_transport if self.payload_transport is not None else DEFAULT_TRANSPORT
+
+    @property
+    def refine_enabled(self) -> bool:
+        """Whether queries with these options run gap-directed refinement."""
+        return self.refine == "gap"
 
     @property
     def stream_cache_enabled(self) -> bool:

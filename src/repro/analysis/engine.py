@@ -115,6 +115,12 @@ class AnalysisReport:
     #: and the high-water mark of paths resident in the parent process.
     first_result_seconds: Optional[float] = None
     peak_path_buffer: int = 0
+    #: Gap-directed refinement telemetry (``options.refine="gap"``): rounds
+    #: run, path re-analyses performed across all rounds, and wall-clock
+    #: spent in the scheduler (included in ``seconds``).
+    refine_rounds: int = 0
+    refine_paths: int = 0
+    refine_seconds: float = 0.0
 
     def record_path(self, analyzer_name: str) -> None:
         self.analyzer_paths[analyzer_name] = self.analyzer_paths.get(analyzer_name, 0) + 1
@@ -207,6 +213,7 @@ def analyze_execution(
     options: Optional[AnalysisOptions] = None,
     report: Optional[AnalysisReport] = None,
     executor: Optional["ParallelAnalysisExecutor"] = None,
+    progress=None,
 ) -> list[DenotationBounds]:
     """Bounds on ``⟦P⟧(U)`` for every target, from a prior symbolic execution.
 
@@ -220,6 +227,14 @@ def analyze_execution(
     can be passed in to reuse its pool across queries (this is what
     :class:`repro.Model` does).  Serial and parallel runs return bit-identical
     bounds (see :func:`reduce_contributions`).
+
+    With ``options.refine="gap"`` the uniform sweep becomes the *seed* of a
+    gap-directed refinement loop (:mod:`repro.analysis.refine`): the worst
+    lower/upper-gap paths are iteratively re-analysed at doubled split
+    budgets, and ``progress(bounds, paths_done)`` (optional) is invoked after
+    every round with monotonically narrowing sound bounds.  ``progress`` is
+    only consulted in refinement mode — the plain batch sweep has no
+    intermediate sound bounds to report.
     """
     options = options or AnalysisOptions()
     report = report if report is not None else AnalysisReport()
@@ -228,6 +243,21 @@ def analyze_execution(
     # self-consistent (path_count covers the same runs as linear_paths etc.).
     report.path_count += len(execution.paths)
     report.truncated_paths += execution.truncated_paths
+
+    if options.refine_enabled:
+        from .refine import refine_execution
+
+        pool = executor
+        if pool is None and options.parallel:
+            from .parallel import shared_executor
+
+            pool = shared_executor(options)
+        bounds = refine_execution(
+            execution, targets, options,
+            report=report, executor=pool, progress=progress,
+        )
+        report.seconds += time.perf_counter() - start
+        return bounds
 
     if executor is not None or options.parallel:
         from .parallel import shared_executor
@@ -260,6 +290,7 @@ def analyze_path_stream(
     report: Optional[AnalysisReport] = None,
     executor: Optional["ParallelAnalysisExecutor"] = None,
     progress=None,
+    contribution_sink: Optional[list[PathContribution]] = None,
 ) -> list[DenotationBounds]:
     """Bounds on ``⟦P⟧(U)`` from a *stream* of symbolic paths.
 
@@ -285,6 +316,12 @@ def analyze_path_stream(
     bounds are *not* yet sound — they cover only the paths analysed so far —
     which is why the hook surfaces them as an explicitly partial preview,
     never as the query result.
+
+    ``contribution_sink`` (optional) receives every per-path
+    :class:`PathContribution` in canonical path order — the refinement
+    scheduler seeds from it so a streamed query never pays a second uniform
+    sweep.  Passing a sink trades the serial branch's O(targets) memory for
+    O(paths), so only callers that go on to refine should pass one.
     """
     options = options or AnalysisOptions()
     report = report if report is not None else AnalysisReport()
@@ -294,18 +331,25 @@ def analyze_path_stream(
         from .parallel import shared_executor
 
         pool = executor if executor is not None else shared_executor(options)
-        bounds = pool.analyze_stream(paths, targets, options, report, progress=progress)
+        bounds = pool.analyze_stream(
+            paths, targets, options, report,
+            progress=progress, contribution_sink=contribution_sink,
+        )
         report.seconds += time.perf_counter() - start
         return bounds
 
     # Serial streaming: fold every path into the accumulator the moment it
-    # is produced — O(targets) memory, peak path buffer of one.
+    # is produced — O(targets) memory (plus the optional sink), peak path
+    # buffer of one.
     analyzers = resolve_analyzers(options)
     totals = [(0.0, 0.0) for _ in targets]
     for path in paths:
         report.path_count += 1
         report.truncated_paths += int(path.truncated)
-        _accumulate(totals, analyze_single_path(path, analyzers, targets, options), report)
+        contribution = analyze_single_path(path, analyzers, targets, options)
+        if contribution_sink is not None:
+            contribution_sink.append(contribution)
+        _accumulate(totals, contribution, report)
         if report.first_result_seconds is None:
             report.first_result_seconds = time.perf_counter() - start
             report.peak_path_buffer = max(report.peak_path_buffer, 1)

@@ -130,14 +130,19 @@ class CompiledProgram:
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
         executor: Optional["ParallelAnalysisExecutor"] = None,
+        progress=None,
     ) -> list[DenotationBounds]:
         """Denotation bounds for ``targets`` from the cached path set.
 
         ``executor`` (optional) is a running
         :class:`~repro.analysis.parallel.ParallelAnalysisExecutor` whose pool
-        is reused instead of spinning one up per query.
+        is reused instead of spinning one up per query.  ``progress``
+        (optional) is the per-round anytime hook of refinement mode (see
+        :func:`repro.analysis.engine.analyze_execution`).
         """
-        return analyze_execution(self.execution, targets, options, report, executor=executor)
+        return analyze_execution(
+            self.execution, targets, options, report, executor=executor, progress=progress
+        )
 
 
 class Model:
@@ -370,13 +375,15 @@ class Model:
         execution limits is already cached the cached batch path is used
         instead (it is strictly cheaper and bit-identical).
 
-        ``progress`` (optional, streamed cache-miss queries only) is invoked
-        once with ``(partial_bounds, paths_done)`` as soon as the first path
-        contributions land — the anytime first-bound hook the bounds service
-        streams over the wire (see
-        :func:`repro.analysis.engine.analyze_path_stream`).  Batch and
-        cache-hit queries never call it: their full result is the first
-        result.
+        ``progress`` (optional) is the anytime hook the bounds service
+        streams over the wire.  On streamed cache-miss queries it fires once
+        with ``(partial_bounds, paths_done)`` as soon as the first path
+        contributions land (see
+        :func:`repro.analysis.engine.analyze_path_stream`).  With
+        ``options.refine="gap"`` it additionally fires after every
+        refinement round with monotonically narrowing *sound* bounds —
+        including on batch and cache-hit queries, whose refinement rounds
+        are their anytime signal.
         """
         options = self._resolve(options)
         if options.stream and options.execution_limits() not in self._compiled:
@@ -388,7 +395,10 @@ class Model:
                 report.seconds += compiled.compile_seconds
             else:
                 report.compile_cache_hits += 1
-        return compiled.analyze(targets, options, report, executor=self._executor_for(options))
+        return compiled.analyze(
+            targets, options, report,
+            executor=self._executor_for(options), progress=progress,
+        )
 
     def _bounds_streamed(
         self,
@@ -397,11 +407,23 @@ class Model:
         report: Optional[AnalysisReport],
         progress=None,
     ) -> list[DenotationBounds]:
-        """One streamed query, with the cache tee wrapped around the stream."""
+        """One streamed query, with the cache tee wrapped around the stream.
+
+        With ``options.refine="gap"`` the streamed sweep doubles as the
+        refinement seed: a contribution sink captures every per-path record
+        in canonical order, and once the tee installs the compiled program
+        the gap scheduler refines from those records without re-sweeping.
+        Refinement needs the materialised path set; when the tee cannot
+        supply one (cache budget disabled, or overflowed mid-stream) the
+        compiled program provides it instead — a cache hit when available,
+        otherwise one batch re-exploration — so streamed bounds equal batch
+        bounds in refinement mode too.
+        """
         limits = options.execution_limits()
         stream = stream_symbolic_paths(self._term, limits)
         executor = self._executor_for(options)
         collector = PathInterner() if options.stream_cache_enabled else None
+        sink: Optional[list] = [] if options.refine_enabled else None
         #: Seconds spent *producing* paths (exploration + the tee's intern
         #: walk), excluding the analysis that runs between yields — the
         #: honest analog of a batch compilation's compile_seconds.
@@ -427,8 +449,10 @@ class Model:
                 resumed = time.perf_counter()
 
         bounds = analyze_path_stream(
-            teed(), targets, options, report, executor=executor, progress=progress
+            teed(), targets, options, report,
+            executor=executor, progress=progress, contribution_sink=sink,
         )
+        execution = None
         if collector is not None and collector.paths and stream.stats.exhausted:
             # The stream completed within budget: its paths ARE the compiled
             # program.  The collector is a PathTableBuilder in disguise, so
@@ -468,6 +492,33 @@ class Model:
                 cached = self._compiled[limits].execution
                 image = cached.table().to_bytes() if cached is execution else None
                 executor.prime_arena(cached.paths, intern=False, image=image)
+        if sink is not None and execution is None and stream.stats.exhausted:
+            # The tee could not materialise the path set but refinement
+            # needs one: the compiled program supplies it — cached from a
+            # previous query when possible, otherwise one re-exploration.
+            # Path order is canonical either way, so the sink's records
+            # still line up index for index.
+            execution = self.compile(options).execution
+        if (
+            sink is not None
+            and execution is not None
+            and len(sink) == len(execution.paths)
+        ):
+            # Refine off the streamed sweep's own records: the sink holds
+            # one canonical-order record per path, so the scheduler's
+            # seed bound is exactly the streamed bound and every round
+            # narrows from there.  The streamed reduce already attributed
+            # the paths, so refine_execution skips re-recording them.
+            from .refine import refine_execution
+
+            refine_start = time.perf_counter()
+            bounds = refine_execution(
+                execution, targets, options,
+                report=report, executor=executor, progress=progress,
+                seed_contributions=sink,
+            )
+            if report is not None:
+                report.seconds += time.perf_counter() - refine_start
         return bounds
 
     def bound(

@@ -292,6 +292,7 @@ def _analyze_table_range(
     options: AnalysisOptions,
     analyzers,
     paths: Optional[Sequence[SymbolicPath]] = None,
+    indices: Optional[Sequence[int]] = None,
 ) -> list[PathContribution]:
     """The columnar per-chunk loop over a ``PathTable`` slice.
 
@@ -313,6 +314,10 @@ def _analyze_table_range(
     Contribution records (analyzer name, truncated flag, per-target bounds)
     are identical to :func:`_analyze_paths_resolved` over the decoded
     slice — the columnar route never moves a bound.
+
+    ``indices`` (optional) replaces the contiguous ``[start, stop)`` range
+    with an explicit index list (the refinement scheduler's scattered
+    worst-gap subsets); results follow the given order.
     """
     contributions: list[PathContribution] = []
     decoded: dict[int, SymbolicPath] = {}
@@ -369,7 +374,7 @@ def _analyze_table_range(
         group = []
         group_analyzer = None
 
-    for index in range(start, stop):
+    for index in (indices if indices is not None else range(start, stop)):
         analyzer = pick(index)
         if analyzer is None:
             flush()
@@ -426,6 +431,7 @@ def analyze_table_slice(
     options: AnalysisOptions,
     analyzers,
     paths: Optional[Sequence[SymbolicPath]] = None,
+    indices: Optional[Sequence[int]] = None,
 ) -> list[PathContribution]:
     """Analyse one ``[start, stop)`` slice of a ``PathTable`` (resolved form).
 
@@ -434,10 +440,23 @@ def analyze_table_slice(
     routes every backend runs, so any consumer holding a table and resolved
     analyzers (process workers, the socket tier's remote workers, in-process
     backends) produces the exact same contribution records.
+
+    ``indices`` (optional) overrides ``[start, stop)`` with an explicit
+    path-index list — the refinement scheduler's scattered worst-gap
+    subsets travel through the very same chunk body on every backend.
     """
     if options.columnar:
-        return _analyze_table_range(table, start, stop, targets, options, analyzers, paths=paths)
-    decoded = paths[start:stop] if paths is not None else table.decode_range(start, stop)
+        return _analyze_table_range(
+            table, start, stop, targets, options, analyzers, paths=paths, indices=indices
+        )
+    if indices is not None:
+        decoded = (
+            [paths[index] for index in indices]
+            if paths is not None
+            else [table.decode_path(index) for index in indices]
+        )
+    else:
+        decoded = paths[start:stop] if paths is not None else table.decode_range(start, stop)
     return _analyze_paths_resolved(decoded, targets, options, analyzers)
 
 
@@ -457,8 +476,17 @@ def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]
     targets, options, analyzers = _resolved_context(ref.context)
     table = attach_arena(ref.segment)
     return ref.index, analyze_table_slice(
-        table, ref.start, ref.stop, targets, options, analyzers
+        table, ref.start, ref.stop, targets, options, analyzers, indices=ref.indices
     )
+
+
+def _gathered(results: list[tuple[int, list[PathContribution]]]) -> list[PathContribution]:
+    """Reassemble per-chunk results into one canonical-order contribution list."""
+    results.sort(key=lambda item: item[0])
+    contributions: list[PathContribution] = []
+    for _, chunk_contributions in results:
+        contributions.extend(chunk_contributions)
+    return contributions
 
 
 #: Process-wide executor cache for callers without their own pool lifecycle
@@ -821,8 +849,7 @@ class ParallelAnalysisExecutor:
         options: AnalysisOptions,
         specs: tuple[AnalyzerSpec, ...],
         chunks: list[range],
-        report: Optional[AnalysisReport],
-    ) -> list[DenotationBounds]:
+    ) -> list[PathContribution]:
         """Batch dispatch over the TCP work queue.
 
         The distributed analogue of the arena branch in :meth:`analyze`:
@@ -847,7 +874,7 @@ class ParallelAnalysisExecutor:
             for chunk_index, chunk in enumerate(chunks)
         ]
         results = [future.result() for future in futures]
-        return self._merge(results, target_tuple, report)
+        return _gathered(results)
 
     # ------------------------------------------------------------------
     # Analysis
@@ -865,6 +892,24 @@ class ParallelAnalysisExecutor:
         canonical path order, so the bounds are bit-identical to a serial
         :func:`repro.analysis.engine.analyze_execution` run.  Worker
         exceptions propagate to the caller.
+        """
+        target_tuple = tuple(targets)
+        contributions = self.analyze_contributions(execution, target_tuple, options)
+        return reduce_contributions(contributions, target_tuple, report)
+
+    def analyze_contributions(
+        self,
+        execution: SymbolicExecutionResult,
+        targets: Sequence[Interval],
+        options: Optional[AnalysisOptions] = None,
+    ) -> list[PathContribution]:
+        """Per-path contribution records for ``targets``, in canonical order.
+
+        The dispatch body behind :meth:`analyze`, exposed separately because
+        the refinement scheduler needs the *per-path* records (to key its
+        gap heap) rather than the reduced sums.  Chunk results are
+        reassembled in chunk order, so ``reduce_contributions`` over the
+        returned list reproduces :meth:`analyze` bit for bit.
         """
         if self._closed:
             raise RuntimeError("ParallelAnalysisExecutor is closed")
@@ -890,9 +935,7 @@ class ParallelAnalysisExecutor:
         # queue) for trivial path sets — e.g. one-path models under a
         # process-wide REPRO_ANALYSIS_WORKERS default.
         if self.kind == "socket" and len(chunks) > 1:
-            return self._analyze_socket(
-                execution, target_tuple, options, specs, chunks, report
-            )
+            return self._analyze_socket(execution, target_tuple, options, specs, chunks)
         pooled = len(chunks) > 1 and self.kind != "serial"
         pool = self._ensure_pool() if pooled else None
         pooled = pool is not None
@@ -922,7 +965,7 @@ class ParallelAnalysisExecutor:
                 ]
                 futures = [pool.submit(analyze_arena_chunk, ref) for ref in refs]
                 results = [future.result() for future in futures]
-                return self._merge(results, target_tuple, report)
+                return _gathered(results)
 
         # In-process columnar fast path: serial/thread backends (and inline
         # single-chunk runs on any backend) analyse the compiled program's
@@ -945,7 +988,7 @@ class ParallelAnalysisExecutor:
             else:
                 futures = [pool.submit(run_table_chunk, i, chunk) for i, chunk in enumerate(chunks)]
                 results = [future.result() for future in futures]
-            return self._merge(results, target_tuple, report)
+            return _gathered(results)
 
         # Pickle transport (and the remaining in-process routes).  Interning
         # only pays for itself when chunks are actually pickled to a process
@@ -971,19 +1014,122 @@ class ParallelAnalysisExecutor:
         else:
             futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
             results = [future.result() for future in futures]
-        return self._merge(results, target_tuple, report)
+        return _gathered(results)
 
-    def _merge(
+    # ------------------------------------------------------------------
+    # Refinement dispatch
+    # ------------------------------------------------------------------
+    def analyze_refinement_jobs(
         self,
-        results: list[tuple[int, list[PathContribution]]],
-        target_tuple: tuple[Interval, ...],
-        report: Optional[AnalysisReport],
-    ) -> list[DenotationBounds]:
-        results.sort(key=lambda item: item[0])
-        contributions: list[PathContribution] = []
-        for _, chunk_contributions in results:
-            contributions.extend(chunk_contributions)
-        return reduce_contributions(contributions, target_tuple, report)
+        execution: SymbolicExecutionResult,
+        jobs: Sequence[tuple[tuple[int, ...], AnalysisOptions]],
+        targets: Sequence[Interval],
+    ) -> list[list[PathContribution]]:
+        """Re-analyse explicit path-index groups, each under its own options.
+
+        The refinement scheduler's dispatch primitive: every job is a
+        ``(indices, options)`` pair — a scattered worst-gap subset of
+        ``execution``'s path table plus the scaled split budgets of its
+        refinement level.  Jobs ride the executor's regular chunk machinery
+        (arena refs / pickled payloads / socket index jobs, depending on
+        backend and transport), and the per-path records come back in job
+        order with each job's records following its index order — so the
+        scheduler's merge is deterministic on every backend.
+
+        Returns one contribution list per job.
+        """
+        if self._closed:
+            raise RuntimeError("ParallelAnalysisExecutor is closed")
+        if not jobs:
+            return []
+        target_tuple = tuple(targets)
+        paths = execution.paths
+        self.chunks_dispatched += len(jobs)
+        self.paths_analyzed += sum(len(indices) for indices, _ in jobs)
+
+        if self.kind == "socket":
+            queue = self._ensure_queue()
+            table_key = self._socket_table_key(execution, queue)
+            futures = []
+            for job_index, (indices, options) in enumerate(jobs):
+                specs = analyzer_specs(options.analyzer_names)
+                context_key = self._socket_context_key(queue, target_tuple, options, specs)
+                futures.append(
+                    queue.submit_chunk(
+                        index=job_index,
+                        table=table_key,
+                        start=0,
+                        stop=0,
+                        context=context_key,
+                        timeout=options.job_timeout,
+                        retries=options.job_retries,
+                        indices=indices,
+                    )
+                )
+            return [future.result()[1] for future in futures]
+
+        pool = self._ensure_pool() if self.kind in ("thread", "process") else None
+
+        if (
+            pool is not None
+            and self.kind == "process"
+            and jobs[0][1].effective_transport == "arena"
+        ):
+            segment = self._arena_for(execution)
+            if segment is not None:
+                refs = []
+                for job_index, (indices, options) in enumerate(jobs):
+                    specs = analyzer_specs(options.analyzer_names)
+                    context = self._context_for(target_tuple, options, specs)
+                    if context is None:
+                        refs = None
+                        break
+                    refs.append(
+                        ArenaChunkRef(
+                            index=job_index,
+                            segment=segment.name,
+                            nbytes=segment.nbytes,
+                            start=0,
+                            stop=0,
+                            context=context.name,
+                            indices=tuple(indices),
+                        )
+                    )
+                if refs is not None:
+                    futures = [pool.submit(analyze_arena_chunk, ref) for ref in refs]
+                    return [future.result()[1] for future in futures]
+
+        if pool is not None and self.kind == "process":
+            # Pickle fallback: the selected paths travel as an interned
+            # object graph per job (one fresh memo each — jobs are small).
+            payloads = [
+                ChunkPayload(
+                    index=job_index,
+                    paths=intern_paths(tuple(paths[i] for i in indices), {}),
+                    targets=target_tuple,
+                    options=options,
+                    specs=analyzer_specs(options.analyzer_names),
+                )
+                for job_index, (indices, options) in enumerate(jobs)
+            ]
+            futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
+            return [future.result()[1] for future in futures]
+
+        # In-process backends run the shared table slice body directly over
+        # the compiled program's own table (honouring options.columnar).
+        table = execution.table()
+
+        def run_job(indices: tuple[int, ...], options: AnalysisOptions):
+            analyzers = resolve_analyzers(options)
+            return analyze_table_slice(
+                table, 0, 0, target_tuple, options, analyzers,
+                paths=paths, indices=indices,
+            )
+
+        if pool is None:
+            return [run_job(tuple(indices), options) for indices, options in jobs]
+        futures = [pool.submit(run_job, tuple(indices), options) for indices, options in jobs]
+        return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
     # Streaming analysis
@@ -995,6 +1141,7 @@ class ParallelAnalysisExecutor:
         options: Optional[AnalysisOptions] = None,
         report: Optional[AnalysisReport] = None,
         progress: Optional[Callable[[list[DenotationBounds], int], None]] = None,
+        contribution_sink: Optional[list] = None,
     ) -> list[DenotationBounds]:
         """Denotation bounds from a *stream* of paths, pipelined over the pool.
 
@@ -1020,6 +1167,12 @@ class ParallelAnalysisExecutor:
         the first chunk's contributions are collected.  Partial lower
         bounds are sound (contributions are non-negative); partial upper
         bounds cover only the paths analysed so far.
+
+        ``contribution_sink`` (optional) receives the full canonical-order
+        per-path contribution list once the stream completes — the
+        refinement scheduler seeds from it without re-sweeping the paths
+        (contribution records are a few floats per path, so retaining them
+        does not undo the bounded path buffer).
 
         Under the ``"socket"`` backend each chunk is encoded as its own
         small path-table image, registered with the work queue under its
@@ -1246,6 +1399,8 @@ class ParallelAnalysisExecutor:
         contributions: list[PathContribution] = []
         for _, chunk_contributions in results:
             contributions.extend(chunk_contributions)
+        if contribution_sink is not None:
+            contribution_sink.extend(contributions)
         if report is not None:
             report.path_count += path_count
             report.truncated_paths += sum(int(c.truncated) for c in contributions)

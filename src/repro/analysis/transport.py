@@ -96,6 +96,11 @@ class ArenaChunkRef:
     the arena segment and the query context (targets, options, analyzer
     specs — identical for every chunk of a query) lives in its own tiny
     shared context segment, so neither is re-serialised per chunk.
+
+    ``indices`` (optional) replaces the contiguous ``[start, stop)`` range
+    with an explicit path-index list — the refinement scheduler's unit of
+    work, where each round re-analyses a scattered worst-gap subset of the
+    table rather than a contiguous slice.
     """
 
     index: int
@@ -104,6 +109,7 @@ class ArenaChunkRef:
     start: int
     stop: int
     context: str  # name of the query's ContextSegment
+    indices: Optional[Tuple[int, ...]] = None
 
 
 #: Every live parent-side segment handle, swept at interpreter exit.  Shared

@@ -64,6 +64,9 @@ class BoundsReply:
     #: Every anytime partial emitted before the result:
     #: ``(partial_bounds, paths_done)`` in arrival order.
     partials: list[tuple[list[DenotationBounds], int]] = field(default_factory=list)
+    #: Gap-directed refinement rounds the server ran for this result
+    #: (0 for ``refine="off"`` queries and result-cache hits).
+    refine_rounds: int = 0
 
     @property
     def cache_hit(self) -> bool:
@@ -217,4 +220,5 @@ class ServiceClient:
             first_result_seconds=header.get("first_result_seconds"),
             result_cache=str(header.get("result_cache", "miss")),
             partials=partials,
+            refine_rounds=int(header.get("refine_rounds", 0)),
         )

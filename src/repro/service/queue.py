@@ -54,7 +54,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..analysis.config import (
     DEFAULT_JOB_RETRIES,
@@ -182,14 +182,22 @@ class WorkQueueServer:
         context: str,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        indices: Optional[Sequence[int]] = None,
     ) -> concurrent.futures.Future:
         """Queue one chunk job: analyse ``table[start:stop]`` under ``context``.
+
+        ``indices`` (optional) replaces the contiguous range with an
+        explicit path-index list — the refinement scheduler's scattered
+        worst-gap subsets ride the same job kind (and the same resource
+        caching) as regular chunks.
 
         Returns a future resolving to ``(index, [PathContribution, ...])`` —
         the exact shape process-pool chunk futures resolve to.
         """
         spec = {"kind": "chunk", "index": index, "table": table, "start": start,
                 "stop": stop, "context": context}
+        if indices is not None:
+            spec["indices"] = [int(i) for i in indices]
         return self._submit(spec, resources=(table, context), timeout=timeout, retries=retries)
 
     def submit_sleep(

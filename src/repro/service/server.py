@@ -416,6 +416,7 @@ class BoundsServer:
             "paths": report.path_count,
             "seconds": report.seconds,
             "first_result_seconds": report.first_result_seconds,
+            "refine_rounds": report.refine_rounds,
             "result_cache": "miss",
         }
         self._result_store(result_key, result)

@@ -12,9 +12,10 @@ announces its resource-cache capacity, and then serves jobs one at a time:
   exactly the per-process caches a shared-memory pool worker keeps, one
   network hop out;
 * ``chunk`` jobs run :func:`repro.analysis.parallel.analyze_table_slice`
-  over the referenced ``[start, stop)`` table range — the **identical**
-  columnar loop the in-process backends run, which is what keeps socket
-  bounds bit-identical to serial bounds;
+  over the referenced ``[start, stop)`` table range (or over an explicit
+  ``indices`` list — the refinement scheduler's scattered worst-gap
+  subsets) — the **identical** columnar loop the in-process backends run,
+  which is what keeps socket bounds bit-identical to serial bounds;
 * ``sleep`` jobs idle for a requested duration (the queue's
   deterministic timeout/retry test vehicle);
 * ``shutdown`` frames end the process.
@@ -122,9 +123,11 @@ class BoundWorker:
 
             table = self._fetch(header["table"], "table")
             targets, options, analyzers = self._fetch(header["context"], "context")
+            raw_indices = header.get("indices")
             contributions = analyze_table_slice(
                 table, int(header["start"]), int(header["stop"]),
                 targets, options, analyzers,
+                indices=tuple(int(i) for i in raw_indices) if raw_indices is not None else None,
             )
             result = (int(header["index"]), contributions)
             self.jobs_done += 1

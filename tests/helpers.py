@@ -9,9 +9,16 @@ modules import the builders explicitly from this module instead.
 
 from __future__ import annotations
 
+import random
+
 from repro.lang import builder as b
 
-__all__ = ["simple_observe_model", "pedestrian_walk_fixpoint", "geometric_program"]
+__all__ = [
+    "simple_observe_model",
+    "pedestrian_walk_fixpoint",
+    "geometric_program",
+    "random_spcf_program",
+]
 
 
 def simple_observe_model(observed: float = 1.1, std: float = 0.25):
@@ -53,3 +60,94 @@ def geometric_program(p_stop: float = 0.5):
         b.choice(p_stop, b.var("count"), b.app(b.var("loop"), b.add(b.var("count"), 1.0))),
     )
     return b.app(loop, 0.0)
+
+
+def random_spcf_program(
+    seed: int,
+    *,
+    max_samples: int = 3,
+    max_observes: int = 2,
+    max_branches: int = 1,
+    allow_recursion: bool = True,
+):
+    """A small random SPCF term, deterministic in ``seed`` — the fuzz vehicle.
+
+    The generated programs cover the feature axes the differential tests
+    care about while staying cheap to analyse:
+
+    * 1–``max_samples`` uniform draws (the path's box dimensions);
+    * up to ``max_observes`` score atoms — ``observe normal`` / ``observe
+      uniform`` over random (often non-linear) expressions of the bound
+      variables, so some programs stay linear-analysable and others force
+      the box fallback;
+    * up to ``max_branches`` data-dependent ``if`` branches (path splits);
+    * optionally a recursive geometric counter folded into the result, so
+      the symbolic execution's depth limit produces *truncated* paths.
+
+    Expressions only combine bound variables and constants, so every seed
+    yields a closed, well-typed term.
+    """
+    rng = random.Random(seed)
+    names: list[str] = []
+    #: ("let", name, value_term) bindings and ("observe", score_term)
+    #: effects, in program order; folded into nested lets at the end.
+    bindings: list[tuple] = []
+
+    def atom():
+        if names and rng.random() < 0.7:
+            return b.var(rng.choice(names))
+        return b.const(round(rng.uniform(0.1, 1.5), 3))
+
+    def expr(depth: int):
+        if depth <= 0 or rng.random() < 0.3:
+            return atom()
+        op = rng.choice(("add", "sub", "mul"))
+        left, right = expr(depth - 1), expr(depth - 1)
+        if op == "add":
+            return b.add(left, right)
+        if op == "sub":
+            return b.sub(left, right)
+        return b.mul(left, right)
+
+    for index in range(rng.randint(1, max_samples)):
+        name = f"x{index}"
+        bindings.append(("let", name, b.sample()))
+        names.append(name)
+
+    for index in range(rng.randint(0, max_observes)):
+        if rng.random() < 0.5:
+            atom_term = b.observe_normal(
+                round(rng.uniform(0.0, 1.5), 3),
+                round(rng.uniform(0.2, 0.6), 3),
+                expr(2),
+            )
+        else:
+            # Wide support so the density never vanishes everywhere.
+            atom_term = b.observe_uniform(-4.0, 4.0, expr(2))
+        bindings.append(("observe", atom_term))
+
+    for index in range(rng.randint(0, max_branches)):
+        name = f"br{index}"
+        bindings.append(
+            ("let", name,
+             b.if_leq(expr(1), round(rng.uniform(0.2, 0.8), 3), expr(1), expr(1))),
+        )
+        names.append(name)
+
+    if allow_recursion and rng.random() < 0.4:
+        bindings.append(("let", "rec", geometric_program(round(rng.uniform(0.4, 0.7), 2))))
+        names.append("rec")
+
+    result = b.var(names[0])
+    for name in names[1:]:
+        scale = 0.05 if name == "rec" else 1.0
+        result = b.add(result, b.mul(scale, b.var(name)))
+
+    body = result
+    for entry in reversed(bindings):
+        if entry[0] == "let":
+            _, name, value = entry
+            body = b.let(name, value, body)
+        else:
+            body = b.seq(entry[1], body)
+    return body

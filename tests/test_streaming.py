@@ -175,6 +175,7 @@ def assert_bits_equal(first, second):
 
 
 class TestStreamedBatchEquivalence:
+    @pytest.mark.slow
     @settings(max_examples=25, deadline=None)
     @given(
         program=st.sampled_from(sorted(_PROGRAMS)),
@@ -265,6 +266,7 @@ class TestPeakPathBuffer:
         assert report.path_count > 50
         assert report.peak_path_buffer == 1
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("kind", ["thread", "process"])
     def test_pooled_streaming_respects_buffer_envelope(self, kind):
         workers, prefetch, chunk_size = 2, 2, 8
