@@ -10,6 +10,7 @@ from ..symbolic import ExecutionLimits
 
 __all__ = [
     "AnalysisOptions",
+    "DEFAULT_IO_TIMEOUT",
     "DEFAULT_JOB_RETRIES",
     "DEFAULT_JOB_TIMEOUT",
     "DEFAULT_REFINE_MAX_ROUNDS",
@@ -40,6 +41,12 @@ DEFAULT_JOB_TIMEOUT = 300.0
 #: Default number of times a failed/timed-out/lost socket job is re-queued
 #: before the query errors out.
 DEFAULT_JOB_RETRIES = 2
+
+#: Default socket-level patience (seconds) of the service tier: the work
+#: queue's handshake read timeout, the liveness window for workers that do
+#: not heartbeat, and the grace the parallel executor grants a queue with
+#: zero connected workers before degrading to a local backend.
+DEFAULT_IO_TIMEOUT = 30.0
 
 #: The recognised process-dispatch payload formats.  ``"arena"`` (the
 #: default) writes the path set once into a ``multiprocessing.shared_memory``
@@ -245,6 +252,20 @@ class AnalysisOptions:
             a query loss — while still guaranteeing that a job which can
             never succeed (e.g. a deterministic analyzer error) surfaces
             after ``job_retries + 1`` attempts.
+        io_timeout: socket-level patience (seconds) of the service tier —
+            the work queue's handshake read timeout, the liveness window
+            for workers that do not heartbeat, and the no-worker grace the
+            parallel executor grants the socket backend before walking down
+            the degradation ladder (process pool, then serial).  Replaces
+            the old hard-coded 30 s read timeout.
+        time_budget: overall wall-clock budget (seconds) for one query,
+            measured from dispatch.  The parallel executor turns it into an
+            absolute deadline propagated onto every socket job (jobs not
+            dispatched in time fail with ``DeadlineExceeded``), and the
+            bounds server derives it from the client-supplied deadline so
+            no query outlives its caller.  Deliberately *relative*: options
+            participate in cache keys, and an absolute timestamp would make
+            every query a cache miss.  ``None`` (the default) disables it.
         refine: anytime-refinement mode — ``"off"`` (the default: one
             uniform sweep at the configured split budgets) or ``"gap"``
             (gap-directed anytime refinement: seed from the uniform sweep,
@@ -304,6 +325,8 @@ class AnalysisOptions:
     socket_spawn_workers: Optional[int] = None
     job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT
     job_retries: int = DEFAULT_JOB_RETRIES
+    io_timeout: float = DEFAULT_IO_TIMEOUT
+    time_budget: Optional[float] = None
     stream_cache_budget: Optional[int] = DEFAULT_STREAM_CACHE_BUDGET
     refine: str = field(default_factory=_default_refine)
     refine_time_budget: Optional[float] = None
@@ -353,6 +376,17 @@ class AnalysisOptions:
             raise ValueError(
                 f"job_retries must be a non-negative integer, got {self.job_retries!r}"
             )
+        io_timeout = self.io_timeout
+        if not isinstance(io_timeout, (int, float)) or isinstance(io_timeout, bool) or io_timeout <= 0:
+            raise ValueError(
+                f"io_timeout must be a positive number of seconds, got {io_timeout!r}"
+            )
+        if self.time_budget is not None:
+            budget = self.time_budget
+            if not isinstance(budget, (int, float)) or isinstance(budget, bool) or budget <= 0:
+                raise ValueError(
+                    f"time_budget must be a positive number of seconds or None, got {budget!r}"
+                )
         if self.stream_cache_budget is not None:
             budget = self.stream_cache_budget
             if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
@@ -455,7 +489,10 @@ class AnalysisOptions:
         """
         kind = self.effective_executor
         if kind == "socket":
-            return (kind, self.workers, self.socket_endpoint, self.socket_spawn_workers)
+            return (
+                kind, self.workers, self.socket_endpoint,
+                self.socket_spawn_workers, self.io_timeout,
+            )
         return (kind, self.workers)
 
     def with_updates(self, **changes) -> "AnalysisOptions":

@@ -315,6 +315,7 @@ class Model:
                 kind=options.effective_executor,
                 socket_endpoint=options.socket_endpoint,
                 socket_spawn_workers=options.socket_spawn_workers,
+                io_timeout=options.io_timeout,
             )
             self._executors[key] = executor
             # Safety net for models dropped without close(): shut the pool

@@ -62,15 +62,23 @@ import concurrent.futures
 import os
 import pickle
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from collections import OrderedDict
 
+from .. import faults
 from ..intervals import Interval
-from ..symbolic import SymbolicExecutionResult, SymbolicPath, intern_paths
+from ..symbolic import (
+    PathExplosionError,
+    SymbolicExecutionResult,
+    SymbolicPath,
+    intern_paths,
+)
 from ..symbolic.arena import encode_paths
 from .config import (
+    DEFAULT_IO_TIMEOUT,
     DEFAULT_SOCKET_ENDPOINT,
     EXECUTOR_KINDS,
     AnalysisOptions,
@@ -512,6 +520,7 @@ def shared_executor(options: AnalysisOptions) -> "ParallelAnalysisExecutor":
             kind=options.effective_executor,
             socket_endpoint=options.socket_endpoint,
             socket_spawn_workers=options.socket_spawn_workers,
+            io_timeout=options.io_timeout,
         )
         _SHARED_EXECUTORS[key] = executor
     return executor
@@ -555,6 +564,7 @@ class ParallelAnalysisExecutor:
         chunk_size: Optional[int] = None,
         socket_endpoint: Optional[str] = None,
         socket_spawn_workers: Optional[int] = None,
+        io_timeout: Optional[float] = None,
     ) -> None:
         if kind not in EXECUTOR_KINDS:
             kinds = ", ".join(repr(k) for k in EXECUTOR_KINDS)
@@ -569,6 +579,10 @@ class ParallelAnalysisExecutor:
         self.chunk_size = chunk_size
         self.socket_endpoint = socket_endpoint
         self.socket_spawn_workers = socket_spawn_workers
+        #: Socket-level patience (seconds): the queue's handshake/liveness
+        #: window, and the grace this executor grants a workerless queue
+        #: before walking down the degradation ladder.
+        self.io_timeout = DEFAULT_IO_TIMEOUT if io_timeout is None else io_timeout
         #: The lazily-started work-queue server of the ``"socket"`` backend
         #: (see :meth:`_ensure_queue`), plus LRU key caches mirroring the
         #: arena/context segment caches of the shared-memory transport.
@@ -591,9 +605,18 @@ class ParallelAnalysisExecutor:
         #: instead of re-encoding the whole arena image per query only to
         #: fail publishing it again.
         self._arena_degraded = False
+        #: The degradation ladder's local process pool, created lazily the
+        #: first time the socket backend has to hand work back (see
+        #: :meth:`_complete_payloads_locally`).
+        self._fallback_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self.chunks_dispatched = 0
         self.paths_analyzed = 0
         self.arena_segments_created = 0
+        #: Ladder telemetry: how many chunks were re-dispatched locally, and
+        #: the lowest rung reached ("process" or "serial"; None = no
+        #: degradation yet).
+        self.degraded_chunks = 0
+        self.degraded_to: Optional[str] = None
         #: High-water mark of paths resident in the parent during the last
         #: streamed query (fill buffer + chunks in flight).  Batch queries
         #: leave it untouched; streamed queries reset it at entry.
@@ -631,6 +654,7 @@ class ParallelAnalysisExecutor:
 
             self._queue = WorkQueueServer(
                 endpoint=self.socket_endpoint or DEFAULT_SOCKET_ENDPOINT,
+                io_timeout=self.io_timeout,
             )
             spawn = self.socket_spawn_workers
             if spawn is None:
@@ -650,6 +674,9 @@ class ParallelAnalysisExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._fallback_pool is not None:
+            self._fallback_pool.shutdown(wait=True, cancel_futures=True)
+            self._fallback_pool = None
         if self._queue is not None:
             self._queue.close()
             self._queue = None
@@ -842,6 +869,86 @@ class ParallelAnalysisExecutor:
             queue.discard_resource(old_key)
         return key
 
+    # ------------------------------------------------------------------
+    # Degradation ladder (socket -> local process pool -> serial)
+    # ------------------------------------------------------------------
+    def _ensure_fallback_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """The ladder's local process pool (lazily created, best-effort)."""
+        if self._closed:
+            return None
+        if self._fallback_pool is None:
+            try:
+                self._fallback_pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            except OSError:  # pragma: no cover - no subprocess support
+                return None
+        return self._fallback_pool
+
+    def _complete_payloads_locally(
+        self, payloads: Sequence[ChunkPayload], reason: str
+    ) -> list[tuple[int, list[PathContribution]]]:
+        """Run chunks the socket backend failed on a local backend.
+
+        The degradation ladder: first the lazily-created local process pool,
+        and when that is broken too, the serial in-process loop.  Every rung
+        runs the identical chunk body (:func:`analyze_chunk`), and the
+        caller merges the returned ``(index, contributions)`` pairs through
+        the same canonical-order reduction as undisturbed results — so a
+        degraded query's bounds are **bit-identical** to a fault-free run.
+        """
+        if not payloads:
+            return []
+        warnings.warn(
+            f"socket backend degraded ({reason}); re-dispatching "
+            f"{len(payloads)} chunk(s) on the local process pool "
+            "(falling back to serial if that fails too) — bounds are "
+            "unaffected, only latency",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.degraded_chunks += len(payloads)
+        pool = self._ensure_fallback_pool()
+        if pool is not None:
+            try:
+                futures = [pool.submit(analyze_chunk, payload) for payload in payloads]
+                results = [future.result() for future in futures]
+                self.degraded_to = self.degraded_to or "process"
+                return results
+            except Exception:  # noqa: BLE001 - broken pool: take the last rung
+                pass
+        self.degraded_to = "serial"
+        return [analyze_chunk(payload) for payload in payloads]
+
+    def _socket_future_result(self, queue, future):
+        """Wait on one socket-job future, policing a workerless queue.
+
+        A socket job's timeout is only armed once a worker picks it up, so
+        a queue that has lost every worker would otherwise pend forever.
+        The poll loop grants a workerless queue ``io_timeout`` seconds of
+        grace (workers may be mid-reconnect) and then raises ``WorkerLost``
+        so the caller can take the degradation ladder.
+        """
+        from ..service.protocol import WorkerLost
+
+        workerless_since: Optional[float] = None
+        while True:
+            try:
+                return future.result(timeout=0.25)
+            except concurrent.futures.TimeoutError:
+                if queue.worker_count() > 0:
+                    workerless_since = None
+                    continue
+                now = time.monotonic()
+                if workerless_since is None:
+                    workerless_since = now
+                elif now - workerless_since >= self.io_timeout:
+                    future.cancel()
+                    raise WorkerLost(
+                        f"work queue has had no connected workers for "
+                        f"{self.io_timeout:.1f}s"
+                    ) from None
+
     def _analyze_socket(
         self,
         execution: SymbolicExecutionResult,
@@ -857,10 +964,23 @@ class ParallelAnalysisExecutor:
         resources registered once, every chunk travels as a tiny index
         range, and the futures merge through the same canonical-order
         reduction — socket bounds are bit-identical to serial bounds.
+
+        When the queue exhausts a job's retries or loses every worker, the
+        unfinished chunks ride the degradation ladder
+        (:meth:`_complete_payloads_locally`); already-collected socket
+        results are kept, and the merge stays canonical, so the recovered
+        bounds match the undisturbed run bit for bit.
         """
+        from ..service.protocol import WorkerLost
+
         queue = self._ensure_queue()
         table_key = self._socket_table_key(execution, queue)
         context_key = self._socket_context_key(queue, target_tuple, options, specs)
+        deadline = (
+            time.monotonic() + options.time_budget
+            if options.time_budget is not None
+            else None
+        )
         futures = [
             queue.submit_chunk(
                 index=chunk_index,
@@ -870,10 +990,40 @@ class ParallelAnalysisExecutor:
                 context=context_key,
                 timeout=options.job_timeout,
                 retries=options.job_retries,
+                deadline=deadline,
             )
             for chunk_index, chunk in enumerate(chunks)
         ]
-        results = [future.result() for future in futures]
+        paths = execution.paths
+
+        def payload_for(chunk_index: int) -> ChunkPayload:
+            chunk = chunks[chunk_index]
+            return ChunkPayload(
+                index=chunk_index,
+                paths=tuple(paths[chunk.start : chunk.stop]),
+                targets=target_tuple,
+                options=options,
+                specs=specs,
+            )
+
+        results: list[tuple[int, list[PathContribution]]] = []
+        for chunk_index, future in enumerate(futures):
+            try:
+                results.append(self._socket_future_result(queue, future))
+            except WorkerLost as error:
+                # The socket tier is out of attempts or out of workers:
+                # salvage whatever later chunks already finished, hand the
+                # rest down the ladder.
+                leftovers = [payload_for(chunk_index)]
+                for later_index in range(chunk_index + 1, len(futures)):
+                    later = futures[later_index]
+                    later.cancel()
+                    if later.done() and not later.cancelled() and later.exception() is None:
+                        results.append(later.result())
+                    else:
+                        leftovers.append(payload_for(later_index))
+                results.extend(self._complete_payloads_locally(leftovers, str(error)))
+                break
         return _gathered(results)
 
     # ------------------------------------------------------------------
@@ -1048,12 +1198,19 @@ class ParallelAnalysisExecutor:
         self.paths_analyzed += sum(len(indices) for indices, _ in jobs)
 
         if self.kind == "socket":
+            from ..service.protocol import WorkerLost
+
             queue = self._ensure_queue()
             table_key = self._socket_table_key(execution, queue)
             futures = []
             for job_index, (indices, options) in enumerate(jobs):
                 specs = analyzer_specs(options.analyzer_names)
                 context_key = self._socket_context_key(queue, target_tuple, options, specs)
+                deadline = (
+                    time.monotonic() + options.time_budget
+                    if options.time_budget is not None
+                    else None
+                )
                 futures.append(
                     queue.submit_chunk(
                         index=job_index,
@@ -1064,9 +1221,37 @@ class ParallelAnalysisExecutor:
                         timeout=options.job_timeout,
                         retries=options.job_retries,
                         indices=indices,
+                        deadline=deadline,
                     )
                 )
-            return [future.result()[1] for future in futures]
+
+            def job_payload(job_index: int) -> ChunkPayload:
+                indices, options = jobs[job_index]
+                return ChunkPayload(
+                    index=job_index,
+                    paths=tuple(paths[i] for i in indices),
+                    targets=target_tuple,
+                    options=options,
+                    specs=analyzer_specs(options.analyzer_names),
+                )
+
+            results: list[tuple[int, list[PathContribution]]] = []
+            for job_index, future in enumerate(futures):
+                try:
+                    results.append(self._socket_future_result(queue, future))
+                except WorkerLost as error:
+                    leftovers = [job_payload(job_index)]
+                    for later_index in range(job_index + 1, len(futures)):
+                        later = futures[later_index]
+                        later.cancel()
+                        if later.done() and not later.cancelled() and later.exception() is None:
+                            results.append(later.result())
+                        else:
+                            leftovers.append(job_payload(later_index))
+                    results.extend(self._complete_payloads_locally(leftovers, str(error)))
+                    break
+            results.sort(key=lambda item: item[0])
+            return [contributions for _, contributions in results]
 
         pool = self._ensure_pool() if self.kind in ("thread", "process") else None
 
@@ -1217,6 +1402,21 @@ class ParallelAnalysisExecutor:
         #: Socket streaming: per-chunk table resources retired on collection
         #: (the work-queue analogue of the per-chunk arena segments).
         stream_resources: dict[concurrent.futures.Future, str] = {}
+        #: Socket streaming: the local re-dispatch payload of every in-flight
+        #: chunk, so a chunk whose socket job is lost rides the degradation
+        #: ladder instead of failing the query.  Bounded by ``max_inflight``.
+        stream_chunk_payloads: dict[concurrent.futures.Future, ChunkPayload] = {}
+        #: Absolute deadline derived from ``options.time_budget`` (the whole
+        #: stream shares it, like a batch query's chunks do).
+        stream_deadline = (
+            time.monotonic() + options.time_budget
+            if options.time_budget is not None
+            else None
+        )
+        #: Flipped once the ladder fires: later chunks skip the dead socket
+        #: tier and go straight to the local backend.
+        socket_dead = False
+        workerless_since: Optional[float] = None
         results: list[tuple[int, list[PathContribution]]] = []
         inflight: dict[concurrent.futures.Future, int] = {}  # future -> path count
         buffer: list[SymbolicPath] = []
@@ -1251,17 +1451,83 @@ class ParallelAnalysisExecutor:
             progress(reduce_contributions(partial, target_tuple, None), len(partial))
 
         def collect(future: concurrent.futures.Future) -> None:
+            nonlocal socket_dead
+            from ..service.protocol import WorkerLost
+
             inflight.pop(future)
             segment = stream_segments.pop(future, None)
             resource = stream_resources.pop(future, None)
+            payload = stream_chunk_payloads.pop(future, None)
             try:
                 results.append(future.result())  # re-raises worker exceptions
+            except WorkerLost as error:
+                # Socket job out of attempts: this chunk takes the ladder;
+                # the stream keeps flowing and the merge stays canonical.
+                if payload is None:
+                    raise
+                socket_dead = queue.worker_count() == 0
+                results.extend(self._complete_payloads_locally([payload], str(error)))
             finally:
                 if segment is not None:
                     segment.unlink()
                 if resource is not None:
                     queue.discard_resource(resource)
             fire_progress()
+
+        def wait_some() -> None:
+            """Collect at least one in-flight future (ladder on a dead queue).
+
+            Pool futures always complete eventually, but socket futures on a
+            workerless queue would pend forever (their timeouts arm at
+            dispatch) — so the socket wait polls, grants a workerless queue
+            ``io_timeout`` of reconnect grace, and then pulls every stranded
+            chunk down the degradation ladder.
+            """
+            nonlocal socket_dead, workerless_since
+            while inflight:
+                done, _ = concurrent.futures.wait(
+                    tuple(inflight),
+                    timeout=0.25 if queue is not None else None,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if done:
+                    workerless_since = None
+                    for finished in done:
+                        collect(finished)
+                    return
+                if queue is None:
+                    continue
+                if queue.worker_count() > 0:
+                    workerless_since = None
+                    continue
+                now = time.monotonic()
+                if workerless_since is None:
+                    workerless_since = now
+                    continue
+                if now - workerless_since < self.io_timeout:
+                    continue
+                # Every worker is gone and none came back: strand-collect
+                # the whole in-flight set locally.
+                socket_dead = True
+                stranded = list(inflight)
+                payloads: list[ChunkPayload] = []
+                for future in stranded:
+                    inflight.pop(future)
+                    key = stream_resources.pop(future, None)
+                    if key is not None:
+                        queue.discard_resource(key)
+                    payload = stream_chunk_payloads.pop(future, None)
+                    future.cancel()
+                    if future.done() and not future.cancelled() and future.exception() is None:
+                        results.append(future.result())
+                    elif payload is not None:
+                        payloads.append(payload)
+                results.extend(self._complete_payloads_locally(
+                    payloads,
+                    f"work queue has had no connected workers for {self.io_timeout:.1f}s",
+                ))
+                fire_progress()
+                return
 
         def dispatch() -> None:
             nonlocal chunk_index, first_result_seconds, use_arena
@@ -1286,6 +1552,17 @@ class ParallelAnalysisExecutor:
                 return
 
             if queue is not None:
+                payload = ChunkPayload(
+                    index=index, paths=chunk_paths, targets=target_tuple,
+                    options=options, specs=specs,
+                )
+                if socket_dead:
+                    # The ladder already fired: skip the dead socket tier.
+                    results.extend(self._complete_payloads_locally(
+                        [payload], "socket backend previously lost"
+                    ))
+                    fire_progress()
+                    return
                 from ..service.protocol import hash_bytes
 
                 image = encode_paths(chunk_paths)
@@ -1299,17 +1576,15 @@ class ParallelAnalysisExecutor:
                     context=queue_context,
                     timeout=options.job_timeout,
                     retries=options.job_retries,
+                    deadline=stream_deadline,
                 )
                 stream_resources[future] = key
+                stream_chunk_payloads[future] = payload
                 inflight[future] = len(chunk_paths)
                 future.add_done_callback(note_done)
                 note_buffer()
                 while len(inflight) >= max_inflight:
-                    done, _ = concurrent.futures.wait(
-                        tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
-                    )
-                    for finished in done:
-                        collect(finished)
+                    wait_some()
                 return
 
             segment: Optional[ArenaSegment] = None
@@ -1357,14 +1632,18 @@ class ParallelAnalysisExecutor:
             note_buffer()
             # Bounded buffer: block until a slot frees up.
             while len(inflight) >= max_inflight:
-                done, _ = concurrent.futures.wait(
-                    tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
-                )
-                for finished in done:
-                    collect(finished)
+                wait_some()
 
+        fault_plan = faults.active()
         try:
             for path in paths:
+                if fault_plan is not None:
+                    action = fault_plan.decide("stream.paths")
+                    if action is not None and action.kind == "explode":
+                        raise PathExplosionError(
+                            "injected mid-stream path explosion "
+                            f"(after {path_count} paths)"
+                        )
                 buffer.append(path)
                 path_count += 1
                 note_buffer()
@@ -1373,11 +1652,7 @@ class ParallelAnalysisExecutor:
             if buffer:
                 dispatch()
             while inflight:
-                done, _ = concurrent.futures.wait(
-                    tuple(inflight), return_when=concurrent.futures.FIRST_COMPLETED
-                )
-                for finished in done:
-                    collect(finished)
+                wait_some()
         finally:
             # On a mid-stream error, drop references to outstanding futures
             # and unlink their arena segments (attached workers keep their
@@ -1385,6 +1660,7 @@ class ParallelAnalysisExecutor:
             # with the last detach).  The pool itself stays usable for
             # subsequent queries.
             inflight.clear()
+            stream_chunk_payloads.clear()
             while stream_segments:
                 _, leftover = stream_segments.popitem()
                 leftover.unlink()

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from ..intervals import Interval
 from ..symbolic import SymbolicPath
 from ..symbolic.arena import PathTable, encode_paths
@@ -175,6 +176,12 @@ class ArenaSegment(_SegmentHandle):
 
 def _publish(image: bytes):
     """Write a byte image into a fresh shared-memory segment (or ``None``)."""
+    action = _faults.decide("transport.publish")
+    if action is not None and action.kind == "fail":
+        # Injected shared-memory exhaustion: callers take the documented
+        # pickle degradation exactly as they would on a real ENOSPC.
+        _warn_unavailable("injected shared-memory publish failure")
+        return None
     if _shared_memory is None:
         _warn_unavailable("multiprocessing.shared_memory is not importable")
         return None

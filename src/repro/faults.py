@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the service tier.
+
+The chaos suite (``tests/test_chaos.py``) needs to wedge sockets, kill
+workers mid-job, starve shared memory and blow up path streams — at exact,
+reproducible moments.  This module is the single switchboard: a seeded
+:class:`FaultPlan` names *injection sites* threaded through the service
+stack, and each site consults the plan with :func:`decide` before doing its
+normal work.
+
+A plan is a ``;``-separated spec, installable programmatically
+(:func:`install` / :func:`injected`) or through the ``REPRO_FAULTS``
+environment variable (picked up at import time, which is how spawned worker
+subprocesses inherit a plan)::
+
+    REPRO_FAULTS="seed=42;worker.job:die@2;queue.send.job:drop@1"
+
+Each rule is ``site:action[(param)]@hits`` where ``hits`` selects which
+occurrences of the site fire the action: ``2`` (the second hit), ``1,3``
+(an explicit list), ``3+`` (every hit from the third on) or ``*`` (every
+hit).  Hit counts are per-site and per-process, so a plan is deterministic:
+the same workload hits the same sites in the same order and the faults fire
+at the same moments on every run.
+
+Actions and the sites that honour them:
+
+===============  ===========================================================
+``drop``         the frame is silently not sent (``protocol.send_frame``)
+``truncate``     half the frame is sent, then the socket is hard-closed
+``delay``        ``time.sleep(param)`` before the frame goes out
+``slowloris``    the frame trickles out in small pieces, ``param`` seconds
+                 apart
+``die``          the worker process exits immediately (``worker.job`` —
+                 the SIGKILL-at-job-``k`` primitive)
+``fail``         raise :class:`FaultInjected` (``worker.job``,
+                 ``worker.attach``, ``worker.connect``, ``server.query``,
+                 ``transport.publish``)
+``explode``      raise a mid-stream path explosion (``stream.paths``)
+===============  ===========================================================
+
+The whole module is **zero-overhead when disabled**: with no plan
+installed, :func:`decide` is one global-``None`` check, and the hot
+per-path site in the streaming dispatcher reads :func:`active` once before
+its loop and skips the call entirely.
+
+``seed=N`` seeds the plan's private RNG, which supplies default parameters
+for ``delay``/``slowloris`` rules that omit one — so even unparameterised
+timing faults are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "FaultAction",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "decide",
+    "injected",
+    "install",
+    "uninstall",
+]
+
+#: Environment variable holding a fault-plan spec (read once at import).
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every recognised action kind (validated at parse time).
+ACTION_KINDS = ("drop", "truncate", "delay", "slowloris", "die", "fail", "explode")
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (the ``fail`` action's exception)."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What a fired rule asks the injection site to do."""
+
+    kind: str
+    param: Optional[float] = None
+
+
+class _HitSpec:
+    """Which per-site hit counts (1-based) fire a rule.
+
+    ``"2"`` → hit 2 only; ``"1,3"`` → hits 1 and 3; ``"3+"`` → hit 3 and
+    every later one; ``"*"`` → every hit.
+    """
+
+    def __init__(self, spec: str) -> None:
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty hit spec")
+        self.spec = spec
+        self._always = spec == "*"
+        self._from: Optional[int] = None
+        self._exact: Tuple[int, ...] = ()
+        if self._always:
+            return
+        if spec.endswith("+"):
+            self._from = int(spec[:-1])
+            if self._from < 1:
+                raise ValueError(f"hit spec must be 1-based, got {spec!r}")
+            return
+        self._exact = tuple(int(part) for part in spec.split(","))
+        if any(hit < 1 for hit in self._exact):
+            raise ValueError(f"hit spec must be 1-based, got {spec!r}")
+
+    def matches(self, count: int) -> bool:
+        if self._always:
+            return True
+        if self._from is not None:
+            return count >= self._from
+        return count in self._exact
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_HitSpec({self.spec!r})"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed ``site:action[(param)]@hits`` rule."""
+
+    site: str
+    action: FaultAction
+    hits: _HitSpec
+
+
+class FaultPlan:
+    """A seeded, deterministic set of fault rules with per-site hit counters."""
+
+    def __init__(self, rules: List[FaultRule], seed: Optional[int] = None) -> None:
+        self.rules = tuple(rules)
+        self.seed = seed
+        self._rng = random.Random(0 if seed is None else seed)
+        self._by_site: Dict[str, Tuple[FaultRule, ...]] = {}
+        for rule in rules:
+            self._by_site[rule.site] = self._by_site.get(rule.site, ()) + (rule,)
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``;``-separated plan spec (see the module docstring)."""
+        rules: List[FaultRule] = []
+        seed: Optional[int] = None
+        for raw in spec.split(";"):
+            part = raw.strip()
+            if not part:
+                continue
+            if part.startswith("seed="):
+                seed = int(part[len("seed="):])
+                continue
+            try:
+                site_part, rest = part.split(":", 1)
+                action_part, hits_part = rest.rsplit("@", 1)
+            except ValueError as error:
+                raise ValueError(
+                    f"fault rule must look like 'site:action@hits', got {part!r}"
+                ) from error
+            site = site_part.strip()
+            action_part = action_part.strip()
+            param: Optional[float] = None
+            if action_part.endswith(")") and "(" in action_part:
+                kind, param_part = action_part[:-1].split("(", 1)
+                param = float(param_part)
+            else:
+                kind = action_part
+            kind = kind.strip()
+            if kind not in ACTION_KINDS:
+                kinds = ", ".join(ACTION_KINDS)
+                raise ValueError(f"unknown fault action {kind!r} (expected one of {kinds})")
+            rules.append(FaultRule(site, FaultAction(kind, param), _HitSpec(hits_part)))
+        return cls(rules, seed=seed)
+
+    def decide(self, site: str) -> Optional[FaultAction]:
+        """Count one hit of ``site`` and return the action to take, if any."""
+        with self._lock:
+            count = self._counters.get(site, 0) + 1
+            self._counters[site] = count
+            for rule in self._by_site.get(site, ()):
+                if rule.hits.matches(count):
+                    return rule.action
+        return None
+
+    def default_param(self, lo: float = 0.001, hi: float = 0.01) -> float:
+        """A seeded default parameter for delay-style rules that omit one."""
+        with self._lock:
+            return self._rng.uniform(lo, hi)
+
+    def hit_count(self, site: str) -> int:
+        """How many times ``site`` has been consulted (telemetry/tests)."""
+        with self._lock:
+            return self._counters.get(site, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self.rules)} rules, seed={self.seed})"
+
+
+#: The process-wide installed plan (None = fault injection disabled).
+_PLAN: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or ``None``.  Hot loops read this once up front."""
+    return _PLAN
+
+
+def decide(site: str) -> Optional[FaultAction]:
+    """Consult the installed plan at an injection site (fast ``None`` path)."""
+    plan = _PLAN
+    if plan is None:
+        return None
+    return plan.decide(site)
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide (replacing any previous plan)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def uninstall() -> None:
+    """Remove the installed plan (fault injection becomes a no-op again)."""
+    global _PLAN
+    _PLAN = None
+
+
+@contextmanager
+def injected(spec: str) -> Iterator[FaultPlan]:
+    """Install a parsed plan for the duration of a ``with`` block (tests)."""
+    plan = FaultPlan.parse(spec)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+# Environment bootstrap: spawned worker subprocesses inherit REPRO_FAULTS
+# through their environment, so a plan set by the chaos suite (or an
+# operator drill) is live in every process of the service stack.
+_env_spec = os.environ.get(ENV_VAR)
+if _env_spec:
+    _PLAN = FaultPlan.parse(_env_spec)
+del _env_spec

@@ -27,8 +27,16 @@ the same boundary as ``multiprocessing`` itself.  The bounds front end
 speaks pure JSON.
 """
 
-from .client import BoundsReply, ServiceClient, ServiceError
-from .protocol import ConnectionClosed, ProtocolError
+from .client import BoundsReply, ServiceClient
+from .protocol import (
+    ConnectionClosed,
+    DeadlineExceeded,
+    ProtocolError,
+    ServerBusy,
+    ServiceError,
+    ServiceFault,
+    WorkerLost,
+)
 from .queue import JobError, JobRetriesExhausted, QueueClosed, WorkQueueServer
 
 #: Server-side exports resolve lazily: importing them eagerly would load
@@ -49,13 +57,17 @@ __all__ = [
     "BoundsReply",
     "BoundsServer",
     "ConnectionClosed",
+    "DeadlineExceeded",
     "JobError",
     "JobRetriesExhausted",
     "ProgramCache",
     "ProtocolError",
     "QueueClosed",
+    "ServerBusy",
     "ServiceClient",
     "ServiceError",
+    "ServiceFault",
+    "WorkerLost",
     "WorkQueueServer",
     "serve_in_background",
 ]

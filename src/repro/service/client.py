@@ -33,19 +33,29 @@ from ..analysis.config import parse_endpoint
 from ..analysis.engine import DenotationBounds
 from ..intervals import Interval
 from .protocol import (
+    DeadlineExceeded,
     ProtocolError,
+    ServerBusy,
+    ServiceError,
+    ServiceFault,
+    WorkerLost,
     bounds_from_wire,
+    error_from_frame,
     recv_frame,
     send_frame,
 )
 
-__all__ = ["BoundsReply", "ServiceClient"]
+__all__ = [
+    "BoundsReply",
+    "DeadlineExceeded",
+    "ServerBusy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceFault",
+    "WorkerLost",
+]
 
 TargetLike = Union[Interval, Sequence[float]]
-
-
-class ServiceError(RuntimeError):
-    """The server answered a request with an error frame."""
 
 
 @dataclass
@@ -140,9 +150,10 @@ class ServiceClient:
                 while True:
                     header, _blob = recv_frame(sock)
                     if header.get("type") == "error":
-                        raise ServiceError(
-                            f"{header.get('exc_type')}: {header.get('error')}"
-                        )
+                        # Typed taxonomy: BUSY -> ServerBusy (with
+                        # retry_after), DEADLINE_EXCEEDED, WORKER_LOST,
+                        # FAULT; untyped frames stay plain ServiceError.
+                        raise error_from_frame(header)
                     final = on_frame(header)
                     if final is not None:
                         return final
@@ -175,6 +186,7 @@ class ServiceClient:
         options: Optional[dict] = None,
         stream: bool = False,
         on_partial: Optional[Callable[[list[DenotationBounds], int], None]] = None,
+        deadline: Optional[float] = None,
     ) -> BoundsReply:
         """Guaranteed denotation bounds for ``program`` over ``targets``.
 
@@ -186,6 +198,13 @@ class ServiceClient:
         and handed to ``on_partial(bounds, paths_done)`` as it arrives (and
         collected on the reply's ``partials``), so callers see a first
         sound lower bound long before path exploration completes.
+
+        ``deadline`` (seconds, relative) is propagated server-side all the
+        way down to individual work-queue jobs and the refinement budget:
+        if the query cannot finish in time, the server answers with a typed
+        ``DEADLINE_EXCEEDED`` error (raised here as
+        :class:`~repro.service.protocol.DeadlineExceeded`) instead of
+        letting the query outlive its caller.
         """
         request = {
             "type": "bounds",
@@ -195,6 +214,8 @@ class ServiceClient:
         }
         if options:
             request["options"] = options
+        if deadline is not None:
+            request["deadline"] = float(deadline)
         partials: list[tuple[list[DenotationBounds], int]] = []
 
         def on_frame(header: dict) -> Optional[dict]:

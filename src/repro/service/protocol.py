@@ -37,16 +37,25 @@ import hashlib
 import json
 import socket
 import struct
+import time
 from typing import Iterable, Optional, Sequence
 
 from ..analysis.engine import DenotationBounds
 from ..intervals import Interval
+from .. import faults
 
 __all__ = [
     "ConnectionClosed",
+    "DeadlineExceeded",
+    "ERROR_CODES",
     "ProtocolError",
+    "ServerBusy",
+    "ServiceError",
+    "ServiceFault",
+    "WorkerLost",
     "bounds_from_wire",
     "bounds_to_wire",
+    "error_from_frame",
     "hash_bytes",
     "recv_exact",
     "recv_frame",
@@ -77,10 +86,119 @@ class ProtocolError(RuntimeError):
     """The peer sent bytes that are not a well-formed frame."""
 
 
-def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
-    """Send one frame: JSON ``header`` plus an optional binary ``blob``."""
+# ---------------------------------------------------------------------------
+# Typed error taxonomy
+# ---------------------------------------------------------------------------
+#
+# Every failure the service tier can hand a client is one of these, each
+# with a stable wire ``code`` carried in the error frame, so callers can
+# branch on the *kind* of failure (retry on BUSY, give up on
+# DEADLINE_EXCEEDED, alert on WORKER_LOST) instead of grepping message
+# strings.
+
+class ServiceError(RuntimeError):
+    """Base of every typed service failure (also raised for untyped errors)."""
+
+    #: Stable wire code, or ``None`` for untyped server-side exceptions.
+    code: Optional[str] = None
+
+
+class ServiceFault(ServiceError):
+    """An injected or infrastructure fault surfaced as a query failure."""
+
+    code = "FAULT"
+
+
+class ServerBusy(ServiceError):
+    """The server is at its in-flight query limit; retry after a backoff."""
+
+    code = "BUSY"
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        #: Suggested client-side backoff (seconds) before retrying.
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServiceError):
+    """The caller's deadline passed before the query (or job) completed."""
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class WorkerLost(ServiceError):
+    """Every allowed attempt of a job lost its worker (death, wedge, timeout)."""
+
+    code = "WORKER_LOST"
+
+
+#: code -> exception class, for decoding error frames client-side.
+ERROR_CODES = {
+    cls.code: cls for cls in (ServiceFault, ServerBusy, DeadlineExceeded, WorkerLost)
+}
+
+
+def error_from_frame(header: dict) -> ServiceError:
+    """Build the typed exception an ``error`` frame describes.
+
+    Frames with a recognised ``code`` decode to the matching subclass
+    (``BUSY`` frames carry their ``retry_after`` hint); everything else —
+    including frames from older servers — decodes to plain
+    :class:`ServiceError`, so the historical ``except ServiceError`` pattern
+    keeps working unchanged.
+    """
+    message = f"{header.get('exc_type')}: {header.get('error')}"
+    code = header.get("code")
+    cls = ERROR_CODES.get(code) if code else None
+    if cls is ServerBusy:
+        return ServerBusy(message, retry_after=float(header.get("retry_after", 0.1)))
+    if cls is not None:
+        return cls(message)
+    return ServiceError(message)
+
+
+def send_frame(
+    sock: socket.socket, header: dict, blob: bytes = b"", site: Optional[str] = None
+) -> None:
+    """Send one frame: JSON ``header`` plus an optional binary ``blob``.
+
+    ``site`` names this send as a fault-injection point (see
+    :mod:`repro.faults`); with no plan installed the check is a single
+    ``None`` test.  Injected actions: ``drop`` (the frame silently never
+    leaves), ``truncate`` (half the frame is sent, then the socket is
+    hard-closed — the peer sees EOF mid-frame), ``delay`` (sleep before
+    sending) and ``slowloris`` (the frame trickles out in small pieces).
+    """
     payload = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode()
-    sock.sendall(_FRAME.pack(len(payload), len(blob)) + payload)
+    frame = _FRAME.pack(len(payload), len(blob)) + payload
+    action = faults.decide(site) if site is not None else None
+    if action is not None:
+        plan = faults.active()
+        if action.kind == "drop":
+            return
+        if action.kind == "truncate":
+            data = frame + blob
+            cut = max(1, len(data) // 2)
+            try:
+                sock.sendall(data[:cut])
+            finally:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+            return
+        if action.kind == "slowloris":
+            pause = action.param if action.param is not None else plan.default_param()
+            data = frame + blob
+            step = max(1, len(data) // 64)
+            for offset in range(0, len(data), step):
+                sock.sendall(data[offset : offset + step])
+                time.sleep(pause)
+            return
+        if action.kind == "delay":
+            time.sleep(action.param if action.param is not None else plan.default_param())
+    sock.sendall(frame)
     if blob:
         sock.sendall(blob)
 

@@ -56,19 +56,35 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from .. import faults as _faults
 from ..analysis.config import (
+    DEFAULT_IO_TIMEOUT,
     DEFAULT_JOB_RETRIES,
     DEFAULT_JOB_TIMEOUT,
     parse_endpoint,
 )
-from .protocol import ConnectionClosed, ProtocolError, recv_frame, send_frame
+from .protocol import (
+    ConnectionClosed,
+    DeadlineExceeded,
+    ProtocolError,
+    WorkerLost,
+    recv_frame,
+    send_frame,
+)
 
 __all__ = [
+    "HEARTBEAT_MISS_FACTOR",
     "JobError",
     "JobRetriesExhausted",
     "QueueClosed",
     "WorkQueueServer",
 ]
+
+#: How many heartbeat intervals may pass without *any* frame from a worker
+#: before its connection is reaped as unresponsive.  Three intervals
+#: tolerates scheduling jitter while still reaping a wedged worker in a
+#: couple of seconds instead of waiting out the full job timeout.
+HEARTBEAT_MISS_FACTOR = 3
 
 
 class QueueClosed(RuntimeError):
@@ -84,8 +100,18 @@ class JobError(RuntimeError):
     """
 
 
-class JobRetriesExhausted(RuntimeError):
-    """The job timed out or lost its worker on every allowed attempt."""
+class JobRetriesExhausted(WorkerLost):
+    """The job timed out or lost its worker on every allowed attempt.
+
+    A :class:`~repro.service.protocol.WorkerLost`: the failure is an
+    infrastructure loss, not an analyzer error, so callers (the parallel
+    executor's degradation ladder, service clients) can branch on the
+    typed base class.
+    """
+
+
+class _WorkerUnresponsive(ConnectionClosed):
+    """A heartbeating worker sent no frame for the whole liveness window."""
 
 
 @dataclass
@@ -97,6 +123,9 @@ class _Job:
     resources: tuple[str, ...]
     timeout: Optional[float]
     retries: int
+    #: Absolute ``time.monotonic()`` deadline of the *caller* — a job whose
+    #: caller has already given up is failed fast instead of re-dispatched.
+    deadline: Optional[float] = None
     future: concurrent.futures.Future = field(default_factory=concurrent.futures.Future)
     attempts: int = 0  # dispatches so far
     last_error: Optional[str] = None
@@ -120,10 +149,14 @@ class WorkQueueServer:
         endpoint: str = "127.0.0.1:0",
         job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT,
         job_retries: int = DEFAULT_JOB_RETRIES,
+        io_timeout: float = DEFAULT_IO_TIMEOUT,
     ) -> None:
         host, port = parse_endpoint(endpoint)
         self.job_timeout = job_timeout
         self.job_retries = job_retries
+        #: Socket-level patience: the handshake read timeout, and the
+        #: liveness window for workers that do not heartbeat.
+        self.io_timeout = io_timeout
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._lock = threading.Lock()
@@ -141,6 +174,7 @@ class WorkQueueServer:
         self.jobs_failed = 0
         self.jobs_requeued = 0
         self.resources_sent = 0
+        self.workers_reaped = 0
         self._running = 0
         self._workers = 0
         self._accept_thread = threading.Thread(
@@ -183,13 +217,18 @@ class WorkQueueServer:
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
         indices: Optional[Sequence[int]] = None,
+        deadline: Optional[float] = None,
     ) -> concurrent.futures.Future:
         """Queue one chunk job: analyse ``table[start:stop]`` under ``context``.
 
         ``indices`` (optional) replaces the contiguous range with an
         explicit path-index list — the refinement scheduler's scattered
         worst-gap subsets ride the same job kind (and the same resource
-        caching) as regular chunks.
+        caching) as regular chunks.  ``deadline`` (optional) is the caller's
+        absolute ``time.monotonic()`` deadline: a job that has not been
+        dispatched by then fails with
+        :class:`~repro.service.protocol.DeadlineExceeded` instead of
+        occupying a worker whose result nobody will read.
 
         Returns a future resolving to ``(index, [PathContribution, ...])`` —
         the exact shape process-pool chunk futures resolve to.
@@ -198,17 +237,20 @@ class WorkQueueServer:
                 "stop": stop, "context": context}
         if indices is not None:
             spec["indices"] = [int(i) for i in indices]
-        return self._submit(spec, resources=(table, context), timeout=timeout, retries=retries)
+        return self._submit(spec, resources=(table, context), timeout=timeout,
+                            retries=retries, deadline=deadline)
 
     def submit_sleep(
         self,
         seconds: float,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> concurrent.futures.Future:
         """Queue a job that just sleeps in the worker (timeout/retry testing)."""
         return self._submit(
-            {"kind": "sleep", "seconds": seconds}, resources=(), timeout=timeout, retries=retries
+            {"kind": "sleep", "seconds": seconds}, resources=(), timeout=timeout,
+            retries=retries, deadline=deadline,
         )
 
     def _submit(
@@ -217,6 +259,7 @@ class WorkQueueServer:
         resources: tuple[str, ...],
         timeout: Optional[float],
         retries: Optional[int],
+        deadline: Optional[float] = None,
     ) -> concurrent.futures.Future:
         job = _Job(
             job_id=next(self._job_ids),
@@ -224,6 +267,7 @@ class WorkQueueServer:
             resources=resources,
             timeout=self.job_timeout if timeout is None else timeout,
             retries=self.job_retries if retries is None else retries,
+            deadline=deadline,
         )
         with self._jobs_available:
             if self._closed:
@@ -236,16 +280,27 @@ class WorkQueueServer:
             self._jobs_available.notify()
         return job.future
 
-    def spawn_local_workers(self, count: int, cache_cap: Optional[int] = None) -> None:
+    def spawn_local_workers(
+        self,
+        count: int,
+        cache_cap: Optional[int] = None,
+        faults: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
+    ) -> None:
         """Launch ``count`` worker processes connected to this queue.
 
         Workers run ``python -m repro.service.worker`` with the current
         interpreter and environment (so ``PYTHONPATH`` arrangements carry
-        over) and are terminated by :meth:`close`.
+        over) and are terminated by :meth:`close`.  ``faults`` sets the
+        child's ``REPRO_FAULTS`` plan (the chaos suite targets *one* worker
+        this way, so a surviving worker's hit counters stay clean); ``None``
+        inherits the parent's environment, ``""`` explicitly clears it.
         """
         argv = [sys.executable, "-m", "repro.service.worker", "--connect", self.endpoint]
         if cache_cap is not None:
             argv += ["--cache-cap", str(cache_cap)]
+        if heartbeat_interval is not None:
+            argv += ["--heartbeat", str(heartbeat_interval)]
         # The parent may have ``repro`` importable through sys.path edits
         # that the environment does not reflect (pytest's ``pythonpath``
         # ini option, editable installs): pin the package root onto the
@@ -257,8 +312,17 @@ class WorkQueueServer:
             env["PYTHONPATH"] = (
                 package_root if not existing else package_root + os.pathsep + existing
             )
-        for _ in range(count):
-            self._spawned.append(subprocess.Popen(argv, env=env))
+        first_env = env
+        if faults is not None:
+            first_env = dict(env)
+            if faults:
+                first_env[_faults.ENV_VAR] = faults
+            else:
+                first_env.pop(_faults.ENV_VAR, None)
+        for index in range(count):
+            self._spawned.append(
+                subprocess.Popen(argv, env=first_env if index == 0 else env)
+            )
 
     def worker_count(self) -> int:
         """How many workers are currently connected."""
@@ -285,6 +349,7 @@ class WorkQueueServer:
                 "completed": self.jobs_completed,
                 "failed": self.jobs_failed,
                 "requeued": self.jobs_requeued,
+                "reaped": self.workers_reaped,
                 "resources": len(self._resources),
                 "resources_sent": self.resources_sent,
             }
@@ -406,11 +471,16 @@ class WorkQueueServer:
         sent: "OrderedDict[str, bool]" = OrderedDict()
         registered = False
         try:
-            conn.settimeout(30.0)
+            conn.settimeout(self.io_timeout)
             hello, _ = recv_frame(conn)
             if hello.get("type") != "hello":
                 raise ProtocolError(f"expected hello frame, got {hello.get('type')!r}")
             cache_cap = max(1, int(hello.get("cache_cap", 8)))
+            # A heartbeating worker announces its interval; liveness is a
+            # few missed beats, far tighter than any job timeout.  Workers
+            # that do not heartbeat (interval 0/absent) fall back to the
+            # coarse io_timeout-per-read behaviour.
+            heartbeat_interval = float(hello.get("heartbeat_interval", 0.0) or 0.0)
             with self._lock:
                 self._workers += 1
                 registered = True
@@ -418,6 +488,16 @@ class WorkQueueServer:
                 job = self._next_job()
                 if job is None:
                     return
+                if job.deadline is not None and time.monotonic() >= job.deadline:
+                    # The caller has already given up: fail fast rather than
+                    # burn a worker computing a result nobody will read.
+                    with self._jobs_available:
+                        self._running -= 1
+                        self.jobs_failed += 1
+                    job.fail(DeadlineExceeded(
+                        f"job {job.job_id} missed its caller's deadline before dispatch"
+                    ))
+                    continue
                 job.attempts += 1
                 if job.future.done():  # failed (e.g. queue close race) while queued
                     with self._jobs_available:
@@ -425,18 +505,20 @@ class WorkQueueServer:
                     continue
                 try:
                     self._send_job(conn, job, sent, cache_cap)
-                    conn.settimeout(job.timeout)
-                    outcome = self._await_result(conn, job)
+                    outcome = self._await_result(conn, job, heartbeat_interval)
                 except (ConnectionClosed, ProtocolError, OSError) as error:
                     # Timeout, worker death or protocol corruption: requeue
                     # the in-flight job and drop this connection — a wedged
                     # worker's late result must not race the retry (the
                     # worker reconnects on its own when it recovers).
-                    reason = (
-                        f"no result within {job.timeout}s"
-                        if isinstance(error, socket.timeout)
-                        else f"worker connection lost ({error})"
-                    )
+                    if isinstance(error, _WorkerUnresponsive):
+                        reason = f"worker stopped heartbeating ({error})"
+                        with self._lock:
+                            self.workers_reaped += 1
+                    elif isinstance(error, socket.timeout):
+                        reason = f"no result within {job.timeout}s"
+                    else:
+                        reason = f"worker connection lost ({error})"
                     with self._jobs_available:
                         self._requeue(job, reason)
                     return
@@ -480,24 +562,71 @@ class WorkQueueServer:
             if resource is None:
                 raise ProtocolError(f"resource {key!r} was discarded while a job needed it")
             kind, payload = resource
-            send_frame(conn, {"type": "resource", "key": key, "kind": kind}, payload)
+            send_frame(
+                conn, {"type": "resource", "key": key, "kind": kind}, payload,
+                site="queue.send.resource",
+            )
             with self._lock:
                 self.resources_sent += 1
             sent[key] = True
             while len(sent) > cache_cap:
                 sent.popitem(last=False)
-        send_frame(conn, {"type": "job", "job_id": job.job_id, **job.spec})
+        send_frame(
+            conn, {"type": "job", "job_id": job.job_id, **job.spec},
+            site="queue.send.job",
+        )
 
-    def _await_result(self, conn: socket.socket, job: _Job) -> str:
-        """Wait for this job's result or error frame (socket timeout armed).
+    def _await_result(
+        self, conn: socket.socket, job: _Job, heartbeat_interval: float = 0.0
+    ) -> str:
+        """Wait for this job's result or error frame, policing liveness.
+
+        Two clocks run here.  The **wall clock** is the job's own deadline:
+        ``job.timeout`` seconds from now, tightened by the caller's absolute
+        ``job.deadline`` — expiry raises ``socket.timeout`` so the caller
+        requeues.  The **liveness clock** applies to heartbeating workers:
+        each read waits at most ``heartbeat_interval * HEARTBEAT_MISS_FACTOR``
+        for *any* frame, so a worker that dies mid-job is reaped within a
+        few beats (:class:`_WorkerUnresponsive`) instead of holding the job
+        hostage for the full timeout.  Heartbeat frames themselves are
+        consumed and skipped.
 
         Returns ``"ok"`` (future resolved) or ``"error"`` (the worker
-        reported an exception; ``job.last_error`` records it).  Timeouts and
-        connection loss surface as the socket exceptions the caller handles.
+        reported an exception; ``job.last_error`` records it).
         """
+        now = time.monotonic()
+        wall_deadline: Optional[float] = None
+        if job.timeout is not None:
+            wall_deadline = now + job.timeout
+        if job.deadline is not None:
+            wall_deadline = job.deadline if wall_deadline is None else min(
+                wall_deadline, job.deadline
+            )
+        liveness = (
+            heartbeat_interval * HEARTBEAT_MISS_FACTOR if heartbeat_interval > 0 else None
+        )
         while True:
-            header, blob = recv_frame(conn)
+            now = time.monotonic()
+            remaining = None if wall_deadline is None else wall_deadline - now
+            if remaining is not None and remaining <= 0:
+                raise socket.timeout(f"job {job.job_id} produced no result in time")
+            if liveness is not None:
+                wait = liveness if remaining is None else min(liveness, remaining)
+            else:
+                wait = remaining  # None = block forever (no timeout, no heartbeat)
+            conn.settimeout(wait)
+            try:
+                header, blob = recv_frame(conn)
+            except socket.timeout:
+                if remaining is not None and time.monotonic() >= wall_deadline:
+                    raise
+                raise _WorkerUnresponsive(
+                    f"no frame from worker for {wait:.3f}s "
+                    f"({HEARTBEAT_MISS_FACTOR} heartbeat intervals)"
+                ) from None
             kind = header.get("type")
+            if kind == "heartbeat":
+                continue
             if kind == "result" and header.get("job_id") == job.job_id:
                 job.future.set_result(pickle.loads(blob) if blob else None)
                 return "ok"

@@ -46,16 +46,21 @@ import asyncio
 import dataclasses
 import struct
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from .. import faults
 from ..analysis.config import AnalysisOptions, parse_endpoint
 from ..analysis.engine import AnalysisReport
 from ..analysis.model import Model, program_hash
 from ..lang import ParseError, parse
 from .protocol import (
+    DeadlineExceeded,
     ProtocolError,
+    ServerBusy,
+    ServiceError,
     bounds_to_wire,
     targets_from_wire,
 )
@@ -152,12 +157,26 @@ class BoundsServer:
         cache_limit: int = 8,
         query_threads: int = 4,
         result_cache_limit: int = 256,
+        max_inflight_queries: int = 0,
+        io_timeout: Optional[float] = None,
     ) -> None:
         self._host, self._port = parse_endpoint(endpoint)
         self.cache = ProgramCache(limit=cache_limit)
         self._pool = ThreadPoolExecutor(
             max_workers=query_threads, thread_name_prefix="repro-bounds"
         )
+        #: Backpressure: at most this many engine queries in flight at once
+        #: (0 = unbounded).  Requests past the limit get a typed ``BUSY``
+        #: error with a retry-after hint instead of queueing without bound
+        #: behind the thread pool.  Result-cache hits are exempt — they cost
+        #: microseconds and hold no engine thread.
+        self._max_inflight = max(0, int(max_inflight_queries))
+        self._active = 0
+        self._active_mutex = threading.Lock()
+        #: Server-side default for the engine's ``io_timeout`` knob,
+        #: injected into requests that do not set it themselves.
+        self._io_timeout = io_timeout
+        self.queries_rejected = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self.address: Optional[tuple[str, int]] = None
         self.queries_served = 0
@@ -252,18 +271,31 @@ class BoundsServer:
                             writer,
                             {"type": "stats", "cache": self.cache.stats(),
                              "results": self._result_stats(),
-                             "queries": self.queries_served},
+                             "queries": self.queries_served,
+                             "inflight": self._active,
+                             "rejected": self.queries_rejected},
                         )
                     elif kind == "ping":
                         await self._write_frame(writer, {"type": "pong"})
                     else:
                         raise ProtocolError(f"unknown request type {kind!r}")
-                except (ProtocolError, ParseError, ValueError, KeyError, TypeError) as error:
-                    await self._write_frame(
-                        writer,
-                        {"type": "error", "exc_type": type(error).__name__,
-                         "error": str(error)},
-                    )
+                except (
+                    ProtocolError, ParseError, ServiceError, faults.FaultInjected,
+                    ValueError, KeyError, TypeError,
+                ) as error:
+                    frame = {
+                        "type": "error",
+                        "exc_type": type(error).__name__,
+                        "error": str(error),
+                    }
+                    code = getattr(error, "code", None)
+                    if code is None and isinstance(error, faults.FaultInjected):
+                        code = "FAULT"
+                    if code:
+                        frame["code"] = code
+                    if isinstance(error, ServerBusy):
+                        frame["retry_after"] = error.retry_after
+                    await self._write_frame(writer, frame)
         finally:
             writer.close()
             try:
@@ -282,6 +314,10 @@ class BoundsServer:
             program_key,
             json.dumps(header.get("targets"), sort_keys=True),
             json.dumps(header.get("options") or {}, sort_keys=True),
+            # A deadline caps the refinement budget, which can change the
+            # exact refined floats — deadline-capped and uncapped runs must
+            # not share a cache entry.
+            header.get("deadline"),
         )
 
     def _result_lookup(self, result_key: tuple) -> Optional[dict]:
@@ -324,6 +360,8 @@ class BoundsServer:
         # JSON has no tuples; analyzers arrive as a list.
         if isinstance(raw.get("analyzers"), list):
             raw = dict(raw, analyzers=tuple(raw["analyzers"]))
+        if self._io_timeout is not None and "io_timeout" not in raw:
+            raw = dict(raw, io_timeout=self._io_timeout)
         return AnalysisOptions(**raw)
 
     async def _handle_bounds(self, writer: asyncio.StreamWriter, header: dict) -> None:
@@ -337,6 +375,32 @@ class BoundsServer:
         want_stream = bool(header.get("stream"))
         if want_stream and not options.stream:
             options = options.with_updates(stream=True)
+
+        # Deadline propagation: a client-supplied relative deadline (seconds)
+        # caps the engine's whole-query time budget, the socket tier's
+        # per-job timeout and the refinement budget — one number, threaded
+        # all the way down, so no query outlives its caller.
+        deadline_s = header.get("deadline")
+        deadline_at: Optional[float] = None
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if deadline_s <= 0:
+                raise DeadlineExceeded("deadline must be a positive number of seconds")
+            deadline_at = time.monotonic() + deadline_s
+            updates: dict = {
+                "time_budget": (
+                    deadline_s if options.time_budget is None
+                    else min(options.time_budget, deadline_s)
+                ),
+            }
+            if options.job_timeout is None or options.job_timeout > deadline_s:
+                updates["job_timeout"] = deadline_s
+            if options.refine_enabled:
+                updates["refine_time_budget"] = (
+                    deadline_s if options.refine_time_budget is None
+                    else min(options.refine_time_budget, deadline_s)
+                )
+            options = options.with_updates(**updates)
 
         loop = asyncio.get_running_loop()
         partials: asyncio.Queue = asyncio.Queue()
@@ -368,7 +432,37 @@ class BoundsServer:
             )
             return
 
+        # Backpressure: reject rather than queue without bound.  The slot is
+        # held until the engine thread finishes — even when a deadline makes
+        # us abandon the reply early, the thread is still busy.
+        if self._max_inflight:
+            with self._active_mutex:
+                if self._active >= self._max_inflight:
+                    self.queries_rejected += 1
+                    raise ServerBusy(
+                        f"server is at its in-flight query limit "
+                        f"({self._max_inflight}); retry shortly",
+                        retry_after=0.25,
+                    )
+                self._active += 1
+        else:
+            with self._active_mutex:
+                self._active += 1
+
         def run_query():
+            action = faults.decide("server.query")
+            if action is not None:
+                if action.kind == "fail":
+                    raise faults.FaultInjected("injected query failure")
+                if action.kind == "delay":
+                    # Holds this engine thread (and its backpressure slot)
+                    # for a deterministic while — the chaos suite's lever
+                    # for provoking a BUSY reply without timing races.
+                    plan = faults.active()
+                    time.sleep(
+                        action.param if action.param is not None
+                        else (plan.default_param() if plan else 0.0)
+                    )
             report = AnalysisReport()
             with lock:
                 bounds = model.bounds(
@@ -380,12 +474,33 @@ class BoundsServer:
             return bounds, report
 
         query = loop.run_in_executor(self._pool, run_query)
+
+        def release_slot(finished: asyncio.Future) -> None:
+            with self._active_mutex:
+                self._active -= 1
+            if not finished.cancelled():
+                finished.exception()  # mark retrieved (abandoned queries)
+
+        query.add_done_callback(release_slot)
         waiter = asyncio.ensure_future(partials.get())
         try:
             while True:
+                wait_timeout = None
+                if deadline_at is not None:
+                    wait_timeout = max(0.0, deadline_at - time.monotonic())
                 done, _pending = await asyncio.wait(
-                    {query, waiter}, return_when=asyncio.FIRST_COMPLETED
+                    {query, waiter},
+                    timeout=wait_timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
                 )
+                if not done:
+                    # Deadline expired with the engine still working: reply
+                    # now with a typed error and abandon the thread — the
+                    # propagated time budget makes its remaining socket jobs
+                    # fail fast rather than burn workers.
+                    raise DeadlineExceeded(
+                        f"query exceeded its {deadline_s}s deadline"
+                    )
                 if waiter in done:
                     partial_bounds, paths_done = waiter.result()
                     await self._write_frame(
@@ -455,6 +570,8 @@ def serve_in_background(
     cache_limit: int = 8,
     query_threads: int = 4,
     result_cache_limit: int = 256,
+    max_inflight_queries: int = 0,
+    io_timeout: Optional[float] = None,
 ) -> _BackgroundServer:
     """Start a :class:`BoundsServer` on a daemon thread and return a handle.
 
@@ -467,6 +584,8 @@ def serve_in_background(
         cache_limit=cache_limit,
         query_threads=query_threads,
         result_cache_limit=result_cache_limit,
+        max_inflight_queries=max_inflight_queries,
+        io_timeout=io_timeout,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()
@@ -509,12 +628,18 @@ def main(argv: Optional[list[str]] = None) -> None:
                         help="concurrent blocking engine queries")
     parser.add_argument("--result-cache-limit", type=int, default=256,
                         help="memoised whole-query results (0 disables)")
+    parser.add_argument("--max-inflight", type=int, default=0,
+                        help="reject (BUSY) past this many in-flight queries (0 = unbounded)")
+    parser.add_argument("--io-timeout", type=float, default=None,
+                        help="default engine io_timeout in seconds (socket liveness window)")
     args = parser.parse_args(argv)
     server = BoundsServer(
         args.bind,
         cache_limit=args.cache_limit,
         query_threads=args.query_threads,
         result_cache_limit=args.result_cache_limit,
+        max_inflight_queries=args.max_inflight,
+        io_timeout=args.io_timeout,
     )
 
     async def run() -> None:

@@ -37,6 +37,7 @@ from repro.service import (
     QueueClosed,
     ServiceClient,
     ServiceError,
+    WorkerLost,
     WorkQueueServer,
     serve_in_background,
 )
@@ -181,8 +182,11 @@ class TestWorkQueue:
             queue.spawn_local_workers(1)
             assert queue.wait_for_workers(1, timeout=30)
             future = queue.submit_sleep(1.0, timeout=0.2, retries=1)
-            with pytest.raises(JobRetriesExhausted, match="2 attempts"):
+            with pytest.raises(JobRetriesExhausted, match="2 attempts") as excinfo:
                 future.result(timeout=30)
+            # Typed taxonomy: retry exhaustion is an infrastructure loss,
+            # so callers can branch on the WorkerLost base class.
+            assert isinstance(excinfo.value, WorkerLost)
             assert queue.stats()["requeued"] == 1
             assert queue.stats()["failed"] == 1
 
