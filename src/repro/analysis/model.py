@@ -235,6 +235,45 @@ class Model:
             self._cache_hits += 1
         return compiled
 
+    def compiled_for(self, options: Optional[AnalysisOptions] = None) -> Optional[CompiledProgram]:
+        """Peek the compile cache: the cached compilation or ``None``.
+
+        Unlike :meth:`compile` this never runs symbolic execution and never
+        touches the hit/compile counters — the durability layer uses it to
+        ask "is a warm load needed?" without perturbing cache telemetry.
+        """
+        options = self._resolve(options)
+        return self._compiled.get(options.execution_limits())
+
+    def install_compiled(self, compiled: CompiledProgram) -> None:
+        """Adopt an externally built compilation into the compile cache.
+
+        The durability layer (:mod:`repro.service.store`) rebuilds
+        :class:`CompiledProgram` instances from persisted path-table images
+        on warm restart; installing one here makes the next query a compile
+        cache hit instead of re-running symbolic execution.  The program's
+        term must structurally match this model's term — enforced via the
+        cross-process :func:`program_hash` so a stale store entry can never
+        smuggle in another program's paths.
+        """
+        expected = program_hash(self._term, compiled.limits)
+        actual = program_hash(compiled.term, compiled.limits)
+        if actual != expected:
+            raise ValueError(
+                f"compiled program hash {actual} does not match model hash {expected}"
+            )
+        self._compiled[compiled.limits] = compiled
+
+    def executor_for(self, options: Optional[AnalysisOptions] = None):
+        """The pooled executor serving ``options`` (``None`` for serial runs).
+
+        Public face of the lazy pool cache for callers that drive analysis
+        components directly (the service tier's durable refinement path);
+        pools are shared with regular :meth:`bounds` queries and shut down
+        by :meth:`close` as usual.
+        """
+        return self._executor_for(self._resolve(options))
+
     def clear_cache(self) -> None:
         """Drop every cached compilation (subsequent queries recompile).
 

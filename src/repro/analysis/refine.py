@@ -48,6 +48,7 @@ for high-dimensional paths while finer grids remain reachable).
 from __future__ import annotations
 
 import heapq
+import json
 import math
 import time
 from typing import Callable, Optional, Sequence
@@ -420,6 +421,115 @@ class RefinementScheduler:
         return list(bounds)
 
     # ------------------------------------------------------------------
+    # Checkpointing (crash-safe resume)
+    # ------------------------------------------------------------------
+    #
+    # The scheduler's whole evolving state is the contribution records, the
+    # per-path levels, the retired set, the current bounds and the round
+    # counters.  The gap heap is deliberately NOT serialised: under the
+    # lazy-heap discipline, the set of *live* entries after any completed
+    # round is exactly ``{(-gap(record[i]), i, level[i])}`` over non-retired
+    # paths with positive gap — stale entries (superseded levels) are
+    # skipped on pop, and round selection orders solely by those tuples.
+    # Rebuilding the heap from the records therefore reproduces round
+    # membership — and the refined floats — bit for bit.
+
+    _STATE_VERSION = 1
+
+    def to_bytes(self) -> bytes:
+        """Serialise the post-round scheduler state (see the note above).
+
+        Floats travel through JSON ``repr``, which round-trips every finite
+        double exactly and (with ``allow_nan``) spells the IEEE specials as
+        ``Infinity``/``-Infinity`` — so a resumed run continues from
+        bit-identical records.
+        """
+        if self._contributions is None or self._bounds is None:
+            raise RuntimeError("cannot checkpoint before seed()")
+        state = {
+            "version": self._STATE_VERSION,
+            "targets": [[t.lo, t.hi] for t in self.targets],
+            "rounds_run": self.rounds_run,
+            "paths_refined": self.paths_refined,
+            "levels": sorted(self._levels.items()),
+            "retired": sorted(self._retired),
+            "contributions": [
+                {
+                    "a": record.analyzer_name,
+                    "t": record.truncated,
+                    "c": [[lower, upper] for lower, upper in record.contributions],
+                }
+                for record in self._contributions
+            ],
+            "bounds": [
+                [bound.target.lo, bound.target.hi, bound.lower, bound.upper]
+                for bound in self._bounds
+            ],
+        }
+        return json.dumps(state, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        execution,
+        targets: Sequence[Interval],
+        options: AnalysisOptions,
+        executor=None,
+    ) -> "RefinementScheduler":
+        """Rebuild a scheduler from :meth:`to_bytes` state.
+
+        Raises ``ValueError`` when the state does not match this execution
+        or query (wrong version, path count or targets) — callers treat
+        that as "no usable checkpoint" and reseed from scratch.
+        """
+        state = json.loads(data.decode())
+        if state.get("version") != cls._STATE_VERSION:
+            raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+        scheduler = cls(execution, targets, options, executor=executor)
+        stored_targets = [tuple(pair) for pair in state["targets"]]
+        if stored_targets != [(t.lo, t.hi) for t in scheduler.targets]:
+            raise ValueError("checkpoint targets do not match the query")
+        contributions = [
+            PathContribution(
+                analyzer_name=record["a"],
+                truncated=bool(record["t"]),
+                contributions=tuple(
+                    (float(lower), float(upper)) for lower, upper in record["c"]
+                ),
+            )
+            for record in state["contributions"]
+        ]
+        if len(contributions) != len(execution.paths):
+            raise ValueError(
+                f"checkpoint has {len(contributions)} path records, "
+                f"execution has {len(execution.paths)}"
+            )
+        scheduler._contributions = contributions
+        scheduler._levels = {int(index): int(level) for index, level in state["levels"]}
+        scheduler._retired = {int(index) for index in state["retired"]}
+        scheduler._bounds = [
+            DenotationBounds(
+                target=Interval(float(lo), float(hi)),
+                lower=float(lower),
+                upper=float(upper),
+            )
+            for lo, hi, lower, upper in state["bounds"]
+        ]
+        scheduler.rounds_run = int(state["rounds_run"])
+        scheduler.paths_refined = int(state["paths_refined"])
+        entries = []
+        for index, record in enumerate(contributions):
+            if index in scheduler._retired:
+                continue
+            gap = _path_gap(record)
+            if gap > 0.0 and not math.isnan(gap):
+                entries.append((-gap, index, scheduler._levels.get(index, 0)))
+        heapq.heapify(entries)
+        scheduler._heap = entries
+        return scheduler
+
+    # ------------------------------------------------------------------
     # The anytime loop
     # ------------------------------------------------------------------
     def _width_met(self, bounds: list[DenotationBounds]) -> bool:
@@ -430,6 +540,7 @@ class RefinementScheduler:
         self,
         progress: Optional[Callable[[list[DenotationBounds], int], None]] = None,
         report: Optional[AnalysisReport] = None,
+        round_hook: Optional[Callable[[list[DenotationBounds]], None]] = None,
     ) -> list[DenotationBounds]:
         """Seed, then refine until a budget binds; returns the final bounds.
 
@@ -439,6 +550,12 @@ class RefinementScheduler:
         service tier streams to tenants.  The time budget is checked
         *between* rounds: a started round always completes, so the reported
         bounds are always a consistent full reduction.
+
+        ``round_hook`` (optional) fires after every completed round,
+        *before* ``progress`` — the durability layer checkpoints there, so
+        a round is stable on disk before its partial reaches a client.  A
+        scheduler restored with :meth:`from_bytes` continues counting
+        rounds where the checkpoint left off, against the same budgets.
         """
         start = time.perf_counter()
         deadline = (
@@ -459,6 +576,8 @@ class RefinementScheduler:
             if result is None:
                 break
             bounds = result
+            if round_hook is not None:
+                round_hook(list(bounds))
             if progress is not None:
                 progress(list(bounds), len(self.contributions))
         if report is not None:

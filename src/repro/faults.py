@@ -33,9 +33,21 @@ Actions and the sites that honour them:
                  the SIGKILL-at-job-``k`` primitive)
 ``fail``         raise :class:`FaultInjected` (``worker.job``,
                  ``worker.attach``, ``worker.connect``, ``server.query``,
-                 ``transport.publish``)
+                 ``transport.publish``, ``journal.write``)
 ``explode``      raise a mid-stream path explosion (``stream.paths``)
+``corrupt``      one payload byte is flipped after the frame CRC is
+                 computed (``protocol.send_frame`` sites) — the receiver
+                 raises ``FrameCorrupted``
+``torn``         a prefix of the record reaches disk, then the journal
+                 wedges (``journal.write`` — the crash-mid-write
+                 primitive)
 ===============  ===========================================================
+
+Durability sites (PR 9): ``journal.write`` fires once per journal append;
+``server.crash`` fires once per completed-and-journaled refinement round
+and ``server.ack`` once per persisted result just before the reply frame —
+both honour ``die`` (the process exits immediately, the kill-9-at-round-``k``
+primitive).
 
 The whole module is **zero-overhead when disabled**: with no plan
 installed, :func:`decide` is one global-``None`` check, and the hot
@@ -73,7 +85,17 @@ __all__ = [
 ENV_VAR = "REPRO_FAULTS"
 
 #: Every recognised action kind (validated at parse time).
-ACTION_KINDS = ("drop", "truncate", "delay", "slowloris", "die", "fail", "explode")
+ACTION_KINDS = (
+    "drop",
+    "truncate",
+    "delay",
+    "slowloris",
+    "die",
+    "fail",
+    "explode",
+    "corrupt",
+    "torn",
+)
 
 
 class FaultInjected(RuntimeError):

@@ -19,7 +19,13 @@ without moving a single bound:
   compiled-program cache keyed by canonical program hash.
 * :mod:`repro.service.client` — :class:`ServiceClient`, the blocking client
   library (``client.bounds(program, targets)``) with streamed anytime
-  partial bounds.
+  partial bounds and idempotent crash resume (``query_id``).
+* :mod:`repro.service.journal` — :class:`Journal`, the crash-safe
+  append-only write-ahead log (CRC32-checksummed records, torn-tail
+  tolerant replay) behind both the work queue and the bounds front end.
+* :mod:`repro.service.store` — :class:`StateStore`, the content-addressed
+  on-disk store of compiled-program images, whole-query results and
+  refinement checkpoints (``--state-dir``).
 
 Trust model: frames carry pickled analysis payloads between queue and
 workers, so the work-queue port must only be reachable by trusted hosts —
@@ -27,30 +33,46 @@ the same boundary as ``multiprocessing`` itself.  The bounds front end
 speaks pure JSON.
 """
 
-from .client import BoundsReply, ServiceClient
+from .journal import Journal, JournalReplay
 from .protocol import (
     ConnectionClosed,
     DeadlineExceeded,
+    FrameCorrupted,
     ProtocolError,
     ServerBusy,
     ServiceError,
     ServiceFault,
     WorkerLost,
 )
-from .queue import JobError, JobRetriesExhausted, QueueClosed, WorkQueueServer
+from .queue import (
+    JobError,
+    JobRetriesExhausted,
+    QueueClosed,
+    QueueRecovery,
+    WorkQueueServer,
+    replay_queue_journal,
+)
+from .store import StateStore
 
-#: Server-side exports resolve lazily: importing them eagerly would load
-#: ``repro.service.server`` during ``python -m repro.service.server``
-#: startup (runpy warns about the double import), and queue workers never
-#: need the asyncio front end at all.
-_SERVER_EXPORTS = ("BoundsServer", "ProgramCache", "serve_in_background")
+#: Server- and client-side exports resolve lazily: importing them eagerly
+#: would load the submodule during its own ``python -m repro.service.server``
+#: / ``python -m repro.service.client`` startup (runpy warns about the
+#: double import), and queue workers never need either.
+_LAZY_EXPORTS = {
+    "BoundsServer": "server",
+    "ProgramCache": "server",
+    "serve_in_background": "server",
+    "BoundsReply": "client",
+    "ServiceClient": "client",
+}
 
 
 def __getattr__(name: str):
-    if name in _SERVER_EXPORTS:
-        from . import server
+    submodule = _LAZY_EXPORTS.get(name)
+    if submodule is not None:
+        import importlib
 
-        return getattr(server, name)
+        return getattr(importlib.import_module(f".{submodule}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -58,16 +80,22 @@ __all__ = [
     "BoundsServer",
     "ConnectionClosed",
     "DeadlineExceeded",
+    "FrameCorrupted",
     "JobError",
     "JobRetriesExhausted",
+    "Journal",
+    "JournalReplay",
     "ProgramCache",
     "ProtocolError",
     "QueueClosed",
+    "QueueRecovery",
     "ServerBusy",
     "ServiceClient",
     "ServiceError",
     "ServiceFault",
+    "StateStore",
     "WorkerLost",
     "WorkQueueServer",
+    "replay_queue_journal",
     "serve_in_background",
 ]

@@ -24,8 +24,10 @@ partial bound the server emitted before the final result.
 
 from __future__ import annotations
 
+import argparse
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -53,6 +55,7 @@ __all__ = [
     "ServiceError",
     "ServiceFault",
     "WorkerLost",
+    "main",
 ]
 
 TargetLike = Union[Interval, Sequence[float]]
@@ -187,6 +190,9 @@ class ServiceClient:
         stream: bool = False,
         on_partial: Optional[Callable[[list[DenotationBounds], int], None]] = None,
         deadline: Optional[float] = None,
+        query_id: Optional[str] = None,
+        resume_retries: int = 10,
+        resume_backoff: float = 0.05,
     ) -> BoundsReply:
         """Guaranteed denotation bounds for ``program`` over ``targets``.
 
@@ -205,6 +211,19 @@ class ServiceClient:
         ``DEADLINE_EXCEEDED`` error (raised here as
         :class:`~repro.service.protocol.DeadlineExceeded`) instead of
         letting the query outlive its caller.
+
+        ``query_id`` (optional) makes the query an **idempotent, resumable
+        re-issue**: on a transport failure (connection lost, server
+        restarted, frame corrupted in flight) the client reconnects with
+        exponential backoff — up to ``resume_retries`` attempts, starting
+        at ``resume_backoff`` seconds — and re-sends the same request
+        together with how many partial frames it already received.  A
+        durable server (``--state-dir``) dedupes on its journal and result
+        store: finished work is served from disk, an interrupted
+        ``refine="gap"`` query resumes from its last checkpointed round,
+        and only the partials this client actually missed are replayed
+        (partial frames carry a ``seq`` number; duplicates are dropped
+        here).  Deadline and typed server errors are **not** retried.
         """
         request = {
             "type": "bounds",
@@ -216,11 +235,21 @@ class ServiceClient:
             request["options"] = options
         if deadline is not None:
             request["deadline"] = float(deadline)
+        if query_id is not None:
+            request["query_id"] = str(query_id)
         partials: list[tuple[list[DenotationBounds], int]] = []
+        max_seq = 0
 
         def on_frame(header: dict) -> Optional[dict]:
+            nonlocal max_seq
             kind = header.get("type")
             if kind == "partial":
+                seq = header.get("seq")
+                if seq is not None:
+                    seq = int(seq)
+                    if seq <= max_seq:
+                        return None  # replayed duplicate after a resume
+                    max_seq = seq
                 decoded = bounds_from_wire(header.get("bounds") or [])
                 paths_done = int(header.get("paths_done", 0))
                 partials.append((decoded, paths_done))
@@ -231,7 +260,30 @@ class ServiceClient:
                 return header
             raise ProtocolError(f"unexpected frame type {kind!r}")
 
-        header = self._roundtrip(request, on_frame)
+        attempts = 0
+        while True:
+            if query_id is not None:
+                request["partials_seen"] = max_seq if max_seq else len(partials)
+            try:
+                header = self._roundtrip(request, on_frame)
+                break
+            except (ConnectionError, ProtocolError, OSError) as error:
+                # Typed server-side errors (BUSY, DEADLINE_EXCEEDED, FAULT
+                # frames) and plain timeouts are real answers, not transport
+                # losses — never re-issued.  Client-side CRC failures
+                # (FrameCorrupted is a ProtocolError here) and lost
+                # connections are.
+                if (
+                    query_id is None
+                    or isinstance(error, TimeoutError)
+                    or (isinstance(error, ServiceError)
+                        and not isinstance(error, ProtocolError))
+                ):
+                    raise
+                attempts += 1
+                if attempts > max(0, resume_retries):
+                    raise
+                time.sleep(min(resume_backoff * (2 ** (attempts - 1)), 2.0))
         return BoundsReply(
             bounds=bounds_from_wire(header.get("bounds") or []),
             program_hash=str(header.get("program_hash")),
@@ -243,3 +295,33 @@ class ServiceClient:
             partials=partials,
             refine_rounds=int(header.get("refine_rounds", 0)),
         )
+
+
+def main(argv: Optional[list] = None) -> None:
+    """Operator CLI: ``python -m repro.service.client --stats HOST:PORT``.
+
+    Prints the server's full telemetry frame as JSON — program/result cache
+    counters, executor degradation and reaping totals, and the durability
+    section (journal replay counts, store hits, resumed vs recomputed
+    rounds).
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="Client-side tools for the bounds service.",
+    )
+    parser.add_argument("--stats", metavar="HOST:PORT",
+                        help="fetch and print the server's stats frame as JSON")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="reply timeout in seconds")
+    args = parser.parse_args(argv)
+    if not args.stats:
+        parser.error("nothing to do: pass --stats HOST:PORT")
+    with ServiceClient(args.stats, timeout=args.timeout) as client:
+        stats = client.stats()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    main()

@@ -29,6 +29,19 @@ Blob payloads between queue and workers are pickled Python objects: the
 work-queue port must only be exposed to trusted hosts (the same trust
 boundary as ``multiprocessing`` pools).  The bounds front end
 (:mod:`repro.service.server`) never unpickles client input.
+
+**Frame integrity (v2).**  Senders set the top bit of ``header_len`` and
+append a CRC32 of ``header + blob`` to the prefix::
+
+    +---------------------------+--------------+-----------+--------+------+
+    | 0x80000000 | header_len   | blob_len u64 | crc32 u32 | header | blob |
+    +---------------------------+--------------+-----------+--------+------+
+
+Receivers verify the checksum and raise :class:`FrameCorrupted` — a typed
+:class:`ServiceFault` — on mismatch, so bytes damaged in flight (or by the
+``corrupt`` fault action) surface as a typed service error instead of a
+JSON decode error deep in a handler.  Unflagged (v1) frames are still
+accepted, so mixed-version fleets interoperate during a rolling upgrade.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ import json
 import socket
 import struct
 import time
+import zlib
 from typing import Iterable, Optional, Sequence
 
 from ..analysis.engine import DenotationBounds
@@ -48,6 +62,7 @@ __all__ = [
     "ConnectionClosed",
     "DeadlineExceeded",
     "ERROR_CODES",
+    "FrameCorrupted",
     "ProtocolError",
     "ServerBusy",
     "ServiceError",
@@ -66,6 +81,13 @@ __all__ = [
 
 #: Frame prefix: header length (u32) + blob length (u64), network order.
 _FRAME = struct.Struct("!IQ")
+
+#: Appended to the v2 prefix: CRC32 of ``header + blob``.
+_FRAME_CRC = struct.Struct("!I")
+
+#: Top bit of ``header_len``: this frame carries a CRC32 (format v2).
+#: Headers are capped at 16 MiB, so the bit is never set by a v1 length.
+_CRC_FLAG = 0x80000000
 
 #: Upper bound on one frame's JSON header — a corrupted or non-protocol
 #: peer (e.g. an HTTP client poking the port) fails fast instead of making
@@ -132,6 +154,16 @@ class WorkerLost(ServiceError):
     code = "WORKER_LOST"
 
 
+class FrameCorrupted(ServiceFault, ProtocolError):
+    """A frame failed its CRC32 check — bytes were damaged in flight.
+
+    Inherits both :class:`ServiceFault` (clients get a typed service
+    error, ``code == "FAULT"``) and :class:`ProtocolError` (the queue and
+    worker loops treat the connection as damaged and recover exactly as
+    they do for malformed frames: drop the connection, requeue the job).
+    """
+
+
 #: code -> exception class, for decoding error frames client-side.
 ERROR_CODES = {
     cls.code: cls for cls in (ServiceFault, ServerBusy, DeadlineExceeded, WorkerLost)
@@ -167,10 +199,19 @@ def send_frame(
     ``None`` test.  Injected actions: ``drop`` (the frame silently never
     leaves), ``truncate`` (half the frame is sent, then the socket is
     hard-closed — the peer sees EOF mid-frame), ``delay`` (sleep before
-    sending) and ``slowloris`` (the frame trickles out in small pieces).
+    sending), ``slowloris`` (the frame trickles out in small pieces) and
+    ``corrupt`` (one payload byte is flipped after the CRC is computed,
+    so the receiver raises :class:`FrameCorrupted`).
     """
     payload = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode()
-    frame = _FRAME.pack(len(payload), len(blob)) + payload
+    crc = zlib.crc32(payload)
+    if blob:
+        crc = zlib.crc32(blob, crc)
+    frame = (
+        _FRAME.pack(len(payload) | _CRC_FLAG, len(blob))
+        + _FRAME_CRC.pack(crc & 0xFFFFFFFF)
+        + payload
+    )
     action = faults.decide(site) if site is not None else None
     if action is not None:
         plan = faults.active()
@@ -187,6 +228,15 @@ def send_frame(
                 except OSError:
                     pass
                 sock.close()
+            return
+        if action.kind == "corrupt":
+            # Flip one byte in the middle of the JSON header, *after* the
+            # CRC was computed: the frame arrives complete but damaged,
+            # and the receiver's checksum catches it.
+            data = bytearray(frame + blob)
+            index = _FRAME.size + _FRAME_CRC.size + max(0, len(payload) // 2)
+            data[index] ^= 0xFF
+            sock.sendall(bytes(data))
             return
         if action.kind == "slowloris":
             pause = action.param if action.param is not None else plan.default_param()
@@ -224,22 +274,36 @@ def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
     """Receive one frame, returning ``(header, blob)``.
 
     Raises :class:`ConnectionClosed` on EOF (including EOF exactly between
-    frames — the normal way a peer hangs up) and :class:`ProtocolError` on
-    malformed prefixes or headers.
+    frames — the normal way a peer hangs up), :class:`ProtocolError` on
+    malformed prefixes or headers, and :class:`FrameCorrupted` when a v2
+    frame fails its CRC32 check.
     """
     prefix = recv_exact(sock, _FRAME.size)
     header_len, blob_len = _FRAME.unpack(prefix)
+    expected_crc = None
+    if header_len & _CRC_FLAG:
+        header_len &= ~_CRC_FLAG
+        (expected_crc,) = _FRAME_CRC.unpack(recv_exact(sock, _FRAME_CRC.size))
     if header_len > _MAX_HEADER_BYTES or blob_len > _MAX_BLOB_BYTES:
         raise ProtocolError(
             f"frame sizes out of range (header {header_len}B, blob {blob_len}B)"
         )
+    payload = recv_exact(sock, header_len)
+    blob = recv_exact(sock, blob_len)
+    if expected_crc is not None:
+        crc = zlib.crc32(payload)
+        if blob:
+            crc = zlib.crc32(blob, crc)
+        if (crc & 0xFFFFFFFF) != expected_crc:
+            raise FrameCorrupted(
+                f"frame CRC mismatch (header {header_len}B, blob {blob_len}B)"
+            )
     try:
-        header = json.loads(recv_exact(sock, header_len).decode())
+        header = json.loads(payload.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise ProtocolError(f"frame header is not valid JSON: {error}") from error
     if not isinstance(header, dict):
         raise ProtocolError(f"frame header must be a JSON object, got {type(header).__name__}")
-    blob = recv_exact(sock, blob_len)
     return header, blob
 
 

@@ -38,6 +38,15 @@ Results arrive on :class:`concurrent.futures.Future` objects, so callers
 with the exact machinery they use for process pools — which is how socket
 bounds stay **bit-identical** to serial bounds: same chunk loop in the
 worker, same canonical-order reduction in the parent.
+
+**Durability** (optional): pass ``journal_path`` and the queue keeps a
+write-ahead journal (:mod:`repro.service.journal`) of resource manifests,
+job enqueues, dispatches and completions.  On construction over an
+existing journal the queue *replays* it — re-registering resources and
+requeuing every job that was enqueued but never completed (or
+permanently failed) — so a ``kill -9`` loses at most the fsync batch
+tail, never the backlog.  A clean :meth:`close` marks the journal so the
+next start knows pending jobs were deliberately failed, not lost.
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ from ..analysis.config import (
     DEFAULT_JOB_TIMEOUT,
     parse_endpoint,
 )
+from .journal import Journal, JournalReplay
 from .protocol import (
     ConnectionClosed,
     DeadlineExceeded,
@@ -77,7 +87,9 @@ __all__ = [
     "JobError",
     "JobRetriesExhausted",
     "QueueClosed",
+    "QueueRecovery",
     "WorkQueueServer",
+    "replay_queue_journal",
 ]
 
 #: How many heartbeat intervals may pass without *any* frame from a worker
@@ -135,6 +147,61 @@ class _Job:
             self.future.set_exception(error)
 
 
+@dataclass
+class QueueRecovery:
+    """What a queue journal replays to (see :func:`replay_queue_journal`)."""
+
+    #: key -> (kind, payload): every journaled resource manifest.
+    resources: dict[str, tuple[str, bytes]] = field(default_factory=dict)
+    #: Enqueue records (journal headers) to requeue, in enqueue order.
+    pending: list[dict] = field(default_factory=list)
+    completed: set[int] = field(default_factory=set)
+    failed: set[int] = field(default_factory=set)
+    #: The journal ended with a clean-shutdown marker: pending jobs were
+    #: deliberately failed by close(), not lost — nothing is requeued.
+    clean: bool = False
+    records: int = 0
+    torn: bool = False
+
+
+def replay_queue_journal(replay: JournalReplay) -> QueueRecovery:
+    """Fold a journal's accepted record prefix into recovery state.
+
+    Pure and total over whatever :meth:`Journal.replay` accepted: a job is
+    requeued iff its enqueue record survived and no completion, permanent
+    failure or clean-shutdown marker did — so replay never resurrects a
+    journaled completion and always requeues journaled-but-unfinished
+    work.  (A crash inside the fsync batch window can lose *tail* records;
+    that loses at most the last batch of enqueues, never reorders.)
+    """
+    recovery = QueueRecovery(records=len(replay.records), torn=replay.torn)
+    enqueued: dict[int, dict] = {}
+    for header, blob in replay.records:
+        kind = header.get("type")
+        recovery.clean = kind == "clean"
+        if kind == "resource":
+            recovery.resources[header["key"]] = (header["kind"], blob)
+        elif kind == "enqueue":
+            enqueued[int(header["job_id"])] = header
+        elif kind == "complete":
+            recovery.completed.add(int(header["job_id"]))
+        elif kind == "failed":
+            recovery.failed.add(int(header["job_id"]))
+        elif kind == "clean":
+            # Positional: close() failed everything still pending *at this
+            # point*, so those jobs are resolved — records appended by a
+            # later incarnation of the queue are unaffected.
+            for job_id in enqueued:
+                if job_id not in recovery.completed:
+                    recovery.failed.add(job_id)
+    recovery.pending = [
+        record
+        for job_id, record in sorted(enqueued.items())
+        if job_id not in recovery.completed and job_id not in recovery.failed
+    ]
+    return recovery
+
+
 class WorkQueueServer:
     """A TCP work-queue server feeding chunk jobs to remote workers.
 
@@ -150,6 +217,7 @@ class WorkQueueServer:
         job_timeout: Optional[float] = DEFAULT_JOB_TIMEOUT,
         job_retries: int = DEFAULT_JOB_RETRIES,
         io_timeout: float = DEFAULT_IO_TIMEOUT,
+        journal_path: Optional[str] = None,
     ) -> None:
         host, port = parse_endpoint(endpoint)
         self.job_timeout = job_timeout
@@ -177,6 +245,39 @@ class WorkQueueServer:
         self.workers_reaped = 0
         self._running = 0
         self._workers = 0
+        # Durability (optional): replay an existing journal before opening
+        # it for append, so a restarted queue resumes its backlog.
+        self._journal: Optional[Journal] = None
+        self.journal_records_replayed = 0
+        self.jobs_recovered = 0
+        self.journal_clean: Optional[bool] = None
+        #: job_id -> future of every job requeued from the journal, so a
+        #: restarted owner can await recovered work.
+        self.recovered_jobs: dict[int, concurrent.futures.Future] = {}
+        if journal_path is not None:
+            recovery = replay_queue_journal(Journal.replay(journal_path))
+            self._journal = Journal(journal_path)  # truncates any torn tail
+            self.journal_records_replayed = recovery.records
+            self.journal_clean = recovery.clean
+            self._resources.update(recovery.resources)
+            for record in recovery.pending:
+                job = _Job(
+                    job_id=int(record["job_id"]),
+                    spec=dict(record["spec"]),
+                    resources=tuple(record.get("resources", ())),
+                    timeout=record.get("timeout"),
+                    retries=int(record.get("retries", self.job_retries)),
+                )
+                self._pending.append(job)
+                self.recovered_jobs[job.job_id] = job.future
+                self.jobs_submitted += 1
+                self.jobs_recovered += 1
+            seen_ids = (
+                {int(record["job_id"]) for record in recovery.pending}
+                | recovery.completed
+                | recovery.failed
+            )
+            self._job_ids = itertools.count(max(seen_ids) + 1 if seen_ids else 0)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-queue-accept", daemon=True
         )
@@ -200,7 +301,10 @@ class WorkQueueServer:
         keys mean equal bytes.
         """
         with self._lock:
+            known = key in self._resources
             self._resources.setdefault(key, (kind, payload))
+        if not known and self._journal is not None:
+            self._journal.append({"type": "resource", "key": key, "kind": kind}, blob=payload)
 
     def discard_resource(self, key: str) -> None:
         """Drop a registered payload (streamed chunks retire theirs eagerly)."""
@@ -275,6 +379,17 @@ class WorkQueueServer:
             for key in resources:
                 if key not in self._resources:
                     raise KeyError(f"unknown resource {key!r}; add_resource it first")
+            if self._journal is not None:
+                # Journal *before* the job becomes visible to dispatchers,
+                # so a completion record can never precede its enqueue.
+                self._journal.append({
+                    "type": "enqueue",
+                    "job_id": job.job_id,
+                    "spec": spec,
+                    "resources": list(resources),
+                    "timeout": job.timeout,
+                    "retries": job.retries,
+                })
             self.jobs_submitted += 1
             self._pending.append(job)
             self._jobs_available.notify()
@@ -352,6 +467,9 @@ class WorkQueueServer:
                 "reaped": self.workers_reaped,
                 "resources": len(self._resources),
                 "resources_sent": self.resources_sent,
+                "journal_records_replayed": self.journal_records_replayed,
+                "jobs_recovered": self.jobs_recovered,
+                "journal_clean": self.journal_clean,
             }
 
     def close(self) -> None:
@@ -392,6 +510,10 @@ class WorkQueueServer:
         self._spawned.clear()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if self._journal is not None:
+            # The clean marker records that pending jobs were deliberately
+            # failed above — the next start must not resurrect them.
+            self._journal.close(clean=True)
 
     def __enter__(self) -> "WorkQueueServer":
         return self
@@ -449,6 +571,8 @@ class WorkQueueServer:
             return
         if job.attempts >= job.retries + 1:
             self.jobs_failed += 1
+            if self._journal is not None:
+                self._journal.append({"type": "failed", "job_id": job.job_id})
             if job.last_error is not None:
                 job.fail(JobError(
                     f"job {job.job_id} failed on all {job.attempts} attempts; "
@@ -462,7 +586,8 @@ class WorkQueueServer:
         self.jobs_requeued += 1
         # Front of the queue: a requeued job is the oldest outstanding work
         # and blocking the overall query, so it must not wait behind the
-        # backlog a second time.
+        # backlog a second time.  (No journal record: the enqueue record is
+        # still live, so a crash here still replays the job.)
         self._pending.appendleft(job)
         self._jobs_available.notify()
 
@@ -503,6 +628,10 @@ class WorkQueueServer:
                     with self._jobs_available:
                         self._running -= 1
                     continue
+                if self._journal is not None:
+                    self._journal.append(
+                        {"type": "dispatch", "job_id": job.job_id, "attempt": job.attempts}
+                    )
                 try:
                     self._send_job(conn, job, sent, cache_cap)
                     outcome = self._await_result(conn, job, heartbeat_interval)
@@ -522,6 +651,12 @@ class WorkQueueServer:
                     with self._jobs_available:
                         self._requeue(job, reason)
                     return
+                if outcome == "ok" and self._journal is not None:
+                    # Synced: a completion must never be lost to the fsync
+                    # batch window, or a restart would re-run delivered work.
+                    self._journal.append(
+                        {"type": "complete", "job_id": job.job_id}, sync=True
+                    )
                 with self._jobs_available:
                     if outcome == "ok":
                         self._running -= 1

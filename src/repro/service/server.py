@@ -37,6 +37,18 @@ cache-hit latency ≪ cold latency for a long-lived service.
 Blocking engine work runs on a thread pool; the asyncio side stays
 responsive, and partial-bound callbacks marshal onto the event loop via
 ``call_soon_threadsafe``.
+
+**Durability** (``--state-dir``): the server keeps a write-ahead journal
+(:mod:`repro.service.journal`) plus a content-addressed on-disk store
+(:mod:`repro.service.store`) of compiled-program images, whole-query
+results and refinement checkpoints.  A restarted server answers repeat
+queries from the persistent result store without recompiling, rebuilds
+compiled programs from stored path-table images, and **resumes** a
+refined (``refine="gap"``) query from its last journaled round — with
+floats bit-identical to an uninterrupted run, because rounds are
+deterministic and checkpoints round-trip every double exactly.  Clients
+re-issuing a query after a crash carry an idempotency ``query_id`` and a
+``partials_seen`` count, so only missed partial frames are replayed.
 """
 
 from __future__ import annotations
@@ -44,9 +56,13 @@ from __future__ import annotations
 import argparse
 import asyncio
 import dataclasses
+import itertools
+import os
+import signal
 import struct
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
@@ -54,20 +70,29 @@ from typing import Optional
 from .. import faults
 from ..analysis.config import AnalysisOptions, parse_endpoint
 from ..analysis.engine import AnalysisReport
-from ..analysis.model import Model, program_hash
+from ..analysis.model import CompiledProgram, Model, program_hash
+from ..analysis.refine import RefinementScheduler
 from ..lang import ParseError, parse
+from ..symbolic.arena import PathTable
+from ..symbolic.execute import SymbolicExecutionResult
+from .journal import Journal
 from .protocol import (
     DeadlineExceeded,
+    FrameCorrupted,
     ProtocolError,
     ServerBusy,
     ServiceError,
     bounds_to_wire,
+    hash_bytes,
     targets_from_wire,
 )
+from .store import StateStore
 
 __all__ = ["BoundsServer", "ProgramCache", "serve_in_background", "main"]
 
 _FRAME = struct.Struct("!IQ")
+_FRAME_CRC = struct.Struct("!I")
+_CRC_FLAG = 0x80000000
 
 #: AnalysisOptions fields clients may set per request.  Derived from the
 #: dataclass itself so new engine knobs become available without touching
@@ -94,6 +119,27 @@ class ProgramCache:
         self._entries: "OrderedDict[str, tuple[Model, threading.Lock]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @staticmethod
+    def key_for(source: str, options: AnalysisOptions):
+        """``(term, key)`` for a source text — the lookup key, no side effects.
+
+        Used by the durability layer to consult the persistent result
+        store *before* deciding whether a model needs to exist at all (a
+        warm-restart repeat query must not count a program-cache miss).
+        """
+        term = parse(source)
+        return term, program_hash(term, options.execution_limits())
+
+    def contains(self, key: str) -> bool:
+        """Whether a program is cached, without touching LRU order or counters."""
+        with self._mutex:
+            return key in self._entries
+
+    def entries(self) -> list[tuple[str, Model]]:
+        """A snapshot of ``(key, model)`` pairs (shutdown-time persistence)."""
+        with self._mutex:
+            return [(key, model) for key, (model, _) in self._entries.items()]
 
     def lookup(self, source: str, options: AnalysisOptions):
         """``(model, lock, key, hit)`` for a program source text.
@@ -159,6 +205,7 @@ class BoundsServer:
         result_cache_limit: int = 256,
         max_inflight_queries: int = 0,
         io_timeout: Optional[float] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         self._host, self._port = parse_endpoint(endpoint)
         self.cache = ProgramCache(limit=cache_limit)
@@ -192,6 +239,33 @@ class BoundsServer:
         self._results_mutex = threading.Lock()
         self.result_hits = 0
         self.result_misses = 0
+        # Durability (optional, --state-dir): persistent program/result/
+        # checkpoint store plus a write-ahead journal of query progress.
+        self.store: Optional[StateStore] = None
+        self._journal: Optional[Journal] = None
+        self.journal_records_replayed = 0
+        self.journal_clean: Optional[bool] = None
+        self.result_store_hits = 0
+        self.program_store_hits = 0
+        self.rounds_resumed = 0
+        self.rounds_recomputed = 0
+        self.checkpoints_saved = 0
+        self.partials_replayed = 0
+        self.partials_skipped = 0
+        self._durability_mutex = threading.Lock()
+        if state_dir is not None:
+            self.store = StateStore(state_dir)
+            replay = Journal.replay(self.store.journal_path)
+            self.journal_records_replayed = len(replay.records)
+            self.journal_clean = bool(
+                replay.records and replay.records[-1][0].get("type") == "clean"
+            )
+            self._journal = Journal(self.store.journal_path)
+        # In-flight coalescing for idempotent re-issues: result_key -> a
+        # future resolved when the original computation finishes, so a
+        # client that lost its connection (but not the server) attaches to
+        # the running query instead of recomputing it.
+        self._inflight: dict[tuple, asyncio.Future] = {}
 
     @property
     def endpoint(self) -> str:
@@ -222,6 +296,108 @@ class BoundsServer:
             self._server = None
         self._pool.shutdown(wait=True)
         self.cache.close()
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close()
+
+    async def graceful_shutdown(self, grace: float = 30.0) -> None:
+        """SIGTERM semantics: drain in-flight queries, snapshot, mark clean.
+
+        Stops accepting connections, waits up to ``grace`` seconds for
+        running engine queries to finish, persists every compiled program
+        the state store does not hold yet, appends a clean-shutdown marker
+        to the journal and shuts the caches down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            with self._active_mutex:
+                active = self._active
+            if active == 0:
+                break
+            await asyncio.sleep(0.05)
+        if self.store is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._snapshot_programs)
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close(clean=True)
+        self._pool.shutdown(wait=True)
+        self.cache.close()
+
+    def _snapshot_programs(self) -> None:
+        """Persist every cached compilation the store is missing (shutdown)."""
+        if self.store is None:
+            return
+        for _key, model in self.cache.entries():
+            for compiled in list(model._compiled.values()):
+                self._persist_program(compiled)
+
+    # ------------------------------------------------------------------
+    # Durable program images
+    # ------------------------------------------------------------------
+    def _persist_program(self, compiled: CompiledProgram) -> None:
+        """Write a compiled program's path-table image to the state store.
+
+        Content-addressed by the canonical program hash, so re-persisting
+        is a no-op and textually different spellings share one image.
+        """
+        if self.store is None:
+            return
+        key = program_hash(compiled.term, compiled.limits)
+        if self.store.has_program(key):
+            return
+        execution = compiled.execution
+        self.store.save_program(
+            key,
+            execution.table().to_bytes(),
+            {
+                "truncated_paths": execution.truncated_paths,
+                "pruned_paths": execution.pruned_paths,
+                "compile_seconds": compiled.compile_seconds,
+            },
+        )
+
+    def _install_stored_program(
+        self, model: Model, options: AnalysisOptions
+    ) -> Optional[CompiledProgram]:
+        """Warm-restart path: rebuild a compiled program from its stored image.
+
+        Returns the installed :class:`CompiledProgram`, or ``None`` when the
+        store has no (usable) image — the caller compiles from scratch.  A
+        corrupt entry was already CRC-detected and dropped by the store.
+        """
+        if self.store is None:
+            return None
+        limits = options.execution_limits()
+        key = program_hash(model._term, limits)
+        loaded = self.store.load_program(key)
+        if loaded is None:
+            return None
+        meta, image = loaded
+        table = PathTable.from_buffer(image)
+        execution = SymbolicExecutionResult(
+            paths=tuple(table.decode_all()),
+            truncated_paths=int(meta.get("truncated_paths", 0)),
+            pruned_paths=int(meta.get("pruned_paths", 0)),
+        )
+        # The decoded table IS the columnar view — cache it on the result so
+        # analyzers and the arena transport reuse it instead of re-interning.
+        object.__setattr__(execution, "_table", table)
+        compiled = CompiledProgram(
+            term=model._term,
+            limits=limits,
+            execution=execution,
+            compile_seconds=float(meta.get("compile_seconds", 0.0)),
+        )
+        try:
+            model.install_compiled(compiled)
+        except ValueError:  # image from a different program: ignore it
+            return None
+        with self._durability_mutex:
+            self.program_store_hits += 1
+        return compiled
 
     # ------------------------------------------------------------------
     # Frame IO (asyncio streams)
@@ -232,10 +408,25 @@ class BoundsServer:
 
         prefix = await reader.readexactly(_FRAME.size)
         header_len, blob_len = _FRAME.unpack(prefix)
+        expected_crc = None
+        if header_len & _CRC_FLAG:
+            header_len &= ~_CRC_FLAG
+            (expected_crc,) = _FRAME_CRC.unpack(
+                await reader.readexactly(_FRAME_CRC.size)
+            )
         if header_len > 16 * 1024 * 1024 or blob_len > 64 * 1024 * 1024:
             raise ProtocolError("frame sizes out of range")
-        header = json.loads((await reader.readexactly(header_len)).decode())
+        payload = await reader.readexactly(header_len)
         blob = await reader.readexactly(blob_len) if blob_len else b""
+        if expected_crc is not None:
+            crc = zlib.crc32(payload)
+            if blob:
+                crc = zlib.crc32(blob, crc)
+            if (crc & 0xFFFFFFFF) != expected_crc:
+                raise FrameCorrupted(
+                    f"frame CRC mismatch (header {header_len}B, blob {blob_len}B)"
+                )
+        header = json.loads(payload.decode())
         if not isinstance(header, dict):
             raise ProtocolError("frame header must be a JSON object")
         return header, blob
@@ -247,7 +438,15 @@ class BoundsServer:
         import json
 
         payload = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode()
-        writer.write(_FRAME.pack(len(payload), len(blob)) + payload + blob)
+        crc = zlib.crc32(payload)
+        if blob:
+            crc = zlib.crc32(blob, crc)
+        writer.write(
+            _FRAME.pack(len(payload) | _CRC_FLAG, len(blob))
+            + _FRAME_CRC.pack(crc & 0xFFFFFFFF)
+            + payload
+            + blob
+        )
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -262,19 +461,29 @@ class BoundsServer:
                     header, _blob = await self._read_frame(reader)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return  # client hung up
+                except ProtocolError as error:
+                    # A corrupted or malformed request frame loses the frame
+                    # boundary: reply with a typed error, then drop the
+                    # connection (FrameCorrupted carries code=FAULT).
+                    frame = {
+                        "type": "error",
+                        "exc_type": type(error).__name__,
+                        "error": str(error),
+                    }
+                    code = getattr(error, "code", None)
+                    if code:
+                        frame["code"] = code
+                    try:
+                        await self._write_frame(writer, frame)
+                    except (ConnectionError, OSError):  # pragma: no cover
+                        pass
+                    return
                 kind = header.get("type")
                 try:
                     if kind == "bounds":
                         await self._handle_bounds(writer, header)
                     elif kind == "stats":
-                        await self._write_frame(
-                            writer,
-                            {"type": "stats", "cache": self.cache.stats(),
-                             "results": self._result_stats(),
-                             "queries": self.queries_served,
-                             "inflight": self._active,
-                             "rejected": self.queries_rejected},
-                        )
+                        await self._write_frame(writer, self._stats_frame())
                     elif kind == "ping":
                         await self._write_frame(writer, {"type": "pong"})
                     else:
@@ -320,26 +529,45 @@ class BoundsServer:
             header.get("deadline"),
         )
 
+    @staticmethod
+    def _result_disk_key(result_key: tuple) -> str:
+        """Content address of a whole-query result (state-store file name)."""
+        import json
+
+        return hash_bytes(json.dumps(list(result_key)).encode())
+
     def _result_lookup(self, result_key: tuple) -> Optional[dict]:
-        if not self._results_limit:
+        if not self._results_limit and self.store is None:
             return None
         with self._results_mutex:
             cached = self._results.get(result_key)
-            if cached is None:
-                self.result_misses += 1
-                return None
-            self._results.move_to_end(result_key)
-            self.result_hits += 1
-            return dict(cached)
+            if cached is not None:
+                self._results.move_to_end(result_key)
+                self.result_hits += 1
+                return dict(cached)
+            self.result_misses += 1
+        if self.store is not None:
+            # Disk tier: survives restarts.  A hit refills the memory tier
+            # (without re-writing the disk entry it just came from).
+            stored = self.store.load_result(self._result_disk_key(result_key))
+            if stored is not None:
+                with self._durability_mutex:
+                    self.result_store_hits += 1
+                self._result_store(result_key, stored, persist=False)
+                return dict(stored)
+        return None
 
-    def _result_store(self, result_key: tuple, result: dict) -> None:
-        if not self._results_limit:
-            return
-        with self._results_mutex:
-            self._results[result_key] = result
-            self._results.move_to_end(result_key)
-            while len(self._results) > self._results_limit:
-                self._results.popitem(last=False)
+    def _result_store(
+        self, result_key: tuple, result: dict, persist: bool = True
+    ) -> None:
+        if self._results_limit:
+            with self._results_mutex:
+                self._results[result_key] = result
+                self._results.move_to_end(result_key)
+                while len(self._results) > self._results_limit:
+                    self._results.popitem(last=False)
+        if persist and self.store is not None:
+            self.store.save_result(self._result_disk_key(result_key), result)
 
     def _result_stats(self) -> dict:
         with self._results_mutex:
@@ -349,6 +577,88 @@ class BoundsServer:
                 "hits": self.result_hits,
                 "misses": self.result_misses,
             }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _executor_stats(self) -> dict:
+        """Degradation/reaping telemetry aggregated over the cached models."""
+        workers_reaped = 0
+        degraded_chunks = 0
+        degraded_to: list[str] = []
+        for _key, model in self.cache.entries():
+            for executor in model._executors.values():
+                degraded_chunks += getattr(executor, "degraded_chunks", 0)
+                to = getattr(executor, "degraded_to", None)
+                if to and to not in degraded_to:
+                    degraded_to.append(to)
+                queue = getattr(executor, "_queue", None)
+                if queue is not None:
+                    workers_reaped += getattr(queue, "workers_reaped", 0)
+        return {
+            "workers_reaped": workers_reaped,
+            "degraded_chunks": degraded_chunks,
+            "degraded_to": degraded_to,
+        }
+
+    def _durability_stats(self) -> dict:
+        with self._durability_mutex:
+            stats = {
+                "enabled": self.store is not None,
+                "journal_records_replayed": self.journal_records_replayed,
+                "journal_clean": self.journal_clean,
+                "result_store_hits": self.result_store_hits,
+                "program_store_hits": self.program_store_hits,
+                "rounds_resumed": self.rounds_resumed,
+                "rounds_recomputed": self.rounds_recomputed,
+                "checkpoints_saved": self.checkpoints_saved,
+                "partials_replayed": self.partials_replayed,
+                "partials_skipped": self.partials_skipped,
+            }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
+
+    def _stats_frame(self) -> dict:
+        return {
+            "type": "stats",
+            "cache": self.cache.stats(),
+            "results": self._result_stats(),
+            "queries": self.queries_served,
+            "inflight": self._active,
+            "rejected": self.queries_rejected,
+            "executors": self._executor_stats(),
+            "durability": self._durability_stats(),
+        }
+
+    def _acquire_slot(self) -> None:
+        """Claim one in-flight engine slot or raise a typed ``BUSY`` error."""
+        with self._active_mutex:
+            if self._max_inflight and self._active >= self._max_inflight:
+                self.queries_rejected += 1
+                raise ServerBusy(
+                    f"server is at its in-flight query limit "
+                    f"({self._max_inflight}); retry shortly",
+                    retry_after=0.25,
+                )
+            self._active += 1
+
+    @staticmethod
+    def _consult_query_faults() -> None:
+        """The ``server.query`` fault site, shared by both query flows."""
+        action = faults.decide("server.query")
+        if action is not None:
+            if action.kind == "fail":
+                raise faults.FaultInjected("injected query failure")
+            if action.kind == "delay":
+                # Holds this engine thread (and its backpressure slot)
+                # for a deterministic while — the chaos suite's lever
+                # for provoking a BUSY reply without timing races.
+                plan = faults.active()
+                time.sleep(
+                    action.param if action.param is not None
+                    else (plan.default_param() if plan else 0.0)
+                )
 
     def _request_options(self, header: dict) -> AnalysisOptions:
         raw = header.get("options") or {}
@@ -402,6 +712,16 @@ class BoundsServer:
                 )
             options = options.with_updates(**updates)
 
+        if self.store is not None:
+            # Durable flow: consult the persistent result store *before*
+            # touching the program cache, coalesce idempotent re-issues and
+            # checkpoint refinement rounds.
+            await self._handle_bounds_durable(
+                writer, header, source, targets, options,
+                want_stream, deadline_at, deadline_s,
+            )
+            return
+
         loop = asyncio.get_running_loop()
         partials: asyncio.Queue = asyncio.Queue()
 
@@ -435,34 +755,10 @@ class BoundsServer:
         # Backpressure: reject rather than queue without bound.  The slot is
         # held until the engine thread finishes — even when a deadline makes
         # us abandon the reply early, the thread is still busy.
-        if self._max_inflight:
-            with self._active_mutex:
-                if self._active >= self._max_inflight:
-                    self.queries_rejected += 1
-                    raise ServerBusy(
-                        f"server is at its in-flight query limit "
-                        f"({self._max_inflight}); retry shortly",
-                        retry_after=0.25,
-                    )
-                self._active += 1
-        else:
-            with self._active_mutex:
-                self._active += 1
+        self._acquire_slot()
 
         def run_query():
-            action = faults.decide("server.query")
-            if action is not None:
-                if action.kind == "fail":
-                    raise faults.FaultInjected("injected query failure")
-                if action.kind == "delay":
-                    # Holds this engine thread (and its backpressure slot)
-                    # for a deterministic while — the chaos suite's lever
-                    # for provoking a BUSY reply without timing races.
-                    plan = faults.active()
-                    time.sleep(
-                        action.param if action.param is not None
-                        else (plan.default_param() if plan else 0.0)
-                    )
+            self._consult_query_faults()
             report = AnalysisReport()
             with lock:
                 bounds = model.bounds(
@@ -537,6 +833,278 @@ class BoundsServer:
         self._result_store(result_key, result)
         await self._write_frame(writer, result)
 
+    # ------------------------------------------------------------------
+    # Durable request handling (--state-dir)
+    # ------------------------------------------------------------------
+    async def _write_partial(
+        self, writer: asyncio.StreamWriter, item: tuple, partials_seen: int
+    ) -> None:
+        """Emit one seq-numbered partial frame, skipping already-seen seqs.
+
+        A resuming client reports how many partials it already holds
+        (``partials_seen``); partials at or below that sequence number are
+        suppressed so reconnection replays only what was actually missed.
+        """
+        partial_bounds, paths_done, seq = item
+        if seq <= partials_seen:
+            with self._durability_mutex:
+                self.partials_skipped += 1
+            return
+        await self._write_frame(
+            writer,
+            {"type": "partial", "bounds": partial_bounds,
+             "paths_done": paths_done, "seq": seq},
+        )
+
+    async def _handle_bounds_durable(
+        self,
+        writer: asyncio.StreamWriter,
+        header: dict,
+        source: str,
+        targets,
+        options: AnalysisOptions,
+        want_stream: bool,
+        deadline_at: Optional[float],
+        deadline_s: Optional[float],
+    ) -> None:
+        """One bounds query against the durable tier.
+
+        Order of tiers: memory result cache → persistent result store →
+        coalesce with an identical in-flight query → compute (with the
+        program warm-loaded from its stored image when possible, and
+        ``refine="gap"`` rounds checkpointed so a crashed query resumes
+        from its last journaled round).
+        """
+        assert self.store is not None
+        loop = asyncio.get_running_loop()
+        _term, key = ProgramCache.key_for(source, options)
+        result_key = self._result_key(key, header)
+        partials_seen = int(header.get("partials_seen") or 0)
+
+        async def serve_cached(cached: dict) -> None:
+            self.queries_served += 1
+            await self._write_frame(
+                writer,
+                dict(
+                    cached,
+                    cache="hit" if self.cache.contains(key) else "miss",
+                    result_cache="hit",
+                    seconds=0.0,
+                    first_result_seconds=None,
+                ),
+            )
+
+        cached = self._result_lookup(result_key)
+        if cached is not None:
+            await serve_cached(cached)
+            return
+
+        # Idempotent re-issue: a client that lost its connection (but not
+        # the server) re-sends the same query — attach to the running
+        # computation instead of recomputing, then serve its stored result.
+        existing = self._inflight.get(result_key)
+        if existing is not None:
+            await asyncio.shield(existing)
+            cached = self._result_lookup(result_key)
+            if cached is not None:
+                await serve_cached(cached)
+                return
+
+        self._acquire_slot()
+        inflight: asyncio.Future = loop.create_future()
+        self._inflight[result_key] = inflight
+        partials: asyncio.Queue = asyncio.Queue()
+        disk_key = self._result_disk_key(result_key)
+
+        def emit(wire_bounds: list, paths_done: int, seq: int) -> None:
+            loop.call_soon_threadsafe(
+                partials.put_nowait, (wire_bounds, paths_done, seq)
+            )
+
+        model, lock, _key2, cache_hit = self.cache.lookup(source, options)
+
+        def run_query():
+            self._consult_query_faults()
+            report = AnalysisReport()
+            with lock:
+                if options.refine_enabled:
+                    bounds = self._run_refined_durable(
+                        model, targets, options, report,
+                        emit if want_stream else None, disk_key, partials_seen,
+                    )
+                else:
+                    if model.compiled_for(options) is None:
+                        self._install_stored_program(model, options)
+                    seq_counter = itertools.count(1)
+                    bounds = model.bounds(
+                        targets,
+                        options=options,
+                        report=report,
+                        progress=(
+                            (lambda b, n: emit(bounds_to_wire(b), n, next(seq_counter)))
+                            if want_stream else None
+                        ),
+                    )
+                    compiled = model.compiled_for(options)
+                    if compiled is not None:
+                        self._persist_program(compiled)
+            return bounds, report
+
+        query = loop.run_in_executor(self._pool, run_query)
+
+        def release_slot(finished: asyncio.Future) -> None:
+            with self._active_mutex:
+                self._active -= 1
+            if not finished.cancelled():
+                finished.exception()  # mark retrieved (abandoned queries)
+
+        query.add_done_callback(release_slot)
+        try:
+            waiter = asyncio.ensure_future(partials.get())
+            try:
+                while True:
+                    wait_timeout = None
+                    if deadline_at is not None:
+                        wait_timeout = max(0.0, deadline_at - time.monotonic())
+                    done, _pending = await asyncio.wait(
+                        {query, waiter},
+                        timeout=wait_timeout,
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        raise DeadlineExceeded(
+                            f"query exceeded its {deadline_s}s deadline"
+                        )
+                    if waiter in done:
+                        await self._write_partial(writer, waiter.result(), partials_seen)
+                        waiter = asyncio.ensure_future(partials.get())
+                    if query in done:
+                        break
+            finally:
+                waiter.cancel()
+            bounds, report = await query  # re-raises engine errors
+            while not partials.empty():
+                await self._write_partial(writer, partials.get_nowait(), partials_seen)
+            self.queries_served += 1
+            result = {
+                "type": "result",
+                "bounds": bounds_to_wire(bounds),
+                "program_hash": key,
+                "cache": "hit" if cache_hit else "miss",
+                "paths": report.path_count,
+                "seconds": report.seconds,
+                "first_result_seconds": report.first_result_seconds,
+                "refine_rounds": report.refine_rounds,
+                "result_cache": "miss",
+            }
+            # Persist + journal *before* the reply: a crash between the two
+            # (the ``server.ack`` site) leaves a completed result the
+            # restarted server serves straight from the store.
+            self._result_store(result_key, result)
+            if self._journal is not None:
+                self._journal.append({"type": "done", "query": disk_key}, sync=True)
+            action = faults.decide("server.ack")
+            if action is not None and action.kind == "die":
+                os._exit(1)
+            await self._write_frame(writer, result)
+        finally:
+            self._inflight.pop(result_key, None)
+            if not inflight.done():
+                inflight.set_result(True)
+
+    def _run_refined_durable(
+        self,
+        model: Model,
+        targets,
+        options: AnalysisOptions,
+        report: AnalysisReport,
+        emit,
+        disk_key: str,
+        partials_seen: int,
+    ):
+        """One checkpointed ``refine="gap"`` query (pool thread, model lock held).
+
+        Drives the :class:`RefinementScheduler` directly: after every
+        completed round the scheduler state is checkpointed to the store and
+        the round journaled (synced) *before* the partial reaches the
+        client, so a crashed server resumes from its last completed round —
+        bit-identically, because rounds are deterministic and checkpoints
+        round-trip every float exactly.  Per-round partials carry the round
+        number as their sequence, stable across restarts.
+        """
+        compiled = model.compiled_for(options)
+        if compiled is None:
+            compiled = self._install_stored_program(model, options)
+        if compiled is None:
+            compiled = model.compile(options)
+            report.seconds += compiled.compile_seconds
+            self._persist_program(compiled)
+        else:
+            report.compile_cache_hits += 1
+        executor = model.executor_for(options)
+        execution = compiled.execution
+
+        scheduler: Optional[RefinementScheduler] = None
+        resumed = 0
+        blob = self.store.load_checkpoint(disk_key)
+        if blob is not None:
+            try:
+                scheduler = RefinementScheduler.from_bytes(
+                    blob, execution, targets, options, executor=executor
+                )
+                resumed = scheduler.rounds_run
+            except ValueError:  # stale/foreign checkpoint: reseed
+                scheduler = None
+        if scheduler is None:
+            scheduler = RefinementScheduler(
+                execution, targets, options, executor=executor
+            )
+        if resumed:
+            with self._durability_mutex:
+                self.rounds_resumed += resumed
+            if self._journal is not None:
+                self._journal.append(
+                    {"type": "resume", "query": disk_key, "rounds": resumed},
+                    sync=True,
+                )
+            if emit is not None and partials_seen < resumed:
+                # Catch the client up with ONE partial summarising every
+                # checkpointed round it has not seen.
+                emit(
+                    bounds_to_wire(scheduler.bounds),
+                    len(scheduler.contributions),
+                    resumed,
+                )
+                with self._durability_mutex:
+                    self.partials_replayed += 1
+
+        def on_round(_bounds) -> None:
+            self.store.save_checkpoint(disk_key, scheduler.to_bytes())
+            with self._durability_mutex:
+                self.checkpoints_saved += 1
+            if self._journal is not None:
+                self._journal.append(
+                    {"type": "round", "query": disk_key,
+                     "round": scheduler.rounds_run},
+                    sync=True,
+                )
+            action = faults.decide("server.crash")
+            if action is not None and action.kind == "die":
+                os._exit(1)
+
+        progress = None
+        if emit is not None:
+            def progress(bounds, paths_done):
+                emit(bounds_to_wire(bounds), paths_done, scheduler.rounds_run)
+
+        bounds = scheduler.run(progress=progress, report=report, round_hook=on_round)
+        with self._durability_mutex:
+            self.rounds_recomputed += scheduler.rounds_run - resumed
+        for contribution in scheduler.contributions:
+            report.record_path(contribution.analyzer_name)
+        self.store.drop_checkpoint(disk_key)
+        return bounds
+
 
 class _BackgroundServer:
     """A bounds server running on a dedicated event-loop thread."""
@@ -558,6 +1126,16 @@ class _BackgroundServer:
             self._thread.join(timeout=10)
         self._loop.close()
 
+    def stop_gracefully(self, grace: float = 10.0) -> None:
+        """Drain, snapshot and mark the journal clean (SIGTERM semantics)."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.graceful_shutdown(grace), self._loop
+            ).result(grace + 10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        self._loop.close()
+
     def __enter__(self) -> "_BackgroundServer":
         return self
 
@@ -572,6 +1150,7 @@ def serve_in_background(
     result_cache_limit: int = 256,
     max_inflight_queries: int = 0,
     io_timeout: Optional[float] = None,
+    state_dir: Optional[str] = None,
 ) -> _BackgroundServer:
     """Start a :class:`BoundsServer` on a daemon thread and return a handle.
 
@@ -586,6 +1165,7 @@ def serve_in_background(
         result_cache_limit=result_cache_limit,
         max_inflight_queries=max_inflight_queries,
         io_timeout=io_timeout,
+        state_dir=state_dir,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()
@@ -632,6 +1212,12 @@ def main(argv: Optional[list[str]] = None) -> None:
                         help="reject (BUSY) past this many in-flight queries (0 = unbounded)")
     parser.add_argument("--io-timeout", type=float, default=None,
                         help="default engine io_timeout in seconds (socket liveness window)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="durable state directory (WAL + program/result/"
+                             "checkpoint store); restarts resume from it")
+    parser.add_argument("--grace", type=float, default=30.0,
+                        help="graceful-shutdown drain window in seconds "
+                             "(SIGTERM/SIGINT)")
     args = parser.parse_args(argv)
     server = BoundsServer(
         args.bind,
@@ -640,14 +1226,36 @@ def main(argv: Optional[list[str]] = None) -> None:
         result_cache_limit=args.result_cache_limit,
         max_inflight_queries=args.max_inflight,
         io_timeout=args.io_timeout,
+        state_dir=args.state_dir,
     )
 
     async def run() -> None:
         await server.start()
         print(f"bounds service listening on {server.endpoint}", flush=True)
-        try:
-            await server.serve_forever()
-        finally:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass  # non-POSIX platforms fall back to KeyboardInterrupt
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
+        done, _pending = await asyncio.wait(
+            {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stopping in done:
+            # SIGTERM/SIGINT: drain in-flight queries, snapshot unpersisted
+            # programs, mark the journal clean — the crash/kill path simply
+            # never reaches this and recovers from the WAL instead.
+            serving.cancel()
+            try:
+                await serving
+            except asyncio.CancelledError:
+                pass
+            await server.graceful_shutdown(grace=args.grace)
+        else:
+            stopping.cancel()
             await server.stop()
 
     try:
