@@ -16,16 +16,27 @@ Separate polytopes ``𝔓_lb`` / ``𝔓_ub`` realise the universal / existential
 reading of constraints containing interval constants (introduced by
 ``approxFix``).
 
-Two engineering refinements keep the volume computations cheap without
+Three engineering refinements keep the geometry computations cheap without
 affecting soundness:
 
 * **variable elimination** — a sample variable that occurs only in
   single-variable constraints (e.g. the ``⊕_p`` branching draws) is factored
   out analytically as an exact probability mass instead of adding a polytope
-  dimension; and
-* **volume caching** — identical polytopes (which arise whenever the lower
-  and upper readings coincide, i.e. for paths without interval constants) are
-  only handed to Qhull once.
+  dimension;
+* **cross-path geometry caching** — LP results, feasibility checks and exact
+  volumes are memoised in a :class:`GeometryCache` keyed on the polytope's
+  *exact* H-representation bytes.  Every cached computation is a
+  deterministic pure function of those bytes, so a hit returns the identical
+  float64s a fresh computation would — which is what makes it sound to share
+  the cache across the paths of a chunk (and, on the columnar route, across
+  chunks and queries of a table attachment) without bounds depending on how
+  paths are partitioned; and
+* **batched LP kernels** — each polytope's constraint system is prepared
+  once on the low-overhead HiGHS kernel (:mod:`repro.polytope.highs`) and
+  all atom objectives sweep it in one batch (:class:`~repro.polytope.batch.
+  BatchPolytope`); the score-combination loop pre-computes its constraint
+  rows per atom chunk instead of per combination and looks volumes up by the
+  restricted polytope's byte key without materialising it on a hit.
 """
 
 from __future__ import annotations
@@ -39,14 +50,21 @@ import numpy as np
 
 from ..distributions import Uniform
 from ..intervals import Interval
-from ..polytope import Polytope
+from ..polytope import BatchPolytope, Polytope
 from ..symbolic.linear import LinearForm, decompose_score, extract_linear
 from ..symbolic.paths import Relation, SymbolicPath
 from ..symbolic.value import evaluate_with_atoms
 from .config import AnalysisOptions
-from .vectorize import ScalarFallback, checked_cells, vec_mul
+from .vectorize import (
+    ScalarFallback,
+    TableProgramEvaluator,
+    checked_cells,
+    compile_expr_roots,
+    vec_mul,
+)
 
 __all__ = [
+    "GeometryCache",
     "LinearPathAnalyzer",
     "linear_analysis_applicable",
     "analyze_path_linear",
@@ -81,7 +99,7 @@ def _upper_row(form: LinearForm, limit: float, dimension: int, universal: bool) 
     """Row for ``form ≤ limit``; ``None`` = unsatisfiable, empty row = trivially true."""
     constant = form.constant.hi if universal else form.constant.lo
     rhs = limit - constant
-    dense = form.as_dense(dimension)
+    dense = form.dense_row(dimension)
     if math.isinf(rhs) or not any(dense):
         # A variable-free constraint: decide it outright.
         return ([], rhs) if rhs >= 0 else None
@@ -92,7 +110,7 @@ def _lower_row(form: LinearForm, limit: float, dimension: int, universal: bool) 
     """Row for ``form ≥ limit`` (encoded as ``-form ≤ -limit``)."""
     constant = form.constant.lo if universal else form.constant.hi
     rhs = constant - limit
-    dense = form.as_dense(dimension)
+    dense = form.dense_row(dimension)
     if math.isinf(rhs) or not any(dense):
         return ([], rhs) if rhs >= 0 else None
     return [-c for c in dense], rhs
@@ -229,20 +247,161 @@ def _remap(form: LinearForm, index_map: Dict[int, int]) -> LinearForm:
 
 
 # ----------------------------------------------------------------------
-# Volume caching
+# Cross-path geometry caching
 # ----------------------------------------------------------------------
 
-class _VolumeCache:
-    """Memoises exact volumes of identical polytopes within one path analysis."""
+#: A geometry-cache key: the exact ``(A.tobytes(), b.tobytes())`` of a
+#: polytope's H-representation (:meth:`Polytope.cache_key`).
+_GeometryKey = tuple[bytes, bytes]
+
+
+class GeometryCache:
+    """Memoises geometry computations keyed on exact H-representation bytes.
+
+    Four stores share one keying discipline — the raw float64 bytes of the
+    polytope's ``(A, b)``, never rounded (an earlier revision rounded the key
+    to 12 decimals, which can collide *distinct* polytopes and hand one the
+    other's volume):
+
+    * ``volumes`` — :meth:`Polytope.volume_bounds` results,
+    * ``emptiness`` — :meth:`Polytope.is_empty` results,
+    * ``atom_bounds`` — batched atom LP sweeps (keyed additionally on the
+      dense objective bytes), and
+    * ``programs`` — compiled score-template programs (keyed on the template
+      tuple's identity; entries keep the templates alive so a recycled
+      ``id()`` can never alias).
+
+    **Sharing invariant**: every cached computation is a deterministic pure
+    function of its key, so a hit returns the identical float64s a fresh
+    computation would.  That makes one cache safe to share across the paths
+    of a chunk, across chunks, and across queries — bounds never depend on
+    which path populated an entry, hence not on chunk boundaries either
+    (pinned by ``tests/test_linear_fast_path.py``).  Concurrent use from the
+    thread backend is benign for the same reason: racing writers insert
+    identical values.
+
+    ``volume_hits`` / ``volume_misses`` (and the aggregate ``hits`` /
+    ``misses``) feed the perf benchmarks; they have no semantic role.
+    """
+
+    __slots__ = (
+        "volumes",
+        "emptiness",
+        "atom_bounds",
+        "programs",
+        "volume_hits",
+        "volume_misses",
+        "hits",
+        "misses",
+    )
 
     def __init__(self) -> None:
-        self._store: Dict[bytes, Interval] = {}
+        self.volumes: Dict[_GeometryKey, Interval] = {}
+        self.emptiness: Dict[_GeometryKey, bool] = {}
+        self.atom_bounds: Dict[tuple[_GeometryKey, bytes], tuple] = {}
+        self.programs: Dict[int, tuple] = {}
+        self.volume_hits = 0
+        self.volume_misses = 0
+        self.hits = 0
+        self.misses = 0
 
     def volume(self, polytope: Polytope) -> Interval:
-        key = np.round(np.hstack([polytope.a, polytope.b.reshape(-1, 1)]), 12).tobytes()
-        if key not in self._store:
-            self._store[key] = polytope.volume_bounds()
-        return self._store[key]
+        """Exact volume bounds of ``polytope``, memoised."""
+        key = polytope.cache_key()
+        value = self.volumes.get(key)
+        if value is None:
+            self.misses += 1
+            self.volume_misses += 1
+            value = self.volumes[key] = polytope.volume_bounds()
+        else:
+            self.hits += 1
+            self.volume_hits += 1
+        return value
+
+    def volume_restricted(
+        self,
+        base: Polytope,
+        key: _GeometryKey,
+        rows: Sequence[Sequence[float]],
+        rhs: Sequence[float],
+    ) -> Interval:
+        """Volume bounds of ``base ∩ {rows·x ≤ rhs}`` under a precomputed key.
+
+        ``key`` must equal ``base.add_constraints(rows, rhs).cache_key()`` —
+        callers assemble it by concatenating the base polytope's bytes with
+        the rows' float64 bytes (``np.vstack``/``np.concatenate`` preserve
+        C-order, so the concatenation is exactly the restricted
+        H-representation's bytes).  On a hit the restricted polytope is never
+        materialised, which is what the combination loop buys here.
+        """
+        value = self.volumes.get(key)
+        if value is None:
+            self.misses += 1
+            self.volume_misses += 1
+            restricted = base.add_constraints(rows, rhs) if len(rows) else base
+            value = self.volumes[key] = restricted.volume_bounds()
+        else:
+            self.hits += 1
+            self.volume_hits += 1
+        return value
+
+    def is_empty(self, polytope: Polytope) -> bool:
+        """Feasibility of ``polytope``, memoised."""
+        key = polytope.cache_key()
+        value = self.emptiness.get(key)
+        if value is None:
+            self.misses += 1
+            value = self.emptiness[key] = polytope.is_empty()
+        else:
+            self.hits += 1
+        return value
+
+    def bound_atom_rows(
+        self, polytope: Polytope, dense_rows: Sequence[Sequence[float]], rows_key: bytes
+    ) -> tuple:
+        """Batched ranges of the atom objectives over ``polytope``, memoised.
+
+        ``rows_key`` is the concatenated float64 bytes of ``dense_rows``;
+        the full key pairs it with the polytope's H-representation bytes.
+        """
+        key = (polytope.cache_key(), rows_key)
+        value = self.atom_bounds.get(key)
+        if value is None:
+            self.misses += 1
+            value = self.atom_bounds[key] = tuple(
+                BatchPolytope(polytope).bound_rows(dense_rows)
+            )
+        else:
+            self.hits += 1
+        return value
+
+    def template_program(self, templates):
+        """Compiled evaluation program of the score templates (``None`` when
+        a template cannot be expressed as a program — the factor sweep then
+        walks the expression trees as before)."""
+        key = id(templates)
+        entry = self.programs.get(key)
+        if entry is None or entry[0] is not templates:
+            try:
+                program = compile_expr_roots(
+                    [decomposition.template for decomposition in templates]
+                )
+            except ScalarFallback:
+                program = None
+            entry = self.programs[key] = (templates, program)
+        return entry[1]
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the perf benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "volume_hits": self.volume_hits,
+            "volume_misses": self.volume_misses,
+            "unique_volumes": len(self.volumes),
+            "unique_emptiness": len(self.emptiness),
+            "unique_atom_sweeps": len(self.atom_bounds),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -253,8 +412,13 @@ def analyze_path_linear(
     path: SymbolicPath,
     targets: Sequence[Interval],
     options: AnalysisOptions,
+    cache: Optional[GeometryCache] = None,
 ) -> list[tuple[float, float]]:
-    """Bounds on ``⟦Ψ⟧_lb(U)`` / ``⟦Ψ⟧_ub(U)`` for every target ``U``."""
+    """Bounds on ``⟦Ψ⟧_lb(U)`` / ``⟦Ψ⟧_ub(U)`` for every target ``U``.
+
+    ``cache`` optionally shares a :class:`GeometryCache` across calls (see
+    its sharing invariant); by default each path gets a fresh one.
+    """
     result_form = extract_linear(path.result)
     assert result_form is not None, "analyze_path_linear requires a linear result"
     constraint_forms = path.linear_constraints()
@@ -263,7 +427,8 @@ def analyze_path_linear(
     atoms: list[LinearForm] = []
     templates = [decompose_score(score, atoms) for score in path.scores]
     return _analyze_linear_forms(
-        result_form, constraint_forms, atoms, templates, path.distributions, targets, options
+        result_form, constraint_forms, atoms, templates, path.distributions,
+        targets, options, cache,
     )
 
 
@@ -275,6 +440,7 @@ def _analyze_linear_forms(
     distributions: Sequence,
     targets: Sequence[Interval],
     options: AnalysisOptions,
+    cache: Optional[GeometryCache] = None,
 ) -> list[tuple[float, float]]:
     """The linear semantics at the forms level (paths already decomposed).
 
@@ -283,6 +449,7 @@ def _analyze_linear_forms(
     columnar table (with per-table memoisation) — so their bounds are
     bit-identical by construction.  The inputs are treated as read-only.
     """
+    cache = cache if cache is not None else GeometryCache()
     protected = set(result_form.variables())
     for atom in atoms:
         protected.update(atom.variables())
@@ -320,10 +487,9 @@ def _analyze_linear_forms(
                         [r for r, _ in rows], [b for _, b in rows]
                     )
 
-    cache = _VolumeCache()
     lower = [0.0] * len(targets)
     upper = [0.0] * len(targets)
-    if options.prune_empty_paths and upper_poly is not None and upper_poly.is_empty():
+    if options.prune_empty_paths and upper_poly is not None and cache.is_empty(upper_poly):
         return list(zip(lower, upper))
 
     for index, target in enumerate(targets):
@@ -352,26 +518,79 @@ def _analyze_linear_forms(
     return list(zip(lower, upper))
 
 
+def _chunk_entry(
+    atom: LinearForm, chunk: Interval, dimension: int, is_lower: bool
+) -> Optional[tuple]:
+    """Constraint rows pinning ``atom`` into ``chunk``, with their cache bytes.
+
+    Returns ``None`` when the chunk is unsatisfiable under the requested
+    reading, ``()`` when it holds trivially (no rows), and otherwise
+    ``(rows, rhs, a_bytes, b_bytes)`` where the byte strings are the exact
+    float64 encoding the rows append to a polytope's H-representation — the
+    combination loop concatenates them into geometry-cache keys without
+    materialising the restricted polytope.  The row construction (and its
+    upper-then-lower order) is exactly the one the per-combination loop used,
+    just hoisted: the rows depend only on ``(atom, chunk)``, never on which
+    combination the chunk appears in.
+    """
+    rows: list[list[float]] = []
+    rhs: list[float] = []
+    if math.isfinite(chunk.hi):
+        row = _upper_row(atom, chunk.hi, dimension, universal=is_lower)
+        if row is None:
+            return None
+        if row[0]:
+            rows.append(row[0])
+            rhs.append(row[1])
+    if math.isfinite(chunk.lo):
+        row = _lower_row(atom, chunk.lo, dimension, universal=is_lower)
+        if row is None:
+            return None
+        if row[0]:
+            rows.append(row[0])
+            rhs.append(row[1])
+    if not rows:
+        return ()
+    a_bytes = b"".join(np.asarray(row, dtype=float).tobytes() for row in rows)
+    b_bytes = np.asarray(rhs, dtype=float).tobytes()
+    return rows, rhs, a_bytes, b_bytes
+
+
 def _integrate(
     polytope: Polytope,
     templates,
     atoms: list[LinearForm],
     density: float,
     options: AnalysisOptions,
-    cache: _VolumeCache,
+    cache: GeometryCache,
     is_lower: bool,
 ) -> float:
-    """Bound ``∫_polytope ∏ templates(atoms) dα`` from below or above."""
+    """Bound ``∫_polytope ∏ templates(atoms) dα`` from below or above.
+
+    The combination sweep is batched: all atom objectives are bounded over
+    the polytope in one prepared-LP sweep, the constraint rows are built once
+    per atom chunk instead of once per combination, and every volume is
+    looked up in the shared :class:`GeometryCache` by the restricted
+    polytope's byte key (assembled from the precomputed row bytes) so a hit
+    never materialises the polytope.  ``tests/test_linear_fast_path.py`` pins
+    this loop against :func:`_integrate_reference`, the pre-batching scalar
+    original, bit for bit.
+    """
     if not templates:
         volume = cache.volume(polytope)
         return density * (volume.lo if is_lower else volume.hi)
-    if polytope.is_empty():
+    if cache.is_empty(polytope):
         return 0.0
 
-    # Bound every atom over the polytope and split its range into chunks.
+    # Bound every atom over the polytope — one batched LP sweep over the
+    # polytope's prepared constraint system — and split each range into
+    # chunks.
+    dimension = polytope.dimension
+    dense_rows = [atom.dense_row(dimension) for atom in atoms]
+    rows_key = b"".join(np.asarray(row, dtype=float).tobytes() for row in dense_rows)
+    bases = cache.bound_atom_rows(polytope, dense_rows, rows_key)
     atom_ranges: list[list[Interval]] = []
-    for atom in atoms:
-        base = polytope.bound_linear(atom.as_dense(polytope.dimension))
+    for atom, base in zip(atoms, bases):
         if base is None:
             return 0.0
         atom_ranges.append(_split_interval(base + atom.constant, options.score_splits))
@@ -386,23 +605,117 @@ def _integrate(
 
     # Pre-compute the weight factor of every atom-range combination in one
     # vectorised sweep over the whole product grid (the scalar per-combination
-    # loop below is the historical fallback and remains the reference
+    # branch below is the historical fallback and remains the reference
     # semantics — the sweep reproduces its floats bit-for-bit).
     factors = None
     if options.vectorized_scores and atoms:
         factors = _vectorized_factors(
-            atom_ranges, templates, is_lower, options.vectorized_transcendentals
+            atom_ranges, templates, is_lower, options.vectorized_transcendentals,
+            program=cache.template_program(templates),
         )
 
-    dimension = polytope.dimension
+    # Pre-compute each chunk's constraint rows and their cache-key bytes once
+    # per (atom, chunk) — the product loop then only concatenates.
+    per_atom = [
+        [(chunk, _chunk_entry(atom, chunk, dimension, is_lower)) for chunk in chunks]
+        for atom, chunks in zip(atoms, atom_ranges)
+    ]
+
+    base_a_key, base_b_key = polytope.cache_key()
     total = 0.0
-    for combo_index, combination in enumerate(itertools.product(*atom_ranges)):
+    for combo_index, combination in enumerate(itertools.product(*per_atom)):
         if factors is not None and factors[combo_index] == 0.0:
             # A zero weight annihilates the chunk's contribution regardless of
             # feasibility, so the constraint rows and the volume computation
-            # can both be skipped.  (The scalar loop below cannot hoist this
+            # can both be skipped.  (The scalar branch below cannot hoist this
             # check: computing the weight is what the sweep made cheap.)
             continue
+        if any(entry is None for _, entry in combination):
+            continue
+        if factors is not None:
+            factor = float(factors[combo_index])
+        else:
+            weight = Interval.point(1.0)
+            for template in templates:
+                score_bounds = evaluate_with_atoms(
+                    template.template, [chunk for chunk, _ in combination]
+                )
+                score_bounds = score_bounds.meet(_NON_NEGATIVE)
+                if score_bounds.is_empty:
+                    score_bounds = Interval.point(0.0)
+                weight = weight * score_bounds
+            factor = max(0.0, weight.lo if is_lower else weight.hi)
+        if factor == 0.0:
+            continue
+        if not is_lower and math.isfinite(factor) and factor < _NEGLIGIBLE_WEIGHT:
+            # ``density · volume`` never exceeds the prior mass 1 of the chunk,
+            # so adding the weight itself is a sound (and cheap) upper bound —
+            # this skips an exact volume computation for far-tail chunks.
+            total += factor
+            continue
+        rows: list[list[float]] = []
+        rhs: list[float] = []
+        a_parts = [base_a_key]
+        b_parts = [base_b_key]
+        for _, entry in combination:
+            if entry:
+                rows.extend(entry[0])
+                rhs.extend(entry[1])
+                a_parts.append(entry[2])
+                b_parts.append(entry[3])
+        volume = cache.volume_restricted(
+            polytope, (b"".join(a_parts), b"".join(b_parts)), rows, rhs
+        )
+        volume_value = volume.lo if is_lower else volume.hi
+        if volume_value <= 0.0:
+            continue
+        total += density * volume_value * factor
+        if math.isinf(total):
+            return math.inf
+    return total
+
+
+def _integrate_reference(
+    polytope: Polytope,
+    templates,
+    atoms: list[LinearForm],
+    density: float,
+    options: AnalysisOptions,
+    is_lower: bool,
+) -> float:
+    """The pre-batching per-combination integration loop, kept as a test
+    oracle.
+
+    Bounds atoms with one scalar LP pair each, rebuilds the constraint rows
+    per combination, evaluates every score template with the scalar interval
+    evaluator and computes every chunk volume directly — no geometry cache,
+    no vectorised factor sweep, no prepared-LP batching.
+    ``tests/test_linear_fast_path.py`` asserts :func:`_integrate` reproduces
+    this loop's floats bit for bit; production routes never call it.
+    """
+    if not templates:
+        volume = polytope.volume_bounds()
+        return density * (volume.lo if is_lower else volume.hi)
+    if polytope.is_empty():
+        return 0.0
+
+    atom_ranges: list[list[Interval]] = []
+    for atom in atoms:
+        base = polytope.bound_linear(atom.as_dense(polytope.dimension))
+        if base is None:
+            return 0.0
+        atom_ranges.append(_split_interval(base + atom.constant, options.score_splits))
+
+    while _combination_count(atom_ranges) > options.max_score_combinations:
+        widest = max(range(len(atom_ranges)), key=lambda i: len(atom_ranges[i]))
+        if len(atom_ranges[widest]) <= 1:
+            break
+        hull = Interval(atom_ranges[widest][0].lo, atom_ranges[widest][-1].hi)
+        atom_ranges[widest] = _split_interval(hull, max(1, len(atom_ranges[widest]) // 2))
+
+    dimension = polytope.dimension
+    total = 0.0
+    for combination in itertools.product(*atom_ranges):
         rows: list[list[float]] = []
         rhs: list[float] = []
         feasible = True
@@ -425,27 +738,21 @@ def _integrate(
                     rhs.append(row[1])
         if not feasible:
             continue
-        if factors is not None:
-            factor = float(factors[combo_index])
-        else:
-            weight = Interval.point(1.0)
-            for template in templates:
-                score_bounds = evaluate_with_atoms(template.template, list(combination))
-                score_bounds = score_bounds.meet(_NON_NEGATIVE)
-                if score_bounds.is_empty:
-                    score_bounds = Interval.point(0.0)
-                weight = weight * score_bounds
-            factor = max(0.0, weight.lo if is_lower else weight.hi)
+        weight = Interval.point(1.0)
+        for template in templates:
+            score_bounds = evaluate_with_atoms(template.template, list(combination))
+            score_bounds = score_bounds.meet(_NON_NEGATIVE)
+            if score_bounds.is_empty:
+                score_bounds = Interval.point(0.0)
+            weight = weight * score_bounds
+        factor = max(0.0, weight.lo if is_lower else weight.hi)
         if factor == 0.0:
             continue
         if not is_lower and math.isfinite(factor) and factor < _NEGLIGIBLE_WEIGHT:
-            # ``density · volume`` never exceeds the prior mass 1 of the chunk,
-            # so adding the weight itself is a sound (and cheap) upper bound —
-            # this skips an exact volume computation for far-tail chunks.
             total += factor
             continue
         chunk_polytope = polytope.add_constraints(rows, rhs) if rows else polytope
-        volume = cache.volume(chunk_polytope)
+        volume = chunk_polytope.volume_bounds()
         volume_value = volume.lo if is_lower else volume.hi
         if volume_value <= 0.0:
             continue
@@ -460,6 +767,7 @@ def _vectorized_factors(
     templates,
     is_lower: bool,
     transcendentals: bool = False,
+    program=None,
 ):
     """Weight factor of every atom-range combination, in one meshgrid sweep.
 
@@ -472,6 +780,12 @@ def _vectorized_factors(
     enabling ``vectorized_scores`` never moves a bound.  Returns ``None``
     when the sweep cannot express a template (the caller then runs the
     scalar loop).
+
+    ``program`` optionally supplies the templates pre-compiled by
+    :func:`~repro.analysis.vectorize.compile_expr_roots`
+    (:meth:`GeometryCache.template_program` caches them): the sweep then
+    replays flat instructions instead of re-walking the expression trees,
+    through the same lifting kernel — identical arrays either way.
     """
     if not templates:
         return None
@@ -493,10 +807,22 @@ def _vectorized_factors(
     try:
         weight_lo = np.ones(count)
         weight_hi = np.ones(count)
-        for template in templates:
-            score_lo, score_hi = checked_cells(
-                template.template, count, atom_leaf=atom_leaf, transcendentals=transcendentals
+        evaluator = None
+        if program is not None:
+            evaluator = TableProgramEvaluator(
+                program[0],
+                count,
+                atom_leaf=lambda index: (combos_lo[:, index], combos_hi[:, index]),
+                transcendentals=transcendentals,
             )
+        for position, template in enumerate(templates):
+            if evaluator is not None:
+                score_lo, score_hi = evaluator.eval_to(program[1][position])
+            else:
+                score_lo, score_hi = checked_cells(
+                    template.template, count, atom_leaf=atom_leaf,
+                    transcendentals=transcendentals,
+                )
             # meet with [0, inf); an empty meet collapses to the point 0.
             score_lo = np.maximum(score_lo, 0.0)
             empty = score_hi < score_lo
@@ -524,6 +850,13 @@ def _table_cache(table) -> dict:
     Living in ``table.scratch``, the memo survives across chunks and queries
     of one table attachment — a worker that analysed chunk 3 of a query has
     already extracted the linear forms chunk 7 (and the next query) needs.
+    The ``geometry`` entry is the attachment's shared :class:`GeometryCache`:
+    its exact-bytes keying (see the class docstring) is what makes volumes,
+    feasibility checks and atom LP sweeps reusable across paths, chunks and
+    queries without bounds depending on chunk boundaries.  The scratch memo
+    travels with the attachment under every transport (arena segments reuse
+    the worker's table object, so the memo warms up across chunks there
+    too).
     """
     cache = table.scratch.get(_TABLE_SCRATCH_KEY)
     if cache is None:
@@ -533,6 +866,7 @@ def _table_cache(table) -> dict:
             "dists": {},  # dist id -> bounded-uniform?
             "applicable": {},  # path index -> bool (the predicate is options-free)
             "path_dists": {},  # path index -> tuple[Distribution, ...]
+            "geometry": GeometryCache(),  # cross-path geometry memo
         })
     return cache
 
@@ -636,8 +970,12 @@ def analyze_table_linear(
         )
 
     result_form, constraint_forms, atoms, templates, distributions = prepared
+    geometry = cache.get("geometry")
+    if geometry is None:
+        geometry = cache.setdefault("geometry", GeometryCache())
     return _analyze_linear_forms(
-        result_form, constraint_forms, atoms, templates, distributions, targets, options
+        result_form, constraint_forms, atoms, templates, distributions,
+        targets, options, geometry,
     )
 
 
@@ -678,11 +1016,19 @@ class LinearPathAnalyzer:
     ) -> list[list[tuple[float, float]]]:
         """Per-path contributions for a chunk (identical to per-path calls).
 
-        Volume caching stays per-path: the cache key is the polytope's
-        H-representation, which only coincides across paths by accident, and
-        a shared cache would make results depend on chunk boundaries.
+        One :class:`GeometryCache` is shared across the chunk's paths.  The
+        cache key is the polytope's *exact* H-representation bytes and every
+        cached computation is a deterministic pure function of that key, so
+        a hit returns the identical float64s a fresh computation would —
+        the bounds cannot depend on which path populated an entry, hence not
+        on how paths were partitioned into chunks either.  (The paths of one
+        program share box constraints and score atoms heavily, so cross-path
+        hits are the common case, not an accident.)
         """
-        return [analyze_path_linear(path, targets, options) for path in paths]
+        cache = GeometryCache()
+        return [
+            analyze_path_linear(path, targets, options, cache) for path in paths
+        ]
 
     # -- columnar fast path --------------------------------------------
     def applicable_table(self, table, index: int, options: AnalysisOptions) -> bool:

@@ -475,7 +475,13 @@ def analyze_arena_chunk(ref: ArenaChunkRef) -> tuple[int, list[PathContribution]
     with its decoded-node memo and analyzer scratch space — is cached across
     chunks and queries, see :func:`repro.analysis.transport.attach_arena`)
     and resolves the query context once per query shape instead of once per
-    chunk.  With ``options.columnar`` (the default) the
+    chunk.  The scratch space is how analyzer memos travel on this transport:
+    the linear analyzer keeps its cross-path
+    :class:`~repro.analysis.linear_analyzer.GeometryCache` there, so LP
+    sweeps and exact volumes warm up across every chunk and query a worker
+    sees — safely, because the cache's exact-bytes keying returns identical
+    float64s on a hit, keeping bounds independent of which chunks landed on
+    which worker.  With ``options.columnar`` (the default) the
     ``[start, stop)`` slice runs the columnar loop
     (:func:`_analyze_table_range`); otherwise the slice is decoded and runs
     the materialised loop.  Both compute bit-identical contributions, and

@@ -41,7 +41,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..distributions.continuous import _SQRT_2PI
+from ..distributions.continuous import _SQRT_2PI, Beta
 from ..intervals import Interval, get_primitive
 from ..symbolic.arena import KIND_ATOM, KIND_CONST, KIND_PRIM, KIND_VAR
 from ..symbolic.value import SAtom, SConst, SPrim, SVar, SymExpr
@@ -51,6 +51,7 @@ __all__ = [
     "TableProgramEvaluator",
     "apply_primitive_cells",
     "checked_cells",
+    "compile_expr_roots",
     "compile_table_roots",
     "evaluate_cells",
     "vec_mul",
@@ -320,10 +321,119 @@ def _normal_pdf_cells(args, count: int):
     return out_lo, out_hi
 
 
+def _uniform_pdf_cells(args, count: int):
+    """All cells of ``uniform_pdf``, as exact whole-array float operations.
+
+    The reference semantics is
+    ``repro.distributions.primitives._uniform_pdf_interval`` as the generic
+    loop applies it per cell.  Every branch of that function — the empty /
+    non-positive-width short-circuits, the conservative ``[0, 1/width.lo]``
+    envelope, and the exact ``Uniform(low, high).pdf_interval(value)`` kernel
+    for point parameters — reduces to IEEE subtractions, divisions and
+    comparisons, so unlike ``normal_pdf`` there is no per-cell libm tail:
+    the whole lifting vectorises without a scalar loop and stays
+    bit-identical.
+    """
+    (llo, lhi), (hlo, hhi), (vlo, vhi) = args
+    for lo, hi in args:
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ScalarFallback
+        inverted = (lo > hi) & ~((lo == math.inf) & (hi == -math.inf))
+        if inverted.any():
+            raise ScalarFallback
+    out_lo = np.zeros(count)
+    out_hi = np.zeros(count)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        # width = high - low; an empty argument makes the width empty, whose
+        # hi (-inf) falls through the non-positive-width short-circuit below.
+        empty_lh = (llo > lhi) | (hlo > hhi)
+        width_lo = hlo - lhi
+        width_hi = hhi - llo
+        if ((np.isnan(width_lo) | np.isnan(width_hi)) & ~empty_lh).any():
+            # inf − inf: the scalar Interval construction raises here.
+            raise ScalarFallback
+        if ((width_lo > width_hi) & ~empty_lh).any():
+            raise ScalarFallback
+        active = ~empty_lh & (width_hi > 0.0)
+        # General envelope: density at most 1/width.lo (∞ when the width can
+        # vanish); the value argument does not sharpen this branch.
+        max_density = np.where(width_lo <= 0.0, math.inf, 1.0 / width_lo)
+        exact = (llo == lhi) & (hlo == hhi) & (hlo > llo)
+        general = active & ~exact
+        out_hi[general] = max_density[general]
+        # Point parameters: Uniform(low.lo, high.lo).pdf_interval(value).
+        # The division mirrors Uniform._density = 1/(high − low) exactly.
+        kernel = active & exact
+        density = np.where(kernel, 1.0 / (hlo - llo), 0.0)
+        clip_lo = np.maximum(vlo, llo)
+        clip_hi = np.minimum(vhi, hlo)
+        hit = kernel & ~(clip_lo > clip_hi)
+        out_hi[hit] = density[hit]
+        # The lower bound is the density only when the support contains the
+        # whole value interval (an empty value is contained vacuously, but
+        # such cells already failed the clip test above).
+        contained = hit & (llo <= vlo) & (vhi <= hlo)
+        out_lo[contained] = density[contained]
+    return out_lo, out_hi
+
+
+def _beta_pdf_cells(args, count: int):
+    """All cells of ``beta_pdf``: array plumbing, scalar kernel per point cell.
+
+    The reference semantics is
+    ``repro.distributions.primitives._beta_pdf_interval`` per cell: interval
+    parameters yield the conservative ``[0, ∞]``, point parameters evaluate
+    ``Beta(α, β).pdf_interval(value)`` — whose ``lgamma``-based normaliser
+    must match libm bit-for-bit, so those cells run the scalar kernel.  The
+    :class:`~repro.distributions.continuous.Beta` instances are memoised per
+    parameter pair, which is where the speed-up comes from: a score sweep
+    uses one or two parameter pairs across thousands of cells, and the three
+    ``lgamma`` calls per construction dominate the generic loop.  A
+    non-positive point parameter aborts the sweep exactly like the generic
+    loop (``Beta.__init__`` raises ``ValueError`` there).
+    """
+    (alo, ahi), (blo, bhi), (vlo, vhi) = args
+    for lo, hi in args:
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ScalarFallback
+        inverted = (lo > hi) & ~((lo == math.inf) & (hi == -math.inf))
+        if inverted.any():
+            raise ScalarFallback
+    out_lo = np.zeros(count)
+    out_hi = np.full(count, math.inf)
+    point = (alo == ahi) & (blo == bhi)
+    cells = np.flatnonzero(point)
+    if cells.size == 0:
+        return out_lo, out_hi
+    if (alo[cells] <= 0.0).any() or (blo[cells] <= 0.0).any():
+        raise ScalarFallback
+    alo_l = alo.tolist()
+    blo_l = blo.tolist()
+    vlo_l = vlo.tolist()
+    vhi_l = vhi.tolist()
+    distributions: dict = {}
+    for index in cells.tolist():
+        key = (alo_l[index], blo_l[index])
+        dist = distributions.get(key)
+        if dist is None:
+            dist = distributions[key] = Beta(key[0], key[1])
+        try:
+            value = dist.pdf_interval(Interval(vlo_l[index], vhi_l[index]))
+        except ValueError as error:
+            raise ScalarFallback from error
+        if value.is_empty:
+            raise ScalarFallback
+        out_lo[index] = value.lo
+        out_hi[index] = value.hi
+    return out_lo, out_hi
+
+
 #: op name -> flattened array lifting (must be bit-identical to the scalar
 #: interval lifting of the same primitive).
 _ARRAY_LIFTINGS = {
     "normal_pdf": _normal_pdf_cells,
+    "uniform_pdf": _uniform_pdf_cells,
+    "beta_pdf": _beta_pdf_cells,
 }
 
 
@@ -437,6 +547,58 @@ def compile_table_roots(table, root_ids) -> tuple[list[tuple], tuple[int, ...]]:
                 raise ScalarFallback
             slots[current] = len(instrs) - 1
     return instrs, tuple(slots[root] for root in root_ids)
+
+
+def compile_expr_roots(roots) -> tuple[list[tuple], tuple[int, ...]]:
+    """Compile materialised expression roots into a flat evaluation program.
+
+    The expression-tree analogue of :func:`compile_table_roots`, producing
+    the same instruction format for :class:`TableProgramEvaluator`.  The
+    linear analyzer compiles a path's score templates once and replays the
+    program for every polytope sweep (2 readings × all targets), replacing
+    the per-sweep recursive :func:`evaluate_cells` walk with flat instruction
+    dispatch.  Sub-expressions shared *by object identity* across the roots
+    compile to a single instruction; structurally-equal copies evaluate to
+    identical arrays either way, so sharing never affects the floats.
+
+    Raises :class:`ScalarFallback` on nodes a sweep cannot express (empty
+    interval constants, unknown node types), mirroring
+    :func:`evaluate_cells`.  Callers caching the program must keep the root
+    expressions alive alongside it — the instruction slots are keyed by
+    ``id()`` during compilation only, but a cache entry that outlives its
+    roots could be matched against recycled ids.
+    """
+    slots: dict[int, int] = {}
+    instrs: list[tuple] = []
+    for root in roots:
+        if id(root) in slots:
+            continue
+        stack: list[tuple[SymExpr, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            key = id(node)
+            if key in slots:
+                continue
+            if isinstance(node, SPrim) and not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    stack.append((child, False))
+                continue
+            if isinstance(node, SVar):
+                instrs.append((_I_VAR, node.index))
+            elif isinstance(node, SConst):
+                if node.interval.is_empty:
+                    raise ScalarFallback
+                instrs.append((_I_CONST, node.interval.lo, node.interval.hi))
+            elif isinstance(node, SAtom):
+                instrs.append((_I_ATOM, node.index))
+            elif isinstance(node, SPrim):
+                args = tuple(slots[id(child)] for child in node.args)
+                instrs.append((_I_PRIM, node.op, args))
+            else:
+                raise ScalarFallback
+            slots[key] = len(instrs) - 1
+    return instrs, tuple(slots[id(root)] for root in roots)
 
 
 class TableProgramEvaluator:

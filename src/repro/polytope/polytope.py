@@ -10,6 +10,12 @@ for bounding linear forms; this module provides both from scratch on top of
 * exact bounds on a linear function over the polytope (:meth:`Polytope.bound_linear`),
 * exact volume via halfspace intersection + convex hull, with sound
   ``[0, box volume]`` fallback bounds when the geometry degenerates.
+
+All LPs run on the low-overhead HiGHS kernel (:mod:`repro.polytope.highs`)
+when its binding is available: each polytope lazily prepares its constraint
+system once and solves every objective (atom bounds, feasibility, Chebyshev)
+against it.  The kernel is bit-identical to ``scipy.optimize.linprog`` by
+construction, and ``linprog`` remains the automatic fallback.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from scipy.optimize import linprog
 from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
 
 from ..intervals import Interval
+from . import highs as _highs
 
 __all__ = ["Polytope", "PolytopeError"]
 
@@ -102,6 +109,21 @@ class Polytope:
         point = np.asarray(point, dtype=float)
         return bool(np.all(self.a @ point <= self.b + tolerance))
 
+    def cache_key(self) -> tuple[bytes, bytes]:
+        """The exact H-representation bytes ``(A.tobytes(), b.tobytes())``.
+
+        Two polytopes share a key iff their float64 constraint data is
+        bit-identical, which makes the key safe for cross-path geometry
+        caches: every LP/Qhull computation on this class is a deterministic
+        pure function of ``(A, b)``, so a cache hit returns the identical
+        float64s a fresh computation would.  Memoised per instance.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = (self.a.tobytes(), self.b.tobytes())
+            object.__setattr__(self, "_cache_key", key)
+        return key
+
     # ------------------------------------------------------------------
     # Linear programming
     # ------------------------------------------------------------------
@@ -121,8 +143,28 @@ class Polytope:
             lo, hi = hi, lo
         return Interval(lo, hi)
 
+    def prepared_lp(self) -> Optional["_highs.PreparedLP"]:
+        """The polytope's constraint system, loaded into the HiGHS kernel once.
+
+        ``None`` when the direct binding is unavailable (callers then take
+        the ``linprog`` fallback).  Lazily built and memoised per instance,
+        so every objective bounded over this polytope — atom sweeps,
+        feasibility checks — shares one prepared model.
+        """
+        prepared = self.__dict__.get("_prepared_lp", False)
+        if prepared is False:
+            prepared = (
+                _highs.PreparedLP(self.a, self.b) if _highs.kernel_available() else None
+            )
+            object.__setattr__(self, "_prepared_lp", prepared)
+        return prepared
+
     def _optimise(self, coefficients: np.ndarray, minimise: bool) -> Optional[float]:
         sign = 1.0 if minimise else -1.0
+        prepared = self.prepared_lp()
+        if prepared is not None:
+            fun = prepared.minimise(sign * coefficients)
+            return None if fun is None else float(sign * fun)
         result = linprog(
             sign * coefficients,
             A_ub=self.a,
@@ -142,6 +184,10 @@ class Polytope:
             # A zero-dimensional polytope is the single point (); it is empty
             # exactly when some constraint ``0 <= b`` fails.
             return bool(np.any(self.b < 0.0))
+        prepared = self.prepared_lp()
+        if prepared is not None:
+            status, _, _ = prepared.solve(np.zeros(self.dimension))
+            return status == _highs.INFEASIBLE
         result = linprog(
             np.zeros(self.dimension),
             A_ub=self.a,
@@ -159,27 +205,44 @@ class Polytope:
         objective = np.zeros(self.dimension + 1)
         objective[-1] = -1.0  # maximise the radius
         a_ub = np.hstack([self.a, norms.reshape(-1, 1)])
-        result = linprog(
-            objective,
-            A_ub=a_ub,
-            b_ub=self.b,
-            bounds=[(None, None)] * self.dimension + [(0.0, None)],
-            method="highs",
-        )
-        if not result.success:
-            return None
-        center = np.asarray(result.x[:-1], dtype=float)
-        radius = float(result.x[-1])
+        if _highs.kernel_available():
+            col_lower = np.concatenate([np.full(self.dimension, -np.inf), [0.0]])
+            prepared = _highs.PreparedLP(a_ub, self.b, col_lower=col_lower)
+            status, _, x = prepared.solve(objective)
+            if status != _highs.OPTIMAL:
+                return None
+            x = np.asarray(x, dtype=float)
+        else:
+            result = linprog(
+                objective,
+                A_ub=a_ub,
+                b_ub=self.b,
+                bounds=[(None, None)] * self.dimension + [(0.0, None)],
+                method="highs",
+            )
+            if not result.success:
+                return None
+            x = result.x
+        center = np.asarray(x[:-1], dtype=float)
+        radius = float(x[-1])
         return center, radius
 
     # ------------------------------------------------------------------
     # Volume
     # ------------------------------------------------------------------
-    def vertices(self) -> Optional[np.ndarray]:
-        """Vertex enumeration via Qhull halfspace intersection (``None`` on failure)."""
+    def vertices(
+        self, center_radius: Optional[tuple[np.ndarray, float]] = None
+    ) -> Optional[np.ndarray]:
+        """Vertex enumeration via Qhull halfspace intersection (``None`` on failure).
+
+        ``center_radius`` lets a caller that already solved the Chebyshev LP
+        (e.g. :meth:`volume_bounds`) pass its result in instead of paying for
+        the identical solve again.
+        """
         if self.dimension == 0:
             return np.zeros((1, 0))
-        center_radius = self.chebyshev_center()
+        if center_radius is None:
+            center_radius = self.chebyshev_center()
         if center_radius is None:
             return None
         center, radius = center_radius
@@ -220,7 +283,7 @@ class Polytope:
             if bound is None:
                 return Interval.point(0.0)
             return Interval.point(bound.width)
-        vertices = self.vertices()
+        vertices = self.vertices(center_radius)
         if vertices is None or len(vertices) <= self.dimension:
             return Interval(0.0, self._bounding_box_volume())
         try:

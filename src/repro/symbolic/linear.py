@@ -104,6 +104,22 @@ class LinearForm:
             row[index] = coeff
         return row
 
+    def dense_row(self, dimension: int) -> list[float]:
+        """:meth:`as_dense`, memoised per dimension.
+
+        The linear analyzer densifies the same atom for every polytope it is
+        bounded over; the form is immutable, so the row can be shared.  The
+        returned list must be treated as read-only.
+        """
+        memo = self.__dict__.get("_dense_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_dense_memo", memo)
+        row = memo.get(dimension)
+        if row is None:
+            row = memo[dimension] = self.as_dense(dimension)
+        return row
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         terms = " + ".join(f"{c:g}·α{i}" for i, c in self.coeffs)
         return f"LinearForm({terms or '0'} + {self.constant!r})"
